@@ -1,0 +1,51 @@
+// Reproduces Figure 3: GFLOPS of the warp-level synchronization-free SpTRSV
+// as a function of parallel granularity — the motivating observation. The
+// curve rises with granularity (more parallelism to exploit), peaks, and
+// collapses past the ~0.7 crossover where warp-per-row execution wastes
+// lanes and warp-residency rounds dominate.
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const sim::DeviceConfig device = SelectedPlatforms(options).front();
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  const std::vector<NamedMatrix> corpus =
+      GranularityCorpus(ToCorpusOptions(options));
+  const kernels::DeviceAlgorithm algorithm =
+      kernels::DeviceAlgorithm::kSyncFreeCsc;
+
+  auto bins = MakeBins(0.0, 1.3, 0.1);
+  for (const NamedMatrix& named : corpus) {
+    const RunRecord record = RunOne(named, algorithm, device, experiment);
+    if (!record.status.ok() || !record.correct) continue;
+    AddToBin(bins, record.stats.parallel_granularity, record.result.gflops);
+  }
+
+  std::printf(
+      "Figure 3: performance trend of warp-level synchronization-free SpTRSV\n"
+      "(platform %s, %zu matrices). Expect a rise, a peak, then decline past\n"
+      "granularity ~0.7.\n\n",
+      device.name.c_str(), corpus.size());
+
+  double max_mean = 0.0;
+  for (const auto& bin : bins) max_mean = std::max(max_mean, bin.Mean());
+
+  TextTable table({"granularity", "matrices", "SyncFree GFLOPS", ""});
+  for (const auto& bin : bins) {
+    if (bin.count == 0) continue;
+    table.AddRow({TextTable::Num(bin.lo, 1) + "-" + TextTable::Num(bin.hi, 1),
+                  std::to_string(bin.count), TextTable::Num(bin.Mean(), 2),
+                  Bar(bin.Mean(), max_mean)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

@@ -1,0 +1,62 @@
+// Reproduces Figure 4: GFLOPS of SyncFree / cuSPARSE / CapelliniSpTRSV on the
+// three platforms, binned by parallel granularity in [0.7, 1.2]. Capellini's
+// series should sit well above both warp-level baselines across the range.
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const auto platforms = SelectedPlatforms(options);
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  const std::vector<NamedMatrix> corpus =
+      HighGranularityCorpus(ToCorpusOptions(options));
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCusparseProxy,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+
+  std::printf(
+      "Figure 4: GFLOPS vs parallel granularity in [0.7, 1.2] for the three\n"
+      "algorithms on each platform (%zu matrices per platform).\n",
+      corpus.size());
+
+  for (const auto& config : platforms) {
+    const auto records = RunMany(corpus, algorithms, config, experiment);
+    std::printf("\n-- %s --\n", config.name.c_str());
+    TextTable table({"granularity", "n", "SyncFree", "cuSPARSE", "Capellini"});
+    std::vector<std::vector<GranularityBin>> bins(
+        algorithms.size(), MakeBins(0.7, 1.25, 0.05));
+    for (const auto& record : records) {
+      if (!record.status.ok() || !record.correct) continue;
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        if (record.algorithm == algorithms[a]) {
+          AddToBin(bins[a], record.stats.parallel_granularity,
+                   record.result.gflops);
+        }
+      }
+    }
+    for (std::size_t k = 0; k < bins[0].size(); ++k) {
+      if (bins[0][k].count == 0 && bins[1][k].count == 0 &&
+          bins[2][k].count == 0) {
+        continue;
+      }
+      table.AddRow({TextTable::Num(bins[0][k].lo, 2) + "-" +
+                        TextTable::Num(bins[0][k].hi, 2),
+                    std::to_string(bins[0][k].count),
+                    TextTable::Num(bins[0][k].Mean(), 2),
+                    TextTable::Num(bins[1][k].Mean(), 2),
+                    TextTable::Num(bins[2][k].Mean(), 2)});
+    }
+    std::fputs(table.ToString().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

@@ -1,0 +1,89 @@
+// Reproduces Figure 5: per-matrix speedup of CapelliniSpTRSV over the
+// SyncFree baseline as a function of parallel granularity. The paper's shape:
+// speedups grow with granularity (their lp1 peaks at ~35x averaged across
+// platforms; our simulated magnitudes are compressed — see EXPERIMENTS.md).
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const auto platforms = SelectedPlatforms(options);
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  std::vector<NamedMatrix> corpus =
+      HighGranularityCorpus(ToCorpusOptions(options));
+  corpus.push_back(MakeProxy(ProxyId::kLp1));  // the paper's best case
+
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+
+  // matrix -> (granularity, sum of per-platform speedups, platforms counted)
+  struct Entry {
+    double granularity = 0.0;
+    double speedup_sum = 0.0;
+    int platforms = 0;
+  };
+  std::map<std::string, Entry> per_matrix;
+
+  for (const auto& config : platforms) {
+    const auto records = RunMany(corpus, algorithms, config, experiment);
+    std::map<std::string, double> syncfree, capellini;
+    for (const auto& record : records) {
+      if (!record.status.ok() || !record.correct) continue;
+      auto& entry = per_matrix[record.matrix];
+      entry.granularity = record.stats.parallel_granularity;
+      if (record.algorithm == algorithms[0]) {
+        syncfree[record.matrix] = record.result.gflops;
+      } else {
+        capellini[record.matrix] = record.result.gflops;
+      }
+    }
+    for (const auto& [matrix, gflops] : capellini) {
+      const auto it = syncfree.find(matrix);
+      if (it == syncfree.end() || it->second <= 0.0) continue;
+      per_matrix[matrix].speedup_sum += gflops / it->second;
+      ++per_matrix[matrix].platforms;
+    }
+  }
+
+  std::printf(
+      "Figure 5: speedup of CapelliniSpTRSV over SyncFree per matrix,\n"
+      "averaged over %zu platform(s), sorted by parallel granularity.\n\n",
+      platforms.size());
+
+  std::vector<std::pair<std::string, Entry>> rows(per_matrix.begin(),
+                                                  per_matrix.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.granularity < b.second.granularity;
+  });
+
+  double max_speedup = 0.0;
+  for (const auto& [name, entry] : rows) {
+    if (entry.platforms > 0) {
+      max_speedup = std::max(max_speedup, entry.speedup_sum / entry.platforms);
+    }
+  }
+
+  TextTable table({"matrix", "granularity", "speedup", ""});
+  for (const auto& [name, entry] : rows) {
+    if (entry.platforms == 0) continue;
+    const double speedup = entry.speedup_sum / entry.platforms;
+    table.AddRow({name, TextTable::Num(entry.granularity, 2),
+                  TextTable::Num(speedup, 2) + "x",
+                  Bar(speedup, max_speedup)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

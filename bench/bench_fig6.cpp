@@ -1,0 +1,71 @@
+// Reproduces Figure 6: the optimal-algorithm map over the two structural
+// axes — average nonzeros per row (alpha) and average components per level
+// (beta). CapelliniSpTRSV should own the low-alpha / high-beta corner (the
+// wedge the paper draws); SyncFree the wide-row / small-level region.
+#include "bench/bench_common.h"
+#include "gen/level_structured.h"
+#include "support/rng.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const sim::DeviceConfig device = SelectedPlatforms(options).front();
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  const std::vector<double> alphas = {2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0};
+  const std::vector<Idx> betas = {16, 64, 256, 1024, 4096, 16384};
+
+  std::printf(
+      "Figure 6: optimal algorithm (Capellini vs SyncFree) over the\n"
+      "(alpha = nnz/row, beta = components/level) plane, platform %s.\n"
+      "C = Capellini fastest, S = SyncFree fastest, each cell also shows\n"
+      "the parallel granularity.\n\n",
+      device.name.c_str());
+
+  std::vector<std::string> header = {"beta \\ alpha"};
+  for (const double alpha : alphas) header.push_back(TextTable::Num(alpha, 0));
+  TextTable table(header);
+
+  Rng rng(static_cast<std::uint64_t>(options.seed));
+  const Idx target_rows = options.full ? 60'000 : 16'000;
+  for (auto it = betas.rbegin(); it != betas.rend(); ++it) {
+    const Idx beta = *it;
+    std::vector<std::string> row = {std::to_string(beta)};
+    for (const double alpha : alphas) {
+      LevelStructuredOptions ls;
+      ls.components_per_level = beta;
+      ls.num_levels = std::max<Idx>(4, target_rows / beta);
+      ls.avg_nnz_per_row = alpha;
+      ls.size_jitter = 0.2;
+      ls.seed = rng.Next();
+      NamedMatrix named;
+      named.matrix = MakeLevelStructured(ls);
+      named.name = "grid";
+      named.stats = ComputeStats(named.matrix, named.name);
+
+      const RunRecord capellini =
+          RunOne(named, kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+                 device, experiment);
+      const RunRecord syncfree = RunOne(
+          named, kernels::DeviceAlgorithm::kSyncFreeCsc, device, experiment);
+      if (!capellini.status.ok() || !syncfree.status.ok()) {
+        row.push_back("err");
+        continue;
+      }
+      const bool capellini_wins =
+          capellini.result.gflops > syncfree.result.gflops;
+      row.push_back(std::string(capellini_wins ? "C" : "S") + " (" +
+                    TextTable::Num(named.stats.parallel_granularity, 2) + ")");
+    }
+    table.AddRow(row);
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

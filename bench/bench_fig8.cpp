@@ -1,0 +1,94 @@
+// Reproduces Figure 8: (a) GPU instructions executed and (b) stall behaviour
+// per algorithm on the high-granularity corpus.
+//
+// (a) reproduces cleanly: Capellini saves the large majority of warp
+// instructions (the paper reports 76% vs SyncFree, 56% vs cuSPARSE) — that
+// instruction economy is what carries the paper's efficiency story here.
+// (b) does NOT map onto the simulator 1:1: the paper's metric is nvprof's
+// "instruction dependency stall" share, whereas we report issue-slot stalls
+// (Capellini's fewer, longer-lived warps show MORE of those) and active
+// lanes per issued instruction (depressed for Capellini by divergence
+// serialization, inflated for the warp-level kernels by their full-warp
+// prologues/reductions). Both are printed for transparency; EXPERIMENTS.md
+// discusses the deviation.
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const sim::DeviceConfig device = SelectedPlatforms(options).front();
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  const std::vector<NamedMatrix> corpus =
+      HighGranularityCorpus(ToCorpusOptions(options));
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kCusparseProxy,
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+
+  const auto records = RunMany(corpus, algorithms, device, experiment);
+
+  struct Agg {
+    double instructions = 0.0;
+    double stall_pct = 0.0;
+    double active_lanes = 0.0;
+    int count = 0;
+  };
+  Agg agg[3];
+  for (const auto& record : records) {
+    if (!record.status.ok()) continue;
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      if (record.algorithm != algorithms[a]) continue;
+      agg[a].instructions +=
+          static_cast<double>(record.result.stats.instructions);
+      agg[a].stall_pct += record.result.stats.StallPct();
+      agg[a].active_lanes += record.result.stats.AvgActiveLanes();
+      ++agg[a].count;
+    }
+  }
+
+  std::printf(
+      "Figure 8(a): warp instructions executed (mean per matrix, x10^6) on\n"
+      "the high-granularity corpus (%zu matrices, platform %s).\n\n",
+      corpus.size(), device.name.c_str());
+  double capellini_instr = agg[2].instructions / std::max(1, agg[2].count);
+  double max_instr = 0.0;
+  for (const auto& a : agg) {
+    max_instr = std::max(max_instr, a.instructions / std::max(1, a.count));
+  }
+  TextTable instr_table(
+      {"Algorithm", "instructions (10^6)", "saved by Capellini", ""});
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    const double mean = agg[a].instructions / std::max(1, agg[a].count);
+    instr_table.AddRow(
+        {kernels::DeviceAlgorithmName(algorithms[a]),
+         TextTable::Num(mean / 1e6, 2),
+         mean > 0 ? TextTable::Num(100.0 * (1.0 - capellini_instr / mean), 1) +
+                        "%"
+                  : "-",
+         Bar(mean, max_instr)});
+  }
+  std::fputs(instr_table.ToString().c_str(), stdout);
+
+  std::printf(
+      "\nFigure 8(b): stall and warp-efficiency indicators (issue-slot stall\n"
+      "percentage; average active lanes per issued instruction, of 32).\n\n");
+  TextTable stall_table({"Algorithm", "stall %", "active lanes / 32"});
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    stall_table.AddRow({kernels::DeviceAlgorithmName(algorithms[a]),
+                        TextTable::Num(agg[a].stall_pct /
+                                           std::max(1, agg[a].count), 2),
+                        TextTable::Num(agg[a].active_lanes /
+                                           std::max(1, agg[a].count), 2)});
+  }
+  std::fputs(stall_table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

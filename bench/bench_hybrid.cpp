@@ -1,0 +1,82 @@
+// §4.4 future-work evaluation: the fused warp/thread-level kernel with a
+// row-length threshold. Sweeps the threshold on matrices that MIX long and
+// short rows (where neither pure granularity is ideal) and compares against
+// the pure warp-level and pure thread-level solvers.
+#include "bench/bench_common.h"
+#include "gen/assemble.h"
+#include "support/rng.h"
+
+namespace capellini::bench {
+namespace {
+
+/// A matrix mixing graph-like short rows with FEM-like wide rows inside a
+/// SHALLOW dependency DAG (wide levels) — the §4.4 motivation: neither pure
+/// granularity fits all rows, but the DAG still has plenty of parallelism.
+NamedMatrix MixedRows(Idx rows, std::uint64_t seed) {
+  Rng rng(seed);
+  const Idx levels = 10;
+  const Idx per_level = rows / levels;
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(rows));
+  for (Idx i = per_level; i < rows; ++i) {
+    auto& row = cols[static_cast<std::size_t>(i)];
+    const Idx level_start = (i / per_level) * per_level;
+    // Half of each level is short rows (1-2 deps), half is wide rows
+    // (~32 deps). All deps point to strictly earlier levels.
+    const bool wide = (i - level_start) * 2 >= per_level;
+    const Idx count = wide ? static_cast<Idx>(rng.NextInt(24, 40))
+                           : static_cast<Idx>(rng.NextInt(1, 2));
+    for (Idx k = 0; k < count; ++k) {
+      row.push_back(static_cast<Idx>(
+          rng.NextBounded(static_cast<std::uint64_t>(level_start))));
+    }
+  }
+  NamedMatrix named;
+  named.matrix = AssembleUnitLower(std::move(cols), seed ^ 0x1234);
+  named.name = "mixed_rows";
+  named.stats = ComputeStats(named.matrix, named.name);
+  return named;
+}
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const sim::DeviceConfig device = SelectedPlatforms(options).front();
+  const ExperimentOptions base_experiment = ToExperimentOptions(options);
+
+  const Idx rows = options.full ? 65'536 : 16'384;
+  const NamedMatrix mixed = MixedRows(rows, 0x44);
+
+  std::printf(
+      "Hybrid (§4.4): warp/thread fusion on a mixed-row-length matrix\n"
+      "(%d rows, %lld nnz, alpha %.1f, delta %.2f), platform %s.\n\n",
+      mixed.stats.rows, static_cast<long long>(mixed.stats.nnz),
+      mixed.stats.avg_nnz_per_row, mixed.stats.parallel_granularity,
+      device.name.c_str());
+
+  TextTable table({"Solver", "threshold", "GFLOPS", "correct"});
+  for (const auto algorithm : {kernels::DeviceAlgorithm::kSyncFreeCsc,
+                               kernels::DeviceAlgorithm::kCapelliniWritingFirst}) {
+    const RunRecord record = RunOne(mixed, algorithm, device, base_experiment);
+    table.AddRow({kernels::DeviceAlgorithmName(algorithm), "-",
+                  record.status.ok() ? TextTable::Num(record.result.gflops, 2)
+                                     : record.status.ToString(),
+                  record.correct ? "yes" : "no"});
+  }
+  for (const Idx threshold : {Idx{4}, Idx{8}, Idx{16}, Idx{24}, Idx{32},
+                              Idx{64}}) {
+    ExperimentOptions experiment = base_experiment;
+    experiment.kernel_options.hybrid_row_length_threshold = threshold;
+    const RunRecord record = RunOne(mixed, kernels::DeviceAlgorithm::kHybrid,
+                                    device, experiment);
+    table.AddRow({"Hybrid", std::to_string(threshold),
+                  record.status.ok() ? TextTable::Num(record.result.gflops, 2)
+                                     : record.status.ToString(),
+                  record.correct ? "yes" : "no"});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

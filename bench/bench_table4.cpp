@@ -1,0 +1,77 @@
+// Reproduces Table 3 (platform configuration) and Table 4 (mean GFLOPS of
+// SyncFree / cuSPARSE / CapelliniSpTRSV per platform on the high-granularity
+// corpus, plus the percentage of matrices on which Capellini is optimal).
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const auto platforms = SelectedPlatforms(options);
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  std::printf("Table 3: simulated platform configuration.\n\n");
+  TextTable config_table({"Platform", "SMs", "Warps/SM", "Clock (GHz)",
+                          "DRAM (GB/s)", "DRAM latency (cyc)"});
+  for (const auto& config : sim::PaperPlatforms()) {
+    config_table.AddRow({config.name, std::to_string(config.num_sms),
+                         std::to_string(config.max_warps_per_sm),
+                         TextTable::Num(config.clock_ghz, 3),
+                         TextTable::Num(config.dram_bandwidth_gbps, 0),
+                         std::to_string(config.dram_latency_cycles)});
+  }
+  std::fputs(config_table.ToString().c_str(), stdout);
+
+  const std::vector<NamedMatrix> corpus =
+      HighGranularityCorpus(ToCorpusOptions(options));
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCusparseProxy,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+
+  std::printf(
+      "\nTable 4: mean GFLOPS on the %zu matrices with parallel granularity\n"
+      "> 0.7 (the paper's 245-matrix slice), and the share of matrices where\n"
+      "CapelliniSpTRSV is the fastest of the three.\n\n",
+      corpus.size());
+
+  TextTable table({"Platform", "SyncFree", "cuSPARSE", "CapelliniSpTRSV",
+                   "Capellini optimal %"});
+  double sums[3] = {0, 0, 0};
+  double pct_sum = 0.0;
+  for (const auto& config : platforms) {
+    const auto records = RunMany(corpus, algorithms, config, experiment);
+    int bad = 0;
+    for (const auto& record : records) {
+      if (!record.status.ok() || !record.correct) ++bad;
+    }
+    if (bad > 0) {
+      std::fprintf(stderr, "WARNING: %d runs failed verification on %s\n", bad,
+                   config.name.c_str());
+    }
+    const double syncfree = MeanGflops(records, algorithms[0]);
+    const double cusparse = MeanGflops(records, algorithms[1]);
+    const double capellini = MeanGflops(records, algorithms[2]);
+    const double pct = BestPercentage(records, algorithms[2]);
+    sums[0] += syncfree;
+    sums[1] += cusparse;
+    sums[2] += capellini;
+    pct_sum += pct;
+    table.AddRow({config.name, TextTable::Num(syncfree, 2),
+                  TextTable::Num(cusparse, 2), TextTable::Num(capellini, 2),
+                  TextTable::Num(pct, 2)});
+  }
+  const double n = static_cast<double>(platforms.size());
+  table.AddRow({"Average", TextTable::Num(sums[0] / n, 2),
+                TextTable::Num(sums[1] / n, 2), TextTable::Num(sums[2] / n, 2),
+                TextTable::Num(pct_sum / n, 2)});
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

@@ -1,0 +1,53 @@
+// Reproduces Table 5: average and maximum speedup of CapelliniSpTRSV over
+// SyncFree and over cuSPARSE on each platform, with the argmax matrix names.
+// The corpus is the high-granularity slice plus the paper's named best-case
+// proxies (lp1, neos, atmosmodd, bayer01).
+#include "bench/bench_common.h"
+
+namespace capellini::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchOptions options = ParseBenchFlags(argc, argv);
+  const auto platforms = SelectedPlatforms(options);
+  const ExperimentOptions experiment = ToExperimentOptions(options);
+
+  std::vector<NamedMatrix> corpus =
+      HighGranularityCorpus(ToCorpusOptions(options));
+  corpus.push_back(MakeProxy(ProxyId::kLp1));
+  corpus.push_back(MakeProxy(ProxyId::kNeos));
+  corpus.push_back(MakeProxy(ProxyId::kAtmosmodd));
+  corpus.push_back(MakeProxy(ProxyId::kBayer01));
+
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCusparseProxy,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+
+  std::printf(
+      "Table 5: average and maximum speedups of CapelliniSpTRSV over SyncFree\n"
+      "and cuSPARSE per platform (%zu matrices).\n\n",
+      corpus.size());
+
+  TextTable table({"Platform", "avg/SyncFree", "max/SyncFree", "argmax",
+                   "avg/cuSPARSE", "max/cuSPARSE", "argmax "});
+  for (const auto& config : platforms) {
+    const auto records = RunMany(corpus, algorithms, config, experiment);
+    const SpeedupSummary vs_syncfree =
+        Speedup(records, algorithms[2], algorithms[0]);
+    const SpeedupSummary vs_cusparse =
+        Speedup(records, algorithms[2], algorithms[1]);
+    table.AddRow({config.name, TextTable::Num(vs_syncfree.mean, 2),
+                  TextTable::Num(vs_syncfree.max, 2), vs_syncfree.argmax,
+                  TextTable::Num(vs_cusparse.mean, 2),
+                  TextTable::Num(vs_cusparse.max, 2), vs_cusparse.argmax});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

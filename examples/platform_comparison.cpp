@@ -1,0 +1,54 @@
+// Runs every SpTRSV algorithm on one matrix across the three simulated GPU
+// generations of the paper's Table 3 — a miniature of the paper's
+// cross-platform evaluation, and a demonstration of the multi-device API.
+//
+//   ./examples/platform_comparison
+#include <cstdio>
+
+#include "core/solver.h"
+#include "gen/proxies.h"
+#include "matrix/triangular.h"
+#include "support/table.h"
+
+int main() {
+  using namespace capellini;
+
+  const NamedMatrix named = MakeProxy(ProxyId::kBayer01);
+  std::printf(
+      "matrix %s: %d rows, %lld nnz, parallel granularity %.2f\n\n",
+      named.name.c_str(), named.stats.rows,
+      static_cast<long long>(named.stats.nnz),
+      named.stats.parallel_granularity);
+  const ReferenceProblem problem = MakeReferenceProblem(named.matrix, 3);
+
+  const Algorithm algorithms[] = {Algorithm::kLevelSet, Algorithm::kSyncFree,
+                                  Algorithm::kCusparse,
+                                  Algorithm::kCapelliniTwoPhase,
+                                  Algorithm::kCapellini, Algorithm::kHybrid};
+
+  TextTable table({"Algorithm", "Pascal GFLOPS", "Volta GFLOPS",
+                   "Turing GFLOPS"});
+  for (const Algorithm algorithm : algorithms) {
+    std::vector<std::string> row = {AlgorithmName(algorithm)};
+    for (const auto& device : sim::PaperPlatforms()) {
+      SolverOptions options;
+      options.device = device;
+      const Solver solver(named.matrix, options);
+      auto result = solver.Solve(algorithm, problem.b);
+      if (!result.ok()) {
+        row.push_back(result.status().ToString());
+        continue;
+      }
+      const double error = MaxRelativeError(result->x, problem.x_true);
+      row.push_back(TextTable::Num(result->gflops, 2) +
+                    (error < 1e-10 ? "" : " (WRONG)"));
+    }
+    table.AddRow(row);
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf(
+      "\nCapelliniSpTRSV should lead on every platform for this matrix\n"
+      "(granularity %.2f > 0.7); Level-Set pays one launch per level.\n",
+      named.stats.parallel_granularity);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/analysis.h"
+
+#include <sstream>
+
+#include "core/select.h"
+
+namespace capellini {
+
+Analysis Analyze(const Csr& lower, const std::string& name) {
+  Analysis analysis;
+  analysis.levels = ComputeLevelSets(lower);
+  analysis.stats = ComputeStats(lower, name, &analysis.levels);
+  analysis.row_lengths = RowLengthHistogram(lower);
+  analysis.recommended = SelectAlgorithm(analysis.stats);
+  return analysis;
+}
+
+std::string FormatAnalysis(const Analysis& analysis) {
+  const MatrixStats& s = analysis.stats;
+  std::ostringstream out;
+  out << "matrix " << s.name << ":\n"
+      << "  rows                  " << s.rows << "\n"
+      << "  nnz                   " << s.nnz << "\n"
+      << "  alpha (nnz/row)       " << s.avg_nnz_per_row << "\n"
+      << "  levels                " << s.num_levels << "\n"
+      << "  beta (rows/level)     " << s.avg_components_per_level << "\n"
+      << "  max level size        " << s.max_level_size << "\n"
+      << "  delta (granularity)   " << s.parallel_granularity << "\n"
+      << "  recommended algorithm " << AlgorithmName(analysis.recommended)
+      << "\n";
+  out << "row-length distribution (log2 buckets):\n"
+      << analysis.row_lengths.ToString()
+      << "level-size distribution (log2 buckets):\n"
+      << LevelSizeHistogram(analysis.levels).ToString();
+  return out.str();
+}
+
+}  // namespace capellini

@@ -1,0 +1,28 @@
+// One-call structural analysis of a triangular system: the paper's
+// indicators plus the recommended algorithm, with a human-readable report.
+#pragma once
+
+#include <string>
+
+#include "core/solver.h"
+#include "graph/levels.h"
+#include "graph/stats.h"
+#include "matrix/csr.h"
+
+namespace capellini {
+
+struct Analysis {
+  MatrixStats stats;
+  LevelSets levels;
+  /// Row-length distribution (informs the §4.4 hybrid threshold).
+  Log2Histogram row_lengths;
+  Algorithm recommended;
+};
+
+/// Computes levels, alpha/beta/delta and the Figure-6 recommendation.
+Analysis Analyze(const Csr& lower, const std::string& name);
+
+/// Multi-line summary ("rows", "nnz", "alpha", "beta", "delta", ...).
+std::string FormatAnalysis(const Analysis& analysis);
+
+}  // namespace capellini

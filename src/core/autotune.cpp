@@ -1,0 +1,48 @@
+#include "core/autotune.h"
+
+#include "matrix/triangular.h"
+
+namespace capellini {
+
+Expected<AutotuneResult> TuneHybridThreshold(const Csr& lower,
+                                             const sim::DeviceConfig& config,
+                                             const AutotuneOptions& options) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument("autotune needs a lower-triangular system");
+  }
+  std::vector<Idx> candidates = options.candidates;
+  if (candidates.empty()) candidates = {2, 4, 8, 16, 24, 32, 64};
+
+  const ReferenceProblem problem =
+      MakeReferenceProblem(lower, options.rhs_seed);
+
+  AutotuneResult result;
+  for (const Idx threshold : candidates) {
+    kernels::SolveOptions solve_options;
+    solve_options.hybrid_row_length_threshold = threshold;
+    auto run = kernels::SolveOnDevice(kernels::DeviceAlgorithm::kHybrid,
+                                      lower, problem.b, config, solve_options);
+    if (!run.ok()) return run.status();
+    if (MaxRelativeError(run->x, problem.x_true) > 1e-8) {
+      return InternalError("hybrid solve verification failed at threshold " +
+                           std::to_string(threshold));
+    }
+    result.profile.push_back(
+        ThresholdProfile{threshold, run->exec_ms, run->gflops});
+    if (run->gflops > result.best_gflops) {
+      result.best_gflops = run->gflops;
+      result.best_threshold = threshold;
+    }
+  }
+
+  auto capellini = kernels::SolveOnDevice(
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst, lower, problem.b,
+      config);
+  auto syncfree = kernels::SolveOnDevice(kernels::DeviceAlgorithm::kSyncFreeCsc,
+                                         lower, problem.b, config);
+  if (capellini.ok()) result.capellini_gflops = capellini->gflops;
+  if (syncfree.ok()) result.syncfree_gflops = syncfree->gflops;
+  return result;
+}
+
+}  // namespace capellini

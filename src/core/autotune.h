@@ -1,0 +1,45 @@
+// Autotuning for the §4.4 hybrid kernel: the paper leaves the warp/thread
+// row-length threshold as an open parameter ("we can define a threshold...").
+// This tuner picks it empirically — it runs candidate thresholds on the
+// simulated device against a manufactured right-hand side and returns the
+// fastest, along with the full profile for inspection.
+#pragma once
+
+#include <vector>
+
+#include "kernels/launch.h"
+#include "matrix/csr.h"
+#include "sim/config.h"
+#include "support/status.h"
+
+namespace capellini {
+
+struct ThresholdProfile {
+  Idx threshold = 0;
+  double exec_ms = 0.0;
+  double gflops = 0.0;
+};
+
+struct AutotuneResult {
+  Idx best_threshold = 0;
+  double best_gflops = 0.0;
+  /// One entry per candidate, in the order tried.
+  std::vector<ThresholdProfile> profile;
+  /// GFLOPS of the pure thread-level and warp-level solvers, for reference:
+  /// a good hybrid threshold should match or beat both.
+  double capellini_gflops = 0.0;
+  double syncfree_gflops = 0.0;
+};
+
+struct AutotuneOptions {
+  /// Candidate thresholds. Empty = the default ladder {2,4,8,16,24,32,64}.
+  std::vector<Idx> candidates;
+  std::uint64_t rhs_seed = 0x7E57;
+};
+
+/// Profiles the hybrid kernel across thresholds on `config`.
+Expected<AutotuneResult> TuneHybridThreshold(
+    const Csr& lower, const sim::DeviceConfig& config,
+    const AutotuneOptions& options = {});
+
+}  // namespace capellini

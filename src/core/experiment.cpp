@@ -1,0 +1,123 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "matrix/triangular.h"
+
+namespace capellini {
+
+RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
+                 const sim::DeviceConfig& config,
+                 const ExperimentOptions& options) {
+  RunRecord record;
+  record.matrix = named.name;
+  record.stats = named.stats;
+  record.algorithm = algorithm;
+
+  const ReferenceProblem problem =
+      MakeReferenceProblem(named.matrix, /*seed=*/0xB0B + named.matrix.rows());
+  auto solved = kernels::SolveOnDevice(algorithm, named.matrix, problem.b,
+                                       config, options.kernel_options);
+  if (!solved.ok()) {
+    record.status = solved.status();
+    if (options.progress) {
+      std::fprintf(stderr, "  [%s] %-18s %s\n", named.name.c_str(),
+                   kernels::DeviceAlgorithmName(algorithm),
+                   record.status.ToString().c_str());
+    }
+    return record;
+  }
+  record.result = std::move(*solved);
+  if (options.verify) {
+    record.max_rel_error =
+        MaxRelativeError(record.result.x, problem.x_true);
+    record.correct = record.max_rel_error <= options.tolerance;
+  } else {
+    record.correct = true;
+  }
+  if (options.progress) {
+    std::fprintf(stderr, "  [%s] %-18s %8.2f GFLOPS  err %.2e\n",
+                 named.name.c_str(), kernels::DeviceAlgorithmName(algorithm),
+                 record.result.gflops, record.max_rel_error);
+  }
+  return record;
+}
+
+std::vector<RunRecord> RunMany(
+    std::span<const NamedMatrix> corpus,
+    std::span<const kernels::DeviceAlgorithm> algorithms,
+    const sim::DeviceConfig& config, const ExperimentOptions& options) {
+  std::vector<RunRecord> records;
+  records.reserve(corpus.size() * algorithms.size());
+  for (const NamedMatrix& named : corpus) {
+    for (const kernels::DeviceAlgorithm algorithm : algorithms) {
+      records.push_back(RunOne(named, algorithm, config, options));
+    }
+  }
+  return records;
+}
+
+double MeanGflops(std::span<const RunRecord> records,
+                  kernels::DeviceAlgorithm algorithm) {
+  double sum = 0.0;
+  int count = 0;
+  for (const RunRecord& record : records) {
+    if (record.algorithm != algorithm || !record.status.ok()) continue;
+    sum += record.result.gflops;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+SpeedupSummary Speedup(std::span<const RunRecord> records,
+                       kernels::DeviceAlgorithm numerator,
+                       kernels::DeviceAlgorithm denominator) {
+  std::map<std::string, double> num_gflops;
+  std::map<std::string, double> den_gflops;
+  for (const RunRecord& record : records) {
+    if (!record.status.ok()) continue;
+    if (record.algorithm == numerator) {
+      num_gflops[record.matrix] = record.result.gflops;
+    } else if (record.algorithm == denominator) {
+      den_gflops[record.matrix] = record.result.gflops;
+    }
+  }
+  SpeedupSummary summary;
+  double sum = 0.0;
+  for (const auto& [matrix, gflops] : num_gflops) {
+    const auto it = den_gflops.find(matrix);
+    if (it == den_gflops.end() || it->second <= 0.0) continue;
+    const double speedup = gflops / it->second;
+    sum += speedup;
+    ++summary.count;
+    if (speedup > summary.max) {
+      summary.max = speedup;
+      summary.argmax = matrix;
+    }
+  }
+  if (summary.count > 0) summary.mean = sum / summary.count;
+  return summary;
+}
+
+double BestPercentage(std::span<const RunRecord> records,
+                      kernels::DeviceAlgorithm algorithm) {
+  std::map<std::string, std::pair<double, bool>> best;  // gflops, is_target
+  for (const RunRecord& record : records) {
+    if (!record.status.ok()) continue;
+    auto& entry = best[record.matrix];
+    if (record.result.gflops > entry.first) {
+      entry.first = record.result.gflops;
+      entry.second = record.algorithm == algorithm;
+    }
+  }
+  if (best.empty()) return 0.0;
+  int wins = 0;
+  for (const auto& [matrix, entry] : best) {
+    if (entry.second) ++wins;
+  }
+  return 100.0 * wins / static_cast<double>(best.size());
+}
+
+}  // namespace capellini

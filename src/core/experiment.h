@@ -1,0 +1,67 @@
+// Shared experiment driver used by the benchmark binaries: run a set of
+// algorithms over a corpus on a device config, verify every solution against
+// the host serial reference, and aggregate the paper's metrics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gen/proxies.h"
+#include "kernels/launch.h"
+#include "sim/config.h"
+
+namespace capellini {
+
+struct RunRecord {
+  std::string matrix;
+  MatrixStats stats;
+  kernels::DeviceAlgorithm algorithm;
+  Status status;  // non-OK for deadlocks / invalid inputs
+  kernels::DeviceSolveResult result;
+  double max_rel_error = 0.0;
+  bool correct = false;
+};
+
+struct ExperimentOptions {
+  bool verify = true;
+  double tolerance = 1e-8;
+  kernels::SolveOptions kernel_options;
+  /// Print one progress line per run to stderr.
+  bool progress = false;
+};
+
+/// Runs one (matrix, algorithm, device) combination with a reference problem
+/// derived from the matrix (b = L * x_true).
+RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
+                 const sim::DeviceConfig& config,
+                 const ExperimentOptions& options = {});
+
+/// Cross product corpus x algorithms on one device.
+std::vector<RunRecord> RunMany(std::span<const NamedMatrix> corpus,
+                               std::span<const kernels::DeviceAlgorithm> algorithms,
+                               const sim::DeviceConfig& config,
+                               const ExperimentOptions& options = {});
+
+/// Mean GFLOPS over the OK records of one algorithm (0 if none).
+double MeanGflops(std::span<const RunRecord> records,
+                  kernels::DeviceAlgorithm algorithm);
+
+/// Per-matrix speedup of `numerator` over `denominator` (matched by matrix
+/// name); returns {mean, max, argmax matrix name}.
+struct SpeedupSummary {
+  double mean = 0.0;
+  double max = 0.0;
+  std::string argmax;
+  int count = 0;
+};
+SpeedupSummary Speedup(std::span<const RunRecord> records,
+                       kernels::DeviceAlgorithm numerator,
+                       kernels::DeviceAlgorithm denominator);
+
+/// Fraction (in %) of matrices on which `algorithm` achieves the highest
+/// GFLOPS among all algorithms present in `records`.
+double BestPercentage(std::span<const RunRecord> records,
+                      kernels::DeviceAlgorithm algorithm);
+
+}  // namespace capellini

@@ -1,0 +1,14 @@
+#include "core/select.h"
+
+namespace capellini {
+
+Algorithm SelectAlgorithm(const MatrixStats& stats) {
+  if (stats.parallel_granularity > kGranularityCrossover) {
+    return Algorithm::kCapellini;
+  }
+  // Low granularity: rows are long enough to keep a warp busy and levels are
+  // small enough to fit residency — warp-level sync-free territory.
+  return Algorithm::kSyncFree;
+}
+
+}  // namespace capellini

@@ -1,0 +1,20 @@
+// Algorithm selection rule distilled from the paper's Figure 6 ("optimal
+// algorithm distribution"): CapelliniSpTRSV wins when the average number of
+// components per level is high AND the average nonzeros per row is low —
+// summarized by parallel granularity above ~0.7 (§5.2); the warp-level
+// SyncFree wins otherwise.
+#pragma once
+
+#include "core/solver.h"
+#include "graph/stats.h"
+
+namespace capellini {
+
+/// The granularity crossover the paper reports (Figure 3 peaks then declines
+/// past ~0.7; Capellini targets the 245 matrices above it).
+inline constexpr double kGranularityCrossover = 0.7;
+
+/// Picks the solve algorithm for a matrix from its structural indicators.
+Algorithm SelectAlgorithm(const MatrixStats& stats);
+
+}  // namespace capellini

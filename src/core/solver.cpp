@@ -1,0 +1,166 @@
+#include "core/solver.h"
+
+#include "core/select.h"
+#include "host/levelset_cpu.h"
+#include "host/serial.h"
+#include "host/syncfree_cpu.h"
+#include "matrix/triangular.h"
+#include "support/timer.h"
+
+namespace capellini {
+namespace {
+
+kernels::DeviceAlgorithm ToDeviceAlgorithm(Algorithm algorithm) {
+  using kernels::DeviceAlgorithm;
+  switch (algorithm) {
+    case Algorithm::kLevelSet:
+      return DeviceAlgorithm::kLevelSet;
+    case Algorithm::kSyncFree:
+      return DeviceAlgorithm::kSyncFreeCsc;
+    case Algorithm::kSyncFreeCsr:
+      return DeviceAlgorithm::kSyncFreeWarpCsr;
+    case Algorithm::kCusparse:
+      return DeviceAlgorithm::kCusparseProxy;
+    case Algorithm::kCapelliniTwoPhase:
+      return DeviceAlgorithm::kCapelliniTwoPhase;
+    case Algorithm::kCapellini:
+      return DeviceAlgorithm::kCapelliniWritingFirst;
+    case Algorithm::kHybrid:
+      return DeviceAlgorithm::kHybrid;
+    default:
+      CAPELLINI_CHECK_MSG(false, "not a device algorithm");
+      return DeviceAlgorithm::kCapelliniWritingFirst;
+  }
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSerialCpu:
+      return "Serial-CPU";
+    case Algorithm::kLevelSetCpu:
+      return "Level-Set-CPU";
+    case Algorithm::kSyncFreeCpu:
+      return "SyncFree-CPU";
+    case Algorithm::kLevelSet:
+      return "Level-Set";
+    case Algorithm::kSyncFree:
+      return "SyncFree";
+    case Algorithm::kSyncFreeCsr:
+      return "SyncFree-CSR";
+    case Algorithm::kCusparse:
+      return "cuSPARSE";
+    case Algorithm::kCapelliniTwoPhase:
+      return "Capellini-TwoPhase";
+    case Algorithm::kCapellini:
+      return "Capellini";
+    case Algorithm::kHybrid:
+      return "Hybrid";
+  }
+  return "unknown";
+}
+
+bool IsDeviceAlgorithm(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSerialCpu:
+    case Algorithm::kLevelSetCpu:
+    case Algorithm::kSyncFreeCpu:
+      return false;
+    default:
+      return true;
+  }
+}
+
+Solver::Solver(Csr lower, SolverOptions options)
+    : lower_(std::move(lower)), options_(std::move(options)) {
+  CAPELLINI_CHECK_MSG(lower_.IsLowerTriangularWithDiagonal(),
+                      "Solver needs a lower-triangular matrix with diagonal "
+                      "(see ExtractLowerTriangular)");
+}
+
+const LevelSets& Solver::Levels() const {
+  if (!levels_.has_value()) levels_ = ComputeLevelSets(lower_);
+  return *levels_;
+}
+
+const MatrixStats& Solver::Stats() const {
+  if (!stats_.has_value()) {
+    stats_ = ComputeStats(lower_, "solver-matrix", &Levels());
+  }
+  return *stats_;
+}
+
+Expected<SolveResult> Solver::Solve(Algorithm algorithm,
+                                    std::span<const Val> b) const {
+  SolveResult result;
+  if (IsDeviceAlgorithm(algorithm)) {
+    auto device = kernels::SolveOnDevice(ToDeviceAlgorithm(algorithm), lower_,
+                                         b, options_.device,
+                                         options_.kernel_options);
+    if (!device.ok()) return device.status();
+    result.x = std::move(device->x);
+    result.solve_ms = device->exec_ms;
+    result.preprocessing_ms = device->preprocessing_ms;
+    result.gflops = device->gflops;
+    result.bandwidth_gbs = device->bandwidth_gbs;
+    result.device_stats = device->stats;
+    return result;
+  }
+
+  result.x.assign(static_cast<std::size_t>(lower_.rows()), 0.0);
+  Timer timer;
+  Status status;
+  switch (algorithm) {
+    case Algorithm::kSerialCpu:
+      status = host::SolveSerial(lower_, b, result.x);
+      break;
+    case Algorithm::kLevelSetCpu: {
+      const LevelSets& levels = Levels();  // cached => not timed as solve
+      host::LevelSetCpuOptions cpu;
+      cpu.num_threads = options_.host_threads;
+      timer.Reset();
+      status = host::SolveLevelSetCpu(lower_, b, result.x, &levels, cpu);
+      break;
+    }
+    case Algorithm::kSyncFreeCpu: {
+      host::SyncFreeCpuOptions cpu;
+      cpu.num_threads = options_.host_threads;
+      timer.Reset();
+      status = host::SolveSyncFreeCpu(lower_, b, result.x, cpu);
+      break;
+    }
+    default:
+      return InternalError("unhandled host algorithm");
+  }
+  if (!status.ok()) return status;
+  result.solve_ms = timer.ElapsedMs();
+  const double seconds = result.solve_ms / 1e3;
+  if (seconds > 0.0) {
+    result.gflops = 2.0 * static_cast<double>(lower_.nnz()) / seconds / 1e9;
+  }
+  return result;
+}
+
+Algorithm Solver::Recommend() const { return SelectAlgorithm(Stats()); }
+
+Expected<SolveResult> SolveUpperSystem(const Csr& upper,
+                                       std::span<const Val> b,
+                                       Algorithm algorithm,
+                                       const SolverOptions& options) {
+  if (!IsUpperTriangularWithDiagonal(upper)) {
+    return InvalidArgument(
+        "SolveUpperSystem needs an upper-triangular matrix with diagonal");
+  }
+  const Solver solver(ReverseSystem(upper), options);
+  std::vector<Val> b_reversed(b.size());
+  ReverseVector(b, b_reversed);
+  auto result = solver.Solve(algorithm, b_reversed);
+  if (!result.ok()) return result.status();
+  std::vector<Val> x(result->x.size());
+  ReverseVector(result->x, x);
+  result->x = std::move(x);
+  return result;
+}
+
+}  // namespace capellini

@@ -1,0 +1,100 @@
+// Public facade of the library: analyze a lower-triangular system once, then
+// solve it with any of the paper's algorithms — on the simulated GPU or on
+// host threads — and get back the solution plus the paper's metrics.
+//
+// Quickstart:
+//   capellini::Solver solver(std::move(lower_triangular_csr));
+//   auto result = solver.Solve(capellini::Algorithm::kCapellini, b);
+//   if (result.ok()) use(result->x, result->gflops);
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/levels.h"
+#include "graph/stats.h"
+#include "kernels/launch.h"
+#include "matrix/csr.h"
+#include "sim/config.h"
+#include "support/status.h"
+
+namespace capellini {
+
+/// All solve strategies exposed by the library.
+enum class Algorithm {
+  // Host (real CPU execution).
+  kSerialCpu,
+  kLevelSetCpu,
+  kSyncFreeCpu,
+  // Simulated device (paper algorithms; metrics are modeled).
+  kLevelSet,
+  kSyncFree,        // Liu et al. CSC baseline [20]
+  kSyncFreeCsr,     // Algorithm 3 as printed
+  kCusparse,        // black-box proxy
+  kCapelliniTwoPhase,
+  kCapellini,       // Writing-First (Algorithm 5) — the headline method
+  kHybrid,          // §4.4
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+bool IsDeviceAlgorithm(Algorithm algorithm);
+
+/// Unified solve result. Device metrics are zero for host algorithms
+/// (host algorithms report wall-clock solve_ms instead).
+struct SolveResult {
+  std::vector<Val> x;
+  double solve_ms = 0.0;          // simulated (device) or measured (host)
+  double preprocessing_ms = 0.0;  // host-measured for both
+  double gflops = 0.0;
+  double bandwidth_gbs = 0.0;     // device only
+  sim::LaunchStats device_stats;  // device only
+};
+
+struct SolverOptions {
+  sim::DeviceConfig device = sim::PascalGtx1080();
+  kernels::SolveOptions kernel_options;
+  int host_threads = 0;  // 0 = hardware concurrency
+};
+
+/// One-shot solve of an UPPER-triangular system U x = b (the backward-
+/// substitution half of direct methods): maps the system onto an equivalent
+/// lower-triangular one by index reversal (see matrix/triangular.h), solves
+/// with `algorithm`, and un-reverses the solution. `upper` must satisfy
+/// IsUpperTriangularWithDiagonal().
+Expected<SolveResult> SolveUpperSystem(const Csr& upper,
+                                       std::span<const Val> b,
+                                       Algorithm algorithm,
+                                       const SolverOptions& options = {});
+
+class Solver {
+ public:
+  /// Takes ownership of the matrix. Aborts if it is not lower-triangular
+  /// with a full diagonal (use ExtractLowerTriangular first).
+  explicit Solver(Csr lower, SolverOptions options = {});
+
+  const Csr& matrix() const { return lower_; }
+  const SolverOptions& options() const { return options_; }
+
+  /// Structural indicators (levels, alpha/beta/delta). Computed lazily and
+  /// cached; the level sets are reused by the level-set algorithms.
+  const MatrixStats& Stats() const;
+  const LevelSets& Levels() const;
+
+  /// Solves lower * x = b.
+  Expected<SolveResult> Solve(Algorithm algorithm,
+                              std::span<const Val> b) const;
+
+  /// Figure-6 style recommendation: Capellini for high parallel granularity,
+  /// SyncFree otherwise (see core/select.h for the rule).
+  Algorithm Recommend() const;
+
+ private:
+  Csr lower_;
+  SolverOptions options_;
+  mutable std::optional<LevelSets> levels_;
+  mutable std::optional<MatrixStats> stats_;
+};
+
+}  // namespace capellini

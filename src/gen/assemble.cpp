@@ -1,0 +1,47 @@
+#include "gen/assemble.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace capellini {
+
+Csr AssembleUnitLower(std::vector<std::vector<Idx>> strict_cols,
+                      std::uint64_t value_seed) {
+  const Idx n = static_cast<Idx>(strict_cols.size());
+
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (Idx i = 0; i < n; ++i) {
+    auto& cols = strict_cols[static_cast<std::size_t>(i)];
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    CAPELLINI_CHECK_MSG(cols.empty() || (cols.front() >= 0 && cols.back() < i),
+                        "strict column out of range");
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        static_cast<Idx>(cols.size()) + 1;
+  }
+
+  const std::size_t nnz = static_cast<std::size_t>(row_ptr.back());
+  std::vector<Idx> col_idx(nnz);
+  std::vector<Val> val(nnz);
+
+  Rng rng(value_seed);
+  for (Idx i = 0; i < n; ++i) {
+    const auto& cols = strict_cols[static_cast<std::size_t>(i)];
+    std::size_t dst = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    const Val scale =
+        cols.empty() ? 0.0 : 1.0 / (2.0 * static_cast<Val>(cols.size()));
+    for (const Idx c : cols) {
+      col_idx[dst] = c;
+      val[dst] = rng.NextDouble(-1.0, 1.0) * scale;
+      ++dst;
+    }
+    col_idx[dst] = i;
+    val[dst] = 1.0;
+  }
+  return Csr(n, n, std::move(row_ptr), std::move(col_idx), std::move(val));
+}
+
+}  // namespace capellini

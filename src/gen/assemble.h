@@ -1,0 +1,20 @@
+// Shared assembly helper for the synthetic matrix generators: turns per-row
+// strictly-lower column lists into a well-conditioned unit-lower-triangular
+// CSR matrix (diagonal 1.0, off-diagonal values scaled so solves stay
+// numerically benign — mirrors the paper's dataset rule, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+/// `strict_cols[i]` lists the strictly-lower column indices of row i (each
+/// entry must be < i; duplicates are removed; order need not be sorted).
+/// The diagonal entry is appended automatically.
+Csr AssembleUnitLower(std::vector<std::vector<Idx>> strict_cols,
+                      std::uint64_t value_seed);
+
+}  // namespace capellini

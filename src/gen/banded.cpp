@@ -1,0 +1,53 @@
+#include "gen/banded.h"
+
+#include <algorithm>
+
+#include "gen/assemble.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace capellini {
+
+Csr MakeBanded(const BandedOptions& options) {
+  CAPELLINI_CHECK(options.rows > 0);
+  CAPELLINI_CHECK(options.bandwidth >= 0);
+  Rng rng(options.seed);
+
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(options.rows));
+  for (Idx i = 0; i < options.rows; ++i) {
+    const Idx lo = std::max<Idx>(0, i - options.bandwidth);
+    auto& row = cols[static_cast<std::size_t>(i)];
+    for (Idx c = lo; c < i; ++c) {
+      const bool forced = options.force_chain && c == i - 1;
+      if (forced || rng.NextBool(options.fill)) row.push_back(c);
+    }
+  }
+  return AssembleUnitLower(std::move(cols), options.seed ^ 0xBA9DEDull);
+}
+
+Csr MakeBidiagonal(Idx rows, std::uint64_t seed) {
+  BandedOptions options;
+  options.rows = rows;
+  options.bandwidth = 1;
+  options.fill = 1.0;
+  options.force_chain = true;
+  options.seed = seed;
+  return MakeBanded(options);
+}
+
+Csr MakeDiagonal(Idx rows) {
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(rows));
+  return AssembleUnitLower(std::move(cols), 0);
+}
+
+Csr MakeDenseLower(Idx rows, std::uint64_t seed) {
+  BandedOptions options;
+  options.rows = rows;
+  options.bandwidth = rows;
+  options.fill = 1.0;
+  options.force_chain = true;
+  options.seed = seed;
+  return MakeBanded(options);
+}
+
+}  // namespace capellini

@@ -1,0 +1,36 @@
+// Banded lower-triangular generators: deep dependency chains, many nonzeros
+// per row — the LOW parallel-granularity regime where warp-level SpTRSV
+// shines (FEM-style matrices like `cant` in the paper's Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+struct BandedOptions {
+  Idx rows = 1024;
+  /// Band half-width: row i may reference columns [i - bandwidth, i).
+  Idx bandwidth = 32;
+  /// Probability that each in-band position is a nonzero (1.0 = full band).
+  double fill = 1.0;
+  /// Force L(i, i-1) so the dependency chain has maximal depth (rows levels).
+  bool force_chain = true;
+  std::uint64_t seed = 1;
+};
+
+/// Unit-lower banded matrix. With force_chain, num_levels == rows.
+Csr MakeBanded(const BandedOptions& options);
+
+/// Bidiagonal matrix (band 1): the fully sequential worst case — one
+/// component per level, used in tests and the ablation bench.
+Csr MakeBidiagonal(Idx rows, std::uint64_t seed = 1);
+
+/// Diagonal-only matrix: every row independent, a single level.
+Csr MakeDiagonal(Idx rows);
+
+/// Dense lower triangle (small sizes only; O(rows^2) memory).
+Csr MakeDenseLower(Idx rows, std::uint64_t seed = 1);
+
+}  // namespace capellini

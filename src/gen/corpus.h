@@ -1,0 +1,40 @@
+// Corpus builder: the stand-in for the paper's 873-matrix SuiteSparse
+// download. Generates a deterministic sweep of level-structured matrices
+// covering the (alpha, delta) plane — alpha = avg nnz/row, delta = parallel
+// granularity — plus graph (RMAT) and banded outliers for structural
+// diversity. The high-granularity slice (delta > 0.7) plays the role of the
+// paper's 245 evaluation matrices.
+#pragma once
+
+#include <vector>
+
+#include "gen/proxies.h"
+
+namespace capellini {
+
+enum class CorpusTier {
+  kQuick,  // sized for CI / single-core interpreter runs
+  kFull,   // larger matrices, denser sweep
+};
+
+struct CorpusOptions {
+  CorpusTier tier = CorpusTier::kQuick;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Rows per matrix scale with this target (actual rows = levels * beta).
+  Idx target_rows = 0;  // 0 = tier default
+};
+
+/// Full sweep across granularities (Figure 3's x-axis, roughly 0.1 .. 1.2).
+std::vector<NamedMatrix> GranularityCorpus(const CorpusOptions& options = {});
+
+/// The delta > 0.7 slice that CapelliniSpTRSV targets (Tables 4-5,
+/// Figures 4, 5, 7, 8). Built from GranularityCorpus plus graph proxies.
+std::vector<NamedMatrix> HighGranularityCorpus(const CorpusOptions& options = {});
+
+/// Computes the beta (components per level) that Equation 1 maps to the
+/// requested granularity `delta` at a given alpha. Returns 0 when the pair is
+/// infeasible (needed beta exceeds `max_beta`) — high granularity is only
+/// reachable with small alpha, which is exactly the paper's Figure 6 wedge.
+Idx BetaForGranularity(double delta, double alpha, Idx max_beta);
+
+}  // namespace capellini

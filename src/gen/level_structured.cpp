@@ -1,0 +1,124 @@
+#include "gen/level_structured.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/assemble.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace capellini {
+namespace {
+
+/// Draws level sizes around the mean with optional jitter; each level keeps
+/// at least one row so the level count is exact.
+std::vector<Idx> DrawLevelSizes(const LevelStructuredOptions& options,
+                                Rng& rng) {
+  std::vector<Idx> sizes(static_cast<std::size_t>(options.num_levels));
+  for (auto& s : sizes) {
+    double jitter = 0.0;
+    if (options.size_jitter > 0.0) {
+      jitter = rng.NextDouble(-options.size_jitter, options.size_jitter);
+    }
+    const double raw =
+        static_cast<double>(options.components_per_level) * (1.0 + jitter);
+    s = std::max<Idx>(1, static_cast<Idx>(raw + 0.5));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Csr MakeLevelStructured(const LevelStructuredOptions& options) {
+  CAPELLINI_CHECK(options.num_levels >= 1);
+  CAPELLINI_CHECK(options.components_per_level >= 1);
+  CAPELLINI_CHECK(options.avg_nnz_per_row >= 1.0);
+  Rng rng(options.seed);
+
+  const std::vector<Idx> sizes = DrawLevelSizes(options, rng);
+  const Idx n = std::accumulate(sizes.begin(), sizes.end(), Idx{0});
+
+  // Assign a level label to every row index.
+  std::vector<Idx> label(static_cast<std::size_t>(n));
+  if (!options.interleave) {
+    Idx row = 0;
+    for (Idx level = 0; level < options.num_levels; ++level) {
+      for (Idx k = 0; k < sizes[static_cast<std::size_t>(level)]; ++k) {
+        label[static_cast<std::size_t>(row++)] = level;
+      }
+    }
+  } else {
+    // Round-robin placement: level ell can be placed once a level ell-1 row
+    // exists earlier in the ordering. Maximizes intra-warp dependencies.
+    std::vector<Idx> remaining = sizes;
+    std::vector<bool> seen(static_cast<std::size_t>(options.num_levels), false);
+    Idx placed = 0;
+    while (placed < n) {
+      bool progress = false;
+      for (Idx level = 0; level < options.num_levels && placed < n; ++level) {
+        if (remaining[static_cast<std::size_t>(level)] == 0) continue;
+        if (level > 0 && !seen[static_cast<std::size_t>(level) - 1]) continue;
+        label[static_cast<std::size_t>(placed++)] = level;
+        --remaining[static_cast<std::size_t>(level)];
+        seen[static_cast<std::size_t>(level)] = true;
+        progress = true;
+      }
+      CAPELLINI_CHECK_MSG(progress, "interleave placement stuck");
+    }
+  }
+
+  // Rows indexed by level for dependency sampling (row ids ascending within
+  // each level because labels were assigned in ascending row order).
+  std::vector<std::vector<Idx>> rows_of_level(
+      static_cast<std::size_t>(options.num_levels));
+  for (Idx i = 0; i < n; ++i) {
+    rows_of_level[static_cast<std::size_t>(label[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+
+  // Strict nonzeros budget: level-0 rows contribute none, so rows in levels
+  // >= 1 draw a mean that makes the GLOBAL average hit avg_nnz_per_row.
+  const Idx level0_rows = sizes[0];
+  const double total_strict =
+      static_cast<double>(n) * (options.avg_nnz_per_row - 1.0);
+  const double mean_strict =
+      n == level0_rows
+          ? 0.0
+          : total_strict / static_cast<double>(n - level0_rows);
+
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(n));
+  for (Idx i = 0; i < n; ++i) {
+    const Idx level = label[static_cast<std::size_t>(i)];
+    if (level == 0) continue;
+    auto& row = cols[static_cast<std::size_t>(i)];
+
+    // Pin the level: one dependency on a strictly earlier row of level-1.
+    const auto& prev = rows_of_level[static_cast<std::size_t>(level) - 1];
+    // All level-(ell-1) rows precede row i in the contiguous layout; in the
+    // interleaved layout at least one does (placement invariant). Restrict
+    // the sample to those with id < i.
+    const auto end_it = std::lower_bound(prev.begin(), prev.end(), i);
+    const std::size_t eligible = static_cast<std::size_t>(end_it - prev.begin());
+    CAPELLINI_CHECK_MSG(eligible > 0, "no earlier previous-level row");
+    row.push_back(prev[rng.NextBounded(eligible)]);
+
+    // Remaining dependencies: any earlier row of a strictly lower level.
+    Idx extra = static_cast<Idx>(rng.NextPositiveWithMean(
+                    std::max(1.0, mean_strict))) - 1;
+    for (Idx k = 0; k < extra; ++k) {
+      // Sample an earlier row; accept only if its level is lower (a same-
+      // level dependency would change the level). Bounded retries keep this
+      // O(1) in practice (most earlier rows have lower levels).
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const Idx cand = static_cast<Idx>(rng.NextBounded(static_cast<std::uint64_t>(i)));
+        if (label[static_cast<std::size_t>(cand)] < level) {
+          row.push_back(cand);
+          break;
+        }
+      }
+    }
+  }
+  return AssembleUnitLower(std::move(cols), options.seed ^ 0x1E7E1ull);
+}
+
+}  // namespace capellini

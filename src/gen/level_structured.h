@@ -1,0 +1,35 @@
+// Level-structured generator: exact control over the two axes of the paper's
+// evaluation — average components per level (beta) and average nonzeros per
+// row (alpha) — and therefore over the parallel granularity delta (Eq. 1).
+// This is the workhorse behind the granularity sweeps of Figures 3-6.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+struct LevelStructuredOptions {
+  /// Number of dependency levels (>= 1).
+  Idx num_levels = 8;
+  /// Average rows per level; total rows = num_levels * components_per_level.
+  Idx components_per_level = 1024;
+  /// Target average nonzeros per row INCLUDING the diagonal (alpha). Rows in
+  /// level 0 have just the diagonal; later rows draw alpha-1 dependencies on
+  /// average (at least one from the previous level, pinning their level).
+  double avg_nnz_per_row = 4.0;
+  /// Randomize level sizes by up to +/- jitter (fraction of the mean).
+  double size_jitter = 0.0;
+  /// If true, rows of different levels are interleaved in index order (while
+  /// preserving lower-triangularity) instead of being laid out level by
+  /// level. Interleaving maximizes intra-warp dependencies — the stress case
+  /// for the two-phase design (paper §3.3, Challenge 1).
+  bool interleave = false;
+  std::uint64_t seed = 11;
+};
+
+/// Unit-lower matrix with num_levels levels (exactly, when feasible).
+Csr MakeLevelStructured(const LevelStructuredOptions& options);
+
+}  // namespace capellini

@@ -1,0 +1,118 @@
+#include "gen/proxies.h"
+
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "gen/rmat.h"
+#include "support/status.h"
+
+namespace capellini {
+namespace {
+
+NamedMatrix Wrap(const char* name, Csr matrix) {
+  NamedMatrix named;
+  named.name = name;
+  named.stats = ComputeStats(matrix, name);
+  named.matrix = std::move(matrix);
+  return named;
+}
+
+/// Level-structured proxy hitting target (alpha, beta) with L levels.
+NamedMatrix LevelProxy(const char* name, Idx levels, Idx beta, double alpha,
+                       std::uint64_t seed, double jitter = 0.25) {
+  LevelStructuredOptions options;
+  options.num_levels = levels;
+  options.components_per_level = beta;
+  options.avg_nnz_per_row = alpha;
+  options.size_jitter = jitter;
+  options.seed = seed;
+  return Wrap(name, MakeLevelStructured(options));
+}
+
+}  // namespace
+
+const char* ProxyName(ProxyId id) {
+  switch (id) {
+    case ProxyId::kRajat29:
+      return "rajat29";
+    case ProxyId::kBayer01:
+      return "bayer01";
+    case ProxyId::kCircuit5MDc:
+      return "circuit5M_dc";
+    case ProxyId::kLp1:
+      return "lp1";
+    case ProxyId::kNeos:
+      return "neos";
+    case ProxyId::kAtmosmodd:
+      return "atmosmodd";
+    case ProxyId::kNlpkkt160:
+      return "nlpkkt160";
+    case ProxyId::kWikiTalk:
+      return "wiki-Talk";
+    case ProxyId::kCant:
+      return "cant";
+  }
+  return "unknown";
+}
+
+NamedMatrix MakeProxy(ProxyId id) {
+  switch (id) {
+    case ProxyId::kRajat29:
+      // Paper Table 6: delta 0.78, alpha 4.89, beta 14636.23.
+      return LevelProxy("rajat29", /*levels=*/12, /*beta=*/14636,
+                        /*alpha=*/4.89, /*seed=*/0xA301);
+    case ProxyId::kBayer01:
+      // Paper Table 6: delta 0.87, alpha 3.39, beta 9622.50.
+      return LevelProxy("bayer01", /*levels=*/14, /*beta=*/9622,
+                        /*alpha=*/3.39, /*seed=*/0xA302);
+    case ProxyId::kCircuit5MDc:
+      // Paper Table 6: delta 0.92, alpha 3.02, beta 12812.06.
+      return LevelProxy("circuit5M_dc", /*levels=*/12, /*beta=*/12812,
+                        /*alpha=*/3.02, /*seed=*/0xA303);
+    case ProxyId::kLp1:
+      // The paper's maximum-speedup matrix, delta ~1.18 (Figure 5): very
+      // sparse rows and huge levels.
+      return LevelProxy("lp1", /*levels=*/12, /*beta=*/7800, /*alpha=*/1.8,
+                        /*seed=*/0xA304);
+    case ProxyId::kNeos:
+      // Max cuSPARSE-speedup matrix on Pascal (Table 5): LP structure,
+      // delta ~1.05.
+      return LevelProxy("neos", /*levels=*/12, /*beta=*/7200, /*alpha=*/2.2,
+                        /*seed=*/0xA305);
+    case ProxyId::kAtmosmodd:
+      // 3-D stencil: wide levels of a plane-sweep DAG, delta ~0.75.
+      return LevelProxy("atmosmodd", /*levels=*/10, /*beta=*/2100,
+                        /*alpha=*/3.9, /*seed=*/0xA306);
+    case ProxyId::kNlpkkt160:
+      // KKT system: dense-ish rows, deeper DAG, low granularity (~0.34).
+      return LevelProxy("nlpkkt160", /*levels=*/60, /*beta=*/300,
+                        /*alpha=*/14.0, /*seed=*/0xA307);
+    case ProxyId::kWikiTalk: {
+      // Power-law communication graph (42% of the paper's corpus is graphs).
+      RmatOptions options;
+      options.nodes = 1 << 15;
+      options.edges_per_node = 1.5;  // wiki-Talk's lower factor is ~2.4 nnz/row
+      options.seed = 0xA308;
+      return Wrap("wiki-Talk", MakeRmatLower(options));
+    }
+    case ProxyId::kCant: {
+      // FEM cantilever: banded, ~32 nnz/row, deep dependency chains.
+      return LevelProxy("cant", /*levels=*/500, /*beta=*/24, /*alpha=*/33.0,
+                        /*seed=*/0xA309, /*jitter=*/0.1);
+    }
+  }
+  CAPELLINI_CHECK_MSG(false, "unknown proxy id");
+  return {};
+}
+
+std::vector<NamedMatrix> AllProxies() {
+  std::vector<NamedMatrix> proxies;
+  for (const ProxyId id :
+       {ProxyId::kRajat29, ProxyId::kBayer01, ProxyId::kCircuit5MDc,
+        ProxyId::kLp1, ProxyId::kNeos, ProxyId::kAtmosmodd,
+        ProxyId::kNlpkkt160, ProxyId::kWikiTalk, ProxyId::kCant}) {
+    proxies.push_back(MakeProxy(id));
+  }
+  return proxies;
+}
+
+}  // namespace capellini

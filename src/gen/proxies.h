@@ -1,0 +1,47 @@
+// Named proxy matrices standing in for the SuiteSparse matrices the paper
+// evaluates (we have no network access to the collection; DESIGN.md §2).
+//
+// Each proxy is generated to match the published structural indicators of
+// its namesake — alpha (avg nnz/row), beta (avg components/level) and hence
+// delta (parallel granularity, Eq. 1) — at a scale sized for the single-core
+// interpreter. Table 6 of the paper lists (delta, alpha, beta) for rajat29,
+// bayer01 and circuit5M_dc explicitly; the others are matched to their known
+// structure class (FEM band, KKT system, power-law graph, LP basis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/stats.h"
+#include "matrix/csr.h"
+
+namespace capellini {
+
+/// A generated matrix with its name and precomputed indicators.
+struct NamedMatrix {
+  std::string name;
+  Csr matrix;
+  MatrixStats stats;
+};
+
+enum class ProxyId {
+  kRajat29,      // circuit simulation; delta 0.78, alpha 4.89, beta 14636
+  kBayer01,      // chemical process; delta 0.87, alpha 3.39, beta 9623
+  kCircuit5MDc,  // circuit simulation; delta 0.92, alpha 3.02, beta 12812
+  kLp1,          // linear programming; delta ~1.18 (paper's best case)
+  kNeos,         // linear programming; high granularity
+  kAtmosmodd,    // atmospheric model stencil; moderate granularity
+  kNlpkkt160,    // KKT system; low granularity, Table 1 case
+  kWikiTalk,     // power-law communication graph; Table 1 case
+  kCant,         // FEM cantilever; low granularity, Table 1 case
+};
+
+const char* ProxyName(ProxyId id);
+
+/// Builds one proxy (deterministic for a given id).
+NamedMatrix MakeProxy(ProxyId id);
+
+/// All proxies in declaration order.
+std::vector<NamedMatrix> AllProxies();
+
+}  // namespace capellini

@@ -1,0 +1,36 @@
+#include "gen/random_lower.h"
+
+#include <algorithm>
+
+#include "gen/assemble.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace capellini {
+
+Csr MakeRandomLower(const RandomLowerOptions& options) {
+  CAPELLINI_CHECK(options.rows > 0);
+  CAPELLINI_CHECK(options.avg_strict_nnz_per_row >= 0.0);
+  Rng rng(options.seed);
+
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(options.rows));
+  for (Idx i = 1; i < options.rows; ++i) {
+    if (options.empty_row_fraction > 0.0 &&
+        rng.NextBool(options.empty_row_fraction)) {
+      continue;
+    }
+    const Idx lo =
+        options.window > 0 ? std::max<Idx>(0, i - options.window) : 0;
+    const Idx available = i - lo;
+    if (available <= 0) continue;
+    Idx want = static_cast<Idx>(
+        rng.NextPositiveWithMean(options.avg_strict_nnz_per_row));
+    want = std::min(want, available);
+    auto sample = rng.SampleDistinctSorted(lo, i - 1, want);
+    auto& row = cols[static_cast<std::size_t>(i)];
+    row.assign(sample.begin(), sample.end());
+  }
+  return AssembleUnitLower(std::move(cols), options.seed ^ 0x4A11D0ull);
+}
+
+}  // namespace capellini

@@ -1,0 +1,29 @@
+// Random lower-triangular generator with controlled average row length and
+// dependency locality. Produces the "messy" middle of the granularity range.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+struct RandomLowerOptions {
+  Idx rows = 4096;
+  /// Target average number of strictly-lower nonzeros per row (the assembled
+  /// matrix additionally has a unit diagonal). Row lengths are geometric with
+  /// this mean, clamped to the available columns.
+  double avg_strict_nnz_per_row = 3.0;
+  /// Dependencies are drawn from [i - window, i). 0 means the whole prefix.
+  /// Narrow windows produce deep chains; wide windows shallow DAGs.
+  Idx window = 0;
+  /// Probability that a row has no strictly-lower entries at all (these rows
+  /// seed level 0 and keep the DAG shallow).
+  double empty_row_fraction = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Random unit-lower matrix per the options above.
+Csr MakeRandomLower(const RandomLowerOptions& options);
+
+}  // namespace capellini

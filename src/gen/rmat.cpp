@@ -1,0 +1,50 @@
+#include "gen/rmat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/assemble.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace capellini {
+
+Csr MakeRmatLower(const RmatOptions& options) {
+  CAPELLINI_CHECK(options.nodes > 1);
+  CAPELLINI_CHECK(options.edges_per_node > 0.0);
+  const double d = 1.0 - options.a - options.b - options.c;
+  CAPELLINI_CHECK_MSG(d >= 0.0, "RMAT probabilities exceed 1");
+
+  int scale = 0;
+  while ((Idx{1} << scale) < options.nodes) ++scale;
+
+  Rng rng(options.seed);
+  const std::int64_t edges = static_cast<std::int64_t>(
+      options.edges_per_node * static_cast<double>(options.nodes));
+
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(options.nodes));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    Idx u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double p = rng.NextDouble();
+      if (p < options.a) {
+        // upper-left quadrant: no bits set
+      } else if (p < options.a + options.b) {
+        v |= Idx{1} << bit;
+      } else if (p < options.a + options.b + options.c) {
+        u |= Idx{1} << bit;
+      } else {
+        u |= Idx{1} << bit;
+        v |= Idx{1} << bit;
+      }
+    }
+    if (u >= options.nodes || v >= options.nodes || u == v) continue;
+    const Idx row = std::max(u, v);
+    const Idx col = std::min(u, v);
+    cols[static_cast<std::size_t>(row)].push_back(col);
+  }
+  // AssembleUnitLower sorts and deduplicates per row.
+  return AssembleUnitLower(std::move(cols), options.seed ^ 0x42A7ull);
+}
+
+}  // namespace capellini

@@ -1,0 +1,29 @@
+// RMAT-style (recursive-matrix) graph generator, lowered to a triangular
+// factor. Produces the power-law structures of the paper's dominant dataset
+// slice (42% of the 245 matrices are graph applications): shallow DAGs, a
+// couple of nonzeros per row, very large levels — the HIGH parallel
+// granularity regime Capellini targets.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+struct RmatOptions {
+  /// Number of vertices = matrix dimension (rounded up to a power of two
+  /// internally for the recursive bisection, then cropped).
+  Idx nodes = 1 << 14;
+  /// Average edges per node (before deduplication).
+  double edges_per_node = 4.0;
+  /// RMAT quadrant probabilities; defaults are the Graph500 values.
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 21;
+};
+
+/// Generates RMAT edges, maps each edge (u, v) to the strictly-lower entry
+/// (max(u,v), min(u,v)), deduplicates, and assembles a unit-lower matrix.
+Csr MakeRmatLower(const RmatOptions& options);
+
+}  // namespace capellini

@@ -1,0 +1,73 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace capellini {
+
+DependencyDag::DependencyDag(const Csr& lower) {
+  CAPELLINI_CHECK_MSG(lower.IsLowerTriangularWithDiagonal(),
+                      "DAG needs a lower-triangular matrix with diagonal");
+  num_nodes_ = lower.rows();
+
+  succ_ptr_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  in_degree_.assign(static_cast<std::size_t>(num_nodes_), 0);
+  for (Idx i = 0; i < num_nodes_; ++i) {
+    const auto cols = lower.RowCols(i);
+    for (std::size_t j = 0; j + 1 < cols.size(); ++j) {
+      ++succ_ptr_[static_cast<std::size_t>(cols[j]) + 1];
+      ++in_degree_[static_cast<std::size_t>(i)];
+    }
+  }
+  for (Idx v = 0; v < num_nodes_; ++v) {
+    succ_ptr_[static_cast<std::size_t>(v) + 1] +=
+        succ_ptr_[static_cast<std::size_t>(v)];
+  }
+
+  succ_.resize(static_cast<std::size_t>(succ_ptr_.back()));
+  std::vector<Idx> cursor(succ_ptr_.begin(), succ_ptr_.end() - 1);
+  for (Idx i = 0; i < num_nodes_; ++i) {
+    const auto cols = lower.RowCols(i);
+    for (std::size_t j = 0; j + 1 < cols.size(); ++j) {
+      succ_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cols[j])]++)] = i;
+    }
+  }
+}
+
+Idx DependencyDag::CriticalPathLength() const {
+  // Nodes are already topologically ordered by index (edges go low -> high).
+  std::vector<Idx> depth(static_cast<std::size_t>(num_nodes_), 1);
+  Idx longest = num_nodes_ > 0 ? 1 : 0;
+  for (Idx v = 0; v < num_nodes_; ++v) {
+    const Idx d = depth[static_cast<std::size_t>(v)];
+    longest = std::max(longest, d);
+    for (const Idx succ : Successors(v)) {
+      depth[static_cast<std::size_t>(succ)] =
+          std::max(depth[static_cast<std::size_t>(succ)], d + 1);
+    }
+  }
+  return longest;
+}
+
+bool DependencyDag::IsTopologicalOrder(std::span<const Idx> order) const {
+  if (order.size() != static_cast<std::size_t>(num_nodes_)) return false;
+  std::vector<Idx> position(static_cast<std::size_t>(num_nodes_), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Idx node = order[i];
+    if (node < 0 || node >= num_nodes_) return false;
+    if (position[static_cast<std::size_t>(node)] != -1) return false;  // dup
+    position[static_cast<std::size_t>(node)] = static_cast<Idx>(i);
+  }
+  for (Idx v = 0; v < num_nodes_; ++v) {
+    for (const Idx succ : Successors(v)) {
+      if (position[static_cast<std::size_t>(v)] >=
+          position[static_cast<std::size_t>(succ)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace capellini

@@ -1,0 +1,52 @@
+// Dependency DAG of a lower-triangular system (Section 1 of the paper):
+// node per component x_i, edge j -> i for every strictly-lower nonzero
+// L(i, j). Used for structural analysis and for property tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+/// Forward dependency graph: successors[j] = rows that consume x_j.
+class DependencyDag {
+ public:
+  /// Builds the DAG from a lower-triangular CSR matrix with diagonal.
+  explicit DependencyDag(const Csr& lower);
+
+  Idx num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(succ_.size());
+  }
+
+  /// Rows that directly depend on x_node.
+  std::span<const Idx> Successors(Idx node) const {
+    return std::span<const Idx>(succ_).subspan(
+        static_cast<std::size_t>(succ_ptr_[static_cast<std::size_t>(node)]),
+        static_cast<std::size_t>(succ_ptr_[static_cast<std::size_t>(node) + 1] -
+                                 succ_ptr_[static_cast<std::size_t>(node)]));
+  }
+
+  /// Number of direct dependencies of a row (its in-degree).
+  Idx InDegree(Idx node) const {
+    return in_degree_[static_cast<std::size_t>(node)];
+  }
+
+  /// Length of the longest dependency chain (== number of levels).
+  Idx CriticalPathLength() const;
+
+  /// True if `order` is a valid topological order of the DAG (every row
+  /// appears after all rows it depends on). Used by property tests against
+  /// LevelSets::order.
+  bool IsTopologicalOrder(std::span<const Idx> order) const;
+
+ private:
+  Idx num_nodes_ = 0;
+  std::vector<Idx> succ_ptr_;
+  std::vector<Idx> succ_;
+  std::vector<Idx> in_degree_;
+};
+
+}  // namespace capellini

@@ -1,0 +1,76 @@
+#include "graph/levels.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace capellini {
+
+LevelSets ComputeLevelSets(const Csr& lower) {
+  CAPELLINI_CHECK_MSG(lower.IsLowerTriangularWithDiagonal(),
+                      "level sets need a lower-triangular matrix with diagonal");
+  const Idx n = lower.rows();
+
+  LevelSets sets;
+  sets.level_of.assign(static_cast<std::size_t>(n), 0);
+  Idx max_level = -1;
+
+  // Rows only depend on earlier rows, so one ascending pass suffices.
+  for (Idx i = 0; i < n; ++i) {
+    Idx level = 0;
+    const auto cols = lower.RowCols(i);
+    // Last entry is the diagonal; strictly-lower entries precede it.
+    for (std::size_t j = 0; j + 1 < cols.size(); ++j) {
+      level = std::max(level,
+                       sets.level_of[static_cast<std::size_t>(cols[j])] + 1);
+    }
+    sets.level_of[static_cast<std::size_t>(i)] = level;
+    max_level = std::max(max_level, level);
+  }
+
+  const Idx num_levels = n == 0 ? 0 : max_level + 1;
+  sets.level_ptr.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (Idx i = 0; i < n; ++i) {
+    ++sets.level_ptr[static_cast<std::size_t>(sets.level_of[static_cast<std::size_t>(i)]) + 1];
+  }
+  for (Idx k = 0; k < num_levels; ++k) {
+    sets.level_ptr[static_cast<std::size_t>(k) + 1] +=
+        sets.level_ptr[static_cast<std::size_t>(k)];
+  }
+
+  sets.order.resize(static_cast<std::size_t>(n));
+  std::vector<Idx> cursor(sets.level_ptr.begin(), sets.level_ptr.end() - 1);
+  for (Idx i = 0; i < n; ++i) {
+    const Idx level = sets.level_of[static_cast<std::size_t>(i)];
+    sets.order[static_cast<std::size_t>(cursor[static_cast<std::size_t>(level)]++)] = i;
+  }
+  return sets;
+}
+
+Csr PermuteRowsByLevel(const Csr& lower, const LevelSets& levels) {
+  const Idx n = lower.rows();
+  CAPELLINI_CHECK(levels.order.size() == static_cast<std::size_t>(n));
+
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (Idx k = 0; k < n; ++k) {
+    row_ptr[static_cast<std::size_t>(k) + 1] =
+        row_ptr[static_cast<std::size_t>(k)] +
+        lower.RowLen(levels.order[static_cast<std::size_t>(k)]);
+  }
+  std::vector<Idx> col_idx(static_cast<std::size_t>(lower.nnz()));
+  std::vector<Val> val(static_cast<std::size_t>(lower.nnz()));
+  for (Idx k = 0; k < n; ++k) {
+    const Idx src = levels.order[static_cast<std::size_t>(k)];
+    const auto cols = lower.RowCols(src);
+    const auto vals = lower.RowVals(src);
+    std::size_t dst = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(k)]);
+    for (std::size_t j = 0; j < cols.size(); ++j, ++dst) {
+      col_idx[dst] = cols[j];
+      val[dst] = vals[j];
+    }
+  }
+  return Csr(n, lower.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(val));
+}
+
+}  // namespace capellini

@@ -1,0 +1,53 @@
+// Level-set analysis of the dependency DAG of a lower-triangular system.
+//
+// This is the preprocessing step of the classic level-set SpTRSV
+// (Anderson & Saad; Saltz — Algorithm 2 in the paper): rows are grouped into
+// levels such that all rows in a level depend only on rows in earlier levels
+// and can be solved in parallel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+
+namespace capellini {
+
+/// Result of level-set preprocessing. Mirrors the arrays in the paper:
+/// `layer` (number of levels), `layer_num` (level_ptr here) and `order`.
+struct LevelSets {
+  /// level_of[row] = level index of that row (0-based).
+  std::vector<Idx> level_of;
+  /// level_ptr[k]..level_ptr[k+1] delimit level k's rows inside `order`.
+  std::vector<Idx> level_ptr;
+  /// Row numbers sorted by level (ties keep ascending row order).
+  std::vector<Idx> order;
+
+  Idx num_levels() const {
+    return static_cast<Idx>(level_ptr.empty() ? 0 : level_ptr.size() - 1);
+  }
+  Idx LevelSize(Idx level) const {
+    return level_ptr[static_cast<std::size_t>(level) + 1] -
+           level_ptr[static_cast<std::size_t>(level)];
+  }
+  std::span<const Idx> LevelRows(Idx level) const {
+    return std::span<const Idx>(order).subspan(
+        static_cast<std::size_t>(level_ptr[static_cast<std::size_t>(level)]),
+        static_cast<std::size_t>(LevelSize(level)));
+  }
+};
+
+/// Computes level sets of a lower-triangular CSR matrix with full diagonal.
+/// level(i) = 1 + max(level(j)) over strictly-lower entries j of row i.
+/// Cost: O(nnz) — this is the "long preprocessing" the paper attributes to
+/// level-set SpTRSV (it walks the whole structure and builds three arrays).
+LevelSets ComputeLevelSets(const Csr& lower);
+
+/// Builds the level-permuted copy of the matrix used by level-set solvers:
+/// row k of the result is row order[k] of `lower` (rows of one level become
+/// contiguous, so threads of one level launch read neighbouring rows).
+/// Column indices are NOT remapped — they keep indexing the original x.
+/// This gather is the expensive half of level-set preprocessing.
+Csr PermuteRowsByLevel(const Csr& lower, const LevelSets& levels);
+
+}  // namespace capellini

@@ -1,0 +1,81 @@
+#include "host/levelset_cpu.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace capellini::host {
+namespace {
+
+/// Solves the rows order[first..last) against the (already complete) x.
+void SolveRowRange(const Csr& lower, std::span<const Val> b, std::span<Val> x,
+                   std::span<const Idx> rows) {
+  const auto col_idx = lower.col_idx();
+  const auto val = lower.val();
+  for (const Idx i : rows) {
+    Val left_sum = 0.0;
+    const Idx begin = lower.RowBegin(i);
+    const Idx end = lower.RowEnd(i);
+    for (Idx j = begin; j < end - 1; ++j) {
+      left_sum += val[static_cast<std::size_t>(j)] *
+                  x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(j)])];
+    }
+    x[static_cast<std::size_t>(i)] =
+        (b[static_cast<std::size_t>(i)] - left_sum) /
+        val[static_cast<std::size_t>(end - 1)];
+  }
+}
+
+}  // namespace
+
+Status SolveLevelSetCpu(const Csr& lower, std::span<const Val> b,
+                        std::span<Val> x, const LevelSets* levels,
+                        const LevelSetCpuOptions& options) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument("matrix is not lower triangular with diagonal");
+  }
+  const Idx m = lower.rows();
+  if (b.size() != static_cast<std::size_t>(m) ||
+      x.size() != static_cast<std::size_t>(m)) {
+    return InvalidArgument("b/x size mismatch");
+  }
+
+  LevelSets local;
+  if (levels == nullptr) {
+    local = ComputeLevelSets(lower);
+    levels = &local;
+  }
+
+  int workers = options.num_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+
+  for (Idx level = 0; level < levels->num_levels(); ++level) {
+    const auto rows = levels->LevelRows(level);
+    const Idx size = static_cast<Idx>(rows.size());
+    if (workers == 1 || size < options.min_parallel_level_size) {
+      SolveRowRange(lower, b, x, rows);
+      continue;
+    }
+    // Static split; joining the workers is the inter-level barrier.
+    const Idx chunk = (size + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      const Idx first = std::min<Idx>(size, t * chunk);
+      const Idx last = std::min<Idx>(size, first + chunk);
+      if (first >= last) break;
+      threads.emplace_back([&, first, last] {
+        SolveRowRange(lower, b, x,
+                      rows.subspan(static_cast<std::size_t>(first),
+                                   static_cast<std::size_t>(last - first)));
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  return Status::Ok();
+}
+
+}  // namespace capellini::host

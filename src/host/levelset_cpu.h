@@ -1,0 +1,27 @@
+// Level-set SpTRSV (Algorithm 2) on host threads: levels run one after
+// another; rows within a level are split statically across worker threads,
+// with a barrier (thread join) between levels.
+#pragma once
+
+#include <span>
+
+#include "graph/levels.h"
+#include "matrix/csr.h"
+#include "support/status.h"
+
+namespace capellini::host {
+
+struct LevelSetCpuOptions {
+  /// Worker threads per level. 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Levels smaller than this are solved inline (thread spawn not worth it).
+  Idx min_parallel_level_size = 256;
+};
+
+/// Solves lower * x = b with level-set scheduling. Pass precomputed levels to
+/// exclude the preprocessing from timing, or nullptr to compute them here.
+Status SolveLevelSetCpu(const Csr& lower, std::span<const Val> b,
+                        std::span<Val> x, const LevelSets* levels = nullptr,
+                        const LevelSetCpuOptions& options = {});
+
+}  // namespace capellini::host

@@ -1,0 +1,70 @@
+#include "host/syncfree_cpu.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace capellini::host {
+
+Status SolveSyncFreeCpu(const Csr& lower, std::span<const Val> b,
+                        std::span<Val> x, const SyncFreeCpuOptions& options) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument("matrix is not lower triangular with diagonal");
+  }
+  const Idx m = lower.rows();
+  if (b.size() != static_cast<std::size_t>(m) ||
+      x.size() != static_cast<std::size_t>(m)) {
+    return InvalidArgument("b/x size mismatch");
+  }
+
+  int workers = options.num_threads;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+
+  const auto col_idx = lower.col_idx();
+  const auto val = lower.val();
+
+  auto solved = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(m));
+  for (Idx i = 0; i < m; ++i) {
+    solved[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+
+  auto worker = [&](int t) {
+    for (Idx i = t; i < m; i += workers) {
+      Val left_sum = 0.0;
+      const Idx begin = lower.RowBegin(i);
+      const Idx end = lower.RowEnd(i);
+      for (Idx j = begin; j < end - 1; ++j) {
+        const Idx col = col_idx[static_cast<std::size_t>(j)];
+        // Busy-wait on the producer's flag. Yield so the schedule also makes
+        // progress when workers exceed hardware threads.
+        while (solved[static_cast<std::size_t>(col)].load(
+                   std::memory_order_acquire) == 0) {
+          std::this_thread::yield();
+        }
+        left_sum +=
+            val[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(col)];
+      }
+      x[static_cast<std::size_t>(i)] =
+          (b[static_cast<std::size_t>(i)] - left_sum) /
+          val[static_cast<std::size_t>(end - 1)];
+      solved[static_cast<std::size_t>(i)].store(1, std::memory_order_release);
+    }
+  };
+
+  if (workers == 1) {
+    worker(0);
+    return Status::Ok();
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) threads.emplace_back(worker, t);
+  for (auto& thread : threads) thread.join();
+  return Status::Ok();
+}
+
+}  // namespace capellini::host

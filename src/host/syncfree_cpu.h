@@ -1,0 +1,25 @@
+// Synchronization-free SpTRSV on host threads with C++ atomics — the CPU
+// analogue of the paper's flag-based progress scheme. Rows are assigned
+// round-robin to workers; each worker solves its rows in ascending order,
+// publishing a per-row "solved" flag with release semantics and spinning
+// (with yields) on the flags of unsolved dependencies. The static in-order
+// schedule makes the spin waits deadlock-free by the same argument as the
+// GPU's in-order block dispatch.
+#pragma once
+
+#include <span>
+
+#include "matrix/csr.h"
+#include "support/status.h"
+
+namespace capellini::host {
+
+struct SyncFreeCpuOptions {
+  /// Worker threads. 0 = hardware concurrency.
+  int num_threads = 0;
+};
+
+Status SolveSyncFreeCpu(const Csr& lower, std::span<const Val> b,
+                        std::span<Val> x, const SyncFreeCpuOptions& options = {});
+
+}  // namespace capellini::host

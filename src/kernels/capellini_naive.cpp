@@ -1,0 +1,111 @@
+// The NAIVE thread-level SpTRSV: one thread per component with an unbounded
+// busy-wait on every dependency. This is the strawman of the paper's
+// Challenge 1 (§3.3): when two dependent rows land in the same warp, the
+// consumer lane spins while the producer lane is parked at the reconvergence
+// point — a guaranteed deadlock under lock-step SIMT execution. The simulator
+// detects it via the no-progress watchdog; tests and the ablation bench
+// demonstrate it. Correct (and fast) thread-level designs are Algorithms 4
+// and 5 in the sibling files.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildCapelliniNaiveKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("capellini_naive", kNumParams);
+
+  const int tid = b.R("tid");
+  const int m = b.R("m");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int f_sum = b.F("sum");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(m, kParamM);
+  b.SetLt(pred, tid, m);
+  b.ExitIfZero(pred);
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);
+
+  sim::Label loop = b.NewLabel();
+  sim::Label finish = b.NewLabel();
+  sim::Label spin = b.NewLabel();
+  sim::Label got = b.NewLabel();
+
+  b.Bind(loop);
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, finish, finish);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+
+  b.Bind(spin);  // unbounded wait — deadlocks on intra-warp dependencies
+  b.Ld4(g, gvaddr);
+  b.Brnz(g, got, got);
+  b.Jmp(spin);
+
+  b.Bind(got);
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.FFma(f_sum, f_val, f_x);
+  b.AddI(j, j, 1);
+  b.Jmp(loop);
+
+  b.Bind(finish);
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);
+  b.Fence();
+  b.MovI(one, 1);
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,123 @@
+// Algorithm 5: Writing-First CapelliniSpTRSV — the optimized kernel and the
+// paper's headline contribution. One thread per component, no preprocessing,
+// CSR order, a single structured loop:
+//
+//   while true:                  (outer; all live lanes share this PC)
+//     col = csrColIdx[j]
+//     while get_value[col]:      (drain every published element)
+//       left_sum += val[j] * x[col]; j++; col = csrColIdx[j]
+//     if col == i:               (diagonal reached -> publish and exit)
+//       x[i] = (b[i] - left_sum) / val[end-1]; fence; get_value[i] = 1
+//
+// Unlike the naive kernel there is no unbounded spin at a single element:
+// every pass through the outer loop re-polls, producers publish as soon as
+// their diagonal is reached ("writing first"), and finished lanes exit, so
+// the warp always makes progress — deadlock-free by construction.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildCapelliniWritingFirstKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("capellini_writing_first", kNumParams);
+
+  const int tid = b.R("tid");
+  const int m = b.R("m");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int f_sum = b.F("sum");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(m, kParamM);
+  b.SetLt(pred, tid, m);
+  b.ExitIfZero(pred);
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+
+  // j = csrRowPtr[i] (line 5); end caches csrRowPtr[i+1] for the diagonal.
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);  // line 4
+
+  sim::Label outer = b.NewLabel();
+  sim::Label inner = b.NewLabel();
+  sim::Label after_inner = b.NewLabel();
+  sim::Label next_pass = b.NewLabel();
+
+  b.Bind(outer);  // line 6 (the diagonal terminates the loop, lines 12-18)
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);  // line 7
+
+  b.Bind(inner);  // lines 8-11: while get_value[col] == true
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+  b.Ld4(g, gvaddr);
+  b.Brz(g, after_inner, after_inner);
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.FFma(f_sum, f_val, f_x);  // line 9
+  b.AddI(j, j, 1);            // line 10
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);  // line 11
+  b.Jmp(inner);
+
+  b.Bind(after_inner);  // line 12: if i == col (diagonal reached)
+  b.SetEq(pred, col, tid);
+  b.Brz(pred, next_pass, next_pass);
+
+  // Lines 13-18: write first — publish the component immediately.
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);  // line 14
+  b.Fence();          // line 15
+  b.MovI(one, 1);
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);  // line 16
+  b.Exit();          // lines 17-18
+
+  b.Bind(next_pass);
+  b.Jmp(outer);
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,4 @@
+#include "kernels/common.h"
+
+// Factories live in their own translation units; this file anchors the
+// header for the build.

@@ -1,0 +1,134 @@
+// Proxy for the closed-source cuSPARSE SpTRSV (csrsv2) baseline.
+//
+// cuSPARSE is a black box; the paper (§2.5) infers from its short analysis
+// phase that version 8.0 uses a synchronization-free style algorithm at warp
+// granularity. Our proxy follows that inference: it is the warp-level
+// sync-free kernel, but warps process rows in LEVEL-SORTED order produced by
+// the csrsv2_analysis-equivalent host pass (kParamAux0 = order array). The
+// sorted order shortens busy-waits (producers run strictly earlier), giving
+// the modest edge over plain SyncFree that Table 4 reports, while keeping
+// warp granularity — so it collapses on high-parallel-granularity matrices
+// exactly like SyncFree. See DESIGN.md §2 for the substitution rationale.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildCusparseProxyKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("cusparse_proxy", kNumParams);
+
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int w = b.R("w");
+  const int i = b.R("i");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int order = b.R("order");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int f_sum = b.F("sum");
+  const int f_t = b.F("t");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.AndI(lane, tid, 31);
+  b.ShrI(w, tid, 5);
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+  b.LdParam(order, kParamAux0);
+
+  // i = order[w]: warp w solves the w-th row in level order.
+  b.ShlI(addr, w, 2);
+  b.Add(addr, addr, order);
+  b.Ld4(i, addr);
+
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);
+  b.Add(j, j, lane);
+
+  sim::Label elem_loop = b.NewLabel();
+  sim::Label reduce = b.NewLabel();
+  sim::Label spin = b.NewLabel();
+  sim::Label got = b.NewLabel();
+  sim::Label fin = b.NewLabel();
+
+  b.Bind(elem_loop);
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, reduce, reduce);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+
+  b.Bind(spin);  // short in practice: producers are earlier in level order
+  b.Ld4(g, gvaddr);
+  b.Brnz(g, got, got);
+  b.Jmp(spin);
+
+  b.Bind(got);
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.FFma(f_sum, f_val, f_x);
+  b.AddI(j, j, 32);
+  b.Jmp(elem_loop);
+
+  b.Bind(reduce);
+  for (int delta = 16; delta >= 1; delta /= 2) {
+    b.ShflDownF(f_t, f_sum, delta);
+    b.FAdd(f_sum, f_sum, f_t);
+  }
+
+  b.SetNeI(pred, lane, 0);
+  b.Brnz(pred, fin, fin);
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);
+  b.Fence();
+  b.MovI(one, 1);
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);
+
+  b.Bind(fin);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

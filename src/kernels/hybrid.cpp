@@ -1,0 +1,215 @@
+// The §4.4 "future work" fusion: warp-level and thread-level granularity in
+// one kernel, selected per consecutive-row set by a preprocessing pass.
+//
+// The host builds a TASK LIST ordered by row: a warp-mode task is one long
+// row (solved Alg-3 style by the whole warp); a thread-mode task is a pack of
+// up to 32 consecutive short rows (solved Writing-First style, one lane per
+// row). One warp per task. Ordering by row preserves the in-order-dispatch
+// invariant, so cross-task busy-waits are deadlock-free; intra-task
+// dependencies are handled by the Writing-First control flow.
+//
+// Aux params: kParamAux0 = task_row (i32 first row of each task),
+//             kParamAux1 = task_info (i32; 0 = warp mode, >0 = lane count).
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildHybridKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("hybrid", kNumParams);
+
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int w = b.R("w");
+  const int row0 = b.R("row0");
+  const int cnt = b.R("cnt");
+  const int i = b.R("i");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int taskrow = b.R("taskrow");
+  const int taskinfo = b.R("taskinfo");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int f_sum = b.F("sum");
+  const int f_t = b.F("t");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.AndI(lane, tid, 31);
+  b.ShrI(w, tid, 5);
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+  b.LdParam(taskrow, kParamAux0);
+  b.LdParam(taskinfo, kParamAux1);
+
+  b.ShlI(addr, w, 2);
+  b.Add(addr, addr, taskrow);
+  b.Ld4(row0, addr);
+  b.ShlI(addr, w, 2);
+  b.Add(addr, addr, taskinfo);
+  b.Ld4(cnt, addr);
+
+  sim::Label thread_mode = b.NewLabel();
+  b.Brnz(cnt, thread_mode, thread_mode);  // warp-uniform: no divergence
+
+  // ======================= Warp mode (Algorithm 3) ========================
+  {
+    b.Mov(i, row0);
+    b.ShlI(addr, i, 2);
+    b.Add(addr, addr, rp);
+    b.Ld4(j, addr);
+    b.AddI(addr, addr, 4);
+    b.Ld4(end, addr);
+    b.FMovI(f_sum, 0.0);
+    b.Add(j, j, lane);
+
+    sim::Label elem_loop = b.NewLabel();
+    sim::Label reduce = b.NewLabel();
+    sim::Label spin = b.NewLabel();
+    sim::Label got = b.NewLabel();
+    sim::Label fin = b.NewLabel();
+
+    b.Bind(elem_loop);
+    b.AddI(pred, end, -1);
+    b.SetLt(pred, j, pred);
+    b.Brz(pred, reduce, reduce);
+    b.ShlI(addr, j, 2);
+    b.Add(addr, addr, ci);
+    b.Ld4(col, addr);
+    b.ShlI(gvaddr, col, 2);
+    b.Add(gvaddr, gvaddr, gv);
+
+    b.Bind(spin);  // producers live in earlier tasks: safe busy-wait
+    b.Ld4(g, gvaddr);
+    b.Brnz(g, got, got);
+    b.Jmp(spin);
+
+    b.Bind(got);
+    b.ShlI(addr, col, 3);
+    b.Add(addr, addr, rx);
+    b.Ld8F(f_x, addr);
+    b.ShlI(addr, j, 3);
+    b.Add(addr, addr, va);
+    b.Ld8F(f_val, addr);
+    b.FFma(f_sum, f_val, f_x);
+    b.AddI(j, j, 32);
+    b.Jmp(elem_loop);
+
+    b.Bind(reduce);
+    for (int delta = 16; delta >= 1; delta /= 2) {
+      b.ShflDownF(f_t, f_sum, delta);
+      b.FAdd(f_sum, f_sum, f_t);
+    }
+    b.SetNeI(pred, lane, 0);
+    b.Brnz(pred, fin, fin);
+    b.AddI(pred, end, -1);
+    b.ShlI(addr, pred, 3);
+    b.Add(addr, addr, va);
+    b.Ld8F(f_diag, addr);
+    b.ShlI(addr, i, 3);
+    b.Add(addr, addr, rb);
+    b.Ld8F(f_b, addr);
+    b.FSub(f_b, f_b, f_sum);
+    b.FDiv(f_b, f_b, f_diag);
+    b.ShlI(addr, i, 3);
+    b.Add(addr, addr, rx);
+    b.St8F(addr, f_b);
+    b.Fence();
+    b.MovI(one, 1);
+    b.ShlI(addr, i, 2);
+    b.Add(addr, addr, gv);
+    b.St4(addr, one);
+    b.Bind(fin);
+    b.Exit();
+  }
+
+  // ==================== Thread mode (Writing-First) =======================
+  b.Bind(thread_mode);
+  b.SetLt(pred, lane, cnt);
+  b.ExitIfZero(pred);
+  b.Add(i, row0, lane);
+
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);
+
+  {
+    sim::Label outer = b.NewLabel();
+    sim::Label inner = b.NewLabel();
+    sim::Label after_inner = b.NewLabel();
+    sim::Label next_pass = b.NewLabel();
+
+    b.Bind(outer);
+    b.ShlI(addr, j, 2);
+    b.Add(addr, addr, ci);
+    b.Ld4(col, addr);
+
+    b.Bind(inner);
+    b.ShlI(gvaddr, col, 2);
+    b.Add(gvaddr, gvaddr, gv);
+    b.Ld4(g, gvaddr);
+    b.Brz(g, after_inner, after_inner);
+    b.ShlI(addr, col, 3);
+    b.Add(addr, addr, rx);
+    b.Ld8F(f_x, addr);
+    b.ShlI(addr, j, 3);
+    b.Add(addr, addr, va);
+    b.Ld8F(f_val, addr);
+    b.FFma(f_sum, f_val, f_x);
+    b.AddI(j, j, 1);
+    b.ShlI(addr, j, 2);
+    b.Add(addr, addr, ci);
+    b.Ld4(col, addr);
+    b.Jmp(inner);
+
+    b.Bind(after_inner);
+    b.SetEq(pred, col, i);
+    b.Brz(pred, next_pass, next_pass);
+
+    b.AddI(pred, end, -1);
+    b.ShlI(addr, pred, 3);
+    b.Add(addr, addr, va);
+    b.Ld8F(f_diag, addr);
+    b.ShlI(addr, i, 3);
+    b.Add(addr, addr, rb);
+    b.Ld8F(f_b, addr);
+    b.FSub(f_b, f_b, f_sum);
+    b.FDiv(f_b, f_b, f_diag);
+    b.ShlI(addr, i, 3);
+    b.Add(addr, addr, rx);
+    b.St8F(addr, f_b);
+    b.Fence();
+    b.MovI(one, 1);
+    b.ShlI(addr, i, 2);
+    b.Add(addr, addr, gv);
+    b.St4(addr, one);
+    b.Exit();
+
+    b.Bind(next_pass);
+    b.Jmp(outer);
+  }
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,470 @@
+#include "kernels/launch.h"
+#include <array>
+
+#include <algorithm>
+
+#include "graph/levels.h"
+#include "kernels/common.h"
+#include "matrix/convert.h"
+#include "matrix/csc.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+#include "support/timer.h"
+
+namespace capellini::kernels {
+namespace {
+
+/// Device images of the shared CSR arrays plus the standard vectors.
+struct DeviceProblem {
+  sim::DevicePtr row_ptr = 0;
+  sim::DevicePtr col_idx = 0;
+  sim::DevicePtr val = 0;
+  sim::DevicePtr b = 0;
+  sim::DevicePtr x = 0;
+  sim::DevicePtr get_value = 0;
+};
+
+DeviceProblem UploadCsrProblem(const Csr& lower, std::span<const Val> b,
+                               sim::DeviceMemory& memory) {
+  DeviceProblem dev;
+  const auto rows = static_cast<std::uint64_t>(lower.rows());
+  const auto nnz = static_cast<std::uint64_t>(lower.nnz());
+  dev.row_ptr = memory.AllocArray<Idx>(rows + 1);
+  dev.col_idx = memory.AllocArray<Idx>(std::max<std::uint64_t>(1, nnz));
+  dev.val = memory.AllocArray<Val>(std::max<std::uint64_t>(1, nnz));
+  dev.b = memory.AllocArray<Val>(rows);
+  dev.x = memory.AllocArray<Val>(rows);
+  dev.get_value = memory.AllocArray<std::int32_t>(rows);
+  memory.CopyToDevice(dev.row_ptr, lower.row_ptr());
+  memory.CopyToDevice(dev.col_idx, lower.col_idx());
+  memory.CopyToDevice(dev.val, lower.val());
+  memory.CopyToDevice(dev.b, b);
+  memory.Fill(dev.x, rows * sizeof(Val), 0);
+  memory.Fill(dev.get_value, rows * sizeof(std::int32_t), 0);
+  return dev;
+}
+
+std::vector<std::int64_t> BaseParams(const Csr& lower, const DeviceProblem& dev) {
+  std::vector<std::int64_t> params(kNumParams, 0);
+  params[kParamM] = lower.rows();
+  params[kParamRowPtr] = static_cast<std::int64_t>(dev.row_ptr);
+  params[kParamColIdx] = static_cast<std::int64_t>(dev.col_idx);
+  params[kParamVal] = static_cast<std::int64_t>(dev.val);
+  params[kParamB] = static_cast<std::int64_t>(dev.b);
+  params[kParamX] = static_cast<std::int64_t>(dev.x);
+  params[kParamGetValue] = static_cast<std::int64_t>(dev.get_value);
+  return params;
+}
+
+const sim::Kernel& CachedKernel(DeviceAlgorithm algorithm) {
+  switch (algorithm) {
+    case DeviceAlgorithm::kSerialRow: {
+      static const sim::Kernel kernel = BuildSerialRowKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kLevelSet: {
+      static const sim::Kernel kernel = BuildLevelSetKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kSyncFreeCsc: {
+      static const sim::Kernel kernel = BuildSyncFreeCscKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kSyncFreeWarpCsr: {
+      static const sim::Kernel kernel = BuildSyncFreeWarpCsrKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kCusparseProxy: {
+      static const sim::Kernel kernel = BuildCusparseProxyKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kCapelliniNaive: {
+      static const sim::Kernel kernel = BuildCapelliniNaiveKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kCapelliniTwoPhase: {
+      static const sim::Kernel kernel = BuildCapelliniTwoPhaseKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kCapelliniWritingFirst: {
+      static const sim::Kernel kernel = BuildCapelliniWritingFirstKernel();
+      return kernel;
+    }
+    case DeviceAlgorithm::kHybrid: {
+      static const sim::Kernel kernel = BuildHybridKernel();
+      return kernel;
+    }
+  }
+  CAPELLINI_CHECK_MSG(false, "unknown algorithm");
+  static const sim::Kernel unreachable;
+  return unreachable;
+}
+
+}  // namespace
+
+const char* DeviceAlgorithmName(DeviceAlgorithm algorithm) {
+  switch (algorithm) {
+    case DeviceAlgorithm::kSerialRow:
+      return "SerialRow";
+    case DeviceAlgorithm::kLevelSet:
+      return "Level-Set";
+    case DeviceAlgorithm::kSyncFreeCsc:
+      return "SyncFree";
+    case DeviceAlgorithm::kSyncFreeWarpCsr:
+      return "SyncFree-CSR";
+    case DeviceAlgorithm::kCusparseProxy:
+      return "cuSPARSE";
+    case DeviceAlgorithm::kCapelliniNaive:
+      return "Capellini-Naive";
+    case DeviceAlgorithm::kCapelliniTwoPhase:
+      return "Capellini-TwoPhase";
+    case DeviceAlgorithm::kCapelliniWritingFirst:
+      return "Capellini";
+    case DeviceAlgorithm::kHybrid:
+      return "Hybrid";
+  }
+  return "unknown";
+}
+
+std::vector<DeviceAlgorithm> AllDeviceAlgorithms() {
+  return {DeviceAlgorithm::kSerialRow,
+          DeviceAlgorithm::kLevelSet,
+          DeviceAlgorithm::kSyncFreeCsc,
+          DeviceAlgorithm::kSyncFreeWarpCsr,
+          DeviceAlgorithm::kCusparseProxy,
+          DeviceAlgorithm::kCapelliniNaive,
+          DeviceAlgorithm::kCapelliniTwoPhase,
+          DeviceAlgorithm::kCapelliniWritingFirst,
+          DeviceAlgorithm::kHybrid};
+}
+
+Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
+                                          const Csr& lower,
+                                          std::span<const Val> b,
+                                          const sim::DeviceConfig& config,
+                                          const SolveOptions& options_in) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument(
+        "SpTRSV needs a lower-triangular matrix with a full diagonal");
+  }
+  if (b.size() != static_cast<std::size_t>(lower.rows())) {
+    return InvalidArgument("b has the wrong size");
+  }
+  if (lower.rows() == 0) return InvalidArgument("empty system");
+
+  const std::int64_t m = lower.rows();
+  DeviceSolveResult result;
+  sim::DeviceMemory memory;
+  sim::Machine machine(config, &memory);
+  // Clamp the block size to what the device can host (matters for the tiny
+  // test device, whose SMs hold fewer warps than a default 256-thread block).
+  SolveOptions options = options_in;
+  options.threads_per_block = std::min(options.threads_per_block,
+                                       config.max_warps_per_sm * 32);
+
+  sim::LaunchStats total;
+  Timer preprocessing_timer;
+
+  switch (algorithm) {
+    case DeviceAlgorithm::kSerialRow: {
+      const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+      const auto params = BaseParams(lower, dev);
+      result.preprocessing_ms = 0.0;
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = 32,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kLevelSet: {
+      // Preprocessing (the expensive part the paper criticizes): the full
+      // level-set build — levels, per-level row counts, the reordered `order`
+      // array (Algorithm 2's layer/layer_num/order) AND the level-permuted
+      // copy of the matrix that makes per-level launches coalesced.
+      preprocessing_timer.Reset();
+      const LevelSets levels = ComputeLevelSets(lower);
+      const Csr permuted = PermuteRowsByLevel(lower, levels);
+      result.preprocessing_ms = preprocessing_timer.ElapsedMs();
+
+      const DeviceProblem dev = UploadCsrProblem(permuted, b, memory);
+      const sim::DevicePtr dev_order =
+          memory.AllocArray<Idx>(static_cast<std::uint64_t>(m));
+      memory.CopyToDevice(dev_order, std::span<const Idx>(levels.order));
+
+      auto params = BaseParams(permuted, dev);
+      params[kParamAux0] = static_cast<std::int64_t>(dev_order);
+      // One launch per level; the launch boundary is the synchronization.
+      for (Idx level = 0; level < levels.num_levels(); ++level) {
+        params[kParamAux1] = levels.level_ptr[static_cast<std::size_t>(level)];
+        params[kParamAux2] = levels.LevelSize(level);
+        auto stats = machine.Launch(
+            CachedKernel(algorithm),
+            {.num_threads = levels.LevelSize(level),
+             .threads_per_block = options.threads_per_block},
+            params);
+        if (!stats.ok()) return stats.status();
+        total += *stats;
+      }
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kSyncFreeCsc: {
+      // Liu et al.'s solver takes CSC input, so the format conversion is the
+      // caller's job, not preprocessing (their measured preprocessing is just
+      // the in-degree analysis plus buffer setup — why Table 1 shows it as
+      // the cheapest by far).
+      const Csc csc = CsrToCsc(lower);
+      preprocessing_timer.Reset();
+      std::vector<std::int32_t> in_degree(static_cast<std::size_t>(m));
+      for (Idx r = 0; r < m; ++r) {
+        in_degree[static_cast<std::size_t>(r)] = lower.RowLen(r) - 1;
+      }
+      result.preprocessing_ms = preprocessing_timer.ElapsedMs();
+
+      const auto rows = static_cast<std::uint64_t>(m);
+      const auto nnz = static_cast<std::uint64_t>(csc.nnz());
+      DeviceProblem dev;
+      dev.row_ptr = memory.AllocArray<Idx>(rows + 1);  // CSC col_ptr
+      dev.col_idx = memory.AllocArray<Idx>(nnz);       // CSC row_idx
+      dev.val = memory.AllocArray<Val>(nnz);
+      dev.b = memory.AllocArray<Val>(rows);
+      dev.x = memory.AllocArray<Val>(rows);
+      dev.get_value = memory.AllocArray<std::int32_t>(rows);  // dep counters
+      const sim::DevicePtr dev_left_sum = memory.AllocArray<Val>(rows);
+      memory.CopyToDevice(dev.row_ptr, csc.col_ptr());
+      memory.CopyToDevice(dev.col_idx, csc.row_idx());
+      memory.CopyToDevice(dev.val, csc.val());
+      memory.CopyToDevice(dev.b, b);
+      memory.Fill(dev.x, rows * sizeof(Val), 0);
+      memory.CopyToDevice(dev.get_value, std::span<const std::int32_t>(in_degree));
+      memory.Fill(dev_left_sum, rows * sizeof(Val), 0);
+
+      auto params = BaseParams(lower, dev);
+      params[kParamAux0] = static_cast<std::int64_t>(dev_left_sum);
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = m * 32,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kSyncFreeWarpCsr: {
+      // Preprocessing: only the solved-flag array (allocated and zeroed in
+      // UploadCsrProblem); nothing to measure beyond noise.
+      const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+      result.preprocessing_ms = 0.0;
+      const auto params = BaseParams(lower, dev);
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = m * 32,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kCusparseProxy: {
+      // csrsv2_analysis equivalent: a level analysis that yields the
+      // execution order (cheaper than the full Level-Set preprocessing,
+      // which additionally materializes per-level launch metadata).
+      preprocessing_timer.Reset();
+      const LevelSets levels = ComputeLevelSets(lower);
+      result.preprocessing_ms = preprocessing_timer.ElapsedMs();
+
+      const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+      const sim::DevicePtr dev_order =
+          memory.AllocArray<Idx>(static_cast<std::uint64_t>(m));
+      memory.CopyToDevice(dev_order, std::span<const Idx>(levels.order));
+      auto params = BaseParams(lower, dev);
+      params[kParamAux0] = static_cast<std::int64_t>(dev_order);
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = m * 32,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kCapelliniNaive:
+    case DeviceAlgorithm::kCapelliniTwoPhase:
+    case DeviceAlgorithm::kCapelliniWritingFirst: {
+      // No preprocessing — the CapelliniSpTRSV design goal.
+      const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+      result.preprocessing_ms = 0.0;
+      const auto params = BaseParams(lower, dev);
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = m,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+
+    case DeviceAlgorithm::kHybrid: {
+      // Preprocessing (§4.4): one scan over row lengths to build the task
+      // list — warp-mode task per long row, thread-mode task per pack of up
+      // to 32 consecutive short rows.
+      preprocessing_timer.Reset();
+      std::vector<Idx> task_row;
+      std::vector<Idx> task_info;
+      const Idx threshold = options.hybrid_row_length_threshold;
+      for (Idx r = 0; r < m;) {
+        if (lower.RowLen(r) >= threshold) {
+          task_row.push_back(r);
+          task_info.push_back(0);  // warp mode
+          ++r;
+        } else {
+          Idx count = 0;
+          while (r + count < m && count < 32 &&
+                 lower.RowLen(r + count) < threshold) {
+            ++count;
+          }
+          task_row.push_back(r);
+          task_info.push_back(count);  // thread mode
+          r += count;
+        }
+      }
+      result.preprocessing_ms = preprocessing_timer.ElapsedMs();
+
+      const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+      const auto num_tasks = static_cast<std::int64_t>(task_row.size());
+      const sim::DevicePtr dev_task_row =
+          memory.AllocArray<Idx>(static_cast<std::uint64_t>(num_tasks));
+      const sim::DevicePtr dev_task_info =
+          memory.AllocArray<Idx>(static_cast<std::uint64_t>(num_tasks));
+      memory.CopyToDevice(dev_task_row, std::span<const Idx>(task_row));
+      memory.CopyToDevice(dev_task_info, std::span<const Idx>(task_info));
+
+      auto params = BaseParams(lower, dev);
+      params[kParamAux0] = static_cast<std::int64_t>(dev_task_row);
+      params[kParamAux1] = static_cast<std::int64_t>(dev_task_info);
+      auto stats = machine.Launch(CachedKernel(algorithm),
+                                  {.num_threads = num_tasks * 32,
+                                   .threads_per_block = options.threads_per_block},
+                                  params);
+      if (!stats.ok()) return stats.status();
+      total = *stats;
+      result.x.resize(static_cast<std::size_t>(m));
+      memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+      break;
+    }
+  }
+
+  result.stats = total;
+  result.exec_ms = config.CyclesToMs(total.cycles);
+  const double seconds = result.exec_ms / 1e3;
+  if (seconds > 0.0) {
+    result.gflops =
+        2.0 * static_cast<double>(lower.nnz()) / seconds / 1e9;
+    result.bandwidth_gbs =
+        static_cast<double>(total.dram_bytes) / seconds / 1e9;
+  }
+  return result;
+}
+
+const char* MrhsAlgorithmName(MrhsAlgorithm algorithm) {
+  switch (algorithm) {
+    case MrhsAlgorithm::kCapelliniMrhs:
+      return "Capellini-mrhs";
+    case MrhsAlgorithm::kSyncFreeMrhs:
+      return "SyncFree-mrhs";
+  }
+  return "unknown";
+}
+
+Expected<MrhsSolveResult> SolveMrhsOnDevice(MrhsAlgorithm algorithm,
+                                            const Csr& lower,
+                                            std::span<const Val> b, int k,
+                                            const sim::DeviceConfig& config,
+                                            const SolveOptions& options_in) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument(
+        "SpTRSM needs a lower-triangular matrix with a full diagonal");
+  }
+  if (k < 1 || k > 6) return InvalidArgument("k must be in [1, 6]");
+  const std::int64_t m = lower.rows();
+  if (m == 0) return InvalidArgument("empty system");
+  if (b.size() != static_cast<std::size_t>(m) * static_cast<std::size_t>(k)) {
+    return InvalidArgument("B must be column-major rows x k");
+  }
+
+  // Per-k kernel caches (kernels are parameter-free given k).
+  static std::array<sim::Kernel, 7> capellini_cache;
+  static std::array<sim::Kernel, 7> syncfree_cache;
+  sim::Kernel& cached =
+      algorithm == MrhsAlgorithm::kCapelliniMrhs
+          ? capellini_cache[static_cast<std::size_t>(k)]
+          : syncfree_cache[static_cast<std::size_t>(k)];
+  if (cached.code.empty()) {
+    cached = algorithm == MrhsAlgorithm::kCapelliniMrhs
+                 ? BuildCapelliniWritingFirstMrhsKernel(k)
+                 : BuildSyncFreeWarpMrhsKernel(k);
+  }
+
+  SolveOptions options = options_in;
+  options.threads_per_block =
+      std::min(options.threads_per_block, config.max_warps_per_sm * 32);
+
+  sim::DeviceMemory memory;
+  sim::Machine machine(config, &memory);
+  const auto rows = static_cast<std::uint64_t>(m);
+  const auto nnz = static_cast<std::uint64_t>(lower.nnz());
+  const auto vec = rows * static_cast<std::uint64_t>(k);
+
+  DeviceProblem dev;
+  dev.row_ptr = memory.AllocArray<Idx>(rows + 1);
+  dev.col_idx = memory.AllocArray<Idx>(nnz);
+  dev.val = memory.AllocArray<Val>(nnz);
+  dev.b = memory.AllocArray<Val>(vec);
+  dev.x = memory.AllocArray<Val>(vec);
+  dev.get_value = memory.AllocArray<std::int32_t>(rows);
+  memory.CopyToDevice(dev.row_ptr, lower.row_ptr());
+  memory.CopyToDevice(dev.col_idx, lower.col_idx());
+  memory.CopyToDevice(dev.val, lower.val());
+  memory.CopyToDevice(dev.b, b);
+  memory.Fill(dev.x, vec * sizeof(Val), 0);
+  memory.Fill(dev.get_value, rows * sizeof(std::int32_t), 0);
+
+  const auto params = BaseParams(lower, dev);
+  const std::int64_t num_threads =
+      algorithm == MrhsAlgorithm::kCapelliniMrhs ? m : m * 32;
+  auto stats = machine.Launch(cached,
+                              {.num_threads = num_threads,
+                               .threads_per_block = options.threads_per_block},
+                              params);
+  if (!stats.ok()) return stats.status();
+
+  MrhsSolveResult result;
+  result.stats = *stats;
+  result.x.resize(static_cast<std::size_t>(vec));
+  memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+  result.exec_ms = config.CyclesToMs(result.stats.cycles);
+  const double seconds = result.exec_ms / 1e3;
+  if (seconds > 0.0) {
+    result.gflops = 2.0 * static_cast<double>(lower.nnz()) * k / seconds / 1e9;
+    result.bandwidth_gbs =
+        static_cast<double>(result.stats.dram_bytes) / seconds / 1e9;
+  }
+  return result;
+}
+
+}  // namespace capellini::kernels

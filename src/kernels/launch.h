@@ -1,0 +1,95 @@
+// Host-side solve drivers: set up device buffers, run per-algorithm
+// preprocessing (measured in real host milliseconds, as in the paper's
+// Table 1), launch the kernel(s) on the simulated device, and read back the
+// solution together with the modeled performance counters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "support/status.h"
+
+namespace capellini::kernels {
+
+/// The SpTRSV implementations that run on the simulated device.
+enum class DeviceAlgorithm {
+  kSerialRow,              // Algorithm 1, one device thread (reference)
+  kLevelSet,               // Algorithm 2, one launch per level
+  kSyncFreeCsc,            // Liu et al. [20] — the paper's SyncFree baseline
+  kSyncFreeWarpCsr,        // Algorithm 3 as printed (CSR, warp per row)
+  kCusparseProxy,          // black-box cuSPARSE stand-in (see DESIGN.md)
+  kCapelliniNaive,         // deadlocking strawman (Challenge 1)
+  kCapelliniTwoPhase,      // Algorithm 4
+  kCapelliniWritingFirst,  // Algorithm 5 — the paper's CapelliniSpTRSV
+  kHybrid,                 // §4.4 warp/thread fusion
+};
+
+/// Short display name ("SyncFree", "Capellini", ...), as used in the paper's
+/// tables.
+const char* DeviceAlgorithmName(DeviceAlgorithm algorithm);
+
+struct SolveOptions {
+  int threads_per_block = 256;
+  /// Hybrid only: rows with at least this many nonzeros go warp-level.
+  Idx hybrid_row_length_threshold = 16;
+};
+
+struct DeviceSolveResult {
+  std::vector<Val> x;
+  sim::LaunchStats stats;
+  /// Host preprocessing time (level-set build, CSC conversion, ...), measured
+  /// wall-clock milliseconds — Capellini's is ~0 by design.
+  double preprocessing_ms = 0.0;
+  /// Simulated kernel execution time.
+  double exec_ms = 0.0;
+  /// 2*nnz / exec time — the paper's throughput metric.
+  double gflops = 0.0;
+  /// Modeled DRAM read+write bandwidth over the execution (Figure 7).
+  double bandwidth_gbs = 0.0;
+};
+
+/// Solves lower * x = b with the chosen algorithm on a simulated `config`
+/// device. `lower` must satisfy IsLowerTriangularWithDiagonal().
+/// Fails with StatusCode::kDeadlock if the kernel deadlocks (the naive
+/// thread-level kernel does, on matrices with intra-warp dependencies).
+Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
+                                          const Csr& lower,
+                                          std::span<const Val> b,
+                                          const sim::DeviceConfig& config,
+                                          const SolveOptions& options = {});
+
+/// All device algorithms, for parameterized tests.
+std::vector<DeviceAlgorithm> AllDeviceAlgorithms();
+
+// --- Multiple right-hand sides (SpTRSM) ------------------------------------
+
+enum class MrhsAlgorithm {
+  kCapelliniMrhs,  // thread-level Writing-First, k systems per pass
+  kSyncFreeMrhs,   // warp-level counterpart
+};
+
+const char* MrhsAlgorithmName(MrhsAlgorithm algorithm);
+
+struct MrhsSolveResult {
+  /// Column-major n x k solution.
+  std::vector<Val> x;
+  sim::LaunchStats stats;
+  double preprocessing_ms = 0.0;
+  double exec_ms = 0.0;
+  /// 2 * nnz * k / time.
+  double gflops = 0.0;
+  double bandwidth_gbs = 0.0;
+};
+
+/// Solves lower * X = B for k right-hand sides in one launch. `b` is
+/// column-major n x k; k must be in [1, 6].
+Expected<MrhsSolveResult> SolveMrhsOnDevice(MrhsAlgorithm algorithm,
+                                            const Csr& lower,
+                                            std::span<const Val> b, int k,
+                                            const sim::DeviceConfig& config,
+                                            const SolveOptions& options = {});
+
+}  // namespace capellini::kernels

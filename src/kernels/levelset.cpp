@@ -1,0 +1,110 @@
+// Algorithm 2 (level-set SpTRSV): one thread per component within one level.
+// The launcher performs one kernel launch per level; the inter-level
+// synchronization of the paper's Algorithm 2 is realized by launch
+// boundaries, whose cost is the per-launch overhead of the device config.
+//
+// The matrix arrays (kParamRowPtr/kParamColIdx/kParamVal) are the LEVEL-
+// PERMUTED copy built by the preprocessing (rows of one level contiguous, so
+// neighbouring threads read neighbouring rows — the standard level-set
+// implementation trick, and a large part of why its preprocessing is heavy).
+// Column indices still refer to original row numbers, as do b and x.
+//
+// Aux params: kParamAux0 = order array (permuted position -> original row),
+//             kParamAux1 = offset of this level inside the permutation,
+//             kParamAux2 = number of rows in this level.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildLevelSetKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("levelset", kNumParams);
+
+  const int tid = b.R("tid");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int order = b.R("order");
+  const int level_base = b.R("level_base");
+  const int level_size = b.R("level_size");
+  const int id = b.R("id");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int f_sum = b.F("sum");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(level_size, kParamAux2);
+  b.SetLt(pred, tid, level_size);
+  b.ExitIfZero(pred);  // grid is rounded up to full warps
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(order, kParamAux0);
+  b.LdParam(level_base, kParamAux1);
+
+  // id = order[level_base + tid]   (Alg 2 line 3) — original row number,
+  // used for b and x.
+  const int pos = b.R("pos");
+  b.Add(pos, level_base, tid);
+  b.ShlI(addr, pos, 2);
+  b.Add(addr, addr, order);
+  b.Ld4(id, addr);
+
+  // Row bounds come from the level-permuted matrix at `pos` (coalesced).
+  b.ShlI(addr, pos, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);  // left_sum = 0 (line 4)
+
+  sim::Label loop = b.NewLabel();
+  sim::Label loop_done = b.NewLabel();
+
+  b.Bind(loop);  // lines 5-6: accumulate everything left of the diagonal
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, loop_done, loop_done);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);  // components of earlier levels are complete
+  b.FFma(f_sum, f_val, f_x);
+  b.AddI(j, j, 1);
+  b.Jmp(loop);
+
+  b.Bind(loop_done);  // lines 7-8
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, id, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, id, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,261 @@
+// Multiple right-hand sides (SpTRSM): solve L X = B for k dense columns in
+// one pass. This is the extension direction of Liu et al.'s follow-up work
+// ("Fast synchronization-free algorithms for parallel sparse triangular
+// solves with multiple right-hand sides", CCPE 2017) applied to both
+// granularities:
+//
+//  * BuildCapelliniWritingFirstMrhsKernel(k): thread-level Writing-First
+//    with k accumulators — the structure walk (col indices, flags, values)
+//    is paid ONCE for all k systems.
+//  * BuildSyncFreeWarpMrhsKernel(k): the warp-level counterpart.
+//
+// B and X are column-major n x k (column r of X starts at X + r*n*8).
+// One solved-flag per row guards all k components (set after the last store).
+#include <string>
+
+#include "kernels/common.h"
+#include "support/status.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildCapelliniWritingFirstMrhsKernel(int k) {
+  CAPELLINI_CHECK_MSG(k >= 1 && k <= 6, "mrhs supports 1..6 right-hand sides");
+  using sim::Special;
+  sim::KernelBuilder b("capellini_wf_mrhs" + std::to_string(k), kNumParams);
+
+  const int tid = b.R("tid");
+  const int m = b.R("m");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int stride = b.R("stride");  // column stride in bytes (m * 8)
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int vecaddr = b.R("vecaddr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  std::vector<int> f_sum(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    f_sum[static_cast<std::size_t>(r)] = b.F("sum" + std::to_string(r));
+  }
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(m, kParamM);
+  b.SetLt(pred, tid, m);
+  b.ExitIfZero(pred);
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+  b.MulI(stride, m, 8);
+
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  for (int r = 0; r < k; ++r) b.FMovI(f_sum[static_cast<std::size_t>(r)], 0.0);
+
+  sim::Label outer = b.NewLabel();
+  sim::Label inner = b.NewLabel();
+  sim::Label after_inner = b.NewLabel();
+  sim::Label next_pass = b.NewLabel();
+
+  b.Bind(outer);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+
+  b.Bind(inner);  // while get_value[col]: one flag guards all k columns
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+  b.Ld4(g, gvaddr);
+  b.Brz(g, after_inner, after_inner);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);  // the structure/value walk is shared by all k systems
+  b.ShlI(vecaddr, col, 3);
+  b.Add(vecaddr, vecaddr, rx);
+  for (int r = 0; r < k; ++r) {
+    b.Ld8F(f_x, vecaddr);
+    b.FFma(f_sum[static_cast<std::size_t>(r)], f_val, f_x);
+    if (r + 1 < k) b.Add(vecaddr, vecaddr, stride);
+  }
+  b.AddI(j, j, 1);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.Jmp(inner);
+
+  b.Bind(after_inner);
+  b.SetEq(pred, col, tid);
+  b.Brz(pred, next_pass, next_pass);
+
+  // Publish all k components, then the shared flag.
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(vecaddr, tid, 3);
+  for (int r = 0; r < k; ++r) {
+    b.Add(addr, vecaddr, rb);
+    b.Ld8F(f_b, addr);
+    b.FSub(f_b, f_b, f_sum[static_cast<std::size_t>(r)]);
+    b.FDiv(f_b, f_b, f_diag);
+    b.Add(addr, vecaddr, rx);
+    b.St8F(addr, f_b);
+    if (r + 1 < k) b.Add(vecaddr, vecaddr, stride);
+  }
+  b.Fence();
+  b.MovI(one, 1);
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);
+  b.Exit();
+
+  b.Bind(next_pass);
+  b.Jmp(outer);
+  return b.Build();
+}
+
+sim::Kernel BuildSyncFreeWarpMrhsKernel(int k) {
+  CAPELLINI_CHECK_MSG(k >= 1 && k <= 6, "mrhs supports 1..6 right-hand sides");
+  using sim::Special;
+  sim::KernelBuilder b("syncfree_warp_mrhs" + std::to_string(k), kNumParams);
+
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int i = b.R("i");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int stride = b.R("stride");
+  const int m = b.R("m");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int vecaddr = b.R("vecaddr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  std::vector<int> f_sum(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    f_sum[static_cast<std::size_t>(r)] = b.F("sum" + std::to_string(r));
+  }
+  const int f_t = b.F("t");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.AndI(lane, tid, 31);
+  b.ShrI(i, tid, 5);
+
+  b.LdParam(m, kParamM);
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+  b.MulI(stride, m, 8);
+
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  for (int r = 0; r < k; ++r) b.FMovI(f_sum[static_cast<std::size_t>(r)], 0.0);
+  b.Add(j, j, lane);
+
+  sim::Label elem_loop = b.NewLabel();
+  sim::Label reduce = b.NewLabel();
+  sim::Label spin = b.NewLabel();
+  sim::Label got = b.NewLabel();
+  sim::Label fin = b.NewLabel();
+
+  b.Bind(elem_loop);
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, reduce, reduce);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+
+  b.Bind(spin);
+  b.Ld4(g, gvaddr);
+  b.Brnz(g, got, got);
+  b.Jmp(spin);
+
+  b.Bind(got);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.ShlI(vecaddr, col, 3);
+  b.Add(vecaddr, vecaddr, rx);
+  for (int r = 0; r < k; ++r) {
+    b.Ld8F(f_x, vecaddr);
+    b.FFma(f_sum[static_cast<std::size_t>(r)], f_val, f_x);
+    if (r + 1 < k) b.Add(vecaddr, vecaddr, stride);
+  }
+  b.AddI(j, j, 32);
+  b.Jmp(elem_loop);
+
+  b.Bind(reduce);  // k shuffle trees
+  for (int r = 0; r < k; ++r) {
+    for (int delta = 16; delta >= 1; delta /= 2) {
+      b.ShflDownF(f_t, f_sum[static_cast<std::size_t>(r)], delta);
+      b.FAdd(f_sum[static_cast<std::size_t>(r)],
+             f_sum[static_cast<std::size_t>(r)], f_t);
+    }
+  }
+
+  b.SetNeI(pred, lane, 0);
+  b.Brnz(pred, fin, fin);
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(vecaddr, i, 3);
+  for (int r = 0; r < k; ++r) {
+    b.Add(addr, vecaddr, rb);
+    b.Ld8F(f_x, addr);
+    b.FSub(f_x, f_x, f_sum[static_cast<std::size_t>(r)]);
+    b.FDiv(f_x, f_x, f_diag);
+    b.Add(addr, vecaddr, rx);
+    b.St8F(addr, f_x);
+    if (r + 1 < k) b.Add(vecaddr, vecaddr, stride);
+  }
+  b.Fence();
+  b.MovI(one, 1);
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);
+
+  b.Bind(fin);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

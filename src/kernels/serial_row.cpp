@@ -1,0 +1,99 @@
+// Algorithm 1 (basic serial SpTRSV) as a single-thread device kernel.
+// Used to validate the interpreter against the host serial solver and as the
+// no-parallelism reference point in the ablation bench.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildSerialRowKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("serial_row", kNumParams);
+
+  const int tid = b.R("tid");
+  const int m = b.R("m");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int i = b.R("i");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int f_sum = b.F("sum");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  // Only thread 0 runs; the launcher launches a single warp.
+  b.S2R(tid, Special::kGlobalTid);
+  b.SetEqI(pred, tid, 0);
+  b.ExitIfZero(pred);
+
+  b.LdParam(m, kParamM);
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.MovI(i, 0);
+
+  sim::Label row_loop = b.NewLabel();
+  sim::Label done = b.NewLabel();
+  sim::Label inner_loop = b.NewLabel();
+  sim::Label inner_done = b.NewLabel();
+
+  b.Bind(row_loop);  // for i = 0 .. m-1 (Alg 1 line 1)
+  b.SetLt(pred, i, m);
+  b.Brz(pred, done, done);
+
+  // j = row_ptr[i]; end = row_ptr[i+1]
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);  // left_sum = 0 (line 2)
+
+  b.Bind(inner_loop);  // lines 3-4: all elements but the diagonal
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, inner_done, inner_done);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);
+  b.FFma(f_sum, f_val, f_x);  // left_sum += val[j] * x[col]
+  b.AddI(j, j, 1);
+  b.Jmp(inner_loop);
+
+  b.Bind(inner_done);  // lines 5-6: x[i] = (b[i] - left_sum) / diag
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);
+  b.AddI(i, i, 1);
+  b.Jmp(row_loop);
+
+  b.Bind(done);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

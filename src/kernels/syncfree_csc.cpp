@@ -1,0 +1,129 @@
+// The CSC formulation of the warp-level synchronization-free SpTRSV
+// (Liu, Li, Hogg, Duff, Vinter — EuroPar'16), the paper's "SyncFree"
+// baseline [20]. One warp per component; the warp busy-waits on an in-degree
+// counter, solves its component, then SCATTERS val * x_i into the dependent
+// rows' left_sum with atomics and decrements their counters.
+//
+// Param slot reuse: kParamRowPtr = CSC col_ptr, kParamColIdx = CSC row_idx,
+// kParamGetValue = i32 dependency counters (host-initialized to in-degrees),
+// kParamAux0 = f64 left_sum accumulators (zero-initialized).
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildSyncFreeCscKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("syncfree_csc", kNumParams);
+
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int i = b.R("i");
+  const int cp = b.R("cp");
+  const int ri = b.R("ri");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int dep = b.R("dep");
+  const int lsum = b.R("lsum");
+  const int j = b.R("j");
+  const int cbegin = b.R("cbegin");
+  const int cend = b.R("cend");
+  const int row = b.R("row");
+  const int addr = b.R("addr");
+  const int depaddr = b.R("depaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int minus1 = b.R("minus1");
+  const int f_xi = b.F("xi");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+  const int f_ls = b.F("ls");
+  const int f_val = b.F("val");
+  const int f_add = b.F("add");
+  const int f_old = b.F("old");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.AndI(lane, tid, 31);
+  b.ShrI(i, tid, 5);  // one warp per component
+
+  b.LdParam(cp, kParamRowPtr);
+  b.LdParam(ri, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(dep, kParamGetValue);
+  b.LdParam(lsum, kParamAux0);
+
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, cp);
+  b.Ld4(cbegin, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(cend, addr);
+
+  sim::Label spin = b.NewLabel();
+  sim::Label ready = b.NewLabel();
+  sim::Label store_done = b.NewLabel();
+  sim::Label scatter_loop = b.NewLabel();
+  sim::Label fin = b.NewLabel();
+
+  // Busy-wait until every dependency has scattered its contribution.
+  b.ShlI(depaddr, i, 2);
+  b.Add(depaddr, depaddr, dep);
+  b.Bind(spin);
+  b.Ld4(g, depaddr);
+  b.Brz(g, ready, ready);
+  b.Jmp(spin);
+
+  b.Bind(ready);
+  // xi = (b[i] - left_sum[i]) / L(i,i); every lane computes it (uniform
+  // loads coalesce to single transactions) so the scatter needs no
+  // broadcast.
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, lsum);
+  b.Ld8F(f_ls, addr);
+  b.ShlI(addr, cbegin, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);  // diagonal is the first entry of column i
+  b.FSub(f_xi, f_b, f_ls);
+  b.FDiv(f_xi, f_xi, f_diag);
+
+  b.SetNeI(pred, lane, 0);
+  b.Brnz(pred, store_done, store_done);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_xi);  // publish the component
+  b.Bind(store_done);
+
+  // Scatter phase: lanes stride the strictly-lower part of column i.
+  b.MovI(minus1, -1);
+  b.AddI(j, cbegin, 1);
+  b.Add(j, j, lane);
+  b.Bind(scatter_loop);
+  b.SetLt(pred, j, cend);
+  b.Brz(pred, fin, fin);
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ri);
+  b.Ld4(row, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.FMul(f_add, f_val, f_xi);
+  b.ShlI(addr, row, 3);
+  b.Add(addr, addr, lsum);
+  b.AtomAddF8(f_old, addr, f_add);  // left_sum[row] += val * xi
+  b.Fence();                        // contribution before counter decrement
+  b.ShlI(addr, row, 2);
+  b.Add(addr, addr, dep);
+  b.AtomAddI4(g, addr, minus1);  // one dependency resolved
+  b.AddI(j, j, 32);
+  b.Jmp(scatter_loop);
+
+  b.Bind(fin);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,123 @@
+// Algorithm 3: the warp-level synchronization-free SpTRSV on CSR (the
+// row-oriented formulation of Dufrechou & Ezzatti, structurally identical to
+// the paper's Algorithm 3). One warp computes one component; each lane
+// handles a 32-stride slice of the row's off-diagonal elements, busy-waiting
+// on the producer flag; a shuffle tree reduces the partial sums (the shared
+// array of Alg 3 lines 13-17); lane 0 publishes the component.
+#include "kernels/common.h"
+
+namespace capellini::kernels {
+
+sim::Kernel BuildSyncFreeWarpCsrKernel() {
+  using sim::Special;
+  sim::KernelBuilder b("syncfree_warp_csr", kNumParams);
+
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int i = b.R("i");
+  const int rp = b.R("rp");
+  const int ci = b.R("ci");
+  const int va = b.R("va");
+  const int rb = b.R("rb");
+  const int rx = b.R("rx");
+  const int gv = b.R("gv");
+  const int j = b.R("j");
+  const int end = b.R("end");
+  const int col = b.R("col");
+  const int addr = b.R("addr");
+  const int gvaddr = b.R("gvaddr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int f_sum = b.F("sum");
+  const int f_t = b.F("t");
+  const int f_val = b.F("val");
+  const int f_x = b.F("x");
+  const int f_diag = b.F("diag");
+  const int f_b = b.F("b");
+
+  b.S2R(tid, Special::kGlobalTid);
+  b.AndI(lane, tid, 31);
+  b.ShrI(i, tid, 5);  // one warp per component (Alg 3 line 3)
+
+  b.LdParam(rp, kParamRowPtr);
+  b.LdParam(ci, kParamColIdx);
+  b.LdParam(va, kParamVal);
+  b.LdParam(rb, kParamB);
+  b.LdParam(rx, kParamX);
+  b.LdParam(gv, kParamGetValue);
+
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, rp);
+  b.Ld4(j, addr);
+  b.AddI(addr, addr, 4);
+  b.Ld4(end, addr);
+  b.FMovI(f_sum, 0.0);
+  b.Add(j, j, lane);  // j = csrRowPtr[i] + thread_id (line 8)
+
+  sim::Label elem_loop = b.NewLabel();
+  sim::Label reduce = b.NewLabel();
+  sim::Label spin = b.NewLabel();
+  sim::Label got = b.NewLabel();
+  sim::Label fin = b.NewLabel();
+
+  b.Bind(elem_loop);  // step WARP_SIZE over the off-diagonal elements
+  b.AddI(pred, end, -1);
+  b.SetLt(pred, j, pred);
+  b.Brz(pred, reduce, reduce);
+
+  b.ShlI(addr, j, 2);
+  b.Add(addr, addr, ci);
+  b.Ld4(col, addr);
+  b.ShlI(gvaddr, col, 2);
+  b.Add(gvaddr, gvaddr, gv);
+
+  b.Bind(spin);  // lines 10-11: busy-wait for the producer warp
+  b.Ld4(g, gvaddr);
+  b.Brnz(g, got, got);
+  b.Jmp(spin);
+
+  b.Bind(got);  // line 12: sum += csrVal[j] * x[col]
+  b.ShlI(addr, col, 3);
+  b.Add(addr, addr, rx);
+  b.Ld8F(f_x, addr);
+  b.ShlI(addr, j, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_val, addr);
+  b.FFma(f_sum, f_val, f_x);
+  b.AddI(j, j, 32);
+  b.Jmp(elem_loop);
+
+  b.Bind(reduce);  // lines 13-17 via a shuffle tree (all 32 lanes rejoin here)
+  for (int delta = 16; delta >= 1; delta /= 2) {
+    b.ShflDownF(f_t, f_sum, delta);
+    b.FAdd(f_sum, f_sum, f_t);
+  }
+
+  b.SetNeI(pred, lane, 0);
+  b.Brnz(pred, fin, fin);  // lines 18-22 run on lane 0 only
+
+  b.AddI(pred, end, -1);
+  b.ShlI(addr, pred, 3);
+  b.Add(addr, addr, va);
+  b.Ld8F(f_diag, addr);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rb);
+  b.Ld8F(f_b, addr);
+  b.FSub(f_b, f_b, f_sum);
+  b.FDiv(f_b, f_b, f_diag);
+  b.ShlI(addr, i, 3);
+  b.Add(addr, addr, rx);
+  b.St8F(addr, f_b);  // x[i] = xi (line 20)
+  b.Fence();          // threadfence (line 21)
+  b.MovI(one, 1);
+  b.ShlI(addr, i, 2);
+  b.Add(addr, addr, gv);
+  b.St4(addr, one);  // get_value[i] = true (line 22)
+
+  b.Bind(fin);
+  b.Exit();
+  return b.Build();
+}
+
+}  // namespace capellini::kernels

@@ -1,0 +1,119 @@
+#include "matrix/convert.h"
+
+namespace capellini {
+
+Csr CooToCsr(Coo coo) {
+  coo.Normalize();
+  const Idx rows = coo.rows();
+  const auto& entries = coo.entries();
+
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (const Triplet& t : entries) {
+    ++row_ptr[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (Idx r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<Idx> col_idx(entries.size());
+  std::vector<Val> val(entries.size());
+  // Entries are already row-major sorted after Normalize, so a single copy
+  // preserves per-row column order.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    col_idx[i] = entries[i].col;
+    val[i] = entries[i].val;
+  }
+  return Csr(rows, coo.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(val));
+}
+
+Coo CsrToCoo(const Csr& csr) {
+  Coo coo(csr.rows(), csr.cols());
+  coo.Reserve(static_cast<std::size_t>(csr.nnz()));
+  for (Idx r = 0; r < csr.rows(); ++r) {
+    const auto cols = csr.RowCols(r);
+    const auto vals = csr.RowVals(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      coo.Add(r, cols[j], vals[j]);
+    }
+  }
+  return coo;
+}
+
+Csc CsrToCsc(const Csr& csr) {
+  const Idx rows = csr.rows();
+  const Idx cols = csr.cols();
+  const auto col_idx = csr.col_idx();
+  const auto val = csr.val();
+  const std::int64_t nnz = csr.nnz();
+
+  std::vector<Idx> col_ptr(static_cast<std::size_t>(cols) + 1, 0);
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    ++col_ptr[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(i)]) +
+              1];
+  }
+  for (Idx c = 0; c < cols; ++c) {
+    col_ptr[static_cast<std::size_t>(c) + 1] +=
+        col_ptr[static_cast<std::size_t>(c)];
+  }
+
+  std::vector<Idx> row_idx(static_cast<std::size_t>(nnz));
+  std::vector<Val> out_val(static_cast<std::size_t>(nnz));
+  std::vector<Idx> cursor(col_ptr.begin(), col_ptr.end() - 1);
+  // Scanning rows in ascending order yields ascending row indices per column.
+  for (Idx r = 0; r < rows; ++r) {
+    for (Idx j = csr.RowBegin(r); j < csr.RowEnd(r); ++j) {
+      const Idx c = col_idx[static_cast<std::size_t>(j)];
+      const Idx dst = cursor[static_cast<std::size_t>(c)]++;
+      row_idx[static_cast<std::size_t>(dst)] = r;
+      out_val[static_cast<std::size_t>(dst)] = val[static_cast<std::size_t>(j)];
+    }
+  }
+  return Csc(rows, cols, std::move(col_ptr), std::move(row_idx),
+             std::move(out_val));
+}
+
+Csr CscToCsr(const Csc& csc) {
+  const Idx rows = csc.rows();
+  const Idx cols = csc.cols();
+  const auto row_idx = csc.row_idx();
+  const auto val = csc.val();
+  const std::int64_t nnz = csc.nnz();
+
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::int64_t i = 0; i < nnz; ++i) {
+    ++row_ptr[static_cast<std::size_t>(row_idx[static_cast<std::size_t>(i)]) +
+              1];
+  }
+  for (Idx r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<Idx> col_out(static_cast<std::size_t>(nnz));
+  std::vector<Val> val_out(static_cast<std::size_t>(nnz));
+  std::vector<Idx> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (Idx c = 0; c < cols; ++c) {
+    for (Idx j = csc.ColBegin(c); j < csc.ColEnd(c); ++j) {
+      const Idx r = row_idx[static_cast<std::size_t>(j)];
+      const Idx dst = cursor[static_cast<std::size_t>(r)]++;
+      col_out[static_cast<std::size_t>(dst)] = c;
+      val_out[static_cast<std::size_t>(dst)] = val[static_cast<std::size_t>(j)];
+    }
+  }
+  return Csr(rows, cols, std::move(row_ptr), std::move(col_out),
+             std::move(val_out));
+}
+
+Csr TransposeCsr(const Csr& csr) {
+  // A^T in CSR is exactly A in CSC with the roles of the arrays swapped.
+  Csc csc = CsrToCsc(csr);
+  std::vector<Idx> col_ptr(csc.col_ptr().begin(), csc.col_ptr().end());
+  std::vector<Idx> row_idx(csc.row_idx().begin(), csc.row_idx().end());
+  std::vector<Val> val(csc.val().begin(), csc.val().end());
+  return Csr(csr.cols(), csr.rows(), std::move(col_ptr), std::move(row_idx),
+             std::move(val));
+}
+
+}  // namespace capellini

@@ -1,0 +1,26 @@
+// Conversions between sparse formats.
+#pragma once
+
+#include "matrix/coo.h"
+#include "matrix/csc.h"
+#include "matrix/csr.h"
+
+namespace capellini {
+
+/// COO -> CSR. The input is normalized (sorted, duplicates merged) first.
+Csr CooToCsr(Coo coo);
+
+/// CSR -> COO triplets (row-major order).
+Coo CsrToCoo(const Csr& csr);
+
+/// CSR -> CSC (a transpose-like counting pass; this is exactly the format
+/// conversion the SyncFree baseline needs and Capellini avoids).
+Csc CsrToCsc(const Csr& csr);
+
+/// CSC -> CSR.
+Csr CscToCsr(const Csc& csc);
+
+/// Structural transpose: returns A^T in CSR.
+Csr TransposeCsr(const Csr& csr);
+
+}  // namespace capellini

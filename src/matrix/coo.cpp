@@ -1,0 +1,39 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <string>
+
+namespace capellini {
+
+void Coo::Normalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  // Merge duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].val += entries_[i].val;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+Status Coo::Validate() const {
+  for (const Triplet& t : entries_) {
+    if (t.row < 0 || t.row >= rows_ || t.col < 0 || t.col >= cols_) {
+      return InvalidArgument("COO entry (" + std::to_string(t.row) + "," +
+                             std::to_string(t.col) + ") out of bounds for " +
+                             std::to_string(rows_) + "x" +
+                             std::to_string(cols_));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace capellini

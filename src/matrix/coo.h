@@ -1,0 +1,52 @@
+// Coordinate-format sparse matrix (triplets). Construction staging format:
+// generators and Matrix Market I/O produce COO, which converts to CSR/CSC.
+#pragma once
+
+#include <vector>
+
+#include "matrix/types.h"
+#include "support/status.h"
+
+namespace capellini {
+
+/// One nonzero entry.
+struct Triplet {
+  Idx row = 0;
+  Idx col = 0;
+  Val val = 0.0;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Coordinate-format sparse matrix. Entries may be unsorted and may contain
+/// duplicates until Normalize() is called.
+class Coo {
+ public:
+  Coo() = default;
+  Coo(Idx rows, Idx cols) : rows_(rows), cols_(cols) {}
+
+  Idx rows() const { return rows_; }
+  Idx cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(entries_.size()); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  /// Appends one entry (no bounds check in release; validate separately).
+  void Add(Idx row, Idx col, Val val) { entries_.push_back({row, col, val}); }
+
+  void Reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Sorts entries row-major and merges duplicates by summing their values.
+  void Normalize();
+
+  /// Checks indices are within [0, rows) x [0, cols).
+  Status Validate() const;
+
+ private:
+  Idx rows_ = 0;
+  Idx cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace capellini

@@ -1,0 +1,49 @@
+#include "matrix/csc.h"
+
+#include <string>
+
+namespace capellini {
+
+Csc::Csc(Idx rows, Idx cols, std::vector<Idx> col_ptr,
+         std::vector<Idx> row_idx, std::vector<Val> val)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      val_(std::move(val)) {
+  CAPELLINI_CHECK(col_ptr_.size() == static_cast<std::size_t>(cols_) + 1);
+  CAPELLINI_CHECK(row_idx_.size() == val_.size());
+  CAPELLINI_CHECK(col_ptr_.back() == static_cast<Idx>(row_idx_.size()));
+}
+
+Status Csc::Validate() const {
+  if (rows_ < 0 || cols_ < 0) return InvalidArgument("negative dimensions");
+  if (col_ptr_.size() != static_cast<std::size_t>(cols_) + 1) {
+    return InvalidArgument("col_ptr size mismatch");
+  }
+  if (col_ptr_.front() != 0) return InvalidArgument("col_ptr[0] != 0");
+  for (Idx c = 0; c < cols_; ++c) {
+    const Idx begin = ColBegin(c);
+    const Idx end = ColEnd(c);
+    if (begin > end) {
+      return InvalidArgument("col_ptr not monotone at col " +
+                             std::to_string(c));
+    }
+    for (Idx j = begin; j < end; ++j) {
+      const Idx row = row_idx_[static_cast<std::size_t>(j)];
+      if (row < 0 || row >= rows_) {
+        return InvalidArgument("row out of range at col " + std::to_string(c));
+      }
+      if (j > begin && row_idx_[static_cast<std::size_t>(j - 1)] >= row) {
+        return InvalidArgument("rows not strictly ascending in col " +
+                               std::to_string(c));
+      }
+    }
+  }
+  if (col_ptr_.back() != static_cast<Idx>(row_idx_.size())) {
+    return InvalidArgument("col_ptr.back() != nnz");
+  }
+  return Status::Ok();
+}
+
+}  // namespace capellini

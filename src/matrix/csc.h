@@ -1,0 +1,51 @@
+// Compressed sparse column matrix — consumed by the warp-level
+// synchronization-free SpTRSV of Liu et al. (the paper's main baseline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.h"
+#include "support/status.h"
+
+namespace capellini {
+
+/// CSC sparse matrix: col_ptr (cols+1), row_idx (nnz), val (nnz).
+/// Row indices within a column are kept sorted ascending — for a lower
+/// triangular matrix the diagonal is the FIRST element of each column.
+class Csc {
+ public:
+  Csc() = default;
+  Csc(Idx rows, Idx cols, std::vector<Idx> col_ptr, std::vector<Idx> row_idx,
+      std::vector<Val> val);
+
+  Idx rows() const { return rows_; }
+  Idx cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return col_ptr_.empty() ? 0 : static_cast<std::int64_t>(col_ptr_.back());
+  }
+
+  std::span<const Idx> col_ptr() const { return col_ptr_; }
+  std::span<const Idx> row_idx() const { return row_idx_; }
+  std::span<const Val> val() const { return val_; }
+
+  Idx ColBegin(Idx col) const { return col_ptr_[static_cast<std::size_t>(col)]; }
+  Idx ColEnd(Idx col) const {
+    return col_ptr_[static_cast<std::size_t>(col) + 1];
+  }
+  Idx ColLen(Idx col) const { return ColEnd(col) - ColBegin(col); }
+
+  /// Structural invariants: monotone col_ptr, in-range sorted rows.
+  Status Validate() const;
+
+  friend bool operator==(const Csc&, const Csc&) = default;
+
+ private:
+  Idx rows_ = 0;
+  Idx cols_ = 0;
+  std::vector<Idx> col_ptr_{0};
+  std::vector<Idx> row_idx_;
+  std::vector<Val> val_;
+};
+
+}  // namespace capellini

@@ -1,0 +1,79 @@
+#include "matrix/csr.h"
+
+#include <string>
+
+namespace capellini {
+
+Csr::Csr(Idx rows, Idx cols, std::vector<Idx> row_ptr,
+         std::vector<Idx> col_idx, std::vector<Val> val)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      val_(std::move(val)) {
+  CAPELLINI_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1);
+  CAPELLINI_CHECK(col_idx_.size() == val_.size());
+  CAPELLINI_CHECK(row_ptr_.back() == static_cast<Idx>(col_idx_.size()));
+}
+
+Status Csr::Validate() const {
+  if (rows_ < 0 || cols_ < 0) return InvalidArgument("negative dimensions");
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+    return InvalidArgument("row_ptr size mismatch");
+  }
+  if (row_ptr_.front() != 0) return InvalidArgument("row_ptr[0] != 0");
+  for (Idx r = 0; r < rows_; ++r) {
+    const Idx begin = RowBegin(r);
+    const Idx end = RowEnd(r);
+    if (begin > end) {
+      return InvalidArgument("row_ptr not monotone at row " +
+                             std::to_string(r));
+    }
+    for (Idx j = begin; j < end; ++j) {
+      const Idx col = col_idx_[static_cast<std::size_t>(j)];
+      if (col < 0 || col >= cols_) {
+        return InvalidArgument("column out of range at row " +
+                               std::to_string(r));
+      }
+      if (j > begin && col_idx_[static_cast<std::size_t>(j - 1)] >= col) {
+        return InvalidArgument("columns not strictly ascending in row " +
+                               std::to_string(r));
+      }
+    }
+  }
+  if (row_ptr_.back() != static_cast<Idx>(col_idx_.size())) {
+    return InvalidArgument("row_ptr.back() != nnz");
+  }
+  return Status::Ok();
+}
+
+bool Csr::IsLowerTriangularWithDiagonal() const {
+  if (rows_ != cols_) return false;
+  for (Idx r = 0; r < rows_; ++r) {
+    const Idx begin = RowBegin(r);
+    const Idx end = RowEnd(r);
+    if (begin == end) return false;  // missing diagonal
+    if (col_idx_[static_cast<std::size_t>(end - 1)] != r) return false;
+    for (Idx j = begin; j < end - 1; ++j) {
+      if (col_idx_[static_cast<std::size_t>(j)] >= r) return false;
+    }
+  }
+  return true;
+}
+
+void Csr::SpMv(std::span<const Val> x, std::span<Val> y) const {
+  CAPELLINI_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  CAPELLINI_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (Idx r = 0; r < rows_; ++r) {
+    Val sum = 0.0;
+    const Idx begin = RowBegin(r);
+    const Idx end = RowEnd(r);
+    for (Idx j = begin; j < end; ++j) {
+      sum += val_[static_cast<std::size_t>(j)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(j)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+}  // namespace capellini

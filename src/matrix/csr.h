@@ -1,0 +1,73 @@
+// Compressed sparse row matrix — the format the paper's kernels consume.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/types.h"
+#include "support/status.h"
+
+namespace capellini {
+
+/// CSR sparse matrix: row_ptr (rows+1), col_idx (nnz), val (nnz).
+/// Column indices within a row are kept sorted ascending — the Capellini
+/// kernels rely on the diagonal being the last element of each row.
+class Csr {
+ public:
+  Csr() = default;
+  Csr(Idx rows, Idx cols, std::vector<Idx> row_ptr, std::vector<Idx> col_idx,
+      std::vector<Val> val);
+
+  Idx rows() const { return rows_; }
+  Idx cols() const { return cols_; }
+  std::int64_t nnz() const {
+    return row_ptr_.empty() ? 0 : static_cast<std::int64_t>(row_ptr_.back());
+  }
+
+  std::span<const Idx> row_ptr() const { return row_ptr_; }
+  std::span<const Idx> col_idx() const { return col_idx_; }
+  std::span<const Val> val() const { return val_; }
+  std::span<Val> mutable_val() { return val_; }
+
+  Idx RowBegin(Idx row) const { return row_ptr_[static_cast<std::size_t>(row)]; }
+  Idx RowEnd(Idx row) const {
+    return row_ptr_[static_cast<std::size_t>(row) + 1];
+  }
+  Idx RowLen(Idx row) const { return RowEnd(row) - RowBegin(row); }
+
+  /// Column indices of one row.
+  std::span<const Idx> RowCols(Idx row) const {
+    return std::span<const Idx>(col_idx_).subspan(
+        static_cast<std::size_t>(RowBegin(row)),
+        static_cast<std::size_t>(RowLen(row)));
+  }
+  /// Values of one row.
+  std::span<const Val> RowVals(Idx row) const {
+    return std::span<const Val>(val_).subspan(
+        static_cast<std::size_t>(RowBegin(row)),
+        static_cast<std::size_t>(RowLen(row)));
+  }
+
+  /// Structural invariants: monotone row_ptr, in-range sorted columns.
+  Status Validate() const;
+
+  /// True if every row's last entry is the diagonal and all other entries are
+  /// strictly left of it (i.e. a lower-triangular matrix with full diagonal —
+  /// the shape required by SpTRSV).
+  bool IsLowerTriangularWithDiagonal() const;
+
+  /// y = A * x (dense x). Used to manufacture right-hand sides with a known
+  /// solution. x.size() must equal cols(), y.size() rows().
+  void SpMv(std::span<const Val> x, std::span<Val> y) const;
+
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+ private:
+  Idx rows_ = 0;
+  Idx cols_ = 0;
+  std::vector<Idx> row_ptr_{0};
+  std::vector<Idx> col_idx_;
+  std::vector<Val> val_;
+};
+
+}  // namespace capellini

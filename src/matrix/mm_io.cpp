@@ -1,0 +1,100 @@
+#include "matrix/mm_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace capellini {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Expected<Coo> ReadMatrixMarket(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return IoError("empty Matrix Market stream");
+
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    return IoError("missing %%MatrixMarket banner");
+  }
+  object = ToLower(object);
+  format = ToLower(format);
+  field = ToLower(field);
+  symmetry = ToLower(symmetry);
+  if (object != "matrix" || format != "coordinate") {
+    return IoError("only 'matrix coordinate' inputs are supported");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !pattern) {
+    return IoError("unsupported field '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (symmetry != "general" && !symmetric) {
+    return IoError("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, declared_nnz = 0;
+  if (!(size_line >> rows >> cols >> declared_nnz)) {
+    return IoError("malformed size line");
+  }
+  if (rows <= 0 || cols <= 0 || declared_nnz < 0) {
+    return IoError("non-positive dimensions");
+  }
+
+  Coo coo(static_cast<Idx>(rows), static_cast<Idx>(cols));
+  coo.Reserve(static_cast<std::size_t>(declared_nnz) * (symmetric ? 2 : 1));
+  for (long long i = 0; i < declared_nnz; ++i) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) return IoError("truncated entry list");
+    if (!pattern && !(in >> v)) return IoError("truncated entry value");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      return IoError("entry index out of bounds");
+    }
+    coo.Add(static_cast<Idx>(r - 1), static_cast<Idx>(c - 1), v);
+    if (symmetric && r != c) {
+      coo.Add(static_cast<Idx>(c - 1), static_cast<Idx>(r - 1), v);
+    }
+  }
+  return coo;
+}
+
+Expected<Coo> ReadMatrixMarketFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return IoError("cannot open '" + path + "'");
+  return ReadMatrixMarket(file);
+}
+
+Status WriteMatrixMarket(const Coo& coo, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by capellini-sptrsv\n";
+  out << coo.rows() << ' ' << coo.cols() << ' ' << coo.nnz() << '\n';
+  out.precision(17);
+  for (const Triplet& t : coo.entries()) {
+    out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.val << '\n';
+  }
+  if (!out) return IoError("write failure");
+  return Status::Ok();
+}
+
+Status WriteMatrixMarketFile(const Coo& coo, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return IoError("cannot open '" + path + "' for writing");
+  return WriteMatrixMarket(coo, file);
+}
+
+}  // namespace capellini

@@ -1,0 +1,28 @@
+// Matrix Market (.mtx) I/O — the interchange format of the SuiteSparse /
+// University of Florida collection the paper evaluates on.
+//
+// Supports `matrix coordinate <real|integer|pattern> <general|symmetric>`.
+// Pattern entries get value 1.0; symmetric inputs are expanded.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.h"
+#include "support/status.h"
+
+namespace capellini {
+
+/// Parses a Matrix Market stream into COO (1-based indices converted to 0).
+Expected<Coo> ReadMatrixMarket(std::istream& in);
+
+/// Reads a .mtx file from disk.
+Expected<Coo> ReadMatrixMarketFile(const std::string& path);
+
+/// Writes COO as `matrix coordinate real general`.
+Status WriteMatrixMarket(const Coo& coo, std::ostream& out);
+
+/// Writes a .mtx file to disk.
+Status WriteMatrixMarketFile(const Coo& coo, const std::string& path);
+
+}  // namespace capellini

@@ -1,0 +1,66 @@
+// Triangular-system utilities.
+//
+// The paper's dataset rule (§5.1): take an arbitrary sparse matrix, keep only
+// the lower-left elements, and assign values to the diagonal ("we use
+// unit-lower triangular here"). These helpers implement that rule plus
+// well-conditioned value assignment so double-precision solves stay accurate
+// regardless of structure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.h"
+#include "support/rng.h"
+
+namespace capellini {
+
+/// Options for ExtractLowerTriangular.
+struct LowerTriangularOptions {
+  /// Value placed on the diagonal (paper uses unit-lower triangular).
+  Val diagonal = 1.0;
+  /// If true, off-diagonal values are replaced by random values scaled by
+  /// 1 / (2 * row_nnz) so the solve is numerically benign; if false the
+  /// original values are kept.
+  bool rescale_off_diagonal = true;
+  /// Seed for the rescaling values.
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Keeps the strictly-lower-left entries of `a`, forces a full diagonal, and
+/// (optionally) assigns well-conditioned values. The result satisfies
+/// Csr::IsLowerTriangularWithDiagonal().
+Csr ExtractLowerTriangular(const Csr& a, const LowerTriangularOptions& options);
+
+/// Draws a reference solution x_true (uniform in [0.5, 1.5]) and computes
+/// b = L * x_true. Returns {x_true, b}.
+struct ReferenceProblem {
+  std::vector<Val> x_true;
+  std::vector<Val> b;
+};
+ReferenceProblem MakeReferenceProblem(const Csr& lower, std::uint64_t seed);
+
+/// Max relative error between a computed solution and the reference,
+/// max_i |x_i - ref_i| / max(1, |ref_i|).
+double MaxRelativeError(std::span<const Val> x, std::span<const Val> reference);
+
+/// True if every row's FIRST entry is the diagonal and all other entries are
+/// strictly right of it — an upper-triangular matrix with full diagonal
+/// (e.g. the transpose of a lower factor, or an LU / Cholesky U factor).
+bool IsUpperTriangularWithDiagonal(const Csr& a);
+
+/// Index reversal i -> n-1-i on both rows and columns. Maps an upper
+/// triangular system onto an equivalent lower triangular one (and back — the
+/// transform is an involution), so every lower solver in this library also
+/// solves U x = b:
+///
+///   Csr lower = ReverseSystem(upper);
+///   reversed_b = ReverseVector(b);
+///   solve lower * y = reversed_b;            (any Algorithm)
+///   x = ReverseVector(y);
+Csr ReverseSystem(const Csr& a);
+
+/// out[i] = in[n-1-i]. in and out must not alias.
+void ReverseVector(std::span<const Val> in, std::span<Val> out);
+
+}  // namespace capellini

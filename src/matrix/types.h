@@ -1,0 +1,18 @@
+// Shared scalar/index types for the sparse-matrix substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace capellini {
+
+/// Index type used in sparse structures. 32-bit signed, matching the CUDA
+/// kernels in the original paper artifact (csrRowPtr/csrColIdx are ints).
+using Idx = std::int32_t;
+
+/// Value type. The paper evaluates double precision (see §5.1).
+using Val = double;
+
+/// Nvidia warp width; the algorithms in the paper hard-code 32.
+inline constexpr int kWarpSize = 32;
+
+}  // namespace capellini

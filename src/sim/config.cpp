@@ -1,0 +1,61 @@
+#include "sim/config.h"
+
+#include <vector>
+
+namespace capellini::sim {
+
+DeviceConfig PascalGtx1080() {
+  DeviceConfig config;
+  config.name = "Pascal";
+  config.num_sms = 20;
+  config.max_warps_per_sm = 64;
+  config.clock_ghz = 1.61;
+  config.dram_bandwidth_gbps = 320.0;  // GDDR5X
+  config.dram_latency_cycles = 420;
+  return config;
+}
+
+DeviceConfig VoltaV100() {
+  DeviceConfig config;
+  config.name = "Volta";
+  config.num_sms = 80;
+  config.max_warps_per_sm = 64;
+  config.clock_ghz = 1.38;
+  config.dram_bandwidth_gbps = 900.0;  // HBM2
+  config.dram_latency_cycles = 440;
+  return config;
+}
+
+DeviceConfig TuringRtx2080Ti() {
+  DeviceConfig config;
+  config.name = "Turing";
+  config.num_sms = 68;
+  config.max_warps_per_sm = 32;
+  config.clock_ghz = 1.545;
+  config.dram_bandwidth_gbps = 616.0;  // GDDR6
+  config.dram_latency_cycles = 430;
+  return config;
+}
+
+std::vector<DeviceConfig> PaperPlatforms() {
+  return {PascalGtx1080(), VoltaV100(), TuringRtx2080Ti()};
+}
+
+DeviceConfig TinyTestDevice() {
+  DeviceConfig config;
+  config.name = "tiny-test";
+  config.num_sms = 2;
+  config.max_warps_per_sm = 4;
+  config.clock_ghz = 1.0;
+  config.dram_bandwidth_gbps = 64.0;
+  config.dram_latency_cycles = 20;
+  config.launch_overhead_cycles = 100;
+  config.max_cycles = 200'000'000ull;
+  // Generous default: a single long row can legitimately issue hundreds of
+  // thousands of cycles of loads before its first store. Deadlock tests
+  // override this with a tight value.
+  config.no_progress_cycles = 2'000'000;
+  return config;
+}
+
+}  // namespace capellini::sim

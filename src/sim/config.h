@@ -1,0 +1,89 @@
+// Device configuration for the SIMT simulator, with presets mirroring the
+// paper's Table 3 platforms (Pascal GTX 1080, Volta V100, Turing RTX 2080 Ti).
+//
+// The simulator is not cycle-accurate to any real GPU; it models the
+// structural mechanisms the paper's analysis rests on — lock-step warps,
+// bounded resident warps per SM, memory latency/bandwidth/coalescing — with
+// parameters in the right ballpark for each generation (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capellini::sim {
+
+struct DeviceConfig {
+  std::string name = "generic";
+
+  // Compute resources.
+  int num_sms = 20;
+  int max_warps_per_sm = 64;  // resident-warp limit (occupancy)
+  int warp_size = 32;
+  int issue_per_cycle = 1;  // warp instructions issued per SM per cycle
+
+  // Clock & memory system.
+  double clock_ghz = 1.6;
+  double dram_bandwidth_gbps = 320.0;  // GB/s
+  int dram_latency_cycles = 400;
+  int sector_bytes = 32;  // coalescing granularity (CUDA L2 sector)
+  // L2 model: infinite capacity, sector granularity. First touch of a sector
+  // pays DRAM latency + bandwidth; later touches pay the hit latency only.
+  // This keeps busy-wait polling from fabricating DRAM traffic (polls hit L2
+  // on real GPUs) while compulsory traffic still meters bandwidth.
+  int l2_hit_latency_cycles = 120;
+  // L2 throughput, as a multiple of DRAM bandwidth (Pascal/Volta/Turing L2s
+  // sustain roughly 3-5x their DRAM rate). EVERY transaction — hit or miss —
+  // queues on this; busy-wait polling therefore consumes real interconnect
+  // throughput, which is the mechanism that throttles warp-level sync-free
+  // SpTRSV when thousands of resident warps spin (paper §3.1).
+  double l2_bandwidth_multiplier = 4.0;
+  // Atomic read-modify-write operations occupy the L2 for this multiple of a
+  // plain transaction (L2 atomic units serialize the read+modify+write).
+  double atomic_cost_multiplier = 4.0;
+  // L2 HITS occupy the L2 for 1/divisor of a full sector: repeated reads of
+  // resident lines (busy-wait polls above all) are served from SRAM at
+  // request granularity and coalesce in the MSHRs, unlike DRAM sector
+  // fetches. 1 would charge hits like misses; large values make hits
+  // latency-only.
+  double l2_hit_cost_divisor = 8.0;
+
+  /// L2 bytes transferred per core cycle.
+  double L2BytesPerCycle() const {
+    return BytesPerCycle() * l2_bandwidth_multiplier;
+  }
+
+  // Kernel-launch overhead charged per launch (models driver/runtime cost;
+  // this is what makes per-level launches in level-set SpTRSV expensive).
+  std::uint64_t launch_overhead_cycles = 3000;
+
+  // Watchdogs.
+  std::uint64_t max_cycles = 8'000'000'000ull;
+  // If no store/atomic/warp-completion happens for this many cycles while
+  // warps are alive, the run is declared deadlocked (captures the intra-warp
+  // busy-wait deadlock of Challenge 1).
+  std::uint64_t no_progress_cycles = 2'000'000;
+
+  /// DRAM bytes transferred per core cycle.
+  double BytesPerCycle() const { return dram_bandwidth_gbps / clock_ghz; }
+
+  /// Simulated milliseconds for a cycle count.
+  double CyclesToMs(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+/// Table 3 "Pascal" platform (GTX 1080).
+DeviceConfig PascalGtx1080();
+/// Table 3 "Volta" platform (V100).
+DeviceConfig VoltaV100();
+/// Table 3 "Turing" platform (RTX 2080 Ti).
+DeviceConfig TuringRtx2080Ti();
+
+/// All three paper platforms, in Table 3 order.
+std::vector<DeviceConfig> PaperPlatforms();
+
+/// A small device for fast unit tests (2 SMs, 4 warps/SM).
+DeviceConfig TinyTestDevice();
+
+}  // namespace capellini::sim

@@ -1,0 +1,23 @@
+#include "sim/counters.h"
+
+namespace capellini::sim {
+
+LaunchStats& LaunchStats::operator+=(const LaunchStats& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  lane_instructions += other.lane_instructions;
+  dram_bytes += other.dram_bytes;
+  dram_transactions += other.dram_transactions;
+  issue_slots += other.issue_slots;
+  issue_used += other.issue_used;
+  stall_slots += other.stall_slots;
+  launches += other.launches;
+  return *this;
+}
+
+LaunchStats operator+(LaunchStats a, const LaunchStats& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace capellini::sim

@@ -1,0 +1,49 @@
+// Performance counters reported by the simulator — the modeled equivalents of
+// the nvprof metrics in the paper's §5.3 (instructions executed, stall
+// percentage, DRAM read+write bandwidth).
+#pragma once
+
+#include <cstdint>
+
+namespace capellini::sim {
+
+struct LaunchStats {
+  /// Simulated core cycles for the launch (includes launch overhead).
+  std::uint64_t cycles = 0;
+  /// Warp-level instructions issued (one per warp per issue, like
+  /// nvprof's inst_executed).
+  std::uint64_t instructions = 0;
+  /// Thread-level instructions (instructions weighted by active lanes —
+  /// the gap to 32x instructions is warp underutilization).
+  std::uint64_t lane_instructions = 0;
+  /// DRAM traffic in bytes (32B-sector granularity) and transactions.
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t dram_transactions = 0;
+  /// Issue-slot accounting for the stall metric: total slots on SMs with
+  /// resident work, slots that issued, and slots lost to memory stalls.
+  std::uint64_t issue_slots = 0;
+  std::uint64_t issue_used = 0;
+  std::uint64_t stall_slots = 0;
+  /// Number of kernel launches folded into these stats.
+  std::uint64_t launches = 0;
+
+  /// Fraction of issue slots lost to dependency stalls, in percent.
+  double StallPct() const {
+    if (issue_slots == 0) return 0.0;
+    return 100.0 * static_cast<double>(stall_slots) /
+           static_cast<double>(issue_slots);
+  }
+
+  /// Average active lanes per issued instruction (32 = fully utilized warps).
+  double AvgActiveLanes() const {
+    if (instructions == 0) return 0.0;
+    return static_cast<double>(lane_instructions) /
+           static_cast<double>(instructions);
+  }
+
+  LaunchStats& operator+=(const LaunchStats& other);
+};
+
+LaunchStats operator+(LaunchStats a, const LaunchStats& b);
+
+}  // namespace capellini::sim

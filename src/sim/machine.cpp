@@ -1,0 +1,744 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace capellini::sim {
+namespace {
+
+constexpr std::uint32_t kFullMask = 0xFFFFFFFFu;
+
+int PopCount(std::uint32_t mask) { return std::popcount(mask); }
+
+}  // namespace
+
+Machine::Machine(DeviceConfig config, DeviceMemory* memory)
+    : config_(std::move(config)), memory_(memory) {
+  CAPELLINI_CHECK(memory_ != nullptr);
+  CAPELLINI_CHECK_MSG(config_.warp_size == 32,
+                      "the interpreter is specialized for 32-lane warps");
+  CAPELLINI_CHECK(config_.num_sms > 0 && config_.max_warps_per_sm > 0);
+}
+
+bool Machine::TouchSector(std::uint64_t sector) {
+  const std::size_t word = static_cast<std::size_t>(sector >> 6);
+  const std::uint64_t bit = 1ull << (sector & 63);
+  if (word >= l2_sectors_.size()) l2_sectors_.resize(word + 1024, 0);
+  const bool present = (l2_sectors_[word] & bit) != 0;
+  l2_sectors_[word] |= bit;
+  return present;
+}
+
+std::uint64_t Machine::AccountMemory(std::span<const std::uint64_t> addresses,
+                                     std::size_t count, int width_bytes,
+                                     bool is_atomic) {
+  // Distinct sectors among the active lanes' accesses = transactions.
+  const std::uint64_t sector_bytes =
+      static_cast<std::uint64_t>(config_.sector_bytes);
+  std::uint64_t sectors[64];
+  std::size_t num_sectors = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // An access may straddle a sector boundary only if misaligned; all our
+    // kernels access naturally aligned 4/8-byte values, so one sector each.
+    (void)width_bytes;
+    const std::uint64_t s = addresses[i] / sector_bytes;
+    bool seen = false;
+    for (std::size_t k = 0; k < num_sectors; ++k) {
+      if (sectors[k] == s) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) sectors[num_sectors++] = s;
+  }
+
+  std::uint64_t misses = 0;
+  for (std::size_t k = 0; k < num_sectors; ++k) {
+    if (!TouchSector(sectors[k])) ++misses;
+  }
+  stats_.dram_transactions += num_sectors;
+  stats_.dram_bytes += misses * sector_bytes;
+
+  // Every transaction queues on L2 throughput. Atomics occupy the L2 for a
+  // full read-modify-write; hits (typically busy-wait polls of resident
+  // lines) cost a fraction of a sector (see DeviceConfig::l2_hit_cost_divisor).
+  const std::uint64_t hits = num_sectors - misses;
+  double cost_sectors = static_cast<double>(misses) +
+                        static_cast<double>(hits) / config_.l2_hit_cost_divisor;
+  if (is_atomic) cost_sectors *= config_.atomic_cost_multiplier;
+  const double l2_start =
+      std::max(l2_busy_until_, static_cast<double>(cycle_));
+  l2_busy_until_ = l2_start + cost_sectors *
+                                  static_cast<double>(sector_bytes) /
+                                  config_.L2BytesPerCycle();
+  const std::uint64_t l2_done =
+      static_cast<std::uint64_t>(l2_busy_until_) +
+      static_cast<std::uint64_t>(config_.l2_hit_latency_cycles);
+  if (misses == 0) return l2_done;
+
+  // Misses additionally queue on DRAM bandwidth and pay DRAM latency.
+  const double dram_start =
+      std::max(dram_busy_until_, static_cast<double>(cycle_));
+  dram_busy_until_ = dram_start +
+                     static_cast<double>(misses * sector_bytes) /
+                         config_.BytesPerCycle();
+  const std::uint64_t dram_done =
+      static_cast<std::uint64_t>(dram_busy_until_) +
+      static_cast<std::uint64_t>(config_.dram_latency_cycles);
+  return std::max(l2_done, dram_done);
+}
+
+void Machine::SyncAtReconv(Warp& warp) {
+  while (!warp.stack.empty() &&
+         warp.pc == warp.stack.back().reconv_pc) {
+    Frame& top = warp.stack.back();
+    if (top.other_pc != top.reconv_pc && top.other_mask != 0) {
+      // The other side has not run yet: park the arrived lanes, switch.
+      std::swap(warp.active, top.other_mask);
+      const std::int32_t pending_pc = top.other_pc;
+      top.other_pc = top.reconv_pc;
+      warp.pc = pending_pc;
+    } else {
+      // Both sides arrived (or the other side is empty): merge and pop.
+      warp.active |= top.other_mask;
+      warp.stack.pop_back();
+    }
+  }
+}
+
+void Machine::UnwindIfEmpty(Warp& warp, int sm_index) {
+  while (warp.active == 0 && !warp.stack.empty()) {
+    const Frame top = warp.stack.back();
+    warp.stack.pop_back();
+    warp.active = top.other_mask;
+    warp.pc = top.other_pc;
+  }
+  if (warp.active == 0) {
+    (void)sm_index;
+    warp.alive = false;
+  }
+}
+
+void Machine::FinishWarp(int warp_index, int sm_index) {
+  Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+  warp.alive = false;
+  Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
+  sm.free_slots.push_back(warp_index);
+  --sm.resident;
+  --alive_warps_;
+  last_progress_cycle_ = cycle_;
+}
+
+void Machine::ExecuteInstruction(int warp_index, int sm_index) {
+  Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+  SyncAtReconv(warp);
+  CAPELLINI_CHECK(warp.active != 0);
+  CAPELLINI_CHECK(warp.pc >= 0 &&
+                  warp.pc < static_cast<std::int32_t>(kernel_->code.size()));
+
+  const Instr& instr = kernel_->code[static_cast<std::size_t>(warp.pc)];
+  // Debug tracing (CAPELLINI_TRACE=1): one line per issued instruction.
+  static const bool trace = std::getenv("CAPELLINI_TRACE") != nullptr;
+  if (trace) {
+    std::fprintf(stderr,
+                 "cyc=%llu warp=%d pc=%d op=%d active=%08x stack=%zu\n",
+                 static_cast<unsigned long long>(cycle_), warp_index, warp.pc,
+                 static_cast<int>(instr.op), warp.active, warp.stack.size());
+  }
+  ++stats_.instructions;
+  stats_.lane_instructions += static_cast<std::uint64_t>(PopCount(warp.active));
+
+  std::int32_t next_pc = warp.pc + 1;
+  std::uint64_t ready_at = 0;  // 0 => ready immediately
+
+  const std::uint32_t active = warp.active;
+  switch (instr.op) {
+    case Op::kNop:
+      break;
+    case Op::kMovI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = instr.imm;
+      }
+      break;
+    case Op::kMov:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b);
+      }
+      break;
+    case Op::kAdd:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) + RegI(warp, lane, instr.c);
+      }
+      break;
+    case Op::kAddI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) + instr.imm;
+      }
+      break;
+    case Op::kSub:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) - RegI(warp, lane, instr.c);
+      }
+      break;
+    case Op::kMul:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) * RegI(warp, lane, instr.c);
+      }
+      break;
+    case Op::kMulI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) * instr.imm;
+      }
+      break;
+    case Op::kAndI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) & instr.imm;
+      }
+      break;
+    case Op::kShlI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) << instr.imm;
+      }
+      break;
+    case Op::kShrI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) >> instr.imm;
+      }
+      break;
+    case Op::kSetLt:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) < RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetLe:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) <= RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetEq:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) == RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetNe:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) != RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetGe:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) >= RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetGt:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) > RegI(warp, lane, instr.c) ? 1 : 0;
+      }
+      break;
+    case Op::kSetLtI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) < instr.imm ? 1 : 0;
+      }
+      break;
+    case Op::kSetGeI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) >= instr.imm ? 1 : 0;
+      }
+      break;
+    case Op::kSetEqI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) == instr.imm ? 1 : 0;
+      }
+      break;
+    case Op::kSetNeI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            RegI(warp, lane, instr.b) != instr.imm ? 1 : 0;
+      }
+      break;
+    case Op::kS2R: {
+      const auto special = static_cast<Special>(instr.b);
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        std::int64_t value = 0;
+        switch (special) {
+          case Special::kGlobalTid:
+            value = warp.base_tid + lane;
+            break;
+          case Special::kLane:
+            value = lane;
+            break;
+          case Special::kWarpId:
+            value = (warp.base_tid + lane) / 32;
+            break;
+          case Special::kBlockId:
+            value = warp.block_id;
+            break;
+          case Special::kThreadInBlock:
+            value = warp.base_tid + lane -
+                    warp.block_id * static_cast<std::int64_t>(threads_per_block_);
+            break;
+          case Special::kGridThreads:
+            value = grid_threads_;
+            break;
+        }
+        RegI(warp, lane, instr.a) = value;
+      }
+      break;
+    }
+    case Op::kLdParam:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegI(warp, lane, instr.a) =
+            params_[static_cast<std::size_t>(instr.imm)];
+      }
+      break;
+    case Op::kLd4:
+    case Op::kLd8I:
+    case Op::kLd8F: {
+      std::uint64_t addresses[32];
+      std::size_t count = 0;
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(RegI(warp, lane, instr.b));
+        addresses[count++] = addr;
+        if (instr.op == Op::kLd4) {
+          RegI(warp, lane, instr.a) = memory_->LoadI32(addr);
+        } else if (instr.op == Op::kLd8I) {
+          RegI(warp, lane, instr.a) = memory_->LoadI64(addr);
+        } else {
+          RegF(warp, lane, instr.a) = memory_->LoadF64(addr);
+        }
+      }
+      ready_at = AccountMemory(addresses, count, MemoryWidth(instr.op));
+      break;
+    }
+    case Op::kSt4:
+    case Op::kSt8I:
+    case Op::kSt8F: {
+      std::uint64_t addresses[32];
+      std::size_t count = 0;
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(RegI(warp, lane, instr.a));
+        addresses[count++] = addr;
+        if (instr.op == Op::kSt4) {
+          memory_->StoreI32(addr,
+                            static_cast<std::int32_t>(RegI(warp, lane, instr.b)));
+        } else if (instr.op == Op::kSt8I) {
+          memory_->StoreI64(addr, RegI(warp, lane, instr.b));
+        } else {
+          memory_->StoreF64(addr, RegF(warp, lane, instr.b));
+        }
+      }
+      // Stores are fire-and-forget: account bandwidth, do not stall.
+      (void)AccountMemory(addresses, count, MemoryWidth(instr.op));
+      last_progress_cycle_ = cycle_;
+      break;
+    }
+    case Op::kAtomAddF8:
+    case Op::kAtomAddI4: {
+      std::uint64_t addresses[32];
+      std::size_t count = 0;
+      // Lanes are serialized by hardware on address conflicts; the simulator
+      // applies them in lane order, which is one legal serialization.
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(RegI(warp, lane, instr.b));
+        addresses[count++] = addr;
+        if (instr.op == Op::kAtomAddF8) {
+          const double old = memory_->LoadF64(addr);
+          RegF(warp, lane, instr.a) = old;
+          memory_->StoreF64(addr, old + RegF(warp, lane, instr.c));
+        } else {
+          const std::int32_t old = memory_->LoadI32(addr);
+          RegI(warp, lane, instr.a) = old;
+          memory_->StoreI32(
+              addr, old + static_cast<std::int32_t>(RegI(warp, lane, instr.c)));
+        }
+      }
+      ready_at = AccountMemory(addresses, count, MemoryWidth(instr.op),
+                               /*is_atomic=*/true);
+      last_progress_cycle_ = cycle_;
+      break;
+    }
+    case Op::kFMovI:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) = instr.fimm;
+      }
+      break;
+    case Op::kFMov:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) = RegF(warp, lane, instr.b);
+      }
+      break;
+    case Op::kFAdd:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) =
+            RegF(warp, lane, instr.b) + RegF(warp, lane, instr.c);
+      }
+      break;
+    case Op::kFSub:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) =
+            RegF(warp, lane, instr.b) - RegF(warp, lane, instr.c);
+      }
+      break;
+    case Op::kFMul:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) =
+            RegF(warp, lane, instr.b) * RegF(warp, lane, instr.c);
+      }
+      break;
+    case Op::kFDiv:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) =
+            RegF(warp, lane, instr.b) / RegF(warp, lane, instr.c);
+      }
+      break;
+    case Op::kFFma:
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        RegF(warp, lane, instr.a) +=
+            RegF(warp, lane, instr.b) * RegF(warp, lane, instr.c);
+      }
+      break;
+    case Op::kShflDownF: {
+      // Read the source values of ALL lanes first (lock-step exchange).
+      double source[32];
+      for (int lane = 0; lane < 32; ++lane) {
+        source[lane] = RegF(warp, lane, instr.b);
+      }
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        const int src_lane = lane + static_cast<int>(instr.imm);
+        RegF(warp, lane, instr.a) =
+            src_lane < 32 ? source[src_lane] : source[lane];
+      }
+      break;
+    }
+    case Op::kBrnz:
+    case Op::kBrz: {
+      std::uint32_t taken = 0;
+      for (std::uint32_t m = active; m;) {
+        const int lane = std::countr_zero(m);
+        m &= m - 1;
+        const bool nz = RegI(warp, lane, instr.a) != 0;
+        const bool takes = (instr.op == Op::kBrnz) ? nz : !nz;
+        if (takes) taken |= 1u << lane;
+      }
+      const std::uint32_t fall = active & ~taken;
+      if (taken == 0) {
+        // all fall through: next_pc already pc + 1
+      } else if (fall == 0) {
+        next_pc = static_cast<std::int32_t>(instr.imm);
+      } else {
+        // Divergence: run the fall-through side first; park the taken side.
+        const auto reconv = static_cast<std::int32_t>(instr.imm2);
+        const auto target = static_cast<std::int32_t>(instr.imm);
+        // Merge with an existing frame when a loop re-diverges to the same
+        // (reconv, target): keeps the stack O(nesting), not O(iterations).
+        if (!warp.stack.empty() &&
+            warp.stack.back().reconv_pc == reconv &&
+            warp.stack.back().other_pc == target) {
+          warp.stack.back().other_mask |= taken;
+        } else {
+          warp.stack.push_back(Frame{reconv, target, taken});
+        }
+        warp.active = fall;
+      }
+      break;
+    }
+    case Op::kJmp:
+      next_pc = static_cast<std::int32_t>(instr.imm);
+      break;
+    case Op::kFence:
+      // Memory is sequentially consistent in the simulator; the fence is a
+      // 1-cycle ordering no-op kept for faithful instruction counts.
+      break;
+    case Op::kExit:
+      warp.active = 0;
+      break;
+  }
+
+  warp.pc = next_pc;
+  UnwindIfEmpty(warp, sm_index);
+  if (!warp.alive) {
+    FinishWarp(warp_index, sm_index);
+    return;
+  }
+
+  Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
+  if (ready_at > cycle_ + 1) {
+    wake_.push(WakeEntry{ready_at, warp_index, sm_index});
+  } else {
+    sm.ready.push_back(warp_index);
+  }
+}
+
+Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
+                                      std::span<const std::int64_t> params) {
+  if (dims.num_threads <= 0) {
+    return InvalidArgument("launch with no threads");
+  }
+  if (static_cast<int>(params.size()) != kernel.num_params) {
+    return InvalidArgument("kernel " + kernel.name + " expects " +
+                           std::to_string(kernel.num_params) + " params, got " +
+                           std::to_string(params.size()));
+  }
+  if (dims.threads_per_block <= 0 || dims.threads_per_block % 32 != 0) {
+    return InvalidArgument("threads_per_block must be a positive multiple of 32");
+  }
+  if (dims.threads_per_block / 32 > config_.max_warps_per_sm) {
+    return InvalidArgument(
+        "threads_per_block exceeds the SM's resident-warp capacity (" +
+        std::to_string(config_.max_warps_per_sm * 32) + " threads)");
+  }
+
+  kernel_ = &kernel;
+  params_.assign(params.begin(), params.end());
+  grid_threads_ = dims.num_threads;
+  threads_per_block_ = dims.threads_per_block;
+  stats_ = LaunchStats{};
+  stats_.launches = 1;
+  cycle_ = 0;
+  dram_busy_until_ = 0.0;
+  l2_busy_until_ = 0.0;
+  last_progress_cycle_ = 0;
+  alive_warps_ = 0;
+  wake_ = {};
+  std::fill(l2_sectors_.begin(), l2_sectors_.end(), 0);
+
+  const int warps_per_block = dims.threads_per_block / 32;
+  const std::int64_t num_blocks =
+      (dims.num_threads + dims.threads_per_block - 1) / dims.threads_per_block;
+
+  // Warp pool & SM slots.
+  const int pool_per_sm = config_.max_warps_per_sm;
+  const std::size_t pool_size =
+      static_cast<std::size_t>(config_.num_sms) *
+      static_cast<std::size_t>(pool_per_sm);
+  if (warp_pool_.size() != pool_size) {
+    warp_pool_.assign(pool_size, Warp{});
+    for (Warp& warp : warp_pool_) {
+      warp.r.assign(32 * kNumIntRegs, 0);
+      warp.f.assign(32 * kNumFltRegs, 0.0);
+    }
+  }
+  sms_.assign(static_cast<std::size_t>(config_.num_sms), Sm{});
+  for (int s = 0; s < config_.num_sms; ++s) {
+    Sm& sm = sms_[static_cast<std::size_t>(s)];
+    sm.free_slots.clear();
+    for (int k = pool_per_sm - 1; k >= 0; --k) {
+      sm.free_slots.push_back(s * pool_per_sm + k);
+    }
+    sm.ready.clear();
+    sm.resident = 0;
+  }
+
+  std::int64_t next_block = 0;
+  int dispatch_sm = 0;
+
+  // Assigns queued blocks, in block order, to SMs with enough free slots.
+  auto dispatch = [&] {
+    int sms_tried = 0;
+    while (next_block < num_blocks && sms_tried < config_.num_sms) {
+      Sm& sm = sms_[static_cast<std::size_t>(dispatch_sm)];
+      if (static_cast<int>(sm.free_slots.size()) < warps_per_block) {
+        dispatch_sm = (dispatch_sm + 1) % config_.num_sms;
+        ++sms_tried;
+        continue;
+      }
+      const std::int64_t block = next_block++;
+      const std::int64_t block_first_tid =
+          block * static_cast<std::int64_t>(dims.threads_per_block);
+      for (int w = 0; w < warps_per_block; ++w) {
+        const std::int64_t base_tid = block_first_tid + 32ll * w;
+        if (base_tid >= dims.num_threads) break;
+        const int warp_index = sm.free_slots.back();
+        sm.free_slots.pop_back();
+        Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+        warp.pc = 0;
+        warp.base_tid = base_tid;
+        warp.block_id = block;
+        warp.stack.clear();
+        const std::int64_t lanes_left = dims.num_threads - base_tid;
+        warp.active = lanes_left >= 32
+                          ? kFullMask
+                          : (1u << lanes_left) - 1u;
+        warp.alive = true;
+        sm.ready.push_back(warp_index);
+        ++sm.resident;
+        ++alive_warps_;
+      }
+      last_progress_cycle_ = cycle_;
+      dispatch_sm = (dispatch_sm + 1) % config_.num_sms;
+      sms_tried = 0;  // made progress; rescan
+    }
+  };
+
+  dispatch();
+
+  while (alive_warps_ > 0 || next_block < num_blocks) {
+    if (cycle_ > config_.max_cycles) {
+      return DeadlockError("kernel " + kernel.name + " exceeded " +
+                           std::to_string(config_.max_cycles) + " cycles");
+    }
+    if (cycle_ - last_progress_cycle_ > config_.no_progress_cycles) {
+      // Diagnose: where are the surviving warps parked? A busy-wait deadlock
+      // shows up as most warps clustered at the spin loop's PCs.
+      std::map<std::int32_t, int> pc_histogram;
+      int alive = 0;
+      for (const Warp& warp : warp_pool_) {
+        if (!warp.alive) continue;
+        ++alive;
+        ++pc_histogram[warp.pc];
+      }
+      std::string hot_pcs;
+      int listed = 0;
+      for (const auto& [pc, count] : pc_histogram) {
+        if (listed++ >= 4) break;
+        if (!hot_pcs.empty()) hot_pcs += ", ";
+        hot_pcs += "pc " + std::to_string(pc) + " x" + std::to_string(count);
+      }
+      return DeadlockError(
+          "kernel " + kernel.name +
+          " made no forward progress (intra-warp busy-wait deadlock?) at cycle " +
+          std::to_string(cycle_) + "; " + std::to_string(alive) +
+          " warps alive (" + hot_pcs + ")");
+    }
+
+    // Wake memory-stalled warps whose loads completed.
+    while (!wake_.empty() && std::get<0>(wake_.top()) <= cycle_) {
+      const WakeEntry entry = wake_.top();
+      wake_.pop();
+      sms_[static_cast<std::size_t>(std::get<2>(entry))].ready.push_back(
+          std::get<1>(entry));
+    }
+
+    if (next_block < num_blocks) dispatch();
+
+    bool issued_any = false;
+    for (int s = 0; s < config_.num_sms; ++s) {
+      Sm& sm = sms_[static_cast<std::size_t>(s)];
+      if (sm.resident == 0) continue;
+      for (int k = 0; k < config_.issue_per_cycle; ++k) {
+        ++stats_.issue_slots;
+        if (sm.ready.empty()) {
+          ++stats_.stall_slots;
+          continue;
+        }
+        const int warp_index = sm.ready.front();
+        sm.ready.pop_front();
+        ExecuteInstruction(warp_index, s);
+        ++stats_.issue_used;
+        issued_any = true;
+      }
+    }
+
+    if (issued_any) {
+      ++cycle_;
+    } else if (!wake_.empty()) {
+      // Everything resident is stalled on memory: fast-forward.
+      const std::uint64_t next = std::get<0>(wake_.top());
+      const std::uint64_t skip = next > cycle_ ? next - cycle_ : 1;
+      for (const Sm& sm : sms_) {
+        if (sm.resident > 0) {
+          const std::uint64_t slots =
+              skip * static_cast<std::uint64_t>(config_.issue_per_cycle);
+          stats_.issue_slots += slots;
+          stats_.stall_slots += slots;
+        }
+      }
+      cycle_ += skip;
+    } else if (alive_warps_ > 0) {
+      return InternalError("live warps with nothing ready and empty wake queue");
+    } else {
+      // Blocks remain but nothing resident: dispatch next iteration.
+      ++cycle_;
+    }
+  }
+
+  stats_.cycles = cycle_ + config_.launch_overhead_cycles;
+  return stats_;
+}
+
+}  // namespace capellini::sim

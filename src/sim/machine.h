@@ -1,0 +1,133 @@
+// The SIMT interpreter: executes kernels on the simulated device.
+//
+// Execution model (the mechanisms the paper's analysis depends on):
+//  * Warps of 32 lanes execute in lock step. Divergent branches are
+//    serialized with a reconvergence stack (explicit reconvergence PCs from
+//    the kernel author). A lane that busy-waits therefore blocks the lanes
+//    parked at the reconvergence point — exactly the deadlock of Challenge 1.
+//  * Each SM issues `issue_per_cycle` warp-instructions per cycle, round-robin
+//    over its ready resident warps. Warps stalled on memory do not issue.
+//  * Residency: at most max_warps_per_sm warps per SM. Thread blocks are
+//    dispatched IN ORDER as slots free — the invariant the synchronization-
+//    free algorithms rely on (a row only waits on earlier rows, which are
+//    resident or finished).
+//  * Global memory: per warp memory instruction, the distinct 32-byte sectors
+//    touched by the active lanes become DRAM transactions; transactions queue
+//    on device bandwidth and complete after the configured latency. Loads and
+//    atomics stall the warp until completion; stores are fire-and-forget.
+//    Values are read/written at issue time (sequentially consistent), so
+//    timing and data never race in the simulation.
+//  * Watchdogs: a cycle limit plus a no-progress detector (no store, atomic,
+//    warp completion or dispatch for N cycles) that converts intra-warp
+//    busy-wait deadlocks into a reportable error.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/kernel.h"
+#include "sim/memory.h"
+#include "support/status.h"
+
+namespace capellini::sim {
+
+/// Kernel launch geometry.
+struct LaunchDims {
+  std::int64_t num_threads = 0;     // total threads (rounded up to warps)
+  int threads_per_block = 256;      // dispatch granularity
+};
+
+class Machine {
+ public:
+  Machine(DeviceConfig config, DeviceMemory* memory);
+
+  const DeviceConfig& config() const { return config_; }
+
+  /// Runs `kernel` to completion and returns its counters.
+  /// Fails with StatusCode::kDeadlock when the watchdog trips.
+  Expected<LaunchStats> Launch(const Kernel& kernel, LaunchDims dims,
+                               std::span<const std::int64_t> params);
+
+ private:
+  struct Frame {
+    std::int32_t reconv_pc;
+    std::int32_t other_pc;
+    std::uint32_t other_mask;
+  };
+
+  struct Warp {
+    std::int32_t pc = 0;
+    std::uint32_t active = 0;
+    std::int64_t base_tid = 0;
+    std::int64_t block_id = 0;
+    bool alive = false;
+    std::vector<Frame> stack;
+    // Lane-major register files.
+    std::vector<std::int64_t> r;  // 32 * kNumIntRegs
+    std::vector<double> f;        // 32 * kNumFltRegs
+  };
+
+  struct Sm {
+    std::vector<int> free_slots;       // indices into warp pool
+    std::deque<int> ready;             // warps ready to issue
+    int resident = 0;
+  };
+
+  // One step of one warp; returns false if the kernel hit an internal error.
+  void ExecuteInstruction(int warp_index, int sm_index);
+
+  // Reconvergence bookkeeping (see DESIGN.md / header comment).
+  void SyncAtReconv(Warp& warp);
+  void UnwindIfEmpty(Warp& warp, int sm_index);
+
+  // Memory transaction accounting; returns the completion cycle.
+  std::uint64_t AccountMemory(std::span<const std::uint64_t> addresses,
+                              std::size_t count, int width_bytes,
+                              bool is_atomic = false);
+
+  // L2 sector tracking (infinite capacity; see DeviceConfig comment).
+  bool TouchSector(std::uint64_t sector);
+
+  void FinishWarp(int warp_index, int sm_index);
+
+  std::int64_t& RegI(Warp& warp, int lane, int reg) {
+    return warp.r[static_cast<std::size_t>(lane) * kNumIntRegs +
+                  static_cast<std::size_t>(reg)];
+  }
+  double& RegF(Warp& warp, int lane, int reg) {
+    return warp.f[static_cast<std::size_t>(lane) * kNumFltRegs +
+                  static_cast<std::size_t>(reg)];
+  }
+
+  DeviceConfig config_;
+  DeviceMemory* memory_;
+
+  // Per-launch state.
+  const Kernel* kernel_ = nullptr;
+  std::vector<std::int64_t> params_;
+  std::int64_t grid_threads_ = 0;
+  int threads_per_block_ = 256;
+
+  std::vector<Warp> warp_pool_;
+  std::vector<Sm> sms_;
+  // (ready_at, warp, sm) entries for memory-stalled warps.
+  using WakeEntry = std::tuple<std::uint64_t, int, int>;
+  std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>>
+      wake_;
+
+  std::uint64_t cycle_ = 0;
+  double dram_busy_until_ = 0.0;
+  double l2_busy_until_ = 0.0;
+  std::uint64_t last_progress_cycle_ = 0;
+  std::int64_t alive_warps_ = 0;
+  LaunchStats stats_;
+  std::vector<std::uint64_t> l2_sectors_;  // bitmap, one bit per sector
+};
+
+}  // namespace capellini::sim

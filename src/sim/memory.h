@@ -1,0 +1,70 @@
+// Simulated device (global) memory: a flat byte-addressed arena with typed
+// accessors and an allocation bump pointer. Host<->device copies are explicit
+// like cudaMemcpy; kernels access it through the interpreter only.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "support/status.h"
+
+namespace capellini::sim {
+
+/// Byte offset into device memory. 0 is a valid address; allocations start at
+/// a nonzero offset so that 0 can be used as a null-ish sentinel by kernels.
+using DevicePtr = std::uint64_t;
+
+class DeviceMemory {
+ public:
+  DeviceMemory() { bytes_.resize(kBaseOffset, 0); }
+
+  /// Allocates `size` bytes aligned to `alignment` (power of two).
+  DevicePtr Alloc(std::uint64_t size, std::uint64_t alignment = 256);
+
+  /// Typed allocation for n elements of T.
+  template <typename T>
+  DevicePtr AllocArray(std::uint64_t n) {
+    return Alloc(n * sizeof(T), 256);
+  }
+
+  std::uint64_t size() const { return bytes_.size(); }
+
+  /// Host -> device copy.
+  template <typename T>
+  void CopyToDevice(DevicePtr dst, std::span<const T> src) {
+    CheckRange(dst, src.size_bytes());
+    std::memcpy(bytes_.data() + dst, src.data(), src.size_bytes());
+  }
+
+  /// Device -> host copy.
+  template <typename T>
+  void CopyFromDevice(std::span<T> dst, DevicePtr src) const {
+    CheckRange(src, dst.size_bytes());
+    std::memcpy(dst.data(), bytes_.data() + src, dst.size_bytes());
+  }
+
+  /// memset on device memory.
+  void Fill(DevicePtr dst, std::uint64_t size, std::uint8_t value);
+
+  // Scalar accessors used by the interpreter (bounds-checked).
+  std::int32_t LoadI32(DevicePtr addr) const;
+  std::int64_t LoadI64(DevicePtr addr) const;
+  double LoadF64(DevicePtr addr) const;
+  void StoreI32(DevicePtr addr, std::int32_t value);
+  void StoreI64(DevicePtr addr, std::int64_t value);
+  void StoreF64(DevicePtr addr, double value);
+
+ private:
+  static constexpr std::uint64_t kBaseOffset = 256;
+
+  void CheckRange(DevicePtr addr, std::uint64_t size) const {
+    CAPELLINI_CHECK_MSG(addr >= kBaseOffset && addr + size <= bytes_.size(),
+                        "device memory access out of bounds");
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace capellini::sim

@@ -1,0 +1,135 @@
+#include "support/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace capellini {
+
+void CliFlags::AddInt(const std::string& name, std::int64_t* target,
+                      const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, target, help};
+}
+void CliFlags::AddDouble(const std::string& name, double* target,
+                         const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, target, help};
+}
+void CliFlags::AddBool(const std::string& name, bool* target,
+                       const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, target, help};
+}
+void CliFlags::AddString(const std::string& name, std::string* target,
+                         const std::string& help) {
+  flags_[name] = Flag{Kind::kString, target, help};
+}
+
+Status CliFlags::Assign(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return NotFound("unknown flag --" + name);
+  Flag& flag = it->second;
+  switch (flag.kind) {
+    case Kind::kInt: {
+      std::int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        return InvalidArgument("flag --" + name + " expects an integer, got '" +
+                               value + "'");
+      }
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return Status::Ok();
+    }
+    case Kind::kDouble: {
+      try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        *static_cast<double*>(flag.target) = v;
+      } catch (...) {
+        return InvalidArgument("flag --" + name + " expects a number, got '" +
+                               value + "'");
+      }
+      return Status::Ok();
+    }
+    case Kind::kBool: {
+      bool v = false;
+      if (value == "true" || value == "1" || value.empty()) {
+        v = true;
+      } else if (value == "false" || value == "0") {
+        v = false;
+      } else {
+        return InvalidArgument("flag --" + name + " expects true/false, got '" +
+                               value + "'");
+      }
+      *static_cast<bool*>(flag.target) = v;
+      return Status::Ok();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::Ok();
+  }
+  return InternalError("unreachable");
+}
+
+Status CliFlags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return NotFound("help");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return InvalidArgument("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return InvalidArgument("flag --" + name + " is missing a value");
+      }
+    }
+    CAPELLINI_RETURN_IF_ERROR(Assign(name, value));
+  }
+  return Status::Ok();
+}
+
+std::string CliFlags::Usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kInt:
+        out << "=<int>      (default " << *static_cast<std::int64_t*>(flag.target)
+            << ")";
+        break;
+      case Kind::kDouble:
+        out << "=<num>      (default " << *static_cast<double*>(flag.target)
+            << ")";
+        break;
+      case Kind::kBool:
+        out << "[=<bool>]   (default "
+            << (*static_cast<bool*>(flag.target) ? "true" : "false") << ")";
+        break;
+      case Kind::kString:
+        out << "=<str>      (default '"
+            << *static_cast<std::string*>(flag.target) << "')";
+        break;
+    }
+    out << "  " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace capellini

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser used by the benchmark and example binaries.
+//
+// Supported syntax:  --name=value   --name value   --flag (bool true)
+// Unknown flags are reported as errors so typos don't silently change runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace capellini {
+
+/// Declarative flag set. Register flags with pointers to defaults, then Parse.
+class CliFlags {
+ public:
+  void AddInt(const std::string& name, std::int64_t* target,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Parses argv. On "--help", prints usage and returns NotFound("help") so
+  /// callers can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  /// Usage text listing all registered flags with their current defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+  Status Assign(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace capellini

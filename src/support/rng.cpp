@@ -1,0 +1,119 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/status.h"
+
+namespace capellini {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the all-zero state (probability ~0 but cheap to guard).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  CAPELLINI_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  CAPELLINI_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::int64_t Rng::NextPositiveWithMean(double mean) {
+  if (mean <= 1.0) return 1;
+  // Geometric distribution shifted to start at 1 with mean `mean`:
+  // success probability p = 1 / mean.
+  const double p = 1.0 / mean;
+  const double u = NextDouble();
+  const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+  const std::int64_t value = 1 + static_cast<std::int64_t>(g);
+  return std::max<std::int64_t>(1, value);
+}
+
+std::vector<std::int64_t> Rng::SampleDistinctSorted(std::int64_t lo,
+                                                    std::int64_t hi,
+                                                    std::int64_t k) {
+  CAPELLINI_CHECK(k >= 0);
+  const std::int64_t span = hi - lo + 1;
+  CAPELLINI_CHECK_MSG(span >= k, "not enough distinct values in range");
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return out;
+  if (k * 2 >= span) {
+    // Dense case: Fisher-Yates over the full range, keep first k.
+    std::vector<std::int64_t> all(static_cast<std::size_t>(span));
+    for (std::int64_t i = 0; i < span; ++i) all[static_cast<std::size_t>(i)] = lo + i;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const std::int64_t j =
+          i + static_cast<std::int64_t>(NextBounded(static_cast<std::uint64_t>(span - i)));
+      std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(j)]);
+    }
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse case: rejection into a hash set.
+    std::unordered_set<std::int64_t> seen;
+    seen.reserve(static_cast<std::size_t>(k) * 2);
+    while (static_cast<std::int64_t>(seen.size()) < k) {
+      seen.insert(NextInt(lo, hi));
+    }
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace capellini

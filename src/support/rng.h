@@ -1,0 +1,53 @@
+// Deterministic, seedable random number generation (xoshiro256** family).
+//
+// Every generator in the library takes an explicit seed so that corpora,
+// matrices and benchmarks are reproducible bit-for-bit across runs and
+// platforms (we never use std::random_device or global state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace capellini {
+
+/// splitmix64 step; used to expand a single seed into a full state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Geometric-ish positive integer with given mean (at least 1).
+  /// Used for drawing row lengths with a controlled average.
+  std::int64_t NextPositiveWithMean(double mean);
+
+  /// k distinct values drawn uniformly from [lo, hi], sorted ascending.
+  /// Requires hi - lo + 1 >= k.
+  std::vector<std::int64_t> SampleDistinctSorted(std::int64_t lo,
+                                                 std::int64_t hi,
+                                                 std::int64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace capellini

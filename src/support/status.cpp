@@ -1,0 +1,47 @@
+#include "support/status.h"
+
+namespace capellini {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kDeadlock:
+      return "deadlock";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "CAPELLINI_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace capellini

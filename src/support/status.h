@@ -1,0 +1,149 @@
+// Lightweight status / expected-style error handling.
+//
+// The library does not throw across public API boundaries (see DESIGN.md §6).
+// Fallible operations return `Status` or `Expected<T>`; programming errors are
+// checked with CAPELLINI_CHECK which aborts with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace capellini {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kDeadlock,   // simulator watchdog tripped
+  kInternal,
+  kIoError,
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status DeadlockError(std::string msg) {
+  return Status(StatusCode::kDeadlock, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+
+/// Value-or-Status. Minimal stand-in for C++23 std::expected.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}        // NOLINT(implicit)
+  Expected(Status status) : data_(std::move(status)) {  // NOLINT(implicit)
+    if (std::get<Status>(data_).ok()) {
+      std::fprintf(stderr, "Expected<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    check();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    check();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    check();
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Expected<T>::value() on error: %s\n",
+                   std::get<Status>(data_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+/// Abort with a diagnostic if `cond` is false. For programmer errors, not for
+/// user-input validation (use Status for the latter).
+#define CAPELLINI_CHECK(cond)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::capellini::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                     \
+  } while (0)
+
+#define CAPELLINI_CHECK_MSG(cond, msg)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::capellini::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                      \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define CAPELLINI_RETURN_IF_ERROR(expr)        \
+  do {                                         \
+    ::capellini::Status status_ = (expr);      \
+    if (!status_.ok()) return status_;         \
+  } while (0)
+
+}  // namespace capellini

@@ -1,0 +1,77 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/status.h"
+
+namespace capellini {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CAPELLINI_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  CAPELLINI_CHECK_MSG(cells.size() == header_.size(),
+                      "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      out << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, '-') << "+";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string TextTable::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  std::string raw = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace capellini

@@ -1,0 +1,37 @@
+// Fixed-width ASCII table printer for reproducing the paper's tables.
+//
+// The benchmark binaries print results in the same row/column layout as the
+// paper; this helper keeps the formatting consistent across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capellini {
+
+/// Column-aligned text table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Adds one row; the number of cells must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with column separators and a rule under the header.
+  std::string ToString() const;
+
+  /// Convenience: formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 2);
+
+  /// Convenience: formats an integer with thousands separators.
+  static std::string Int(long long v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace capellini

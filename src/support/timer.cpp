@@ -1,0 +1,4 @@
+#include "support/timer.h"
+
+// Header-only; this TU exists so the module shows up in the library and can
+// grow non-inline helpers without touching the build.

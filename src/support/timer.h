@@ -1,0 +1,29 @@
+// Wall-clock timing for host-side (preprocessing) measurements.
+#pragma once
+
+#include <chrono>
+
+namespace capellini {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed seconds.
+  double ElapsedSec() const { return ElapsedMs() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace capellini

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analysis.h"
+#include "core/experiment.h"
+#include "core/select.h"
+#include "core/solver.h"
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "matrix/triangular.h"
+
+namespace capellini {
+namespace {
+
+Csr HighGranularityMatrix() {
+  return MakeLevelStructured({.num_levels = 3, .components_per_level = 2000,
+                              .avg_nnz_per_row = 2.2, .size_jitter = 0.2,
+                              .interleave = false, .seed = 21});
+}
+
+Csr LowGranularityMatrix() {
+  return MakeBanded({.rows = 600, .bandwidth = 36, .fill = 0.9,
+                     .force_chain = true, .seed = 22});
+}
+
+SolverOptions TestOptions() {
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  return options;
+}
+
+TEST(SolverTest, SolvesWithEveryAlgorithm) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 5,
+                                          .components_per_level = 100,
+                                          .avg_nnz_per_row = 3.0,
+                                          .size_jitter = 0.2,
+                                          .interleave = false,
+                                          .seed = 23});
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 24);
+  const Solver solver(matrix, TestOptions());
+
+  for (const Algorithm algorithm :
+       {Algorithm::kSerialCpu, Algorithm::kLevelSetCpu,
+        Algorithm::kSyncFreeCpu, Algorithm::kLevelSet, Algorithm::kSyncFree,
+        Algorithm::kSyncFreeCsr, Algorithm::kCusparse,
+        Algorithm::kCapelliniTwoPhase, Algorithm::kCapellini,
+        Algorithm::kHybrid}) {
+    auto result = solver.Solve(algorithm, problem.b);
+    ASSERT_TRUE(result.ok())
+        << AlgorithmName(algorithm) << ": " << result.status().ToString();
+    EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10)
+        << AlgorithmName(algorithm);
+    if (IsDeviceAlgorithm(algorithm)) {
+      EXPECT_GT(result->device_stats.instructions, 0u);
+    }
+    EXPECT_GE(result->solve_ms, 0.0);
+  }
+}
+
+TEST(SolverTest, StatsAreCachedAndConsistent) {
+  const Solver solver(HighGranularityMatrix(), TestOptions());
+  const MatrixStats& first = solver.Stats();
+  const MatrixStats& second = solver.Stats();
+  EXPECT_EQ(&first, &second);  // cached
+  EXPECT_EQ(first.num_levels, solver.Levels().num_levels());
+  EXPECT_EQ(first.rows, solver.matrix().rows());
+}
+
+TEST(SolverTest, RecommendFollowsGranularity) {
+  const Solver high(HighGranularityMatrix(), TestOptions());
+  EXPECT_GT(high.Stats().parallel_granularity, kGranularityCrossover);
+  EXPECT_EQ(high.Recommend(), Algorithm::kCapellini);
+
+  const Solver low(LowGranularityMatrix(), TestOptions());
+  EXPECT_LT(low.Stats().parallel_granularity, kGranularityCrossover);
+  EXPECT_EQ(low.Recommend(), Algorithm::kSyncFree);
+}
+
+TEST(SelectTest, RuleMatchesFigureSix) {
+  MatrixStats stats;
+  stats.parallel_granularity = 0.9;
+  EXPECT_EQ(SelectAlgorithm(stats), Algorithm::kCapellini);
+  stats.parallel_granularity = 0.5;
+  EXPECT_EQ(SelectAlgorithm(stats), Algorithm::kSyncFree);
+}
+
+TEST(AnalysisTest, ReportsIndicators) {
+  const Analysis analysis = Analyze(HighGranularityMatrix(), "hg");
+  EXPECT_EQ(analysis.stats.name, "hg");
+  EXPECT_EQ(analysis.recommended, Algorithm::kCapellini);
+  const std::string report = FormatAnalysis(analysis);
+  EXPECT_NE(report.find("delta"), std::string::npos);
+  EXPECT_NE(report.find("Capellini"), std::string::npos);
+}
+
+TEST(AlgorithmNamesTest, AllDistinct) {
+  const Algorithm all[] = {
+      Algorithm::kSerialCpu,  Algorithm::kLevelSetCpu,
+      Algorithm::kSyncFreeCpu, Algorithm::kLevelSet,
+      Algorithm::kSyncFree,   Algorithm::kSyncFreeCsr,
+      Algorithm::kCusparse,   Algorithm::kCapelliniTwoPhase,
+      Algorithm::kCapellini,  Algorithm::kHybrid};
+  std::set<std::string> names;
+  for (const Algorithm algorithm : all) names.insert(AlgorithmName(algorithm));
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(SolverTest, RunsOnEveryPaperPlatform) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 4,
+                                          .components_per_level = 200,
+                                          .avg_nnz_per_row = 2.5,
+                                          .size_jitter = 0.2,
+                                          .interleave = false,
+                                          .seed = 61});
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 62);
+  for (const auto& device : sim::PaperPlatforms()) {
+    SolverOptions options;
+    options.device = device;
+    const Solver solver(matrix, options);
+    auto result = solver.Solve(Algorithm::kCapellini, problem.b);
+    ASSERT_TRUE(result.ok()) << device.name;
+    EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10)
+        << device.name;
+    EXPECT_GT(result->gflops, 0.0) << device.name;
+  }
+}
+
+TEST(SolverTest, DeadlockSurfacesAsStatus) {
+  // The naive kernel is not exposed through Algorithm, but a Solve on a
+  // device whose watchdog is impossibly tight reports deadlock rather than
+  // hanging — the error path is part of the public contract.
+  const Csr chain = MakeBanded({.rows = 4000, .bandwidth = 1, .fill = 1.0,
+                                .force_chain = true, .seed = 63});
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  options.device.max_cycles = 2'000;  // far below what the chain needs
+  const Solver solver(chain, options);
+  const ReferenceProblem problem = MakeReferenceProblem(chain, 64);
+  auto result = solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlock);
+}
+
+// --- experiment driver ------------------------------------------------------
+
+NamedMatrix SmallNamed(const char* name, Csr matrix) {
+  NamedMatrix named;
+  named.stats = ComputeStats(matrix, name);
+  named.name = name;
+  named.matrix = std::move(matrix);
+  return named;
+}
+
+TEST(ExperimentTest, RunOneVerifiesSolution) {
+  const NamedMatrix named = SmallNamed("hg", HighGranularityMatrix());
+  const RunRecord record =
+      RunOne(named, kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+             sim::TinyTestDevice());
+  ASSERT_TRUE(record.status.ok()) << record.status.ToString();
+  EXPECT_TRUE(record.correct);
+  EXPECT_LE(record.max_rel_error, 1e-10);
+  EXPECT_GT(record.result.gflops, 0.0);
+}
+
+TEST(ExperimentTest, RunOneRecordsDeadlocks) {
+  const NamedMatrix chain = SmallNamed("chain", MakeBidiagonal(64));
+  sim::DeviceConfig config = sim::TinyTestDevice();
+  config.no_progress_cycles = 30'000;
+  const RunRecord record =
+      RunOne(chain, kernels::DeviceAlgorithm::kCapelliniNaive, config);
+  EXPECT_FALSE(record.status.ok());
+  EXPECT_EQ(record.status.code(), StatusCode::kDeadlock);
+  EXPECT_FALSE(record.correct);
+}
+
+TEST(ExperimentTest, AggregationHelpers) {
+  std::vector<NamedMatrix> corpus;
+  corpus.push_back(SmallNamed("hg", HighGranularityMatrix()));
+  corpus.push_back(
+      SmallNamed("mid", MakeLevelStructured({.num_levels = 8,
+                                             .components_per_level = 100,
+                                             .avg_nnz_per_row = 3.0,
+                                             .size_jitter = 0.2,
+                                             .interleave = false,
+                                             .seed = 30})));
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+  const auto records =
+      RunMany(corpus, algorithms, sim::TinyTestDevice());
+  ASSERT_EQ(records.size(), 4u);
+  for (const RunRecord& record : records) {
+    EXPECT_TRUE(record.status.ok()) << record.matrix;
+    EXPECT_TRUE(record.correct) << record.matrix;
+  }
+
+  const double capellini_mean = MeanGflops(
+      records, kernels::DeviceAlgorithm::kCapelliniWritingFirst);
+  const double syncfree_mean =
+      MeanGflops(records, kernels::DeviceAlgorithm::kSyncFreeCsc);
+  EXPECT_GT(capellini_mean, 0.0);
+  EXPECT_GT(syncfree_mean, 0.0);
+
+  const SpeedupSummary speedup =
+      Speedup(records, kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+              kernels::DeviceAlgorithm::kSyncFreeCsc);
+  EXPECT_EQ(speedup.count, 2);
+  EXPECT_GT(speedup.max, 0.0);
+  EXPECT_FALSE(speedup.argmax.empty());
+
+  const double pct = BestPercentage(
+      records, kernels::DeviceAlgorithm::kCapelliniWritingFirst);
+  EXPECT_GE(pct, 0.0);
+  EXPECT_LE(pct, 100.0);
+}
+
+}  // namespace
+}  // namespace capellini

@@ -1,0 +1,228 @@
+// Tests for the library extensions: upper-triangular solves via index
+// reversal, the hybrid-threshold autotuner, structural histograms, and the
+// kernel disassembler.
+#include <gtest/gtest.h>
+
+#include "core/autotune.h"
+#include "core/solver.h"
+#include "gen/assemble.h"
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "graph/stats.h"
+#include "host/serial.h"
+#include "kernels/common.h"
+#include "kernels/launch.h"
+#include "matrix/convert.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+#include "sim/disasm.h"
+#include "support/rng.h"
+
+namespace capellini {
+namespace {
+
+// --- upper-triangular solves -----------------------------------------------
+
+TEST(UpperSolveTest, ReverseSystemIsInvolution) {
+  const Csr lower = MakeLevelStructured({.num_levels = 6,
+                                         .components_per_level = 60,
+                                         .avg_nnz_per_row = 3.0,
+                                         .size_jitter = 0.3,
+                                         .interleave = false,
+                                         .seed = 41});
+  EXPECT_EQ(ReverseSystem(ReverseSystem(lower)), lower);
+}
+
+TEST(UpperSolveTest, ReverseMapsUpperToLower) {
+  const Csr lower = MakeBanded({.rows = 200, .bandwidth = 5, .fill = 0.8,
+                                .force_chain = true, .seed = 42});
+  const Csr upper = TransposeCsr(lower);
+  ASSERT_TRUE(IsUpperTriangularWithDiagonal(upper));
+  ASSERT_FALSE(upper.IsLowerTriangularWithDiagonal());
+
+  const Csr reversed = ReverseSystem(upper);
+  EXPECT_TRUE(reversed.IsLowerTriangularWithDiagonal());
+  EXPECT_TRUE(reversed.Validate().ok());
+}
+
+TEST(UpperSolveTest, SolvesUpperSystemThroughReversal) {
+  const Csr lower = MakeLevelStructured({.num_levels = 8,
+                                         .components_per_level = 100,
+                                         .avg_nnz_per_row = 3.0,
+                                         .size_jitter = 0.2,
+                                         .interleave = false,
+                                         .seed = 43});
+  const Csr upper = TransposeCsr(lower);
+  const auto n = static_cast<std::size_t>(upper.rows());
+
+  // Manufacture: b = U * x_true.
+  Rng rng(44);
+  std::vector<Val> x_true(n);
+  for (auto& v : x_true) v = rng.NextDouble(0.5, 1.5);
+  std::vector<Val> b(n);
+  upper.SpMv(x_true, b);
+
+  // Solve via the documented recipe.
+  const Csr as_lower = ReverseSystem(upper);
+  std::vector<Val> b_reversed(n);
+  ReverseVector(b, b_reversed);
+  auto result = kernels::SolveOnDevice(
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst, as_lower, b_reversed,
+      sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<Val> x(n);
+  ReverseVector(result->x, x);
+  EXPECT_LE(MaxRelativeError(x, x_true), 1e-10);
+}
+
+TEST(UpperSolveTest, SolveUpperSystemConvenience) {
+  const Csr lower = MakeLevelStructured({.num_levels = 5,
+                                         .components_per_level = 150,
+                                         .avg_nnz_per_row = 2.8,
+                                         .size_jitter = 0.3,
+                                         .interleave = false,
+                                         .seed = 51});
+  const Csr upper = TransposeCsr(lower);
+  const auto n = static_cast<std::size_t>(upper.rows());
+  Rng rng(52);
+  std::vector<Val> x_true(n);
+  for (auto& v : x_true) v = rng.NextDouble(0.5, 1.5);
+  std::vector<Val> b(n);
+  upper.SpMv(x_true, b);
+
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  for (const Algorithm algorithm :
+       {Algorithm::kCapellini, Algorithm::kSyncFree, Algorithm::kSerialCpu}) {
+    auto result = SolveUpperSystem(upper, b, algorithm, options);
+    ASSERT_TRUE(result.ok())
+        << AlgorithmName(algorithm) << ": " << result.status().ToString();
+    EXPECT_LE(MaxRelativeError(result->x, x_true), 1e-10)
+        << AlgorithmName(algorithm);
+  }
+
+  // Lower input must be rejected.
+  EXPECT_FALSE(SolveUpperSystem(lower, b, Algorithm::kCapellini, options).ok());
+}
+
+TEST(UpperSolveTest, IsUpperTriangularRejectsBadShapes) {
+  EXPECT_FALSE(IsUpperTriangularWithDiagonal(MakeBidiagonal(8)));  // lower
+  Coo coo(2, 2);
+  coo.Add(0, 0, 1.0);  // row 1 missing diagonal
+  coo.Add(0, 1, 1.0);
+  EXPECT_FALSE(IsUpperTriangularWithDiagonal(CooToCsr(std::move(coo))));
+  // Diagonal matrices are both lower- and upper-triangular.
+  EXPECT_TRUE(IsUpperTriangularWithDiagonal(MakeDiagonal(4)));
+}
+
+// --- autotuner ---------------------------------------------------------------
+
+TEST(AutotuneTest, FindsThresholdAtLeastAsGoodAsPureKernels) {
+  // A mixed matrix: alternating short and wide row blocks.
+  Rng rng(45);
+  std::vector<std::vector<Idx>> cols(6000);
+  for (Idx i = 1; i < 6000; ++i) {
+    if ((i / 256) % 2 == 0) {
+      cols[static_cast<std::size_t>(i)].push_back(
+          static_cast<Idx>(rng.NextBounded(static_cast<std::uint64_t>(i))));
+    } else {
+      for (Idx c = std::max<Idx>(0, i - 20); c < i; ++c) {
+        if (rng.NextBool(0.8)) cols[static_cast<std::size_t>(i)].push_back(c);
+      }
+    }
+  }
+  const Csr matrix = AssembleUnitLower(std::move(cols), 46);
+
+  AutotuneOptions options;
+  options.candidates = {4, 16, 64};
+  auto result = TuneHybridThreshold(matrix, sim::TinyTestDevice(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->profile.size(), 3u);
+  EXPECT_GT(result->best_gflops, 0.0);
+  // The tuned hybrid is at least ~90% of the better pure kernel (it can
+  // exceed both, but must never be far worse than max(pure)).
+  const double best_pure =
+      std::max(result->capellini_gflops, result->syncfree_gflops);
+  EXPECT_GE(result->best_gflops, 0.9 * best_pure);
+}
+
+TEST(AutotuneTest, RejectsNonTriangular) {
+  Coo coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 1, 1.0);
+  EXPECT_FALSE(
+      TuneHybridThreshold(CooToCsr(std::move(coo)), sim::TinyTestDevice())
+          .ok());
+}
+
+// --- histograms --------------------------------------------------------------
+
+TEST(HistogramTest, RowLengthBucketsAndPercentiles) {
+  // 64 rows of length 1 (diag only) and 64 rows of length 9.
+  std::vector<std::vector<Idx>> cols(128);
+  for (Idx i = 64; i < 128; ++i) {
+    for (Idx c = i - 8; c < i; ++c) {
+      cols[static_cast<std::size_t>(i)].push_back(c);
+    }
+  }
+  const Csr matrix = AssembleUnitLower(std::move(cols), 47);
+  const Log2Histogram histogram = RowLengthHistogram(matrix);
+  EXPECT_EQ(histogram.total, 128);
+  EXPECT_EQ(histogram.min_value, 1);
+  EXPECT_EQ(histogram.max_value, 9);
+  ASSERT_GE(histogram.counts.size(), 4u);
+  EXPECT_EQ(histogram.counts[0], 64);  // bucket [1,1]
+  EXPECT_EQ(histogram.counts[3], 64);  // bucket [8,15]
+  EXPECT_LE(histogram.Percentile(50.0), 1);
+  EXPECT_GE(histogram.Percentile(90.0), 8);
+  EXPECT_FALSE(histogram.ToString().empty());
+}
+
+TEST(HistogramTest, LevelSizes) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 10,
+                                          .components_per_level = 64,
+                                          .avg_nnz_per_row = 2.5,
+                                          .size_jitter = 0.0,
+                                          .interleave = false,
+                                          .seed = 48});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const Log2Histogram histogram = LevelSizeHistogram(levels);
+  EXPECT_EQ(histogram.total, 10);
+  EXPECT_EQ(histogram.min_value, 64);
+  EXPECT_EQ(histogram.max_value, 64);
+}
+
+// --- disassembler -------------------------------------------------------------
+
+TEST(DisasmTest, AllOpcodesHaveNames) {
+  for (int op = 0; op <= static_cast<int>(sim::Op::kExit); ++op) {
+    EXPECT_STRNE(sim::OpName(static_cast<sim::Op>(op)), "???") << op;
+  }
+}
+
+TEST(DisasmTest, FormatsBranchesWithReconvergence) {
+  sim::KernelBuilder b("t", 0);
+  const int r = b.R("r");
+  sim::Label target = b.NewLabel();
+  b.Brnz(r, target, target);
+  b.Bind(target);
+  b.Exit();
+  const sim::Kernel kernel = b.Build();
+  const std::string text = sim::FormatInstr(kernel.code[0]);
+  EXPECT_NE(text.find("brnz r0 -> 1 (reconv 1)"), std::string::npos) << text;
+}
+
+TEST(DisasmTest, FormatsWholeProgram) {
+  const sim::Kernel kernel = kernels::BuildCapelliniWritingFirstKernel();
+  const std::string text = sim::FormatKernel(kernel);
+  EXPECT_NE(text.find("capellini_writing_first"), std::string::npos);
+  EXPECT_NE(text.find("ffma"), std::string::npos);
+  EXPECT_NE(text.find("fence"), std::string::npos);
+  // One line per instruction plus the header.
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, static_cast<std::ptrdiff_t>(kernel.code.size()) + 1);
+}
+
+}  // namespace
+}  // namespace capellini

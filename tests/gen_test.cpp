@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "gen/banded.h"
+#include "gen/corpus.h"
+#include "gen/level_structured.h"
+#include "gen/proxies.h"
+#include "gen/random_lower.h"
+#include "gen/rmat.h"
+#include "graph/stats.h"
+
+namespace capellini {
+namespace {
+
+TEST(BandedTest, FullBandStructure) {
+  const Csr matrix = MakeBanded({.rows = 100, .bandwidth = 4, .fill = 1.0,
+                                 .force_chain = true, .seed = 1});
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+  // Row 50 has 4 in-band entries + diagonal.
+  EXPECT_EQ(matrix.RowLen(50), 5);
+  EXPECT_EQ(matrix.RowLen(0), 1);
+  const MatrixStats stats = ComputeStats(matrix, "band");
+  EXPECT_EQ(stats.num_levels, 100);  // forced chain
+}
+
+TEST(BandedTest, FillControlsDensity) {
+  const Csr dense = MakeBanded({.rows = 2000, .bandwidth = 16, .fill = 1.0,
+                                .force_chain = false, .seed = 2});
+  const Csr sparse = MakeBanded({.rows = 2000, .bandwidth = 16, .fill = 0.25,
+                                 .force_chain = false, .seed = 2});
+  EXPECT_GT(dense.nnz(), sparse.nnz() * 2);
+}
+
+TEST(BandedTest, Bidiagonal) {
+  const Csr matrix = MakeBidiagonal(10);
+  EXPECT_EQ(matrix.nnz(), 19);  // 10 diagonal + 9 subdiagonal
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+}
+
+TEST(BandedTest, DiagonalOnly) {
+  const Csr matrix = MakeDiagonal(10);
+  EXPECT_EQ(matrix.nnz(), 10);
+  for (Idx r = 0; r < 10; ++r) EXPECT_EQ(matrix.RowLen(r), 1);
+}
+
+TEST(BandedTest, DenseLower) {
+  const Csr matrix = MakeDenseLower(16);
+  EXPECT_EQ(matrix.nnz(), 16 * 17 / 2);
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+}
+
+TEST(RandomLowerTest, HitsTargetDensity) {
+  const Csr matrix = MakeRandomLower({.rows = 20000,
+                                      .avg_strict_nnz_per_row = 4.0,
+                                      .window = 0,
+                                      .empty_row_fraction = 0.0,
+                                      .seed = 3});
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+  const double alpha =
+      static_cast<double>(matrix.nnz()) / static_cast<double>(matrix.rows());
+  // alpha includes the diagonal; target is 4 strict + 1.
+  EXPECT_NEAR(alpha, 5.0, 0.5);
+}
+
+TEST(RandomLowerTest, WindowBoundsDependencies) {
+  const Idx window = 10;
+  const Csr matrix = MakeRandomLower({.rows = 1000,
+                                      .avg_strict_nnz_per_row = 3.0,
+                                      .window = window,
+                                      .empty_row_fraction = 0.0,
+                                      .seed = 4});
+  for (Idx r = 0; r < matrix.rows(); ++r) {
+    for (const Idx c : matrix.RowCols(r)) {
+      if (c != r) EXPECT_GE(c, r - window);
+    }
+  }
+}
+
+TEST(RandomLowerTest, EmptyRowFractionCreatesLevelZeroRows) {
+  const Csr matrix = MakeRandomLower({.rows = 5000,
+                                      .avg_strict_nnz_per_row = 3.0,
+                                      .window = 0,
+                                      .empty_row_fraction = 0.5,
+                                      .seed = 5});
+  Idx diag_only = 0;
+  for (Idx r = 0; r < matrix.rows(); ++r) {
+    if (matrix.RowLen(r) == 1) ++diag_only;
+  }
+  EXPECT_GT(diag_only, 2000);
+  EXPECT_LT(diag_only, 3200);
+}
+
+TEST(RandomLowerTest, Deterministic) {
+  const RandomLowerOptions options{.rows = 500,
+                                   .avg_strict_nnz_per_row = 2.0,
+                                   .window = 0,
+                                   .empty_row_fraction = 0.1,
+                                   .seed = 6};
+  EXPECT_EQ(MakeRandomLower(options), MakeRandomLower(options));
+}
+
+struct LevelStructuredCase {
+  Idx levels;
+  Idx beta;
+  double alpha;
+  bool interleave;
+};
+
+class LevelStructuredSweep
+    : public ::testing::TestWithParam<LevelStructuredCase> {};
+
+TEST_P(LevelStructuredSweep, HitsStructuralTargets) {
+  const LevelStructuredCase param = GetParam();
+  LevelStructuredOptions options;
+  options.num_levels = param.levels;
+  options.components_per_level = param.beta;
+  options.avg_nnz_per_row = param.alpha;
+  options.interleave = param.interleave;
+  options.seed = 31;
+  const Csr matrix = MakeLevelStructured(options);
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+
+  const MatrixStats stats = ComputeStats(matrix, "ls");
+  EXPECT_EQ(stats.num_levels, param.levels);
+  EXPECT_NEAR(stats.avg_components_per_level, param.beta,
+              0.05 * param.beta + 1.0);
+  EXPECT_NEAR(stats.avg_nnz_per_row, param.alpha, 0.25 * param.alpha + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevelStructuredSweep,
+    ::testing::Values(LevelStructuredCase{2, 1000, 2.0, false},
+                      LevelStructuredCase{8, 100, 3.0, false},
+                      LevelStructuredCase{32, 20, 5.0, false},
+                      LevelStructuredCase{4, 400, 2.5, false},
+                      LevelStructuredCase{16, 16, 8.0, false},
+                      LevelStructuredCase{4, 64, 2.0, true},
+                      LevelStructuredCase{8, 8, 3.0, true}));
+
+TEST(LevelStructuredTest, InterleaveMixesLevelsInIndexOrder) {
+  LevelStructuredOptions options;
+  options.num_levels = 4;
+  options.components_per_level = 64;
+  options.avg_nnz_per_row = 2.5;
+  options.interleave = true;
+  options.seed = 9;
+  const Csr matrix = MakeLevelStructured(options);
+  const LevelSets levels = ComputeLevelSets(matrix);
+  ASSERT_EQ(levels.num_levels(), 4);
+  // In the interleaved layout, consecutive rows frequently belong to
+  // different levels -> warps get intra-warp dependencies.
+  Idx changes = 0;
+  for (Idx i = 1; i < matrix.rows(); ++i) {
+    if (levels.level_of[static_cast<std::size_t>(i)] !=
+        levels.level_of[static_cast<std::size_t>(i - 1)]) {
+      ++changes;
+    }
+  }
+  EXPECT_GT(changes, matrix.rows() / 2);
+}
+
+TEST(RmatTest, GeneratesPowerLawLowerTriangular) {
+  const Csr matrix = MakeRmatLower({.nodes = 1 << 12, .edges_per_node = 4.0,
+                                    .a = 0.57, .b = 0.19, .c = 0.19,
+                                    .seed = 10});
+  EXPECT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+  EXPECT_GT(matrix.nnz(), matrix.rows());  // has off-diagonal structure
+  // Power-law-ish: some row much longer than the average.
+  Idx max_len = 0;
+  for (Idx r = 0; r < matrix.rows(); ++r) {
+    max_len = std::max(max_len, matrix.RowLen(r));
+  }
+  const double avg =
+      static_cast<double>(matrix.nnz()) / static_cast<double>(matrix.rows());
+  EXPECT_GT(static_cast<double>(max_len), 8.0 * avg);
+}
+
+TEST(RmatTest, ShallowDag) {
+  const Csr matrix = MakeRmatLower({.nodes = 1 << 13, .edges_per_node = 3.0,
+                                    .a = 0.57, .b = 0.19, .c = 0.19,
+                                    .seed = 11});
+  const MatrixStats stats = ComputeStats(matrix, "rmat");
+  // Social-graph-like factor: far fewer levels than rows.
+  EXPECT_LT(stats.num_levels, matrix.rows() / 50);
+}
+
+TEST(ProxyTest, IndicatorsMatchPaperTargets) {
+  struct Target {
+    ProxyId id;
+    double delta;
+    double tol;
+  };
+  const Target targets[] = {
+      {ProxyId::kRajat29, 0.78, 0.05},
+      {ProxyId::kBayer01, 0.87, 0.05},
+      {ProxyId::kCircuit5MDc, 0.92, 0.05},
+      {ProxyId::kLp1, 1.18, 0.08},
+  };
+  for (const Target& target : targets) {
+    const NamedMatrix proxy = MakeProxy(target.id);
+    EXPECT_NEAR(proxy.stats.parallel_granularity, target.delta, target.tol)
+        << proxy.name;
+  }
+}
+
+TEST(ProxyTest, AllProxiesAreValidSystems) {
+  for (const NamedMatrix& proxy : AllProxies()) {
+    EXPECT_TRUE(proxy.matrix.IsLowerTriangularWithDiagonal()) << proxy.name;
+    EXPECT_TRUE(proxy.matrix.Validate().ok()) << proxy.name;
+    EXPECT_GT(proxy.stats.nnz, 0) << proxy.name;
+  }
+}
+
+TEST(ProxyTest, CantIsLowGranularityNlpkktModerate) {
+  EXPECT_LT(MakeProxy(ProxyId::kCant).stats.parallel_granularity, 0.2);
+  EXPECT_LT(MakeProxy(ProxyId::kNlpkkt160).stats.parallel_granularity, 0.6);
+  EXPECT_GT(MakeProxy(ProxyId::kWikiTalk).stats.parallel_granularity, 0.7);
+}
+
+TEST(CorpusTest, BetaForGranularityInvertsEquationOne) {
+  int feasible = 0;
+  for (const double delta : {0.4, 0.7, 0.9, 1.1}) {
+    for (const double alpha : {2.0, 3.0, 5.0}) {
+      const Idx beta = BetaForGranularity(delta, alpha, 1'000'000);
+      if (beta == 0) continue;  // infeasible wedge (high delta + high alpha)
+      ++feasible;
+      EXPECT_NEAR(ParallelGranularity(beta, alpha), delta, 0.02)
+          << "delta " << delta << " alpha " << alpha;
+    }
+  }
+  EXPECT_GE(feasible, 9);
+}
+
+TEST(CorpusTest, InfeasiblePairsReturnZero) {
+  // delta 1.15 at alpha 20 would need beta ~ 10^18.
+  EXPECT_EQ(BetaForGranularity(1.15, 20.0, 1'000'000), 0);
+}
+
+TEST(CorpusTest, QuickCorpusCoversGranularityRange) {
+  const auto corpus = GranularityCorpus({.tier = CorpusTier::kQuick,
+                                         .seed = 1,
+                                         .target_rows = 4000});
+  ASSERT_GT(corpus.size(), 15u);
+  double min_delta = 1e9, max_delta = -1e9;
+  for (const NamedMatrix& named : corpus) {
+    EXPECT_TRUE(named.matrix.IsLowerTriangularWithDiagonal()) << named.name;
+    min_delta = std::min(min_delta, named.stats.parallel_granularity);
+    max_delta = std::max(max_delta, named.stats.parallel_granularity);
+  }
+  EXPECT_LT(min_delta, 0.5);
+  EXPECT_GT(max_delta, 1.0);
+}
+
+TEST(CorpusTest, HighGranularityEntriesAreLarge) {
+  // The paper's high-granularity matrices are big (nnz > 100k); the corpus
+  // must preserve that or the thread-level kernel cannot saturate the
+  // simulated devices (see corpus.cpp commentary).
+  const auto corpus = HighGranularityCorpus({.tier = CorpusTier::kQuick,
+                                             .seed = 3,
+                                             .target_rows = 2'000});
+  for (const NamedMatrix& named : corpus) {
+    if (named.name.rfind("ls_", 0) != 0) continue;  // generated sweep entries
+    EXPECT_GE(named.stats.rows, 8 * 2'000) << named.name;
+  }
+}
+
+TEST(CorpusTest, HighGranularitySliceIsAboveCrossover) {
+  const auto corpus = HighGranularityCorpus({.tier = CorpusTier::kQuick,
+                                             .seed = 2,
+                                             .target_rows = 4000});
+  ASSERT_GT(corpus.size(), 5u);
+  for (const NamedMatrix& named : corpus) {
+    EXPECT_GT(named.stats.parallel_granularity, 0.7) << named.name;
+  }
+}
+
+}  // namespace
+}  // namespace capellini

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "gen/random_lower.h"
+#include "graph/dag.h"
+#include "graph/levels.h"
+#include "graph/stats.h"
+#include "matrix/convert.h"
+
+namespace capellini {
+namespace {
+
+Csr Figure1Matrix() {
+  Coo coo(8, 8);
+  for (Idx i = 0; i < 8; ++i) coo.Add(i, i, 1.0);
+  coo.Add(2, 1, 0.5);
+  coo.Add(3, 1, -0.25);
+  coo.Add(4, 0, 0.125);
+  coo.Add(4, 1, 0.25);
+  coo.Add(5, 2, -0.5);
+  coo.Add(6, 5, 0.375);
+  return CooToCsr(std::move(coo));
+}
+
+TEST(LevelsTest, Figure1HasFourLevels) {
+  const LevelSets levels = ComputeLevelSets(Figure1Matrix());
+  EXPECT_EQ(levels.num_levels(), 4);
+  EXPECT_EQ(levels.level_of[0], 0);
+  EXPECT_EQ(levels.level_of[1], 0);
+  EXPECT_EQ(levels.level_of[2], 1);
+  EXPECT_EQ(levels.level_of[3], 1);
+  EXPECT_EQ(levels.level_of[4], 1);
+  EXPECT_EQ(levels.level_of[5], 2);
+  EXPECT_EQ(levels.level_of[6], 3);
+  EXPECT_EQ(levels.level_of[7], 0);
+  EXPECT_EQ(levels.LevelSize(0), 3);
+  EXPECT_EQ(levels.LevelSize(1), 3);
+  EXPECT_EQ(levels.LevelSize(2), 1);
+  EXPECT_EQ(levels.LevelSize(3), 1);
+}
+
+TEST(LevelsTest, OrderPartitionsAllRows) {
+  const Csr matrix = MakeRandomLower({.rows = 500, .avg_strict_nnz_per_row = 3.0,
+                                      .window = 0, .empty_row_fraction = 0.1,
+                                      .seed = 5});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  std::vector<bool> seen(500, false);
+  for (const Idx row : levels.order) {
+    ASSERT_GE(row, 0);
+    ASSERT_LT(row, 500);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(row)]);
+    seen[static_cast<std::size_t>(row)] = true;
+  }
+  // Rows inside each level keep ascending order (stable counting sort).
+  for (Idx level = 0; level < levels.num_levels(); ++level) {
+    const auto rows = levels.LevelRows(level);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LT(rows[i - 1], rows[i]);
+    }
+  }
+}
+
+TEST(LevelsTest, ChainMatrixHasOneRowPerLevel) {
+  const Csr chain = MakeBidiagonal(64);
+  const LevelSets levels = ComputeLevelSets(chain);
+  EXPECT_EQ(levels.num_levels(), 64);
+  for (Idx k = 0; k < 64; ++k) EXPECT_EQ(levels.LevelSize(k), 1);
+}
+
+TEST(LevelsTest, DiagonalMatrixHasOneLevel) {
+  const Csr diag = MakeDiagonal(100);
+  const LevelSets levels = ComputeLevelSets(diag);
+  EXPECT_EQ(levels.num_levels(), 1);
+  EXPECT_EQ(levels.LevelSize(0), 100);
+}
+
+TEST(DagTest, Figure1Structure) {
+  const DependencyDag dag(Figure1Matrix());
+  EXPECT_EQ(dag.num_nodes(), 8);
+  EXPECT_EQ(dag.num_edges(), 6);
+  EXPECT_EQ(dag.InDegree(4), 2);
+  EXPECT_EQ(dag.InDegree(0), 0);
+  const auto succ1 = dag.Successors(1);
+  EXPECT_EQ(succ1.size(), 3u);  // rows 2, 3, 4 consume x1
+  EXPECT_EQ(dag.CriticalPathLength(), 4);
+}
+
+TEST(DagTest, CriticalPathEqualsLevelCount) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Csr matrix = MakeRandomLower({.rows = 300,
+                                        .avg_strict_nnz_per_row = 2.5,
+                                        .window = 40,
+                                        .empty_row_fraction = 0.2,
+                                        .seed = seed});
+    const DependencyDag dag(matrix);
+    const LevelSets levels = ComputeLevelSets(matrix);
+    EXPECT_EQ(dag.CriticalPathLength(), levels.num_levels());
+  }
+}
+
+TEST(DagTest, LevelOrderIsTopological) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 12,
+                                          .components_per_level = 40,
+                                          .avg_nnz_per_row = 3.0,
+                                          .size_jitter = 0.4,
+                                          .interleave = false,
+                                          .seed = 77});
+  const DependencyDag dag(matrix);
+  const LevelSets levels = ComputeLevelSets(matrix);
+  EXPECT_TRUE(dag.IsTopologicalOrder(levels.order));
+}
+
+TEST(DagTest, RejectsBrokenOrders) {
+  const DependencyDag dag(Figure1Matrix());
+  // Too short.
+  const std::vector<Idx> short_order = {0, 1, 2};
+  EXPECT_FALSE(dag.IsTopologicalOrder(short_order));
+  // Duplicate entries.
+  const std::vector<Idx> dup = {0, 0, 1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(dag.IsTopologicalOrder(dup));
+  // Consumer before producer (6 depends on 5).
+  const std::vector<Idx> wrong = {0, 1, 2, 3, 4, 6, 5, 7};
+  EXPECT_FALSE(dag.IsTopologicalOrder(wrong));
+}
+
+// --- Equation 1 (parallel granularity) -------------------------------------
+
+TEST(StatsTest, MatchesPaperTable6Indicators) {
+  // Table 6 reports delta for (alpha, beta) triples; Equation 1 with the
+  // default bases/biases must reproduce them.
+  // Tolerance 0.02: the paper prints delta/alpha/beta rounded to 2 decimals.
+  EXPECT_NEAR(ParallelGranularity(14636.23, 4.89), 0.78, 0.02);  // rajat29
+  EXPECT_NEAR(ParallelGranularity(9622.50, 3.39), 0.87, 0.02);   // bayer01
+  EXPECT_NEAR(ParallelGranularity(12812.06, 3.02), 0.92, 0.02);  // circuit5M_dc
+}
+
+TEST(StatsTest, GranularityMonotonicity) {
+  // More components per level -> higher granularity.
+  EXPECT_LT(ParallelGranularity(100, 4.0), ParallelGranularity(10000, 4.0));
+  // More nonzeros per row -> lower granularity.
+  EXPECT_GT(ParallelGranularity(1000, 2.0), ParallelGranularity(1000, 16.0));
+}
+
+TEST(StatsTest, CustomParams) {
+  GranularityParams params;
+  params.base1 = 2.0;
+  const double base10 = ParallelGranularity(1000, 4.0);
+  const double base2 = ParallelGranularity(1000, 4.0, params);
+  // Same ratio, different outer base: log2(x) = log10(x)/log10(2).
+  EXPECT_NEAR(base2, base10 / std::log10(2.0), 1e-9);
+}
+
+TEST(StatsTest, ComputeStatsOnFigure1) {
+  const MatrixStats stats = ComputeStats(Figure1Matrix(), "fig1");
+  EXPECT_EQ(stats.rows, 8);
+  EXPECT_EQ(stats.nnz, 14);
+  EXPECT_EQ(stats.num_levels, 4);
+  EXPECT_DOUBLE_EQ(stats.avg_components_per_level, 2.0);
+  EXPECT_NEAR(stats.avg_nnz_per_row, 14.0 / 8.0, 1e-12);
+  EXPECT_EQ(stats.max_level_size, 3);
+  EXPECT_EQ(stats.name, "fig1");
+}
+
+TEST(StatsTest, ReusesPrecomputedLevels) {
+  const Csr matrix = Figure1Matrix();
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const MatrixStats a = ComputeStats(matrix, "m", &levels);
+  const MatrixStats b = ComputeStats(matrix, "m");
+  EXPECT_EQ(a.num_levels, b.num_levels);
+  EXPECT_DOUBLE_EQ(a.parallel_granularity, b.parallel_granularity);
+}
+
+}  // namespace
+}  // namespace capellini

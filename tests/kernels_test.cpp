@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "gen/random_lower.h"
+#include "gen/rmat.h"
+#include "host/serial.h"
+#include "kernels/common.h"
+#include "kernels/launch.h"
+#include "matrix/convert.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+
+namespace capellini::kernels {
+namespace {
+
+/// The matrix zoo for correctness sweeps. Includes the chain (maximum
+/// intra-warp dependencies), fully parallel, banded, random, interleaved
+/// level-structured (stress for Two-Phase) and graph-shaped cases.
+Csr ZooMatrix(const std::string& name) {
+  if (name == "diagonal") return MakeDiagonal(500);
+  if (name == "bidiagonal") return MakeBidiagonal(300);
+  if (name == "banded") {
+    return MakeBanded({.rows = 400, .bandwidth = 40, .fill = 0.7,
+                       .force_chain = true, .seed = 2});
+  }
+  if (name == "wide_rows") {
+    return MakeBanded({.rows = 96, .bandwidth = 96, .fill = 0.9,
+                       .force_chain = false, .seed = 3});
+  }
+  if (name == "random") {
+    return MakeRandomLower({.rows = 1500, .avg_strict_nnz_per_row = 3.0,
+                            .window = 0, .empty_row_fraction = 0.2,
+                            .seed = 4});
+  }
+  if (name == "interleaved") {
+    return MakeLevelStructured({.num_levels = 6, .components_per_level = 80,
+                                .avg_nnz_per_row = 2.6, .size_jitter = 0.3,
+                                .interleave = true, .seed = 5});
+  }
+  if (name == "level_wide") {
+    return MakeLevelStructured({.num_levels = 3, .components_per_level = 700,
+                                .avg_nnz_per_row = 2.2, .size_jitter = 0.2,
+                                .interleave = false, .seed = 6});
+  }
+  if (name == "rmat") {
+    return MakeRmatLower({.nodes = 1 << 11, .edges_per_node = 3.0,
+                          .a = 0.57, .b = 0.19, .c = 0.19, .seed = 7});
+  }
+  if (name == "single_row") return MakeDiagonal(1);
+  if (name == "two_rows") return MakeBidiagonal(2);
+  CAPELLINI_CHECK_MSG(false, "unknown zoo matrix " + name);
+  return {};
+}
+
+const std::vector<std::string>& ZooNames() {
+  static const std::vector<std::string> names = {
+      "diagonal", "bidiagonal", "banded",     "wide_rows", "random",
+      "interleaved", "level_wide", "rmat",    "single_row", "two_rows"};
+  return names;
+}
+
+/// Algorithms that must be correct on EVERY input.
+const std::vector<DeviceAlgorithm>& CorrectAlgorithms() {
+  static const std::vector<DeviceAlgorithm> algorithms = {
+      DeviceAlgorithm::kSerialRow,
+      DeviceAlgorithm::kLevelSet,
+      DeviceAlgorithm::kSyncFreeCsc,
+      DeviceAlgorithm::kSyncFreeWarpCsr,
+      DeviceAlgorithm::kCusparseProxy,
+      DeviceAlgorithm::kCapelliniTwoPhase,
+      DeviceAlgorithm::kCapelliniWritingFirst,
+      DeviceAlgorithm::kHybrid,
+  };
+  return algorithms;
+}
+
+class SolveCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, DeviceAlgorithm>> {
+};
+
+TEST_P(SolveCorrectness, MatchesSerialReference) {
+  const auto& [matrix_name, algorithm] = GetParam();
+  const Csr lower = ZooMatrix(matrix_name);
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 99);
+
+  auto result = SolveOnDevice(algorithm, lower, problem.b,
+                              sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10)
+      << DeviceAlgorithmName(algorithm) << " on " << matrix_name;
+
+  // Cross-check against the host serial solver too.
+  std::vector<Val> host_x(problem.b.size());
+  ASSERT_TRUE(host::SolveSerial(lower, problem.b, host_x).ok());
+  EXPECT_LE(MaxRelativeError(result->x, host_x), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooTimesAlgorithms, SolveCorrectness,
+    ::testing::Combine(::testing::ValuesIn(ZooNames()),
+                       ::testing::ValuesIn(CorrectAlgorithms())),
+    [](const ::testing::TestParamInfo<SolveCorrectness::ParamType>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_";
+      name += DeviceAlgorithmName(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(NaiveKernelTest, DeadlocksOnIntraWarpDependencies) {
+  // A chain puts 31 intra-warp dependencies in every warp: the unbounded
+  // busy-wait must deadlock (paper §3.3 Challenge 1).
+  const Csr chain = MakeBidiagonal(64);
+  const ReferenceProblem problem = MakeReferenceProblem(chain, 1);
+  sim::DeviceConfig config = sim::TinyTestDevice();
+  config.no_progress_cycles = 30'000;
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniNaive, chain,
+                              problem.b, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlock);
+}
+
+TEST(NaiveKernelTest, SucceedsWithoutIntraWarpDependencies) {
+  // A diagonal matrix has no dependencies at all: even the naive kernel works.
+  const Csr diag = MakeDiagonal(256);
+  const ReferenceProblem problem = MakeReferenceProblem(diag, 2);
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniNaive, diag,
+                              problem.b, sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-12);
+}
+
+TEST(LaunchTest, CapelliniNeedsNoPreprocessing) {
+  const Csr matrix = ZooMatrix("random");
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 3);
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniWritingFirst, matrix,
+                              problem.b, sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->preprocessing_ms, 0.0);
+
+  auto levelset = SolveOnDevice(DeviceAlgorithm::kLevelSet, matrix, problem.b,
+                                sim::TinyTestDevice());
+  ASSERT_TRUE(levelset.ok());
+  EXPECT_GT(levelset->preprocessing_ms, 0.0);
+}
+
+TEST(LaunchTest, LevelSetPaysPerLevelLaunchOverhead) {
+  const Csr chain = MakeBidiagonal(200);  // 200 levels -> 200 launches
+  const ReferenceProblem problem = MakeReferenceProblem(chain, 4);
+  auto result = SolveOnDevice(DeviceAlgorithm::kLevelSet, chain, problem.b,
+                              sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.launches, 200u);
+  EXPECT_GE(result->stats.cycles,
+            200 * sim::TinyTestDevice().launch_overhead_cycles);
+}
+
+TEST(LaunchTest, RejectsNonTriangularInput) {
+  Coo coo(2, 2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 1, 1.0);
+  const Csr bad = CooToCsr(std::move(coo));
+  const std::vector<Val> b = {1.0, 1.0};
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniWritingFirst, bad, b,
+                              sim::TinyTestDevice());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LaunchTest, RejectsWrongRhsSize) {
+  const Csr matrix = MakeDiagonal(4);
+  const std::vector<Val> b = {1.0};
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniWritingFirst, matrix,
+                              b, sim::TinyTestDevice());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(LaunchTest, MetricsArePopulated) {
+  const Csr matrix = ZooMatrix("level_wide");
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 5);
+  auto result = SolveOnDevice(DeviceAlgorithm::kCapelliniWritingFirst, matrix,
+                              problem.b, sim::PascalGtx1080());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->exec_ms, 0.0);
+  EXPECT_GT(result->gflops, 0.0);
+  EXPECT_GT(result->bandwidth_gbs, 0.0);
+  EXPECT_GT(result->stats.instructions, 0u);
+  EXPECT_GT(result->stats.dram_bytes, 0u);
+}
+
+TEST(LaunchTest, HybridThresholdExtremesDegenerate) {
+  // Threshold 0 -> everything warp-level; huge threshold -> everything
+  // thread-level. Both must stay correct.
+  const Csr matrix = ZooMatrix("banded");
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 6);
+  for (const Idx threshold : {Idx{0}, Idx{1'000'000}}) {
+    SolveOptions options;
+    options.hybrid_row_length_threshold = threshold;
+    auto result = SolveOnDevice(DeviceAlgorithm::kHybrid, matrix, problem.b,
+                                sim::TinyTestDevice(), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(LaunchTest, ThreadLevelUsesFarFewerWarpsThanWarpLevel) {
+  const Csr matrix = ZooMatrix("level_wide");
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 7);
+  auto capellini = SolveOnDevice(DeviceAlgorithm::kCapelliniWritingFirst,
+                                 matrix, problem.b, sim::PascalGtx1080());
+  auto syncfree = SolveOnDevice(DeviceAlgorithm::kSyncFreeCsc, matrix,
+                                problem.b, sim::PascalGtx1080());
+  ASSERT_TRUE(capellini.ok());
+  ASSERT_TRUE(syncfree.ok());
+  // Warp-level issues at least ~an order of magnitude more instructions on
+  // short-row matrices (Figure 8a's shape).
+  EXPECT_GT(syncfree->stats.instructions, 4 * capellini->stats.instructions);
+}
+
+TEST(KernelBuildersTest, AllKernelsValidate) {
+  for (const auto& kernel :
+       {BuildSerialRowKernel(), BuildLevelSetKernel(),
+        BuildSyncFreeWarpCsrKernel(), BuildSyncFreeCscKernel(),
+        BuildCapelliniNaiveKernel(), BuildCapelliniTwoPhaseKernel(),
+        BuildCapelliniWritingFirstKernel(), BuildCusparseProxyKernel(),
+        BuildHybridKernel()}) {
+    EXPECT_TRUE(kernel.Validate().ok()) << kernel.name;
+    EXPECT_GT(kernel.code.size(), 10u) << kernel.name;
+  }
+}
+
+TEST(KernelBuildersTest, NamesAreStable) {
+  EXPECT_STREQ(DeviceAlgorithmName(DeviceAlgorithm::kCapelliniWritingFirst),
+               "Capellini");
+  EXPECT_STREQ(DeviceAlgorithmName(DeviceAlgorithm::kSyncFreeCsc), "SyncFree");
+  EXPECT_STREQ(DeviceAlgorithmName(DeviceAlgorithm::kCusparseProxy),
+               "cuSPARSE");
+  EXPECT_EQ(AllDeviceAlgorithms().size(), 9u);
+}
+
+}  // namespace
+}  // namespace capellini::kernels

@@ -1,0 +1,180 @@
+// Property-based sweeps: randomized matrices across seeds and structures,
+// with invariants every solver must satisfy.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "gen/assemble.h"
+#include "gen/level_structured.h"
+#include "gen/random_lower.h"
+#include "gen/rmat.h"
+#include "graph/dag.h"
+#include "graph/levels.h"
+#include "host/serial.h"
+#include "kernels/launch.h"
+#include "matrix/convert.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+
+namespace capellini {
+namespace {
+
+/// Random matrix from a seed, varying shape family by seed % 3.
+Csr RandomMatrix(std::uint64_t seed) {
+  switch (seed % 3) {
+    case 0:
+      return MakeRandomLower({.rows = 700 + static_cast<Idx>(seed % 701),
+                              .avg_strict_nnz_per_row = 1.5 + (seed % 5),
+                              .window = seed % 2 ? 64 : 0,
+                              .empty_row_fraction = 0.1,
+                              .seed = seed});
+    case 1:
+      return MakeLevelStructured(
+          {.num_levels = 3 + static_cast<Idx>(seed % 14),
+           .components_per_level = 20 + static_cast<Idx>(seed % 200),
+           .avg_nnz_per_row = 2.0 + (seed % 4),
+           .size_jitter = 0.4,
+           .interleave = (seed / 3) % 2 == 1,
+           .seed = seed});
+    default:
+      return MakeRmatLower({.nodes = 1 << (9 + static_cast<int>(seed % 3)),
+                            .edges_per_node = 2.0 + (seed % 3),
+                            .a = 0.57,
+                            .b = 0.19,
+                            .c = 0.19,
+                            .seed = seed});
+  }
+}
+
+class RandomizedSolve : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedSolve, StructuralInvariants) {
+  const std::uint64_t seed = GetParam();
+  const Csr matrix = RandomMatrix(seed);
+  ASSERT_TRUE(matrix.Validate().ok());
+  ASSERT_TRUE(matrix.IsLowerTriangularWithDiagonal());
+
+  // Level sets partition rows consistently with the DAG.
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const DependencyDag dag(matrix);
+  EXPECT_EQ(dag.CriticalPathLength(), levels.num_levels());
+  EXPECT_TRUE(dag.IsTopologicalOrder(levels.order));
+
+  // CSR <-> CSC round trip is lossless.
+  EXPECT_EQ(CscToCsr(CsrToCsc(matrix)), matrix);
+}
+
+TEST_P(RandomizedSolve, AllSolversAgree) {
+  const std::uint64_t seed = GetParam();
+  const Csr matrix = RandomMatrix(seed);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, seed ^ 0xFE);
+
+  std::vector<Val> serial_x(problem.b.size());
+  ASSERT_TRUE(host::SolveSerial(matrix, problem.b, serial_x).ok());
+  EXPECT_LE(MaxRelativeError(serial_x, problem.x_true), 1e-10);
+
+  for (const auto algorithm :
+       {kernels::DeviceAlgorithm::kLevelSet,
+        kernels::DeviceAlgorithm::kSyncFreeCsc,
+        kernels::DeviceAlgorithm::kSyncFreeWarpCsr,
+        kernels::DeviceAlgorithm::kCusparseProxy,
+        kernels::DeviceAlgorithm::kCapelliniTwoPhase,
+        kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+        kernels::DeviceAlgorithm::kHybrid}) {
+    auto result = kernels::SolveOnDevice(algorithm, matrix, problem.b,
+                                         sim::TinyTestDevice());
+    ASSERT_TRUE(result.ok()) << kernels::DeviceAlgorithmName(algorithm)
+                             << " seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_LE(MaxRelativeError(result->x, serial_x), 1e-10)
+        << kernels::DeviceAlgorithmName(algorithm) << " seed " << seed;
+  }
+}
+
+TEST_P(RandomizedSolve, DeterministicAcrossRuns) {
+  const std::uint64_t seed = GetParam();
+  const Csr matrix = RandomMatrix(seed);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, seed);
+  std::uint64_t cycles[2];
+  for (int run = 0; run < 2; ++run) {
+    auto result = kernels::SolveOnDevice(
+        kernels::DeviceAlgorithm::kCapelliniWritingFirst, matrix, problem.b,
+        sim::TinyTestDevice());
+    ASSERT_TRUE(result.ok());
+    cycles[run] = result->stats.cycles;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSolve,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+/// The solve is exact for any dependency structure the generator cannot
+/// produce: hand-crafted adversarial structures.
+TEST(AdversarialStructures, FullLastRow) {
+  // Last row depends on every other row.
+  std::vector<std::vector<Idx>> cols(257);
+  for (Idx c = 0; c < 256; ++c) cols[256].push_back(c);
+  const Csr matrix = AssembleUnitLower(std::move(cols), 31);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 32);
+  auto result = kernels::SolveOnDevice(
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst, matrix, problem.b,
+      sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+}
+
+TEST(AdversarialStructures, BinaryTreeDependencies) {
+  // Row i depends on rows (i-1)/2 — a binary in-tree, log depth.
+  const Idx n = 1023;
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(n));
+  for (Idx i = 1; i < n; ++i) {
+    cols[static_cast<std::size_t>(i)].push_back((i - 1) / 2);
+  }
+  const Csr matrix = AssembleUnitLower(std::move(cols), 33);
+  const LevelSets levels = ComputeLevelSets(matrix);
+  EXPECT_EQ(levels.num_levels(), 10);  // log2(1024)
+
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 34);
+  for (const auto algorithm :
+       {kernels::DeviceAlgorithm::kCapelliniTwoPhase,
+        kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+        kernels::DeviceAlgorithm::kSyncFreeCsc}) {
+    auto result = kernels::SolveOnDevice(algorithm, matrix, problem.b,
+                                         sim::TinyTestDevice());
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+  }
+}
+
+TEST(AdversarialStructures, AllRowsDependOnRowZero) {
+  // Fan-out hub: maximal successor list for one component.
+  const Idx n = 2000;
+  std::vector<std::vector<Idx>> cols(static_cast<std::size_t>(n));
+  for (Idx i = 1; i < n; ++i) cols[static_cast<std::size_t>(i)].push_back(0);
+  const Csr matrix = AssembleUnitLower(std::move(cols), 35);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 36);
+  auto result = kernels::SolveOnDevice(
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst, matrix, problem.b,
+      sim::TinyTestDevice());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+
+  const DependencyDag dag(matrix);
+  EXPECT_EQ(dag.Successors(0).size(), static_cast<std::size_t>(n - 1));
+}
+
+/// Equation-1 invariance: granularity is unchanged by value changes (it is
+/// purely structural).
+TEST(GranularityProperties, ValueIndependent) {
+  Csr a = RandomMatrix(5);
+  const MatrixStats before = ComputeStats(a, "a");
+  auto values = a.mutable_val();
+  for (auto& v : values) v *= 3.25;
+  const MatrixStats after = ComputeStats(a, "a");
+  EXPECT_DOUBLE_EQ(before.parallel_granularity, after.parallel_granularity);
+  EXPECT_EQ(before.num_levels, after.num_levels);
+}
+
+}  // namespace
+}  // namespace capellini

@@ -1,0 +1,314 @@
+// Focused tests of the SIMT reconvergence machinery: nested divergence,
+// exits inside divergent paths, loop-frame merging, shuffle edge lanes,
+// special registers, and the L2 hit/miss accounting.
+#include <gtest/gtest.h>
+
+#include "sim/config.h"
+#include "sim/kernel.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+
+namespace capellini::sim {
+namespace {
+
+LaunchStats RunKernel(const Kernel& kernel, DeviceMemory& memory,
+                std::int64_t num_threads, std::vector<std::int64_t> params) {
+  Machine machine(TinyTestDevice(), &memory);
+  auto stats = machine.Launch(kernel, {.num_threads = num_threads,
+                                       .threads_per_block = 64},
+                              params);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? *stats : LaunchStats{};
+}
+
+/// Nested if inside if: lanes write 4 distinct values by quadrant, then all
+/// add 100 after full reconvergence.
+TEST(DivergenceTest, NestedBranchesReconverge) {
+  KernelBuilder b("nested", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int p1 = b.R("p1");
+  const int p2 = b.R("p2");
+  const int v = b.R("v");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(py, 0);
+  b.AndI(p1, tid, 2);  // outer selector
+  b.AndI(p2, tid, 1);  // inner selector
+
+  Label outer_taken = b.NewLabel();
+  Label join = b.NewLabel();
+  Label inner_a = b.NewLabel();
+  Label join_a = b.NewLabel();
+  Label inner_b = b.NewLabel();
+  Label join_b = b.NewLabel();
+
+  b.Brnz(p1, outer_taken, join);
+  {  // p1 == 0
+    b.Brnz(p2, inner_a, join_a);
+    b.MovI(v, 10);  // tid % 4 == 0
+    b.Jmp(join_a);
+    b.Bind(inner_a);
+    b.MovI(v, 11);  // tid % 4 == 1
+    b.Bind(join_a);
+    b.Jmp(join);
+  }
+  b.Bind(outer_taken);
+  {  // p1 != 0
+    b.Brnz(p2, inner_b, join_b);
+    b.MovI(v, 12);  // tid % 4 == 2
+    b.Jmp(join_b);
+    b.Bind(inner_b);
+    b.MovI(v, 13);  // tid % 4 == 3
+    b.Bind(join_b);
+  }
+  b.Bind(join);
+  b.AddI(v, v, 100);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8I(addr, v);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<std::int64_t>(64);
+  RunKernel(kernel, memory, 64, {static_cast<std::int64_t>(py_dev)});
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(memory.LoadI64(py_dev + 8 * static_cast<std::uint64_t>(i)),
+              110 + i % 4)
+        << i;
+  }
+}
+
+/// Some lanes exit INSIDE a divergent path; the rest must still finish.
+TEST(DivergenceTest, ExitInsideDivergentPath) {
+  KernelBuilder b("exit_in_branch", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int v = b.R("v");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(py, 0);
+  b.AndI(pred, tid, 1);
+  Label odd = b.NewLabel();
+  Label join = b.NewLabel();
+  b.Brnz(pred, odd, join);
+  b.Jmp(join);  // even lanes continue
+  b.Bind(odd);
+  b.Exit();  // odd lanes die here
+  b.Bind(join);
+  b.MovI(v, 7);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8I(addr, v);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<std::int64_t>(64);
+  memory.Fill(py_dev, 64 * 8, 0);
+  RunKernel(kernel, memory, 64, {static_cast<std::int64_t>(py_dev)});
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(memory.LoadI64(py_dev + 8 * static_cast<std::uint64_t>(i)),
+              i % 2 ? 0 : 7)
+        << i;
+  }
+}
+
+/// A loop whose lanes exit at iteration == lane id: per-iteration divergence
+/// with frame merging must not blow the stack or lose lanes.
+TEST(DivergenceTest, LoopFrameMergingKeepsAllLanes) {
+  KernelBuilder b("loop_merge", 1);
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int k = b.R("k");
+  const int acc = b.R("acc");
+  const int pred = b.R("pred");
+  b.S2R(tid, Special::kGlobalTid);
+  b.S2R(lane, Special::kLane);
+  b.LdParam(py, 0);
+  b.MovI(k, 0);
+  b.MovI(acc, 0);
+  Label top = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(top);
+  b.SetLe(pred, k, lane);
+  b.Brz(pred, done, done);
+  b.Add(acc, acc, k);
+  b.AddI(k, k, 1);
+  b.Jmp(top);
+  b.Bind(done);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8I(addr, acc);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<std::int64_t>(32);
+  RunKernel(kernel, memory, 32, {static_cast<std::int64_t>(py_dev)});
+  for (std::int64_t lane_id = 0; lane_id < 32; ++lane_id) {
+    EXPECT_EQ(memory.LoadI64(py_dev + 8 * static_cast<std::uint64_t>(lane_id)),
+              lane_id * (lane_id + 1) / 2)
+        << lane_id;
+  }
+}
+
+TEST(DivergenceTest, ShuffleOutOfRangeKeepsOwnValue) {
+  KernelBuilder b("shfl_edge", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int f = b.F("f");
+  const int g = b.F("g");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(py, 0);
+  b.FMovI(f, 1.0);
+  // lane + 16 >= 32 for lanes 16..31: those keep their own value.
+  b.ShflDownF(g, f, 16);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8F(addr, g);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<double>(32);
+  RunKernel(kernel, memory, 32, {static_cast<std::int64_t>(py_dev)});
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(memory.LoadF64(py_dev + 8 * static_cast<std::uint64_t>(i)),
+                     1.0);
+  }
+}
+
+TEST(DivergenceTest, SpecialRegisters) {
+  KernelBuilder b("specials", 1);
+  const int tid = b.R("tid");
+  const int out = b.R("out");
+  const int addr = b.R("addr");
+  const int v = b.R("v");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(out, 0);
+  // pack warp_id * 1000 + lane + grid_threads * 1'000'000
+  b.S2R(v, Special::kWarpId);
+  b.MulI(v, v, 1000);
+  const int lane = b.R("lane");
+  b.S2R(lane, Special::kLane);
+  b.Add(v, v, lane);
+  const int grid = b.R("grid");
+  b.S2R(grid, Special::kGridThreads);
+  b.MulI(grid, grid, 1'000'000);
+  b.Add(v, v, grid);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, out);
+  b.St8I(addr, v);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr out_dev = memory.AllocArray<std::int64_t>(96);
+  RunKernel(kernel, memory, 96, {static_cast<std::int64_t>(out_dev)});
+  for (std::int64_t i = 0; i < 96; ++i) {
+    const std::int64_t expected = (i / 32) * 1000 + (i % 32) + 96'000'000;
+    EXPECT_EQ(memory.LoadI64(out_dev + 8 * static_cast<std::uint64_t>(i)),
+              expected)
+        << i;
+  }
+}
+
+/// Two loads of the same sector: the second is an L2 hit, so DRAM bytes stay
+/// at one sector while transactions count both.
+TEST(MemoryModelTest, L2HitsDoNotRecountDramBytes) {
+  KernelBuilder b("l2", 1);
+  const int tid = b.R("tid");
+  const int px = b.R("px");
+  const int f = b.F("f");
+  const int pred = b.R("pred");
+  b.S2R(tid, Special::kGlobalTid);
+  b.SetEqI(pred, tid, 0);
+  b.ExitIfZero(pred);
+  b.LdParam(px, 0);
+  b.Ld8F(f, px);
+  b.Ld8F(f, px);  // same address: L2 hit
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr px_dev = memory.AllocArray<double>(4);
+  const LaunchStats stats =
+      RunKernel(kernel, memory, 32, {static_cast<std::int64_t>(px_dev)});
+  EXPECT_EQ(stats.dram_bytes, 32u);        // one 32B sector fetched once
+  EXPECT_EQ(stats.dram_transactions, 2u);  // but two transactions issued
+}
+
+TEST(MemoryModelTest, AtomicsCostMoreThanLoads) {
+  auto build = [](bool atomic) {
+    KernelBuilder b(atomic ? "atomic" : "plain", 1);
+    const int tid = b.R("tid");
+    const int pa = b.R("pa");
+    const int addr = b.R("addr");
+    const int f = b.F("f");
+    const int fo = b.F("fo");
+    b.S2R(tid, Special::kGlobalTid);
+    b.LdParam(pa, 0);
+    b.ShlI(addr, tid, 3);
+    b.Add(addr, addr, pa);
+    b.FMovI(f, 1.0);
+    for (int i = 0; i < 16; ++i) {
+      if (atomic) {
+        b.AtomAddF8(fo, addr, f);
+      } else {
+        b.Ld8F(fo, addr);
+      }
+    }
+    b.Exit();
+    return b.Build();
+  };
+  std::uint64_t cycles[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    DeviceMemory memory;
+    const DevicePtr pa = memory.AllocArray<double>(1024);
+    cycles[variant] = RunKernel(build(variant == 1), memory, 512,
+                          {static_cast<std::int64_t>(pa)})
+                          .cycles;
+  }
+  EXPECT_GT(cycles[1], cycles[0]);
+}
+
+TEST(MemoryModelTest, LaunchOverheadIncludedPerLaunch) {
+  KernelBuilder b("noop", 0);
+  b.Exit();
+  const Kernel kernel = b.Build();
+  DeviceMemory memory;
+  const LaunchStats stats = RunKernel(kernel, memory, 32, {});
+  EXPECT_GE(stats.cycles, TinyTestDevice().launch_overhead_cycles);
+  EXPECT_EQ(stats.launches, 1u);
+}
+
+TEST(MemoryModelTest, MaxCyclesWatchdog) {
+  // An infinite uniform loop (no divergence, no progress).
+  KernelBuilder b("forever", 0);
+  Label top = b.NewLabel();
+  b.Bind(top);
+  const int r = b.R("r");
+  b.AddI(r, r, 1);
+  b.Jmp(top);
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  DeviceConfig config = TinyTestDevice();
+  config.max_cycles = 5'000;
+  config.no_progress_cycles = 1'000'000;  // let max_cycles fire first
+  Machine machine(config, &memory);
+  auto stats = machine.Launch(kernel, {.num_threads = 32,
+                                       .threads_per_block = 32},
+                              {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlock);
+}
+
+}  // namespace
+}  // namespace capellini::sim

@@ -1,0 +1,540 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/kernel.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+
+namespace capellini::sim {
+namespace {
+
+/// Runs `kernel` on a tiny device and returns the stats (asserting success).
+LaunchStats MustLaunch(const Kernel& kernel, DeviceMemory& memory,
+                       std::int64_t num_threads,
+                       std::vector<std::int64_t> params,
+                       DeviceConfig config = TinyTestDevice()) {
+  Machine machine(config, &memory);
+  auto stats = machine.Launch(kernel, {.num_threads = num_threads,
+                                       .threads_per_block = 64},
+                              params);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? *stats : LaunchStats{};
+}
+
+TEST(DeviceMemoryTest, AllocAlignsAndGrows) {
+  DeviceMemory memory;
+  const DevicePtr a = memory.Alloc(10, 256);
+  const DevicePtr b = memory.Alloc(10, 256);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(DeviceMemoryTest, CopyRoundTrip) {
+  DeviceMemory memory;
+  const std::vector<double> data = {1.5, -2.5, 3.25};
+  const DevicePtr ptr = memory.AllocArray<double>(3);
+  memory.CopyToDevice(ptr, std::span<const double>(data));
+  std::vector<double> back(3);
+  memory.CopyFromDevice(std::span<double>(back), ptr);
+  EXPECT_EQ(back, data);
+  EXPECT_DOUBLE_EQ(memory.LoadF64(ptr + 8), -2.5);
+}
+
+TEST(DeviceMemoryTest, ScalarAccessors) {
+  DeviceMemory memory;
+  const DevicePtr ptr = memory.Alloc(64);
+  memory.StoreI32(ptr, -7);
+  EXPECT_EQ(memory.LoadI32(ptr), -7);
+  memory.StoreI64(ptr + 8, 1ll << 40);
+  EXPECT_EQ(memory.LoadI64(ptr + 8), 1ll << 40);
+  memory.StoreF64(ptr + 16, 2.75);
+  EXPECT_DOUBLE_EQ(memory.LoadF64(ptr + 16), 2.75);
+  memory.Fill(ptr, 4, 0xFF);
+  EXPECT_EQ(memory.LoadI32(ptr), -1);
+}
+
+TEST(KernelBuilderTest, NamedRegistersAreStable) {
+  KernelBuilder b("regs", 0);
+  const int r1 = b.R("alpha");
+  const int r2 = b.R("beta");
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(b.R("alpha"), r1);
+  EXPECT_EQ(b.F("x"), b.F("x"));
+}
+
+TEST(KernelBuilderTest, BuildsValidProgram) {
+  KernelBuilder b("ok", 0);
+  b.MovI(b.R("r"), 1);
+  b.Exit();
+  const Kernel kernel = b.Build();
+  EXPECT_TRUE(kernel.Validate().ok());
+  EXPECT_EQ(kernel.code.size(), 2u);
+}
+
+TEST(KernelValidateTest, CatchesMissingTerminator) {
+  Kernel kernel;
+  kernel.name = "bad";
+  kernel.code = {Instr{Op::kMovI, 0, 0, 0, 1, 0, 0.0}};
+  EXPECT_FALSE(kernel.Validate().ok());
+}
+
+TEST(KernelValidateTest, CatchesBadBranchTarget) {
+  Kernel kernel;
+  kernel.name = "bad";
+  kernel.code = {Instr{Op::kBrnz, 0, 0, 0, 99, 0, 0.0},
+                 Instr{Op::kExit, 0, 0, 0, 0, 0, 0.0}};
+  EXPECT_FALSE(kernel.Validate().ok());
+}
+
+/// y[tid] = 3 * x[tid] + 1 for tid < n.
+Kernel AxpbKernel() {
+  KernelBuilder b("axpb", 3);
+  const int tid = b.R("tid");
+  const int n = b.R("n");
+  const int px = b.R("px");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int fx = b.F("x");
+  const int fa = b.F("a");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(n, 0);
+  b.SetLt(pred, tid, n);
+  b.ExitIfZero(pred);
+  b.LdParam(px, 1);
+  b.LdParam(py, 2);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, px);
+  b.Ld8F(fx, addr);
+  b.FMovI(fa, 3.0);
+  b.FMul(fx, fx, fa);
+  b.FMovI(fa, 1.0);
+  b.FAdd(fx, fx, fa);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8F(addr, fx);
+  b.Exit();
+  return b.Build();
+}
+
+TEST(MachineTest, ElementwiseKernelComputesCorrectly) {
+  const Kernel kernel = AxpbKernel();
+  DeviceMemory memory;
+  const std::int64_t n = 1000;
+  std::vector<double> x(n);
+  for (std::int64_t i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = i * 0.5;
+  const DevicePtr px = memory.AllocArray<double>(n);
+  const DevicePtr py = memory.AllocArray<double>(n);
+  memory.CopyToDevice(px, std::span<const double>(x));
+
+  const LaunchStats stats = MustLaunch(kernel, memory, n,
+                                       {n, static_cast<std::int64_t>(px),
+                                        static_cast<std::int64_t>(py)});
+  std::vector<double> y(n);
+  memory.CopyFromDevice(std::span<double>(y), py);
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], 3.0 * (i * 0.5) + 1.0);
+  }
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_GT(stats.dram_bytes, 0u);
+  EXPECT_EQ(stats.launches, 1u);
+}
+
+TEST(MachineTest, GuardExitHandlesPartialWarps) {
+  const Kernel kernel = AxpbKernel();
+  DeviceMemory memory;
+  const std::int64_t n = 37;  // not a multiple of 32
+  std::vector<double> x(64, 2.0);
+  const DevicePtr px = memory.AllocArray<double>(64);
+  const DevicePtr py = memory.AllocArray<double>(64);
+  memory.CopyToDevice(px, std::span<const double>(x));
+  memory.Fill(py, 64 * 8, 0);
+
+  MustLaunch(kernel, memory, 64,
+             {n, static_cast<std::int64_t>(px), static_cast<std::int64_t>(py)});
+  std::vector<double> y(64);
+  memory.CopyFromDevice(std::span<double>(y), py);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], i < n ? 7.0 : 0.0) << i;
+  }
+}
+
+TEST(MachineTest, DeterministicCycleCounts) {
+  const Kernel kernel = AxpbKernel();
+  std::uint64_t cycles[2];
+  for (int run = 0; run < 2; ++run) {
+    DeviceMemory memory;
+    std::vector<double> x(512, 1.0);
+    const DevicePtr px = memory.AllocArray<double>(512);
+    const DevicePtr py = memory.AllocArray<double>(512);
+    memory.CopyToDevice(px, std::span<const double>(x));
+    cycles[run] = MustLaunch(kernel, memory, 512,
+                             {512, static_cast<std::int64_t>(px),
+                              static_cast<std::int64_t>(py)})
+                      .cycles;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+/// Divergence: odd lanes write 1.0, even lanes write 2.0, then ALL lanes add
+/// 10 after the reconvergence point.
+TEST(MachineTest, DivergentBranchesReconverge) {
+  KernelBuilder b("diverge", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int fv = b.F("v");
+  const int ften = b.F("ten");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(py, 0);
+  b.AndI(pred, tid, 1);
+  Label odd = b.NewLabel();
+  Label join = b.NewLabel();
+  b.Brnz(pred, odd, join);
+  b.FMovI(fv, 2.0);  // even path
+  b.Jmp(join);
+  b.Bind(odd);
+  b.FMovI(fv, 1.0);  // odd path
+  b.Bind(join);      // reconvergence: all lanes together again
+  b.FMovI(ften, 10.0);
+  b.FAdd(fv, fv, ften);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8F(addr, fv);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<double>(64);
+  MustLaunch(kernel, memory, 64, {static_cast<std::int64_t>(py_dev)});
+  std::vector<double> y(64);
+  memory.CopyFromDevice(std::span<double>(y), py_dev);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(i)], i % 2 ? 11.0 : 12.0);
+  }
+}
+
+/// Variable trip count loop: y[tid] = tid * (tid+1) / 2 via repeated adds.
+TEST(MachineTest, VariableTripCountLoops) {
+  KernelBuilder b("tri", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int k = b.R("k");
+  const int acc = b.R("acc");
+  const int pred = b.R("pred");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(py, 0);
+  b.MovI(acc, 0);
+  b.MovI(k, 0);
+  Label loop = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(loop);
+  b.SetLe(pred, k, tid);
+  b.Brz(pred, done, done);
+  b.Add(acc, acc, k);
+  b.AddI(k, k, 1);
+  b.Jmp(loop);
+  b.Bind(done);
+  b.ShlI(addr, tid, 3);
+  b.Add(addr, addr, py);
+  b.St8I(addr, acc);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<std::int64_t>(96);
+  MustLaunch(kernel, memory, 96, {static_cast<std::int64_t>(py_dev)});
+  std::vector<std::int64_t> y(96);
+  memory.CopyFromDevice(std::span<std::int64_t>(y), py_dev);
+  for (std::int64_t i = 0; i < 96; ++i) {
+    EXPECT_EQ(y[static_cast<std::size_t>(i)], i * (i + 1) / 2) << i;
+  }
+}
+
+/// Warp shuffle reduction: every lane ends with the warp total.
+TEST(MachineTest, ShuffleReduction) {
+  KernelBuilder b("reduce", 1);
+  const int tid = b.R("tid");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int lane = b.R("lane");
+  const int pred = b.R("pred");
+  const int fv = b.F("v");
+  const int ft = b.F("t");
+  b.S2R(tid, Special::kGlobalTid);
+  b.S2R(lane, Special::kLane);
+  b.LdParam(py, 0);
+  // v = lane; after reduction lane 0 holds sum 0..31 = 496.
+  b.FMovI(fv, 0.0);
+  Label skip = b.NewLabel();
+  b.Brz(lane, skip, skip);
+  // add lane as float by repeated increments is clumsy; instead store lane
+  // into memory and reload as double? Simpler: use FMovI(1)*lane via loop.
+  b.Bind(skip);
+  // Set v directly with an integer->float trick: v = lane via FFma on a
+  // preloaded table is overkill; instead test with constant 1.0 per lane.
+  b.FMovI(fv, 1.0);
+  for (int delta = 16; delta >= 1; delta /= 2) {
+    b.ShflDownF(ft, fv, delta);
+    b.FAdd(fv, fv, ft);
+  }
+  b.SetNeI(pred, lane, 0);
+  Label fin = b.NewLabel();
+  b.Brnz(pred, fin, fin);
+  b.ShrI(addr, tid, 5);
+  b.ShlI(addr, addr, 3);
+  b.Add(addr, addr, py);
+  b.St8F(addr, fv);
+  b.Bind(fin);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr py_dev = memory.AllocArray<double>(4);
+  MustLaunch(kernel, memory, 128, {static_cast<std::int64_t>(py_dev)});
+  std::vector<double> y(4);
+  memory.CopyFromDevice(std::span<double>(y), py_dev);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(w)], 32.0) << "warp " << w;
+  }
+}
+
+/// Atomic adds from many threads to one address accumulate exactly.
+TEST(MachineTest, AtomicAddAccumulates) {
+  KernelBuilder b("atom", 1);
+  const int tid = b.R("tid");
+  const int pa = b.R("pa");
+  const int fold = b.F("old");
+  const int fone = b.F("one");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(pa, 0);
+  b.FMovI(fone, 1.0);
+  b.AtomAddF8(fold, pa, fone);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr pa_dev = memory.AllocArray<double>(1);
+  memory.StoreF64(pa_dev, 0.0);
+  MustLaunch(kernel, memory, 320, {static_cast<std::int64_t>(pa_dev)});
+  EXPECT_DOUBLE_EQ(memory.LoadF64(pa_dev), 320.0);
+}
+
+/// Cross-warp producer/consumer: consumers spin on a flag a producer warp
+/// sets. In-order dispatch guarantees completion.
+TEST(MachineTest, CrossWarpSpinCompletes) {
+  KernelBuilder b("producer_consumer", 2);
+  const int tid = b.R("tid");
+  const int pflag = b.R("pflag");
+  const int py = b.R("py");
+  const int addr = b.R("addr");
+  const int pred = b.R("pred");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  b.S2R(tid, Special::kGlobalTid);
+  b.LdParam(pflag, 0);
+  b.LdParam(py, 1);
+  b.SetEqI(pred, tid, 0);
+  Label consumer = b.NewLabel();
+  b.Brz(pred, consumer, consumer);
+  // Thread 0: do some work, then set the flag.
+  b.MovI(one, 1);
+  b.St4(pflag, one);
+  b.Exit();
+  b.Bind(consumer);
+  Label spin = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(spin);
+  b.Ld4(g, pflag);
+  b.Brnz(g, done, done);
+  b.Jmp(spin);
+  b.Bind(done);
+  b.ShlI(addr, tid, 2);
+  b.Add(addr, addr, py);
+  b.St4(addr, g);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr flag = memory.AllocArray<std::int32_t>(1);
+  const DevicePtr py_dev = memory.AllocArray<std::int32_t>(256);
+  memory.StoreI32(flag, 0);
+  MustLaunch(kernel, memory, 256,
+             {static_cast<std::int64_t>(flag), static_cast<std::int64_t>(py_dev)});
+  // Every consumer observed the flag.
+  for (int i = 1; i < 256; ++i) {
+    EXPECT_EQ(memory.LoadI32(py_dev + 4u * static_cast<std::uint64_t>(i)), 1)
+        << i;
+  }
+}
+
+/// Intra-warp circular wait: lane 0 waits on lane 1's flag and vice versa.
+/// Lock-step execution can never satisfy both — the watchdog must fire.
+TEST(MachineTest, IntraWarpDeadlockDetected) {
+  KernelBuilder b("deadlock", 1);
+  const int tid = b.R("tid");
+  const int lane = b.R("lane");
+  const int pflag = b.R("pflag");
+  const int addr = b.R("addr");
+  const int other = b.R("other");
+  const int g = b.R("g");
+  const int one = b.R("one");
+  const int pred = b.R("pred");
+  b.S2R(tid, Special::kGlobalTid);
+  b.S2R(lane, Special::kLane);
+  b.LdParam(pflag, 0);
+  b.SetGeI(pred, lane, 2);
+  Label work = b.NewLabel();
+  b.Brz(pred, work, work);
+  b.Exit();  // lanes >= 2 leave
+  b.Bind(work);
+  // other = 1 - lane; wait flag[other], then set flag[lane].
+  b.MovI(other, 1);
+  b.Sub(other, other, lane);
+  b.ShlI(addr, other, 2);
+  b.Add(addr, addr, pflag);
+  Label spin = b.NewLabel();
+  Label done = b.NewLabel();
+  b.Bind(spin);
+  b.Ld4(g, addr);
+  b.Brnz(g, done, done);
+  b.Jmp(spin);
+  b.Bind(done);
+  b.MovI(one, 1);
+  b.ShlI(addr, lane, 2);
+  b.Add(addr, addr, pflag);
+  b.St4(addr, one);
+  b.Exit();
+  const Kernel kernel = b.Build();
+
+  DeviceMemory memory;
+  const DevicePtr flags = memory.AllocArray<std::int32_t>(2);
+  memory.Fill(flags, 8, 0);
+  DeviceConfig config = TinyTestDevice();
+  config.no_progress_cycles = 20'000;
+  Machine machine(config, &memory);
+  auto stats = machine.Launch(kernel, {.num_threads = 32,
+                                       .threads_per_block = 32},
+                              std::vector<std::int64_t>{
+                                  static_cast<std::int64_t>(flags)});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlock);
+}
+
+/// Coalescing: a strided access pattern produces more DRAM transactions than
+/// a unit-stride one.
+TEST(MachineTest, CoalescingReducesTransactions) {
+  auto build = [](int stride) {
+    KernelBuilder b(stride == 1 ? "coalesced" : "strided", 1);
+    const int tid = b.R("tid");
+    const int px = b.R("px");
+    const int addr = b.R("addr");
+    const int fv = b.F("v");
+    b.S2R(tid, Special::kGlobalTid);
+    b.LdParam(px, 0);
+    b.MulI(addr, tid, stride * 8);
+    b.Add(addr, addr, px);
+    b.Ld8F(fv, addr);
+    b.Exit();
+    return b.Build();
+  };
+
+  std::uint64_t transactions[2];
+  int idx = 0;
+  for (const int stride : {1, 8}) {
+    DeviceMemory memory;
+    const DevicePtr px = memory.AllocArray<double>(32 * 8);
+    transactions[idx++] =
+        MustLaunch(build(stride), memory, 32,
+                   {static_cast<std::int64_t>(px)})
+            .dram_transactions;
+  }
+  EXPECT_GT(transactions[1], transactions[0] * 2);
+}
+
+TEST(MachineTest, LaunchValidation) {
+  const Kernel kernel = AxpbKernel();
+  DeviceMemory memory;
+  Machine machine(TinyTestDevice(), &memory);
+  // Wrong parameter count.
+  auto r1 = machine.Launch(kernel, {.num_threads = 32, .threads_per_block = 32},
+                           std::vector<std::int64_t>{1, 2});
+  EXPECT_FALSE(r1.ok());
+  // Bad block size.
+  auto r2 = machine.Launch(kernel, {.num_threads = 32, .threads_per_block = 33},
+                           std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_FALSE(r2.ok());
+  // No threads.
+  auto r3 = machine.Launch(kernel, {.num_threads = 0, .threads_per_block = 32},
+                           std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(MachineTest, StallAccountingWithinBounds) {
+  const Kernel kernel = AxpbKernel();
+  DeviceMemory memory;
+  std::vector<double> x(2048, 1.0);
+  const DevicePtr px = memory.AllocArray<double>(2048);
+  const DevicePtr py = memory.AllocArray<double>(2048);
+  memory.CopyToDevice(px, std::span<const double>(x));
+  const LaunchStats stats =
+      MustLaunch(kernel, memory, 2048,
+                 {2048, static_cast<std::int64_t>(px),
+                  static_cast<std::int64_t>(py)});
+  EXPECT_GE(stats.StallPct(), 0.0);
+  EXPECT_LE(stats.StallPct(), 100.0);
+  EXPECT_EQ(stats.issue_used + stats.stall_slots, stats.issue_slots);
+  EXPECT_GE(stats.AvgActiveLanes(), 1.0);
+  EXPECT_LE(stats.AvgActiveLanes(), 32.0);
+}
+
+TEST(CountersTest, StatsAccumulate) {
+  LaunchStats a;
+  a.cycles = 100;
+  a.instructions = 10;
+  a.lane_instructions = 320;
+  a.dram_bytes = 64;
+  a.issue_slots = 200;
+  a.issue_used = 150;
+  a.stall_slots = 50;
+  a.launches = 1;
+  LaunchStats b = a;
+  const LaunchStats sum = a + b;
+  EXPECT_EQ(sum.cycles, 200u);
+  EXPECT_EQ(sum.instructions, 20u);
+  EXPECT_EQ(sum.launches, 2u);
+  EXPECT_DOUBLE_EQ(sum.AvgActiveLanes(), 32.0);
+  EXPECT_DOUBLE_EQ(sum.StallPct(), 25.0);
+
+  const LaunchStats empty;
+  EXPECT_DOUBLE_EQ(empty.StallPct(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgActiveLanes(), 0.0);
+}
+
+TEST(ConfigTest, PaperPlatformsMatchTable3) {
+  const auto platforms = PaperPlatforms();
+  ASSERT_EQ(platforms.size(), 3u);
+  EXPECT_EQ(platforms[0].name, "Pascal");
+  EXPECT_EQ(platforms[1].name, "Volta");
+  EXPECT_EQ(platforms[2].name, "Turing");
+  // Volta has the most SMs and the highest bandwidth of the three.
+  EXPECT_GT(platforms[1].num_sms, platforms[0].num_sms);
+  EXPECT_GT(platforms[1].dram_bandwidth_gbps, platforms[2].dram_bandwidth_gbps);
+}
+
+TEST(ConfigTest, UnitConversions) {
+  DeviceConfig config;
+  config.clock_ghz = 2.0;
+  config.dram_bandwidth_gbps = 400.0;
+  EXPECT_DOUBLE_EQ(config.BytesPerCycle(), 200.0);
+  EXPECT_DOUBLE_EQ(config.CyclesToMs(2'000'000), 1.0);
+}
+
+}  // namespace
+}  // namespace capellini::sim

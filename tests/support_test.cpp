@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/status.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace capellini {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgument("bad row");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad row");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kDeadlock, StatusCode::kInternal,
+        StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(code), "unknown");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> expected(42);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*expected, 42);
+  EXPECT_TRUE(expected.status().ok());
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> expected(NotFound("nope"));
+  ASSERT_FALSE(expected.ok());
+  EXPECT_EQ(expected.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GeometricMeanApproximatelyCorrect) {
+  Rng rng(13);
+  const double target = 5.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPositiveWithMean(target));
+  }
+  EXPECT_NEAR(sum / n, target, 0.2);
+}
+
+TEST(RngTest, GeometricMeanBelowOneClampsToOne) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextPositiveWithMean(0.5), 1);
+}
+
+TEST(RngTest, SampleDistinctSortedProperties) {
+  Rng rng(17);
+  for (const std::int64_t k : {0, 1, 5, 50, 100}) {
+    const auto sample = rng.SampleDistinctSorted(10, 109, k);
+    ASSERT_EQ(sample.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      EXPECT_GE(sample[i], 10);
+      EXPECT_LE(sample[i], 109);
+      if (i > 0) EXPECT_LT(sample[i - 1], sample[i]);
+    }
+  }
+}
+
+TEST(RngTest, SampleDistinctFullRange) {
+  Rng rng(19);
+  const auto sample = rng.SampleDistinctSorted(0, 9, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CliTest, ParsesAllKinds) {
+  CliFlags flags;
+  std::int64_t n = 5;
+  double x = 1.5;
+  bool verbose = false;
+  std::string name = "default";
+  flags.AddInt("n", &n, "count");
+  flags.AddDouble("x", &x, "factor");
+  flags.AddBool("verbose", &verbose, "chatty");
+  flags.AddString("name", &name, "label");
+
+  const char* argv[] = {"prog", "--n=42", "--x", "2.25", "--verbose",
+                        "--name=corpus"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.25);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "corpus");
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  const Status status = flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CliTest, RejectsBadInteger) {
+  CliFlags flags;
+  std::int64_t n = 0;
+  flags.AddInt("n", &n, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_EQ(flags.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, HelpReturnsNotFound) {
+  CliFlags flags;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_EQ(flags.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, NumAndIntFormat) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Int(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::Int(-1000), "-1,000");
+  EXPECT_EQ(TextTable::Int(7), "7");
+}
+
+TEST(CliTest, UsageListsFlagsWithDefaults) {
+  CliFlags flags;
+  std::int64_t n = 5;
+  bool verbose = true;
+  flags.AddInt("n", &n, "count of things");
+  flags.AddBool("verbose", &verbose, "chatty");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("count of things"), std::string::npos);
+  EXPECT_NE(usage.find("default 5"), std::string::npos);
+  EXPECT_NE(usage.find("default true"), std::string::npos);
+}
+
+TEST(CliTest, ExplicitFalseBool) {
+  CliFlags flags;
+  bool verbose = true;
+  flags.AddBool("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(verbose);
+}
+
+TEST(CliTest, TrailingFlagWithoutValueFails) {
+  CliFlags flags;
+  std::int64_t n = 0;
+  flags.AddInt("n", &n, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_EQ(flags.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GE(timer.ElapsedMs(), 0.0);
+  EXPECT_GE(timer.ElapsedSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace capellini
