@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_micro.dir/bench_host_micro.cpp.o"
+  "CMakeFiles/bench_host_micro.dir/bench_host_micro.cpp.o.d"
+  "bench_host_micro"
+  "bench_host_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

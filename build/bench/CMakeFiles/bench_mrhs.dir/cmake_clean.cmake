@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mrhs.dir/bench_mrhs.cpp.o"
+  "CMakeFiles/bench_mrhs.dir/bench_mrhs.cpp.o.d"
+  "bench_mrhs"
+  "bench_mrhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mrhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_solve.dir/cholesky_solve.cpp.o"
+  "CMakeFiles/cholesky_solve.dir/cholesky_solve.cpp.o.d"
+  "cholesky_solve"
+  "cholesky_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sptrsv_tool.dir/sptrsv_tool.cpp.o"
+  "CMakeFiles/sptrsv_tool.dir/sptrsv_tool.cpp.o.d"
+  "sptrsv_tool"
+  "sptrsv_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sptrsv_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/capellini.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/autotune.cpp" "src/CMakeFiles/capellini.dir/core/autotune.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/core/autotune.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/capellini.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/select.cpp" "src/CMakeFiles/capellini.dir/core/select.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/core/select.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/capellini.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/core/solver.cpp.o.d"
+  "/root/repo/src/gen/assemble.cpp" "src/CMakeFiles/capellini.dir/gen/assemble.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/assemble.cpp.o.d"
+  "/root/repo/src/gen/banded.cpp" "src/CMakeFiles/capellini.dir/gen/banded.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/banded.cpp.o.d"
+  "/root/repo/src/gen/corpus.cpp" "src/CMakeFiles/capellini.dir/gen/corpus.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/corpus.cpp.o.d"
+  "/root/repo/src/gen/level_structured.cpp" "src/CMakeFiles/capellini.dir/gen/level_structured.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/level_structured.cpp.o.d"
+  "/root/repo/src/gen/proxies.cpp" "src/CMakeFiles/capellini.dir/gen/proxies.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/proxies.cpp.o.d"
+  "/root/repo/src/gen/random_lower.cpp" "src/CMakeFiles/capellini.dir/gen/random_lower.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/random_lower.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/CMakeFiles/capellini.dir/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/CMakeFiles/capellini.dir/graph/dag.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/levels.cpp" "src/CMakeFiles/capellini.dir/graph/levels.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/graph/levels.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/capellini.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/host/levelset_cpu.cpp" "src/CMakeFiles/capellini.dir/host/levelset_cpu.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/host/levelset_cpu.cpp.o.d"
+  "/root/repo/src/host/serial.cpp" "src/CMakeFiles/capellini.dir/host/serial.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/host/serial.cpp.o.d"
+  "/root/repo/src/host/syncfree_cpu.cpp" "src/CMakeFiles/capellini.dir/host/syncfree_cpu.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/host/syncfree_cpu.cpp.o.d"
+  "/root/repo/src/kernels/capellini_naive.cpp" "src/CMakeFiles/capellini.dir/kernels/capellini_naive.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/capellini_naive.cpp.o.d"
+  "/root/repo/src/kernels/capellini_twophase.cpp" "src/CMakeFiles/capellini.dir/kernels/capellini_twophase.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/capellini_twophase.cpp.o.d"
+  "/root/repo/src/kernels/capellini_writing_first.cpp" "src/CMakeFiles/capellini.dir/kernels/capellini_writing_first.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/capellini_writing_first.cpp.o.d"
+  "/root/repo/src/kernels/common.cpp" "src/CMakeFiles/capellini.dir/kernels/common.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/common.cpp.o.d"
+  "/root/repo/src/kernels/cusparse_proxy.cpp" "src/CMakeFiles/capellini.dir/kernels/cusparse_proxy.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/cusparse_proxy.cpp.o.d"
+  "/root/repo/src/kernels/hybrid.cpp" "src/CMakeFiles/capellini.dir/kernels/hybrid.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/hybrid.cpp.o.d"
+  "/root/repo/src/kernels/launch.cpp" "src/CMakeFiles/capellini.dir/kernels/launch.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/launch.cpp.o.d"
+  "/root/repo/src/kernels/levelset.cpp" "src/CMakeFiles/capellini.dir/kernels/levelset.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/levelset.cpp.o.d"
+  "/root/repo/src/kernels/mrhs.cpp" "src/CMakeFiles/capellini.dir/kernels/mrhs.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/mrhs.cpp.o.d"
+  "/root/repo/src/kernels/serial_row.cpp" "src/CMakeFiles/capellini.dir/kernels/serial_row.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/serial_row.cpp.o.d"
+  "/root/repo/src/kernels/syncfree_csc.cpp" "src/CMakeFiles/capellini.dir/kernels/syncfree_csc.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/syncfree_csc.cpp.o.d"
+  "/root/repo/src/kernels/syncfree_warp.cpp" "src/CMakeFiles/capellini.dir/kernels/syncfree_warp.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/kernels/syncfree_warp.cpp.o.d"
+  "/root/repo/src/matrix/convert.cpp" "src/CMakeFiles/capellini.dir/matrix/convert.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/convert.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/CMakeFiles/capellini.dir/matrix/coo.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/coo.cpp.o.d"
+  "/root/repo/src/matrix/csc.cpp" "src/CMakeFiles/capellini.dir/matrix/csc.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/csc.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/capellini.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/mm_io.cpp" "src/CMakeFiles/capellini.dir/matrix/mm_io.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/mm_io.cpp.o.d"
+  "/root/repo/src/matrix/triangular.cpp" "src/CMakeFiles/capellini.dir/matrix/triangular.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/matrix/triangular.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/capellini.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/CMakeFiles/capellini.dir/sim/counters.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/counters.cpp.o.d"
+  "/root/repo/src/sim/disasm.cpp" "src/CMakeFiles/capellini.dir/sim/disasm.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/disasm.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/capellini.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/capellini.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/capellini.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/capellini.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/capellini.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/CMakeFiles/capellini.dir/support/status.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/support/status.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/capellini.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/support/table.cpp.o.d"
+  "/root/repo/src/support/timer.cpp" "src/CMakeFiles/capellini.dir/support/timer.cpp.o" "gcc" "src/CMakeFiles/capellini.dir/support/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
