@@ -1,0 +1,120 @@
+// Measures the cost of the tracing hooks (src/trace) on a full-size solve.
+//
+// Three configurations solve the same 100k-row random lower-triangular
+// system with Writing-First:
+//   null sink      — SolveOptions::trace_sink == nullptr (the default); every
+//                    hook site is one pointer test, so this must be within
+//                    noise of the pre-tracing simulator (<2% is the budget)
+//   attribution    — the streaming stall-attribution aggregator alone
+//   full session   — attribution + timeline + Chrome trace sink
+//
+// Wall-clock is host time to run the simulator, the only meaningful cost
+// axis (simulated cycles are identical across configurations by design —
+// the bench asserts that too).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "gen/random_lower.h"
+#include "kernels/launch.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "trace/session.h"
+
+namespace {
+
+using namespace capellini;
+
+double MedianMs(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t rows = 100000;
+  std::int64_t reps = 5;
+  CliFlags flags;
+  flags.AddInt("rows", &rows, "rows of the generated system");
+  flags.AddInt("reps", &reps, "solves per configuration (median reported)");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    return status.code() == StatusCode::kNotFound ? 0 : 2;
+  }
+
+  const Csr lower = MakeRandomLower({.rows = static_cast<Idx>(rows),
+                                     .avg_strict_nnz_per_row = 3.0,
+                                     .seed = 42});
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 11);
+  const sim::DeviceConfig device = sim::PascalGtx1080();
+  const auto algorithm = kernels::DeviceAlgorithm::kCapelliniWritingFirst;
+
+  struct Config {
+    const char* name;
+    bool attribution;
+    bool full;
+  };
+  const Config configs[] = {
+      {"null sink (tracing off)", false, false},
+      {"stall attribution", true, false},
+      {"full session (+chrome)", false, true},
+  };
+
+  std::uint64_t null_cycles = 0;
+  double null_ms = 0.0;
+  TextTable table({"configuration", "median wall ms", "vs null", "cycles"});
+  for (const Config& config : configs) {
+    std::vector<double> samples;
+    std::uint64_t cycles = 0;
+    for (std::int64_t rep = 0; rep < reps; ++rep) {
+      trace::StallAttribution attribution;
+      trace::TraceSession session;
+      kernels::SolveOptions options;
+      if (config.attribution) options.trace_sink = &attribution;
+      if (config.full) options.trace_sink = session.sink();
+      Timer timer;
+      auto result =
+          kernels::SolveOnDevice(algorithm, lower, problem.b, device, options);
+      samples.push_back(timer.ElapsedMs());
+      if (!result.ok()) {
+        std::fprintf(stderr, "solve failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      cycles = result->stats.cycles;
+    }
+    const double median = MedianMs(samples);
+    if (config.name == configs[0].name) {
+      null_ms = median;
+      null_cycles = cycles;
+    }
+    if (cycles != null_cycles) {
+      std::fprintf(stderr,
+                   "FAIL: tracing perturbed the simulation (%llu vs %llu "
+                   "cycles)\n",
+                   static_cast<unsigned long long>(cycles),
+                   static_cast<unsigned long long>(null_cycles));
+      return 1;
+    }
+    char ms_text[32], pct_text[32], cycle_text[32];
+    std::snprintf(ms_text, sizeof ms_text, "%.1f", median);
+    std::snprintf(pct_text, sizeof pct_text, "%+.1f%%",
+                  (median / null_ms - 1.0) * 100.0);
+    std::snprintf(cycle_text, sizeof cycle_text, "%llu",
+                  static_cast<unsigned long long>(cycles));
+    table.AddRow({config.name, ms_text, pct_text, cycle_text});
+  }
+
+  std::printf("trace overhead, %lld-row random lower solve "
+              "(Writing-First, Pascal, %lld reps)\n%s",
+              static_cast<long long>(rows), static_cast<long long>(reps),
+              table.ToString().c_str());
+  std::printf("\nthe null-sink row is the shipping default: every hook is a "
+              "single\nuntaken branch, so its cost must stay within noise "
+              "(<2%% budget).\n");
+  return 0;
+}

@@ -12,7 +12,15 @@
 //
 //   ./examples/sptrsv_tool --generate
 //   ./examples/sptrsv_tool --input=matrix.mtx --algorithm=Capellini
+//
+// Tracing (device algorithms only):
+//
+//   ./examples/sptrsv_tool --generate --trace=trace.json --trace_summary
+//
+// writes a Chrome trace-event file (load it at ui.perfetto.dev) and prints
+// the stall-attribution table and solve-progress ramp.
 #include <cstdio>
+#include <optional>
 
 #include "core/analysis.h"
 #include "core/autotune.h"
@@ -22,6 +30,7 @@
 #include "matrix/mm_io.h"
 #include "matrix/triangular.h"
 #include "support/cli.h"
+#include "trace/session.h"
 
 int main(int argc, char** argv) {
   using namespace capellini;
@@ -29,8 +38,11 @@ int main(int argc, char** argv) {
   std::string input;
   std::string algorithm_name = "auto";
   std::string platform = "Pascal";
+  std::string trace_path;
+  std::string trace_csv_path;
   bool generate = false;
   bool tune = false;
+  bool trace_summary = false;
   std::int64_t generate_nodes = 1 << 14;
 
   CliFlags flags;
@@ -43,6 +55,14 @@ int main(int argc, char** argv) {
   flags.AddString("platform", &platform, "Pascal|Volta|Turing");
   flags.AddBool("tune", &tune,
                 "also autotune the hybrid warp/thread threshold (§4.4)");
+  flags.AddString("trace", &trace_path,
+                  "write a Chrome trace-event JSON of the solve (open at "
+                  "ui.perfetto.dev); device algorithms only");
+  flags.AddBool("trace_summary", &trace_summary,
+                "print the stall-attribution table and solve-progress ramp; "
+                "device algorithms only");
+  flags.AddString("trace_csv", &trace_csv_path,
+                  "write the per-warp stall-attribution CSV");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
   }
@@ -103,6 +123,29 @@ int main(int argc, char** argv) {
     if (device.name == platform) options.device = device;
   }
 
+  // --- tracing setup -------------------------------------------------------
+  const bool want_trace =
+      !trace_path.empty() || !trace_csv_path.empty() || trace_summary;
+  if (want_trace && !IsDeviceAlgorithm(algorithm)) {
+    std::fprintf(stderr,
+                 "error: --trace/--trace_summary need a simulated-device "
+                 "algorithm, but '%s' runs on the host CPU and has no device "
+                 "execution to trace (pick e.g. --algorithm=Capellini)\n",
+                 AlgorithmName(algorithm));
+    return 2;
+  }
+  std::optional<trace::TraceSession> trace_session;
+  if (want_trace) {
+    trace::TraceSession::Options trace_options;
+    if (algorithm == Algorithm::kLevelSet || algorithm == Algorithm::kSyncFree) {
+      // These kernels publish through the f64 x vector, not get_value flags.
+      trace_options.publish_param_index = 5;
+      trace_options.publish_elem_size = 8;
+    }
+    trace_session.emplace(trace_options);
+    options.kernel_options.trace_sink = trace_session->sink();
+  }
+
   // --- solve and verify ----------------------------------------------------
   const ReferenceProblem problem = MakeReferenceProblem(lower, 11);
   const Solver solver(lower, options);
@@ -126,6 +169,49 @@ int main(int argc, char** argv) {
                     result->device_stats.instructions));
   }
   std::printf("  max relative error  %.2e\n", error);
+
+  if (trace_session) {
+    if (trace_summary) {
+      std::printf("\n%s", trace_session->attribution().SummaryTable().c_str());
+      const trace::SolveTimeline& timeline = trace_session->timeline();
+      std::printf("solve progress: 50%% of rows by cycle %llu, 90%% by "
+                  "%llu, all by %llu (%zu publishes",
+                  static_cast<unsigned long long>(
+                      timeline.CycleAtFraction(0.5, lower.rows())),
+                  static_cast<unsigned long long>(
+                      timeline.CycleAtFraction(0.9, lower.rows())),
+                  static_cast<unsigned long long>(
+                      timeline.CycleAtFraction(1.0, lower.rows())),
+                  timeline.records().size());
+      if (timeline.unresolved() > 0) {
+        std::printf(", %llu unresolved",
+                    static_cast<unsigned long long>(timeline.unresolved()));
+      }
+      std::printf(")\n");
+    }
+    if (!trace_path.empty()) {
+      if (const Status status = trace_session->WriteChromeTrace(trace_path);
+          !status.ok()) {
+        std::fprintf(stderr, "cannot write trace: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote Chrome trace to %s (%zu events; open at "
+                  "ui.perfetto.dev)\n",
+                  trace_path.c_str(), trace_session->chrome().event_count());
+    }
+    if (!trace_csv_path.empty()) {
+      if (const Status status =
+              trace_session->attribution().WriteCsv(trace_csv_path);
+          !status.ok()) {
+        std::fprintf(stderr, "cannot write trace CSV: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote per-warp attribution CSV to %s\n",
+                  trace_csv_path.c_str());
+    }
+  }
 
   if (tune) {
     auto tuned = TuneHybridThreshold(lower, options.device);

@@ -70,10 +70,12 @@ sim::Kernel BuildCapelliniNaiveKernel() {
   b.ShlI(gvaddr, col, 2);
   b.Add(gvaddr, gvaddr, gv);
 
+  b.BeginSpin();
   b.Bind(spin);  // unbounded wait — deadlocks on intra-warp dependencies
   b.Ld4(g, gvaddr);
   b.Brnz(g, got, got);
   b.Jmp(spin);
+  b.EndSpin();
 
   b.Bind(got);
   b.ShlI(addr, col, 3);
@@ -103,6 +105,7 @@ sim::Kernel BuildCapelliniNaiveKernel() {
   b.MovI(one, 1);
   b.ShlI(addr, tid, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);
   b.Exit();
   return b.Build();

@@ -82,10 +82,12 @@ sim::Kernel BuildCapelliniTwoPhaseKernel() {
 
   b.ShlI(gvaddr, col, 2);
   b.Add(gvaddr, gvaddr, gv);
+  b.BeginSpin();
   b.Bind(p1_spin);  // lines 9-10: safe busy-wait (producer in earlier warp)
   b.Ld4(g, gvaddr);
   b.Brnz(g, p1_got, p1_got);
   b.Jmp(p1_spin);
+  b.EndSpin();
 
   b.Bind(p1_got);  // line 11
   b.ShlI(addr, col, 3);
@@ -144,12 +146,17 @@ sim::Kernel BuildCapelliniTwoPhaseKernel() {
   b.MovI(one, 1);
   b.ShlI(addr, tid, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);  // line 23
   b.Exit();
 
+  // A pass that consumed nothing loops straight back here: that backedge is
+  // the two-phase kernel's intra-warp busy-wait.
+  b.BeginSpin();
   b.Bind(p2_next);
   b.AddI(k, k, 1);
   b.Jmp(p2_loop);
+  b.EndSpin();
 
   // A correct input never reaches this point (each pass publishes at least
   // one component); lanes land here only on malformed systems, and tests

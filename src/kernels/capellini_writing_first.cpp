@@ -112,11 +112,16 @@ sim::Kernel BuildCapelliniWritingFirstKernel() {
   b.MovI(one, 1);
   b.ShlI(addr, tid, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);  // line 16
   b.Exit();          // lines 17-18
 
+  // Only the failed-pass backedge is a busy-wait here: the inner re-polls
+  // share their loads with productive draining, the paper's key saving.
+  b.BeginSpin();
   b.Bind(next_pass);
   b.Jmp(outer);
+  b.EndSpin();
   return b.Build();
 }
 

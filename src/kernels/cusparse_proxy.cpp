@@ -84,10 +84,12 @@ sim::Kernel BuildCusparseProxyKernel() {
   b.ShlI(gvaddr, col, 2);
   b.Add(gvaddr, gvaddr, gv);
 
+  b.BeginSpin();
   b.Bind(spin);  // short in practice: producers are earlier in level order
   b.Ld4(g, gvaddr);
   b.Brnz(g, got, got);
   b.Jmp(spin);
+  b.EndSpin();
 
   b.Bind(got);
   b.ShlI(addr, col, 3);
@@ -124,6 +126,7 @@ sim::Kernel BuildCusparseProxyKernel() {
   b.MovI(one, 1);
   b.ShlI(addr, i, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);
 
   b.Bind(fin);

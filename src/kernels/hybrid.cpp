@@ -97,10 +97,12 @@ sim::Kernel BuildHybridKernel() {
     b.ShlI(gvaddr, col, 2);
     b.Add(gvaddr, gvaddr, gv);
 
+    b.BeginSpin();
     b.Bind(spin);  // producers live in earlier tasks: safe busy-wait
     b.Ld4(g, gvaddr);
     b.Brnz(g, got, got);
     b.Jmp(spin);
+    b.EndSpin();
 
     b.Bind(got);
     b.ShlI(addr, col, 3);
@@ -136,6 +138,7 @@ sim::Kernel BuildHybridKernel() {
     b.MovI(one, 1);
     b.ShlI(addr, i, 2);
     b.Add(addr, addr, gv);
+    b.MarkPublish();
     b.St4(addr, one);
     b.Bind(fin);
     b.Exit();
@@ -203,11 +206,14 @@ sim::Kernel BuildHybridKernel() {
     b.MovI(one, 1);
     b.ShlI(addr, i, 2);
     b.Add(addr, addr, gv);
+    b.MarkPublish();
     b.St4(addr, one);
     b.Exit();
 
+    b.BeginSpin();
     b.Bind(next_pass);
     b.Jmp(outer);
+    b.EndSpin();
   }
   return b.Build();
 }

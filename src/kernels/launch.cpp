@@ -156,6 +156,7 @@ Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
   DeviceSolveResult result;
   sim::DeviceMemory memory;
   sim::Machine machine(config, &memory);
+  machine.set_trace_sink(options_in.trace_sink);
   // Clamp the block size to what the device can host (matters for the tiny
   // test device, whose SMs hold fewer warps than a default 256-thread block).
   SolveOptions options = options_in;
@@ -426,6 +427,7 @@ Expected<MrhsSolveResult> SolveMrhsOnDevice(MrhsAlgorithm algorithm,
 
   sim::DeviceMemory memory;
   sim::Machine machine(config, &memory);
+  machine.set_trace_sink(options_in.trace_sink);
   const auto rows = static_cast<std::uint64_t>(m);
   const auto nnz = static_cast<std::uint64_t>(lower.nnz());
   const auto vec = rows * static_cast<std::uint64_t>(k);

@@ -12,6 +12,10 @@
 #include "sim/counters.h"
 #include "support/status.h"
 
+namespace capellini::trace {
+class TraceSink;
+}
+
 namespace capellini::kernels {
 
 /// The SpTRSV implementations that run on the simulated device.
@@ -35,6 +39,10 @@ struct SolveOptions {
   int threads_per_block = 256;
   /// Hybrid only: rows with at least this many nonzeros go warp-level.
   Idx hybrid_row_length_threshold = 16;
+  /// Execution-trace observer attached to the simulated machine for the
+  /// solve's launches (see trace/sink.h). Not owned; nullptr = tracing off
+  /// with zero overhead.
+  trace::TraceSink* trace_sink = nullptr;
 };
 
 struct DeviceSolveResult {

@@ -102,6 +102,7 @@ sim::Kernel BuildLevelSetKernel() {
   b.FDiv(f_b, f_b, f_diag);
   b.ShlI(addr, id, 3);
   b.Add(addr, addr, rx);
+  b.MarkPublish();
   b.St8F(addr, f_b);
   b.Exit();
   return b.Build();

@@ -124,11 +124,14 @@ sim::Kernel BuildCapelliniWritingFirstMrhsKernel(int k) {
   b.MovI(one, 1);
   b.ShlI(addr, tid, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);
   b.Exit();
 
+  b.BeginSpin();
   b.Bind(next_pass);
   b.Jmp(outer);
+  b.EndSpin();
   return b.Build();
 }
 
@@ -203,10 +206,12 @@ sim::Kernel BuildSyncFreeWarpMrhsKernel(int k) {
   b.ShlI(gvaddr, col, 2);
   b.Add(gvaddr, gvaddr, gv);
 
+  b.BeginSpin();
   b.Bind(spin);
   b.Ld4(g, gvaddr);
   b.Brnz(g, got, got);
   b.Jmp(spin);
+  b.EndSpin();
 
   b.Bind(got);
   b.ShlI(addr, j, 3);
@@ -251,6 +256,7 @@ sim::Kernel BuildSyncFreeWarpMrhsKernel(int k) {
   b.MovI(one, 1);
   b.ShlI(addr, i, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);
 
   b.Bind(fin);

@@ -87,6 +87,7 @@ sim::Kernel BuildSerialRowKernel() {
   b.FDiv(f_b, f_b, f_diag);
   b.ShlI(addr, i, 3);
   b.Add(addr, addr, rx);
+  b.MarkPublish();
   b.St8F(addr, f_b);
   b.AddI(i, i, 1);
   b.Jmp(row_loop);

@@ -69,10 +69,12 @@ sim::Kernel BuildSyncFreeCscKernel() {
   // Busy-wait until every dependency has scattered its contribution.
   b.ShlI(depaddr, i, 2);
   b.Add(depaddr, depaddr, dep);
+  b.BeginSpin();
   b.Bind(spin);
   b.Ld4(g, depaddr);
   b.Brz(g, ready, ready);
   b.Jmp(spin);
+  b.EndSpin();
 
   b.Bind(ready);
   // xi = (b[i] - left_sum[i]) / L(i,i); every lane computes it (uniform
@@ -94,6 +96,7 @@ sim::Kernel BuildSyncFreeCscKernel() {
   b.Brnz(pred, store_done, store_done);
   b.ShlI(addr, i, 3);
   b.Add(addr, addr, rx);
+  b.MarkPublish();
   b.St8F(addr, f_xi);  // publish the component
   b.Bind(store_done);
 

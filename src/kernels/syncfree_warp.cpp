@@ -72,10 +72,12 @@ sim::Kernel BuildSyncFreeWarpCsrKernel() {
   b.ShlI(gvaddr, col, 2);
   b.Add(gvaddr, gvaddr, gv);
 
+  b.BeginSpin();
   b.Bind(spin);  // lines 10-11: busy-wait for the producer warp
   b.Ld4(g, gvaddr);
   b.Brnz(g, got, got);
   b.Jmp(spin);
+  b.EndSpin();
 
   b.Bind(got);  // line 12: sum += csrVal[j] * x[col]
   b.ShlI(addr, col, 3);
@@ -113,6 +115,7 @@ sim::Kernel BuildSyncFreeWarpCsrKernel() {
   b.MovI(one, 1);
   b.ShlI(addr, i, 2);
   b.Add(addr, addr, gv);
+  b.MarkPublish();
   b.St4(addr, one);  // get_value[i] = true (line 22)
 
   b.Bind(fin);

@@ -28,6 +28,20 @@ Status Kernel::Validate() const {
       return InvalidArgument("param index out of range in " + name);
     }
   }
+  for (const auto& [begin, end] : spin_regions) {
+    if (begin < 0 || end > size || begin >= end) {
+      return InvalidArgument("spin region out of range in " + name);
+    }
+  }
+  for (const std::int32_t pc : publish_pcs) {
+    if (pc < 0 || pc >= size) {
+      return InvalidArgument("publish PC out of range in " + name);
+    }
+    const Op op = code[static_cast<std::size_t>(pc)].op;
+    if (op != Op::kSt4 && op != Op::kSt8I && op != Op::kSt8F) {
+      return InvalidArgument("publish PC is not a store in " + name);
+    }
+  }
   // Falling off the end of the program is a bug; the last instruction must
   // redirect control or terminate every lane.
   const Op last = code.back().op;
@@ -160,6 +174,20 @@ void KernelBuilder::Jmp(Label target) {
 void KernelBuilder::Fence() { EMIT(kFence, 0, 0, 0, 0, 0.0); }
 void KernelBuilder::Exit() { EMIT(kExit, 0, 0, 0, 0, 0.0); }
 
+void KernelBuilder::BeginSpin() {
+  CAPELLINI_CHECK_MSG(open_spin_begin_ < 0, "spin regions must not nest");
+  open_spin_begin_ = CurrentPc();
+}
+
+void KernelBuilder::EndSpin() {
+  CAPELLINI_CHECK_MSG(open_spin_begin_ >= 0, "EndSpin without BeginSpin");
+  CAPELLINI_CHECK_MSG(CurrentPc() > open_spin_begin_, "empty spin region");
+  spin_regions_.emplace_back(open_spin_begin_, CurrentPc());
+  open_spin_begin_ = -1;
+}
+
+void KernelBuilder::MarkPublish() { publish_pcs_.push_back(CurrentPc()); }
+
 void KernelBuilder::ExitIfZero(int pred) {
   // Guard-exit idiom: the reconvergence point of the branch is the
   // fall-through instruction; lanes that take the branch exit immediately,
@@ -188,10 +216,13 @@ Kernel KernelBuilder::Build() {
       instr.imm = pc;
     }
   }
+  CAPELLINI_CHECK_MSG(open_spin_begin_ < 0, "unclosed spin region");
   Kernel kernel;
   kernel.name = name_;
   kernel.code = std::move(code_);
   kernel.num_params = num_params_;
+  kernel.spin_regions = std::move(spin_regions_);
+  kernel.publish_pcs = std::move(publish_pcs_);
   const Status status = kernel.Validate();
   CAPELLINI_CHECK_MSG(status.ok(), status.ToString());
   return kernel;

@@ -21,6 +21,15 @@ struct Kernel {
   std::vector<Instr> code;
   int num_params = 0;
 
+  /// Author-declared busy-wait regions, as half-open PC ranges [begin, end).
+  /// The tracing layer attributes instructions issued inside them (and the
+  /// stalls of their poll loads) to the busy-wait-spin bucket; the first PC
+  /// of a region marks one poll iteration.
+  std::vector<std::pair<std::int32_t, std::int32_t>> spin_regions;
+  /// PCs of stores that make a solution component visible to other threads
+  /// (the "write first" publish). Drives the solve-progress timeline.
+  std::vector<std::int32_t> publish_pcs;
+
   /// Structural validation: register indices in range, branch targets and
   /// reconvergence PCs inside the program, program ends in control flow.
   Status Validate() const;
@@ -106,6 +115,15 @@ class KernelBuilder {
   /// round thread counts up to full warps).
   void ExitIfZero(int pred);
 
+  // --- Trace annotations (no code emitted; metadata for src/trace) ---
+  /// Marks the instructions emitted between BeginSpin and EndSpin as a
+  /// busy-wait region. Regions must not nest.
+  void BeginSpin();
+  void EndSpin();
+  /// Marks the NEXT emitted instruction (a store) as the publish of a
+  /// solution component.
+  void MarkPublish();
+
   /// Number of instructions emitted so far (== PC of the next instruction).
   int CurrentPc() const { return static_cast<int>(code_.size()); }
 
@@ -129,6 +147,9 @@ class KernelBuilder {
   std::map<std::string, int> flt_regs_;
   std::vector<std::int64_t> label_pc_;  // -1 while unbound
   std::vector<Patch> patches_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> spin_regions_;
+  std::vector<std::int32_t> publish_pcs_;
+  int open_spin_begin_ = -1;
   bool built_ = false;
 };
 

@@ -14,6 +14,12 @@ constexpr std::uint32_t kFullMask = 0xFFFFFFFFu;
 
 int PopCount(std::uint32_t mask) { return std::popcount(mask); }
 
+// Per-PC annotation bits cached in Machine::pc_flags_ (built from the
+// kernel's spin_regions / publish_pcs at launch when a sink is attached).
+constexpr std::uint8_t kPcInSpin = 1;
+constexpr std::uint8_t kPcSpinHead = 2;
+constexpr std::uint8_t kPcPublish = 4;
+
 }  // namespace
 
 Machine::Machine(DeviceConfig config, DeviceMemory* memory)
@@ -33,9 +39,9 @@ bool Machine::TouchSector(std::uint64_t sector) {
   return present;
 }
 
-std::uint64_t Machine::AccountMemory(std::span<const std::uint64_t> addresses,
-                                     std::size_t count, int width_bytes,
-                                     bool is_atomic) {
+Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
+                                       std::size_t count, int width_bytes,
+                                       bool is_atomic) {
   // Distinct sectors among the active lanes' accesses = transactions.
   const std::uint64_t sector_bytes =
       static_cast<std::uint64_t>(config_.sector_bytes);
@@ -63,6 +69,19 @@ std::uint64_t Machine::AccountMemory(std::span<const std::uint64_t> addresses,
   stats_.dram_transactions += num_sectors;
   stats_.dram_bytes += misses * sector_bytes;
 
+  MemTxn txn;
+  txn.transactions = static_cast<std::uint32_t>(num_sectors);
+  txn.misses = static_cast<std::uint32_t>(misses);
+  // Backlog in front of this request = the bandwidth-bound share of its wait;
+  // captured before the queues advance. Only sinks consume it, so only pay
+  // for it when one is attached.
+  if (trace_) {
+    const double now = static_cast<double>(cycle_);
+    double backlog = std::max(0.0, l2_busy_until_ - now);
+    if (misses > 0) backlog += std::max(0.0, dram_busy_until_ - now);
+    txn.queue_cycles = static_cast<std::uint64_t>(backlog);
+  }
+
   // Every transaction queues on L2 throughput. Atomics occupy the L2 for a
   // full read-modify-write; hits (typically busy-wait polls of resident
   // lines) cost a fraction of a sector (see DeviceConfig::l2_hit_cost_divisor).
@@ -78,7 +97,10 @@ std::uint64_t Machine::AccountMemory(std::span<const std::uint64_t> addresses,
   const std::uint64_t l2_done =
       static_cast<std::uint64_t>(l2_busy_until_) +
       static_cast<std::uint64_t>(config_.l2_hit_latency_cycles);
-  if (misses == 0) return l2_done;
+  if (misses == 0) {
+    txn.ready_at = l2_done;
+    return txn;
+  }
 
   // Misses additionally queue on DRAM bandwidth and pay DRAM latency.
   const double dram_start =
@@ -89,7 +111,8 @@ std::uint64_t Machine::AccountMemory(std::span<const std::uint64_t> addresses,
   const std::uint64_t dram_done =
       static_cast<std::uint64_t>(dram_busy_until_) +
       static_cast<std::uint64_t>(config_.dram_latency_cycles);
-  return std::max(l2_done, dram_done);
+  txn.ready_at = std::max(l2_done, dram_done);
+  return txn;
 }
 
 void Machine::SyncAtReconv(Warp& warp) {
@@ -125,6 +148,11 @@ void Machine::UnwindIfEmpty(Warp& warp, int sm_index) {
 
 void Machine::FinishWarp(int warp_index, int sm_index) {
   Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+  if (trace_) {
+    trace_->OnWarpFinish(cycle_, sm_index,
+                         warp_index - sm_index * config_.max_warps_per_sm,
+                         warp.base_tid);
+  }
   warp.alive = false;
   Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
   sm.free_slots.push_back(warp_index);
@@ -152,8 +180,25 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   ++stats_.instructions;
   stats_.lane_instructions += static_cast<std::uint64_t>(PopCount(warp.active));
 
+  std::uint8_t pc_flags = 0;
+  if (trace_) {
+    pc_flags = pc_flags_[static_cast<std::size_t>(warp.pc)];
+    trace::IssueInfo issue;
+    issue.cycle = cycle_;
+    issue.sm = sm_index;
+    issue.warp_slot = warp_index - sm_index * config_.max_warps_per_sm;
+    issue.base_tid = warp.base_tid;
+    issue.pc = warp.pc;
+    issue.active = warp.active;
+    issue.divergent = !warp.stack.empty();
+    issue.in_spin = (pc_flags & kPcInSpin) != 0;
+    issue.spin_head = (pc_flags & kPcSpinHead) != 0;
+    trace_->OnIssue(issue);
+  }
+
   std::int32_t next_pc = warp.pc + 1;
-  std::uint64_t ready_at = 0;  // 0 => ready immediately
+  MemTxn mem;  // ready_at == 0 => ready immediately
+  bool is_atomic_op = false;
 
   const std::uint32_t active = warp.active;
   switch (instr.op) {
@@ -370,7 +415,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
           RegF(warp, lane, instr.a) = memory_->LoadF64(addr);
         }
       }
-      ready_at = AccountMemory(addresses, count, MemoryWidth(instr.op));
+      mem = AccountMemory(addresses, count, MemoryWidth(instr.op));
       break;
     }
     case Op::kSt4:
@@ -396,6 +441,16 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
       // Stores are fire-and-forget: account bandwidth, do not stall.
       (void)AccountMemory(addresses, count, MemoryWidth(instr.op));
       last_progress_cycle_ = cycle_;
+      if (trace_ && (pc_flags & kPcPublish) != 0) {
+        trace::PublishInfo publish;
+        publish.cycle = cycle_;
+        publish.sm = sm_index;
+        publish.warp_slot = warp_index - sm_index * config_.max_warps_per_sm;
+        for (std::size_t i = 0; i < count; ++i) {
+          publish.addr = addresses[i];
+          trace_->OnPublish(publish);
+        }
+      }
       break;
     }
     case Op::kAtomAddF8:
@@ -421,9 +476,15 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
               addr, old + static_cast<std::int32_t>(RegI(warp, lane, instr.c)));
         }
       }
-      ready_at = AccountMemory(addresses, count, MemoryWidth(instr.op),
-                               /*is_atomic=*/true);
+      mem = AccountMemory(addresses, count, MemoryWidth(instr.op),
+                          /*is_atomic=*/true);
+      is_atomic_op = true;
       last_progress_cycle_ = cycle_;
+      if (trace_) {
+        trace_->OnAtomic(cycle_, sm_index,
+                         warp_index - sm_index * config_.max_warps_per_sm,
+                         mem.transactions);
+      }
       break;
     }
     case Op::kFMovI:
@@ -547,8 +608,22 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   }
 
   Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
-  if (ready_at > cycle_ + 1) {
-    wake_.push(WakeEntry{ready_at, warp_index, sm_index});
+  if (mem.ready_at > cycle_ + 1) {
+    if (trace_) {
+      trace::MemStallInfo stall;
+      stall.cycle = cycle_;
+      stall.ready_at = mem.ready_at;
+      stall.sm = sm_index;
+      stall.warp_slot = warp_index - sm_index * config_.max_warps_per_sm;
+      stall.base_tid = warp.base_tid;
+      stall.queue_cycles = mem.queue_cycles;
+      stall.transactions = mem.transactions;
+      stall.dram_misses = mem.misses;
+      stall.is_atomic = is_atomic_op;
+      stall.in_spin = (pc_flags & kPcInSpin) != 0;
+      trace_->OnMemStall(stall);
+    }
+    wake_.push(WakeEntry{mem.ready_at, warp_index, sm_index});
   } else {
     sm.ready.push_back(warp_index);
   }
@@ -586,6 +661,28 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   alive_warps_ = 0;
   wake_ = {};
   std::fill(l2_sectors_.begin(), l2_sectors_.end(), 0);
+
+  ++launch_index_;
+  if (trace_) {
+    pc_flags_.assign(kernel.code.size(), 0);
+    for (const auto& [begin, end] : kernel.spin_regions) {
+      for (std::int32_t pc = begin; pc < end; ++pc) {
+        pc_flags_[static_cast<std::size_t>(pc)] |= kPcInSpin;
+      }
+      pc_flags_[static_cast<std::size_t>(begin)] |= kPcSpinHead;
+    }
+    for (const std::int32_t pc : kernel.publish_pcs) {
+      pc_flags_[static_cast<std::size_t>(pc)] |= kPcPublish;
+    }
+    trace::LaunchInfo info;
+    info.launch_index = launch_index_;
+    info.kernel_name = kernel.name.c_str();
+    info.num_threads = dims.num_threads;
+    info.threads_per_block = dims.threads_per_block;
+    info.params = params_.data();
+    info.num_params = static_cast<int>(params_.size());
+    trace_->OnLaunchBegin(info);
+  }
 
   const int warps_per_block = dims.threads_per_block / 32;
   const std::int64_t num_blocks =
@@ -628,6 +725,7 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         continue;
       }
       const std::int64_t block = next_block++;
+      if (trace_) trace_->OnBlockDispatch(cycle_, block, dispatch_sm);
       const std::int64_t block_first_tid =
           block * static_cast<std::int64_t>(dims.threads_per_block);
       for (int w = 0; w < warps_per_block; ++w) {
@@ -648,6 +746,12 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         sm.ready.push_back(warp_index);
         ++sm.resident;
         ++alive_warps_;
+        if (trace_) {
+          trace_->OnWarpStart(
+              cycle_, dispatch_sm,
+              warp_index - dispatch_sm * config_.max_warps_per_sm, block,
+              base_tid);
+        }
       }
       last_progress_cycle_ = cycle_;
       dispatch_sm = (dispatch_sm + 1) % config_.num_sms;
@@ -659,8 +763,13 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
 
   while (alive_warps_ > 0 || next_block < num_blocks) {
     if (cycle_ > config_.max_cycles) {
-      return DeadlockError("kernel " + kernel.name + " exceeded " +
-                           std::to_string(config_.max_cycles) + " cycles");
+      const std::string dump = "kernel " + kernel.name + " exceeded " +
+                               std::to_string(config_.max_cycles) + " cycles";
+      if (trace_) {
+        trace_->OnDeadlock(cycle_, dump);
+        trace_->OnLaunchEnd(cycle_ + config_.launch_overhead_cycles);
+      }
+      return DeadlockError(dump);
     }
     if (cycle_ - last_progress_cycle_ > config_.no_progress_cycles) {
       // Diagnose: where are the surviving warps parked? A busy-wait deadlock
@@ -679,11 +788,16 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         if (!hot_pcs.empty()) hot_pcs += ", ";
         hot_pcs += "pc " + std::to_string(pc) + " x" + std::to_string(count);
       }
-      return DeadlockError(
+      const std::string dump =
           "kernel " + kernel.name +
           " made no forward progress (intra-warp busy-wait deadlock?) at cycle " +
           std::to_string(cycle_) + "; " + std::to_string(alive) +
-          " warps alive (" + hot_pcs + ")");
+          " warps alive (" + hot_pcs + ")";
+      if (trace_) {
+        trace_->OnDeadlock(cycle_, dump);
+        trace_->OnLaunchEnd(cycle_ + config_.launch_overhead_cycles);
+      }
+      return DeadlockError(dump);
     }
 
     // Wake memory-stalled warps whose loads completed.
@@ -738,6 +852,7 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   }
 
   stats_.cycles = cycle_ + config_.launch_overhead_cycles;
+  if (trace_) trace_->OnLaunchEnd(stats_.cycles);
   return stats_;
 }
 

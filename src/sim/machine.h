@@ -34,6 +34,7 @@
 #include "sim/kernel.h"
 #include "sim/memory.h"
 #include "support/status.h"
+#include "trace/sink.h"
 
 namespace capellini::sim {
 
@@ -48,6 +49,12 @@ class Machine {
   Machine(DeviceConfig config, DeviceMemory* memory);
 
   const DeviceConfig& config() const { return config_; }
+
+  /// Attaches an execution-trace observer (nullptr = tracing off, the
+  /// default). The sink sees dispatches, warp lifetimes, issues, memory
+  /// stalls, publishes and deadlock dumps; it never affects timing — stats
+  /// and solutions are identical with and without a sink.
+  void set_trace_sink(trace::TraceSink* sink) { trace_ = sink; }
 
   /// Runs `kernel` to completion and returns its counters.
   /// Fails with StatusCode::kDeadlock when the watchdog trips.
@@ -86,10 +93,18 @@ class Machine {
   void SyncAtReconv(Warp& warp);
   void UnwindIfEmpty(Warp& warp, int sm_index);
 
-  // Memory transaction accounting; returns the completion cycle.
-  std::uint64_t AccountMemory(std::span<const std::uint64_t> addresses,
-                              std::size_t count, int width_bytes,
-                              bool is_atomic = false);
+  // Memory transaction accounting result: completion cycle plus the detail
+  // the tracing layer attributes stalls with.
+  struct MemTxn {
+    std::uint64_t ready_at = 0;
+    std::uint32_t transactions = 0;
+    std::uint32_t misses = 0;
+    // Backlog found on the L2/DRAM queues (bandwidth-bound share of the wait).
+    std::uint64_t queue_cycles = 0;
+  };
+  MemTxn AccountMemory(std::span<const std::uint64_t> addresses,
+                       std::size_t count, int width_bytes,
+                       bool is_atomic = false);
 
   // L2 sector tracking (infinite capacity; see DeviceConfig comment).
   bool TouchSector(std::uint64_t sector);
@@ -128,6 +143,12 @@ class Machine {
   std::int64_t alive_warps_ = 0;
   LaunchStats stats_;
   std::vector<std::uint64_t> l2_sectors_;  // bitmap, one bit per sector
+
+  // Tracing (see trace/sink.h). pc_flags_ caches the kernel's spin/publish
+  // annotations as per-PC bits so the issue path pays one array load.
+  trace::TraceSink* trace_ = nullptr;
+  std::vector<std::uint8_t> pc_flags_;
+  int launch_index_ = -1;
 };
 
 }  // namespace capellini::sim

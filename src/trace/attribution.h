@@ -1,0 +1,101 @@
+// Stall-attribution aggregator: splits every warp's resident lifetime into
+// the buckets the paper's §5.3 analysis argues about.
+//
+//   issue (useful)   — issued instructions outside spin regions, undiverged
+//   reconvergence    — issued while the reconvergence stack is non-empty:
+//                      the serialized side of a divergent branch is running
+//                      and the other lanes are parked (Challenge 1's cost)
+//   busy-wait spin   — instructions issued inside author-annotated spin
+//                      regions plus the memory stalls of their poll loads
+//   memory latency   — load/atomic stalls outside spin regions, minus the
+//                      share spent queueing behind other traffic
+//   memory bandwidth — the queueing share of those stalls (backlog found on
+//                      the L2/DRAM queues — the §3.1 throttling mechanism)
+//   scheduler wait   — the remainder: cycles resident but waiting for an
+//                      issue slot (warp oversubscription)
+//
+// Aggregation is streaming — per-warp counters, no event storage — so it can
+// ride along a full-size solve.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/sink.h"
+
+namespace capellini::trace {
+
+/// Cycle buckets; all fields are simulated cycles except the two counters.
+struct StallBuckets {
+  std::uint64_t useful_issue = 0;
+  std::uint64_t reconv_issue = 0;
+  std::uint64_t spin_issue = 0;
+  std::uint64_t spin_stall = 0;
+  std::uint64_t mem_latency = 0;
+  std::uint64_t mem_bandwidth = 0;
+  std::uint64_t scheduler_wait = 0;
+  std::uint64_t spin_iterations = 0;  // passes through annotated spin heads
+  std::uint64_t atomics = 0;          // atomic transactions issued
+
+  std::uint64_t BusyWait() const { return spin_issue + spin_stall; }
+  std::uint64_t Total() const {
+    return useful_issue + reconv_issue + spin_issue + spin_stall +
+           mem_latency + mem_bandwidth + scheduler_wait;
+  }
+  StallBuckets& operator+=(const StallBuckets& other);
+};
+
+/// One retired warp's attribution.
+struct WarpRecord {
+  int launch_index = 0;
+  int sm = 0;
+  int warp_slot = 0;
+  std::int64_t base_tid = 0;
+  std::uint64_t start_cycle = 0;   // global clock (across launches)
+  std::uint64_t finish_cycle = 0;
+  StallBuckets buckets;
+};
+
+class StallAttribution : public TraceSink {
+ public:
+  void OnLaunchBegin(const LaunchInfo& info) override;
+  void OnLaunchEnd(std::uint64_t cycles) override;
+  void OnWarpStart(std::uint64_t cycle, int sm, int warp_slot,
+                   std::int64_t block, std::int64_t base_tid) override;
+  void OnWarpFinish(std::uint64_t cycle, int sm, int warp_slot,
+                    std::int64_t base_tid) override;
+  void OnIssue(const IssueInfo& info) override;
+  void OnMemStall(const MemStallInfo& info) override;
+  void OnAtomic(std::uint64_t cycle, int sm, int warp_slot,
+                std::uint32_t transactions) override;
+
+  /// Retired warps, in retirement order.
+  const std::vector<WarpRecord>& records() const { return records_; }
+
+  /// Sum over all retired warps.
+  StallBuckets Totals() const;
+
+  /// Human-readable attribution table (cycles and % of the total).
+  std::string SummaryTable() const;
+
+  /// Per-warp CSV: one row per retired warp plus a header line.
+  std::string ToCsv() const;
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  struct ActiveWarp {
+    std::int64_t base_tid = 0;
+    std::uint64_t start_cycle = 0;  // global
+    StallBuckets buckets;
+  };
+
+  std::map<std::pair<int, int>, ActiveWarp> active_;  // (sm, slot) -> warp
+  std::vector<WarpRecord> records_;
+  LaunchClock clock_;
+  int launch_index_ = -1;
+};
+
+}  // namespace capellini::trace

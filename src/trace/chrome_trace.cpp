@@ -1,0 +1,165 @@
+#include "trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace capellini::trace {
+namespace {
+
+// The synthetic process hosting launch-level slices.
+constexpr int kDevicePid = 1000000;
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+void ChromeTraceSink::Emit(std::string event) {
+  if (events_.size() >= options_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceSink::OnLaunchBegin(const LaunchInfo& info) {
+  launch_name_ = info.kernel_name;
+  launch_start_ = clock_.offset;
+}
+
+void ChromeTraceSink::OnLaunchEnd(std::uint64_t cycles) {
+  Emit(Format("{\"name\":\"%s\",\"cat\":\"launch\",\"ph\":\"X\",\"ts\":%" PRIu64
+              ",\"dur\":%" PRIu64 ",\"pid\":%d,\"tid\":0}",
+              JsonEscape(launch_name_).c_str(), launch_start_, cycles,
+              kDevicePid));
+  clock_.EndLaunch(cycles);
+}
+
+void ChromeTraceSink::OnBlockDispatch(std::uint64_t cycle, std::int64_t block,
+                                      int sm) {
+  sms_seen_.insert(sm);
+  Emit(Format("{\"name\":\"dispatch block %" PRId64
+              "\",\"cat\":\"dispatch\",\"ph\":\"i\",\"s\":\"p\",\"ts\":%" PRIu64
+              ",\"pid\":%d,\"tid\":0}",
+              static_cast<std::int64_t>(block), clock_.At(cycle), sm));
+}
+
+void ChromeTraceSink::OnWarpStart(std::uint64_t cycle, int sm, int warp_slot,
+                                  std::int64_t /*block*/,
+                                  std::int64_t base_tid) {
+  sms_seen_.insert(sm);
+  open_warps_[{sm, warp_slot}] = {clock_.At(cycle), base_tid};
+}
+
+void ChromeTraceSink::OnWarpFinish(std::uint64_t cycle, int sm, int warp_slot,
+                                   std::int64_t base_tid) {
+  const auto it = open_warps_.find({sm, warp_slot});
+  if (it == open_warps_.end()) return;
+  const std::uint64_t start = it->second.first;
+  const std::uint64_t end = clock_.At(cycle);
+  open_warps_.erase(it);
+  Emit(Format("{\"name\":\"warp t%" PRId64
+              "\",\"cat\":\"warp\",\"ph\":\"X\",\"ts\":%" PRIu64
+              ",\"dur\":%" PRIu64 ",\"pid\":%d,\"tid\":%d}",
+              base_tid, start, end > start ? end - start : 0, sm, warp_slot));
+}
+
+void ChromeTraceSink::OnIssue(const IssueInfo& info) {
+  if (!options_.include_issues) return;
+  Emit(Format("{\"name\":\"pc %d\",\"cat\":\"issue\",\"ph\":\"X\",\"ts\":%" PRIu64
+              ",\"dur\":1,\"pid\":%d,\"tid\":%d}",
+              info.pc, clock_.At(info.cycle), info.sm, info.warp_slot));
+}
+
+void ChromeTraceSink::OnMemStall(const MemStallInfo& info) {
+  const char* name =
+      info.in_spin ? "poll" : (info.is_atomic ? "atomic" : "mem");
+  Emit(Format("{\"name\":\"%s\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":%" PRIu64
+              ",\"dur\":%" PRIu64
+              ",\"pid\":%d,\"tid\":%d,\"args\":{\"tx\":%u,\"miss\":%u,"
+              "\"queue\":%" PRIu64 "}}",
+              name, clock_.At(info.cycle),
+              info.ready_at > info.cycle ? info.ready_at - info.cycle : 0,
+              info.sm, info.warp_slot, info.transactions, info.dram_misses,
+              info.queue_cycles));
+}
+
+void ChromeTraceSink::OnPublish(const PublishInfo& info) {
+  Emit(Format("{\"name\":\"publish\",\"cat\":\"publish\",\"ph\":\"i\",\"s\":"
+              "\"t\",\"ts\":%" PRIu64 ",\"pid\":%d,\"tid\":%d}",
+              clock_.At(info.cycle), info.sm, info.warp_slot));
+}
+
+void ChromeTraceSink::OnDeadlock(std::uint64_t cycle, const std::string& dump) {
+  Emit(Format("{\"name\":\"DEADLOCK\",\"cat\":\"watchdog\",\"ph\":\"i\",\"s\":"
+              "\"g\",\"ts\":%" PRIu64
+              ",\"pid\":%d,\"tid\":0,\"args\":{\"dump\":\"%s\"}}",
+              clock_.At(cycle), kDevicePid, JsonEscape(dump).c_str()));
+}
+
+std::string ChromeTraceSink::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":"
+                    "\"1us==1cycle\",\"dropped_events\":" +
+                    std::to_string(dropped_) + "},\"traceEvents\":[\n";
+  // Metadata first: stable, sorted track names.
+  out += Format("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":"
+                "{\"name\":\"device\"}}",
+                kDevicePid);
+  for (const int sm : sms_seen_) {
+    out += Format(",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"SM %d\"}}",
+                  sm, sm);
+  }
+  for (const std::string& event : events_) {
+    out += ",\n";
+    out += event;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status ChromeTraceSink::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return IoError("cannot open '" + path + "' for writing");
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) return IoError("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace capellini::trace

@@ -1,0 +1,55 @@
+// Convenience bundle for the common tracing setup: stall attribution +
+// solve timeline + Chrome trace, fanned out from one sink. This is what
+// examples/sptrsv_tool wires into kernels::SolveOptions::trace_sink.
+#pragma once
+
+#include <string>
+
+#include "support/status.h"
+#include "trace/attribution.h"
+#include "trace/chrome_trace.h"
+#include "trace/sink.h"
+#include "trace/timeline.h"
+
+namespace capellini::trace {
+
+class TraceSession {
+ public:
+  struct Options {
+    /// Publish-address resolver for the timeline (see SolveTimeline): the
+    /// CSR kernels publish through the i32 get_value array in param slot 6;
+    /// level-set and the CSC SyncFree baseline publish through the f64 x
+    /// vector in slot 5 — pass (5, 8) for those.
+    int publish_param_index = 6;
+    int publish_elem_size = 4;
+    ChromeTraceSink::Options chrome;
+  };
+
+  TraceSession() : TraceSession(Options()) {}
+  explicit TraceSession(Options options)
+      : timeline_(options.publish_param_index, options.publish_elem_size),
+        chrome_(options.chrome) {
+    sink_.Add(&attribution_);
+    sink_.Add(&timeline_);
+    sink_.Add(&chrome_);
+  }
+
+  /// The sink to attach to kernels::SolveOptions::trace_sink.
+  TraceSink* sink() { return &sink_; }
+
+  const StallAttribution& attribution() const { return attribution_; }
+  const SolveTimeline& timeline() const { return timeline_; }
+  const ChromeTraceSink& chrome() const { return chrome_; }
+
+  Status WriteChromeTrace(const std::string& path) const {
+    return chrome_.WriteFile(path);
+  }
+
+ private:
+  StallAttribution attribution_;
+  SolveTimeline timeline_;
+  ChromeTraceSink chrome_;
+  MultiSink sink_;
+};
+
+}  // namespace capellini::trace

@@ -1,0 +1,168 @@
+// Execution-tracing sink interface for the simulated GPU.
+//
+// sim::Machine emits fine-grained events (block dispatch, warp start/retire,
+// per-issue, memory stalls with cause detail, publishes, deadlock dumps)
+// through a TraceSink pointer. A null pointer is the zero-overhead "null
+// sink": every hook site is guarded by a single pointer test and the
+// simulator's timing is identical with or without a sink attached — sinks
+// OBSERVE the machine, they never perturb it.
+//
+// This header is the bottom of the trace layer: it is included by sim/machine
+// and therefore depends only on the standard library. Aggregators and
+// exporters (attribution.h, timeline.h, chrome_trace.h) build on top of it
+// and may use the support layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capellini::trace {
+
+/// Launch geometry handed to sinks before the first cycle of a launch.
+/// `params` points at the launch's parameter block (valid for the duration of
+/// the OnLaunchBegin call only — copy what you need).
+struct LaunchInfo {
+  int launch_index = 0;  // per-Machine counter, 0-based
+  const char* kernel_name = "";
+  std::int64_t num_threads = 0;
+  int threads_per_block = 0;
+  const std::int64_t* params = nullptr;
+  int num_params = 0;
+};
+
+/// One issued warp-instruction. `divergent` means the warp's reconvergence
+/// stack is non-empty (some lanes are parked — the serialized side of a
+/// branch is executing). `in_spin`/`spin_head` come from the kernel author's
+/// BeginSpin/EndSpin annotations; the head PC identifies one poll iteration.
+struct IssueInfo {
+  std::uint64_t cycle = 0;
+  int sm = 0;
+  int warp_slot = 0;
+  std::int64_t base_tid = 0;
+  std::int32_t pc = 0;
+  std::uint32_t active = 0;
+  bool divergent = false;
+  bool in_spin = false;
+  bool spin_head = false;
+};
+
+/// A load/atomic that parked its warp until `ready_at`. `queue_cycles` is the
+/// backlog the request found in front of it on the L2/DRAM queues — the
+/// bandwidth-bound share of the stall; the rest is intrinsic latency.
+struct MemStallInfo {
+  std::uint64_t cycle = 0;
+  std::uint64_t ready_at = 0;
+  int sm = 0;
+  int warp_slot = 0;
+  std::int64_t base_tid = 0;
+  std::uint64_t queue_cycles = 0;
+  std::uint32_t transactions = 0;
+  std::uint32_t dram_misses = 0;
+  bool is_atomic = false;
+  bool in_spin = false;  // the stalled access is a busy-wait poll
+};
+
+/// A store marked with KernelBuilder::MarkPublish executed: one lane made a
+/// solution component visible. `addr` is the device byte address written;
+/// resolve it to a row with the launch params (see SolveTimeline).
+struct PublishInfo {
+  std::uint64_t cycle = 0;
+  int sm = 0;
+  int warp_slot = 0;
+  std::uint64_t addr = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void OnLaunchBegin(const LaunchInfo& /*info*/) {}
+  /// End of a launch; `cycles` includes the configured launch overhead so
+  /// that multi-launch timelines (level-set) keep a consistent global clock.
+  virtual void OnLaunchEnd(std::uint64_t /*cycles*/) {}
+
+  virtual void OnBlockDispatch(std::uint64_t /*cycle*/, std::int64_t /*block*/,
+                               int /*sm*/) {}
+  virtual void OnWarpStart(std::uint64_t /*cycle*/, int /*sm*/,
+                           int /*warp_slot*/, std::int64_t /*block*/,
+                           std::int64_t /*base_tid*/) {}
+  virtual void OnWarpFinish(std::uint64_t /*cycle*/, int /*sm*/,
+                            int /*warp_slot*/, std::int64_t /*base_tid*/) {}
+
+  virtual void OnIssue(const IssueInfo& /*info*/) {}
+  virtual void OnMemStall(const MemStallInfo& /*info*/) {}
+  virtual void OnAtomic(std::uint64_t /*cycle*/, int /*sm*/, int /*warp_slot*/,
+                        std::uint32_t /*transactions*/) {}
+  virtual void OnPublish(const PublishInfo& /*info*/) {}
+
+  /// The no-progress watchdog tripped; `dump` is the same context message the
+  /// launch returns as its deadlock status.
+  virtual void OnDeadlock(std::uint64_t /*cycle*/,
+                          const std::string& /*dump*/) {}
+};
+
+/// Tracks the global cycle across launches: events carry within-launch
+/// cycles, OnLaunchEnd advances the epoch. Embed in sinks that need one
+/// monotone clock over a multi-launch solve.
+struct LaunchClock {
+  std::uint64_t offset = 0;
+  std::uint64_t At(std::uint64_t cycle) const { return offset + cycle; }
+  void EndLaunch(std::uint64_t cycles) { offset += cycles; }
+};
+
+/// Fans every event out to a list of sinks (not owned).
+class MultiSink : public TraceSink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void Add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  void OnLaunchBegin(const LaunchInfo& info) override {
+    for (TraceSink* s : sinks_) s->OnLaunchBegin(info);
+  }
+  void OnLaunchEnd(std::uint64_t cycles) override {
+    for (TraceSink* s : sinks_) s->OnLaunchEnd(cycles);
+  }
+  void OnBlockDispatch(std::uint64_t cycle, std::int64_t block,
+                       int sm) override {
+    for (TraceSink* s : sinks_) s->OnBlockDispatch(cycle, block, sm);
+  }
+  void OnWarpStart(std::uint64_t cycle, int sm, int warp_slot,
+                   std::int64_t block, std::int64_t base_tid) override {
+    for (TraceSink* s : sinks_) {
+      s->OnWarpStart(cycle, sm, warp_slot, block, base_tid);
+    }
+  }
+  void OnWarpFinish(std::uint64_t cycle, int sm, int warp_slot,
+                    std::int64_t base_tid) override {
+    for (TraceSink* s : sinks_) {
+      s->OnWarpFinish(cycle, sm, warp_slot, base_tid);
+    }
+  }
+  void OnIssue(const IssueInfo& info) override {
+    for (TraceSink* s : sinks_) s->OnIssue(info);
+  }
+  void OnMemStall(const MemStallInfo& info) override {
+    for (TraceSink* s : sinks_) s->OnMemStall(info);
+  }
+  void OnAtomic(std::uint64_t cycle, int sm, int warp_slot,
+                std::uint32_t transactions) override {
+    for (TraceSink* s : sinks_) s->OnAtomic(cycle, sm, warp_slot, transactions);
+  }
+  void OnPublish(const PublishInfo& info) override {
+    for (TraceSink* s : sinks_) s->OnPublish(info);
+  }
+  void OnDeadlock(std::uint64_t cycle, const std::string& dump) override {
+    for (TraceSink* s : sinks_) s->OnDeadlock(cycle, dump);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace capellini::trace

@@ -1,0 +1,64 @@
+// Solve-progress timeline: the simulator-truth version of the paper's level
+// ramp. Every kernel marks the store that makes a row's component visible
+// (KernelBuilder::MarkPublish); this sink resolves each publish address back
+// to a row number and records WHEN, on the global cycle clock, that row was
+// done. Plotting rows-published-over-cycles shows the dependency ramp that
+// distinguishes a level-limited solve from a bandwidth-limited one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "trace/sink.h"
+
+namespace capellini::trace {
+
+struct PublishRecord {
+  std::int64_t row = 0;
+  std::uint64_t cycle = 0;  // global clock (across launches)
+  int sm = 0;
+};
+
+class SolveTimeline : public TraceSink {
+ public:
+  /// Publish addresses are resolved as row = (addr - params[param_index]) /
+  /// elem_size. The defaults match the CSR kernels' get_value flag array
+  /// (kernels/common.h param slot 6, i32 flags); level-set/CSC kernels
+  /// publish through the x vector instead — use (5, 8) for those.
+  explicit SolveTimeline(int param_index = 6, int elem_size = 4)
+      : param_index_(param_index), elem_size_(elem_size) {}
+
+  void OnLaunchBegin(const LaunchInfo& info) override;
+  void OnLaunchEnd(std::uint64_t cycles) override;
+  void OnPublish(const PublishInfo& info) override;
+
+  /// Publishes in execution order. Rows publish exactly once on correct
+  /// kernels; duplicates would indicate a kernel bug.
+  const std::vector<PublishRecord>& records() const { return records_; }
+
+  /// Publishes whose address did not fall inside the configured array (e.g.
+  /// a mismatched resolver); nonzero counts mean the timeline is incomplete.
+  std::uint64_t unresolved() const { return unresolved_; }
+
+  /// "row,cycle,sm" CSV with a header line, in publish order.
+  std::string ToCsv() const;
+  Status WriteCsv(const std::string& path) const;
+
+  /// Cycle by which `fraction` (0..1] of `total_rows` rows were published,
+  /// or 0 if the timeline never got that far. The 0.5/0.9/1.0 points
+  /// summarize the ramp without plotting it.
+  std::uint64_t CycleAtFraction(double fraction, std::int64_t total_rows) const;
+
+ private:
+  int param_index_;
+  int elem_size_;
+  std::uint64_t base_addr_ = 0;
+  std::int64_t rows_ = 0;
+  std::uint64_t unresolved_ = 0;
+  std::vector<PublishRecord> records_;
+  LaunchClock clock_;
+};
+
+}  // namespace capellini::trace

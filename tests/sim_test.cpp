@@ -517,6 +517,57 @@ TEST(CountersTest, StatsAccumulate) {
   EXPECT_DOUBLE_EQ(empty.AvgActiveLanes(), 0.0);
 }
 
+TEST(CountersTest, RatioMetricsGuardZeroDenominators) {
+  // A launch that never had resident work (issue_slots == 0) or never issued
+  // (instructions == 0) must report 0, not NaN, so tables format cleanly.
+  LaunchStats stats;
+  stats.stall_slots = 7;        // nonsense without issue_slots, still no NaN
+  stats.lane_instructions = 64;  // likewise without instructions
+  EXPECT_DOUBLE_EQ(stats.StallPct(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AvgActiveLanes(), 0.0);
+
+  stats.issue_slots = 400;
+  stats.instructions = 4;
+  EXPECT_DOUBLE_EQ(stats.StallPct(), 1.75);
+  EXPECT_DOUBLE_EQ(stats.AvgActiveLanes(), 16.0);
+}
+
+TEST(CountersTest, PlusEqualsAccumulatesEveryField) {
+  LaunchStats a;
+  a.cycles = 1;
+  a.instructions = 2;
+  a.lane_instructions = 3;
+  a.dram_bytes = 4;
+  a.dram_transactions = 5;
+  a.issue_slots = 6;
+  a.issue_used = 7;
+  a.stall_slots = 8;
+  a.launches = 9;
+  LaunchStats b;
+  b.cycles = 10;
+  b.instructions = 20;
+  b.lane_instructions = 30;
+  b.dram_bytes = 40;
+  b.dram_transactions = 50;
+  b.issue_slots = 60;
+  b.issue_used = 70;
+  b.stall_slots = 80;
+  b.launches = 90;
+  a += b;
+  EXPECT_EQ(a.cycles, 11u);
+  EXPECT_EQ(a.instructions, 22u);
+  EXPECT_EQ(a.lane_instructions, 33u);
+  EXPECT_EQ(a.dram_bytes, 44u);
+  EXPECT_EQ(a.dram_transactions, 55u);
+  EXPECT_EQ(a.issue_slots, 66u);
+  EXPECT_EQ(a.issue_used, 77u);
+  EXPECT_EQ(a.stall_slots, 88u);
+  EXPECT_EQ(a.launches, 99u);
+  // b is untouched by the copy-based operator+.
+  const LaunchStats sum = b + LaunchStats{};
+  EXPECT_EQ(sum.cycles, b.cycles);
+}
+
 TEST(ConfigTest, PaperPlatformsMatchTable3) {
   const auto platforms = PaperPlatforms();
   ASSERT_EQ(platforms.size(), 3u);
