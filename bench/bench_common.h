@@ -6,6 +6,11 @@
 //   --seed=N          corpus seed
 //   --progress        per-run progress lines on stderr
 //   --platform=NAME   restrict to one platform (Pascal|Volta|Turing)
+//   --threads=N       worker threads for the experiment engine
+//                     (0 = hardware concurrency; results are identical
+//                     for every value)
+//   --json=PATH       also write machine-readable results to PATH
+//                     (consumed by bench_runner / CI)
 //
 // Absolute numbers come from the SIMT simulator (DESIGN.md §2); EXPERIMENTS.md
 // records how each printed table compares with the paper.
@@ -31,6 +36,8 @@ struct BenchOptions {
   std::int64_t seed = 0xC0FFEE;
   bool progress = false;
   std::string platform;  // empty = all
+  std::int64_t threads = 1;  // 0 = hardware concurrency
+  std::string json;          // empty = no JSON output
 };
 
 /// Parses the common flags; exits on --help or bad flags.
@@ -46,6 +53,10 @@ inline BenchOptions ParseBenchFlags(int argc, char** argv,
   flags.AddBool("progress", &options.progress, "per-run progress on stderr");
   flags.AddString("platform", &options.platform,
                   "run only this platform (Pascal|Volta|Turing)");
+  flags.AddInt("threads", &options.threads,
+               "worker threads (0 = hardware concurrency, 1 = serial)");
+  flags.AddString("json", &options.json,
+                  "write machine-readable results to this path");
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     if (status.code() != StatusCode::kNotFound || status.message() != "help") {
@@ -67,6 +78,7 @@ inline CorpusOptions ToCorpusOptions(const BenchOptions& options) {
 inline ExperimentOptions ToExperimentOptions(const BenchOptions& options) {
   ExperimentOptions experiment;
   experiment.progress = options.progress;
+  experiment.threads = static_cast<int>(options.threads);
   return experiment;
 }
 

@@ -85,6 +85,18 @@ int main(int argc, char** argv) {
                      result.status().ToString().c_str());
         return 1;
       }
+      // Repetitions must not drift: the machine reuses its warp pool and
+      // lazily-cleared L2 bitmap across launches, and any state leaking
+      // between launches would show up as a cycle difference here.
+      if (rep > 0 && result->stats.cycles != cycles) {
+        std::fprintf(stderr,
+                     "FAIL: rep %lld simulated %llu cycles, rep 0 simulated "
+                     "%llu — launches are not independent\n",
+                     static_cast<long long>(rep),
+                     static_cast<unsigned long long>(result->stats.cycles),
+                     static_cast<unsigned long long>(cycles));
+        return 1;
+      }
       cycles = result->stats.cycles;
     }
     const double median = MedianMs(samples);

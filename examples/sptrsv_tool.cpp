@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   bool tune = false;
   bool trace_summary = false;
   std::int64_t generate_nodes = 1 << 14;
+  std::int64_t threads = 0;
 
   CliFlags flags;
   flags.AddString("input", &input, "Matrix Market file to solve");
@@ -63,6 +64,9 @@ int main(int argc, char** argv) {
                 "device algorithms only");
   flags.AddString("trace_csv", &trace_csv_path,
                   "write the per-warp stall-attribution CSV");
+  flags.AddInt("threads", &threads,
+               "worker threads for --tune (0 = hardware concurrency); "
+               "incompatible with tracing");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
   }
@@ -126,6 +130,14 @@ int main(int argc, char** argv) {
   // --- tracing setup -------------------------------------------------------
   const bool want_trace =
       !trace_path.empty() || !trace_csv_path.empty() || trace_summary;
+  if (want_trace && threads > 1) {
+    std::fprintf(stderr,
+                 "error: --threads=%lld is incompatible with tracing — a "
+                 "trace sink observes one machine at a time. Drop --trace/"
+                 "--trace_summary/--trace_csv or use --threads=1.\n",
+                 static_cast<long long>(threads));
+    return 2;
+  }
   if (want_trace && !IsDeviceAlgorithm(algorithm)) {
     std::fprintf(stderr,
                  "error: --trace/--trace_summary need a simulated-device "
@@ -214,7 +226,12 @@ int main(int argc, char** argv) {
   }
 
   if (tune) {
-    auto tuned = TuneHybridThreshold(lower, options.device);
+    AutotuneOptions tune_options;
+    // Tracing forces the serial sweep; otherwise fan candidates across the
+    // requested worker count (0 = hardware concurrency). The tuned result is
+    // identical either way.
+    tune_options.threads = want_trace ? 1 : static_cast<int>(threads);
+    auto tuned = TuneHybridThreshold(lower, options.device, tune_options);
     if (!tuned.ok()) {
       std::fprintf(stderr, "autotune failed: %s\n",
                    tuned.status().ToString().c_str());

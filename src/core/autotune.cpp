@@ -1,6 +1,10 @@
 #include "core/autotune.h"
 
+#include <algorithm>
+#include <future>
+
 #include "matrix/triangular.h"
+#include "support/thread_pool.h"
 
 namespace capellini {
 
@@ -16,12 +20,42 @@ Expected<AutotuneResult> TuneHybridThreshold(const Csr& lower,
   const ReferenceProblem problem =
       MakeReferenceProblem(lower, options.rhs_seed);
 
-  AutotuneResult result;
-  for (const Idx threshold : candidates) {
+  // Candidate solves are independent (each owns a private machine); fan them
+  // across the pool and commit profiles in candidate order so the result is
+  // the same for any thread count.
+  const int threads =
+      std::min<int>(options.threads == 0 ? ThreadPool::HardwareConcurrency()
+                                         : std::max(1, options.threads),
+                    static_cast<int>(candidates.size()));
+  auto run_candidate = [&](Idx threshold) {
     kernels::SolveOptions solve_options;
     solve_options.hybrid_row_length_threshold = threshold;
-    auto run = kernels::SolveOnDevice(kernels::DeviceAlgorithm::kHybrid,
-                                      lower, problem.b, config, solve_options);
+    return kernels::SolveOnDevice(kernels::DeviceAlgorithm::kHybrid, lower,
+                                  problem.b, config, solve_options);
+  };
+  std::vector<Expected<kernels::DeviceSolveResult>> runs;
+  runs.reserve(candidates.size());
+  if (threads <= 1) {
+    for (const Idx threshold : candidates) {
+      runs.push_back(run_candidate(threshold));
+    }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<Expected<kernels::DeviceSolveResult>>> futures;
+    futures.reserve(candidates.size());
+    for (const Idx threshold : candidates) {
+      futures.push_back(
+          pool.Submit([&run_candidate, threshold] {
+            return run_candidate(threshold);
+          }));
+    }
+    for (auto& future : futures) runs.push_back(future.get());
+  }
+
+  AutotuneResult result;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Idx threshold = candidates[i];
+    Expected<kernels::DeviceSolveResult>& run = runs[i];
     if (!run.ok()) return run.status();
     if (MaxRelativeError(run->x, problem.x_true) > 1e-8) {
       return InternalError("hybrid solve verification failed at threshold " +

@@ -35,6 +35,11 @@ struct AutotuneOptions {
   /// Candidate thresholds. Empty = the default ladder {2,4,8,16,24,32,64}.
   std::vector<Idx> candidates;
   std::uint64_t rhs_seed = 0x7E57;
+  /// Worker threads for the candidate sweep (each candidate solve owns a
+  /// private simulated machine). 0 = hardware concurrency, 1 = serial. The
+  /// result is identical for every value: profiles are committed in
+  /// candidate order.
+  int threads = 1;
 };
 
 /// Profiles the hybrid kernel across thresholds on `config`.

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <map>
+#include <utility>
 
 #include "matrix/triangular.h"
+#include "support/thread_pool.h"
 
 namespace capellini {
+namespace {
+
+// The one progress line per run. Emitted by RunOne when running inline, and
+// by RunMany's commit loop when running parallel — same bytes either way.
+void PrintProgress(const RunRecord& record) {
+  if (!record.status.ok()) {
+    std::fprintf(stderr, "  [%s] %-18s %s\n", record.matrix.c_str(),
+                 kernels::DeviceAlgorithmName(record.algorithm),
+                 record.status.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "  [%s] %-18s %8.2f GFLOPS  err %.2e\n",
+               record.matrix.c_str(),
+               kernels::DeviceAlgorithmName(record.algorithm),
+               record.result.gflops, record.max_rel_error);
+}
+
+}  // namespace
 
 RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
                  const sim::DeviceConfig& config,
@@ -22,11 +43,7 @@ RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
                                        config, options.kernel_options);
   if (!solved.ok()) {
     record.status = solved.status();
-    if (options.progress) {
-      std::fprintf(stderr, "  [%s] %-18s %s\n", named.name.c_str(),
-                   kernels::DeviceAlgorithmName(algorithm),
-                   record.status.ToString().c_str());
-    }
+    if (options.progress) PrintProgress(record);
     return record;
   }
   record.result = std::move(*solved);
@@ -37,11 +54,7 @@ RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
   } else {
     record.correct = true;
   }
-  if (options.progress) {
-    std::fprintf(stderr, "  [%s] %-18s %8.2f GFLOPS  err %.2e\n",
-                 named.name.c_str(), kernels::DeviceAlgorithmName(algorithm),
-                 record.result.gflops, record.max_rel_error);
-  }
+  if (options.progress) PrintProgress(record);
   return record;
 }
 
@@ -49,12 +62,45 @@ std::vector<RunRecord> RunMany(
     std::span<const NamedMatrix> corpus,
     std::span<const kernels::DeviceAlgorithm> algorithms,
     const sim::DeviceConfig& config, const ExperimentOptions& options) {
+  const std::size_t total = corpus.size() * algorithms.size();
   std::vector<RunRecord> records;
-  records.reserve(corpus.size() * algorithms.size());
+  records.reserve(total);
+
+  int threads = options.threads == 0 ? ThreadPool::HardwareConcurrency()
+                                     : options.threads;
+  // A shared trace sink cannot observe two machines at once; the contract
+  // (bench_common rejects --trace with --threads>1) keeps this path serial.
+  if (options.kernel_options.trace_sink != nullptr) threads = 1;
+  if (threads <= 1 || total <= 1) {
+    for (const NamedMatrix& named : corpus) {
+      for (const kernels::DeviceAlgorithm algorithm : algorithms) {
+        records.push_back(RunOne(named, algorithm, config, options));
+      }
+    }
+    return records;
+  }
+
+  // Fan the independent runs across the pool; each solve owns a private
+  // Machine + DeviceMemory (inside SolveOnDevice), so workers share nothing.
+  // Progress printing is deferred to the in-order commit loop below so stderr
+  // is byte-identical to the serial run.
+  ExperimentOptions worker_options = options;
+  worker_options.progress = false;
+  ThreadPool pool(std::min<std::size_t>(
+      static_cast<std::size_t>(threads), total));
+  std::vector<std::future<RunRecord>> futures;
+  futures.reserve(total);
   for (const NamedMatrix& named : corpus) {
     for (const kernels::DeviceAlgorithm algorithm : algorithms) {
-      records.push_back(RunOne(named, algorithm, config, options));
+      futures.push_back(pool.Submit([&named, algorithm, &config,
+                                     &worker_options] {
+        return RunOne(named, algorithm, config, worker_options);
+      }));
     }
+  }
+  for (std::future<RunRecord>& future : futures) {
+    records.push_back(future.get());
+    if (options.progress) PrintProgress(records.back());
   }
   return records;
 }

@@ -29,6 +29,13 @@ struct ExperimentOptions {
   kernels::SolveOptions kernel_options;
   /// Print one progress line per run to stderr.
   bool progress = false;
+  /// Worker threads for RunMany. 0 = hardware concurrency, 1 = run inline on
+  /// the calling thread (the historical behavior). Output is byte-identical
+  /// for every value: records are committed — and progress lines printed —
+  /// in input order regardless of which worker finished first. A run with an
+  /// attached trace sink falls back to 1 thread (sinks are not shareable
+  /// across concurrent machines).
+  int threads = 1;
 };
 
 /// Runs one (matrix, algorithm, device) combination with a reference problem
@@ -37,7 +44,10 @@ RunRecord RunOne(const NamedMatrix& named, kernels::DeviceAlgorithm algorithm,
                  const sim::DeviceConfig& config,
                  const ExperimentOptions& options = {});
 
-/// Cross product corpus x algorithms on one device.
+/// Cross product corpus x algorithms on one device. With options.threads != 1
+/// the independent runs are fanned across a thread pool (each run owns a
+/// private Machine + DeviceMemory); the returned records and any progress
+/// output are byte-identical to the serial run.
 std::vector<RunRecord> RunMany(std::span<const NamedMatrix> corpus,
                                std::span<const kernels::DeviceAlgorithm> algorithms,
                                const sim::DeviceConfig& config,

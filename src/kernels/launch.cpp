@@ -2,6 +2,7 @@
 #include <array>
 
 #include <algorithm>
+#include <mutex>
 
 #include "graph/levels.h"
 #include "kernels/common.h"
@@ -408,18 +409,25 @@ Expected<MrhsSolveResult> SolveMrhsOnDevice(MrhsAlgorithm algorithm,
     return InvalidArgument("B must be column-major rows x k");
   }
 
-  // Per-k kernel caches (kernels are parameter-free given k).
+  // Per-k kernel caches (kernels are parameter-free given k). The mutex makes
+  // first-use population safe when solves are fanned across a thread pool;
+  // after that the reference is read-only.
+  static std::mutex mrhs_cache_mutex;
   static std::array<sim::Kernel, 7> capellini_cache;
   static std::array<sim::Kernel, 7> syncfree_cache;
-  sim::Kernel& cached =
-      algorithm == MrhsAlgorithm::kCapelliniMrhs
-          ? capellini_cache[static_cast<std::size_t>(k)]
-          : syncfree_cache[static_cast<std::size_t>(k)];
-  if (cached.code.empty()) {
-    cached = algorithm == MrhsAlgorithm::kCapelliniMrhs
+  sim::Kernel& cached = [&]() -> sim::Kernel& {
+    std::lock_guard<std::mutex> lock(mrhs_cache_mutex);
+    sim::Kernel& slot =
+        algorithm == MrhsAlgorithm::kCapelliniMrhs
+            ? capellini_cache[static_cast<std::size_t>(k)]
+            : syncfree_cache[static_cast<std::size_t>(k)];
+    if (slot.code.empty()) {
+      slot = algorithm == MrhsAlgorithm::kCapelliniMrhs
                  ? BuildCapelliniWritingFirstMrhsKernel(k)
                  : BuildSyncFreeWarpMrhsKernel(k);
-  }
+    }
+    return slot;
+  }();
 
   SolveOptions options = options_in;
   options.threads_per_block =

@@ -4,7 +4,6 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
-#include <map>
 #include <string>
 
 namespace capellini::sim {
@@ -14,16 +13,35 @@ constexpr std::uint32_t kFullMask = 0xFFFFFFFFu;
 
 int PopCount(std::uint32_t mask) { return std::popcount(mask); }
 
-// Per-PC annotation bits cached in Machine::pc_flags_ (built from the
-// kernel's spin_regions / publish_pcs at launch when a sink is attached).
+// Per-PC annotation bits fused into Machine::DecodedInstr::flags (built from
+// the kernel's spin_regions / publish_pcs at launch).
 constexpr std::uint8_t kPcInSpin = 1;
 constexpr std::uint8_t kPcSpinHead = 2;
 constexpr std::uint8_t kPcPublish = 4;
 
+// Applies `fn(lane)` to every set lane. The full-mask case — the steady state
+// of converged warps, spin-polling warps above all — takes a straight-line
+// 0..31 loop instead of the bit-scan, which is the interpreter's hottest
+// inner loop.
+template <typename Fn>
+inline void ForActive(std::uint32_t mask, Fn&& fn) {
+  if (mask == kFullMask) {
+    for (int lane = 0; lane < 32; ++lane) fn(lane);
+    return;
+  }
+  while (mask) {
+    const int lane = std::countr_zero(mask);
+    mask &= mask - 1;
+    fn(lane);
+  }
+}
+
 }  // namespace
 
 Machine::Machine(DeviceConfig config, DeviceMemory* memory)
-    : config_(std::move(config)), memory_(memory) {
+    : config_(std::move(config)),
+      memory_(memory),
+      debug_trace_(std::getenv("CAPELLINI_TRACE") != nullptr) {
   CAPELLINI_CHECK(memory_ != nullptr);
   CAPELLINI_CHECK_MSG(config_.warp_size == 32,
                       "the interpreter is specialized for 32-lane warps");
@@ -34,23 +52,20 @@ bool Machine::TouchSector(std::uint64_t sector) {
   const std::size_t word = static_cast<std::size_t>(sector >> 6);
   const std::uint64_t bit = 1ull << (sector & 63);
   if (word >= l2_sectors_.size()) l2_sectors_.resize(word + 1024, 0);
-  const bool present = (l2_sectors_[word] & bit) != 0;
-  l2_sectors_[word] |= bit;
-  return present;
+  const std::uint64_t prev = l2_sectors_[word];
+  if (prev == 0) l2_touched_words_.push_back(word);
+  l2_sectors_[word] = prev | bit;
+  return (prev & bit) != 0;
 }
 
-Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
-                                       std::size_t count, int width_bytes,
-                                       bool is_atomic) {
-  // Distinct sectors among the active lanes' accesses = transactions.
-  const std::uint64_t sector_bytes =
-      static_cast<std::uint64_t>(config_.sector_bytes);
-  std::uint64_t sectors[64];
+std::size_t Machine::DedupSectors(const std::uint64_t* addresses,
+                                  std::size_t count,
+                                  std::uint64_t sector_bytes,
+                                  std::uint64_t* sectors) {
   std::size_t num_sectors = 0;
   for (std::size_t i = 0; i < count; ++i) {
     // An access may straddle a sector boundary only if misaligned; all our
     // kernels access naturally aligned 4/8-byte values, so one sector each.
-    (void)width_bytes;
     const std::uint64_t s = addresses[i] / sector_bytes;
     bool seen = false;
     for (std::size_t k = 0; k < num_sectors; ++k) {
@@ -61,7 +76,14 @@ Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
     }
     if (!seen) sectors[num_sectors++] = s;
   }
+  return num_sectors;
+}
 
+Machine::MemTxn Machine::AccountSectors(const std::uint64_t* sectors,
+                                        std::size_t num_sectors,
+                                        bool is_atomic) {
+  const std::uint64_t sector_bytes =
+      static_cast<std::uint64_t>(config_.sector_bytes);
   std::uint64_t misses = 0;
   for (std::size_t k = 0; k < num_sectors; ++k) {
     if (!TouchSector(sectors[k])) ++misses;
@@ -115,6 +137,18 @@ Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
   return txn;
 }
 
+Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
+                                       std::size_t count, int width_bytes,
+                                       bool is_atomic) {
+  (void)width_bytes;
+  // Distinct sectors among the active lanes' accesses = transactions.
+  std::uint64_t sectors[64];
+  const std::size_t num_sectors =
+      DedupSectors(addresses.data(), count,
+                   static_cast<std::uint64_t>(config_.sector_bytes), sectors);
+  return AccountSectors(sectors, num_sectors, is_atomic);
+}
+
 void Machine::SyncAtReconv(Warp& warp) {
   while (!warp.stack.empty() &&
          warp.pc == warp.stack.back().reconv_pc) {
@@ -163,15 +197,16 @@ void Machine::FinishWarp(int warp_index, int sm_index) {
 
 void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
-  SyncAtReconv(warp);
+  if (!warp.stack.empty()) SyncAtReconv(warp);
   CAPELLINI_CHECK(warp.active != 0);
   CAPELLINI_CHECK(warp.pc >= 0 &&
-                  warp.pc < static_cast<std::int32_t>(kernel_->code.size()));
+                  warp.pc < static_cast<std::int32_t>(decoded_.size()));
 
-  const Instr& instr = kernel_->code[static_cast<std::size_t>(warp.pc)];
+  const DecodedInstr& decoded = decoded_[static_cast<std::size_t>(warp.pc)];
+  const Instr& instr = decoded.instr;
+  const std::uint8_t pc_flags = decoded.flags;
   // Debug tracing (CAPELLINI_TRACE=1): one line per issued instruction.
-  static const bool trace = std::getenv("CAPELLINI_TRACE") != nullptr;
-  if (trace) {
+  if (debug_trace_) {
     std::fprintf(stderr,
                  "cyc=%llu warp=%d pc=%d op=%d active=%08x stack=%zu\n",
                  static_cast<unsigned long long>(cycle_), warp_index, warp.pc,
@@ -180,9 +215,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   ++stats_.instructions;
   stats_.lane_instructions += static_cast<std::uint64_t>(PopCount(warp.active));
 
-  std::uint8_t pc_flags = 0;
   if (trace_) {
-    pc_flags = pc_flags_[static_cast<std::size_t>(warp.pc)];
     trace::IssueInfo issue;
     issue.cycle = cycle_;
     issue.sm = sm_index;
@@ -205,163 +238,121 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
     case Op::kNop:
       break;
     case Op::kMovI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = instr.imm;
-      }
+      });
       break;
     case Op::kMov:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b);
-      }
+      });
       break;
     case Op::kAdd:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) + RegI(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kAddI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) + instr.imm;
-      }
+      });
       break;
     case Op::kSub:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) - RegI(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kMul:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) * RegI(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kMulI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) * instr.imm;
-      }
+      });
       break;
     case Op::kAndI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) & instr.imm;
-      }
+      });
       break;
     case Op::kShlI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) << instr.imm;
-      }
+      });
       break;
     case Op::kShrI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) = RegI(warp, lane, instr.b) >> instr.imm;
-      }
+      });
       break;
     case Op::kSetLt:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) < RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetLe:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) <= RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetEq:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) == RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetNe:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) != RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetGe:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) >= RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetGt:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) > RegI(warp, lane, instr.c) ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetLtI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) < instr.imm ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetGeI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) >= instr.imm ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetEqI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) == instr.imm ? 1 : 0;
-      }
+      });
       break;
     case Op::kSetNeI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             RegI(warp, lane, instr.b) != instr.imm ? 1 : 0;
-      }
+      });
       break;
     case Op::kS2R: {
       const auto special = static_cast<Special>(instr.b);
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         std::int64_t value = 0;
         switch (special) {
           case Special::kGlobalTid:
@@ -385,25 +376,21 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
             break;
         }
         RegI(warp, lane, instr.a) = value;
-      }
+      });
       break;
     }
     case Op::kLdParam:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegI(warp, lane, instr.a) =
             params_[static_cast<std::size_t>(instr.imm)];
-      }
+      });
       break;
     case Op::kLd4:
     case Op::kLd8I:
     case Op::kLd8F: {
       std::uint64_t addresses[32];
       std::size_t count = 0;
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         const std::uint64_t addr =
             static_cast<std::uint64_t>(RegI(warp, lane, instr.b));
         addresses[count++] = addr;
@@ -414,8 +401,34 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
         } else {
           RegF(warp, lane, instr.a) = memory_->LoadF64(addr);
         }
+      });
+      // Spin-poll fast path: a warp spinning on this load issues the same
+      // address set every iteration, so reuse its cached sector list and
+      // skip the dedup scan. The accounting (AccountSectors) is identical.
+      if ((pc_flags & kPcInSpin) != 0 && warp.poll_pc == warp.pc &&
+          warp.poll_mask == active &&
+          warp.poll_count == static_cast<std::uint8_t>(count) &&
+          std::equal(addresses, addresses + count,
+                     warp.poll_addresses.begin())) {
+        mem = AccountSectors(warp.poll_sectors.data(), warp.poll_num_sectors,
+                             /*is_atomic=*/false);
+      } else {
+        std::uint64_t sectors[64];
+        const std::size_t num_sectors = DedupSectors(
+            addresses, count, static_cast<std::uint64_t>(config_.sector_bytes),
+            sectors);
+        mem = AccountSectors(sectors, num_sectors, /*is_atomic=*/false);
+        if ((pc_flags & kPcInSpin) != 0) {
+          warp.poll_pc = warp.pc;
+          warp.poll_mask = active;
+          warp.poll_count = static_cast<std::uint8_t>(count);
+          warp.poll_num_sectors = static_cast<std::uint8_t>(num_sectors);
+          std::copy(addresses, addresses + count,
+                    warp.poll_addresses.begin());
+          std::copy(sectors, sectors + num_sectors,
+                    warp.poll_sectors.begin());
+        }
       }
-      mem = AccountMemory(addresses, count, MemoryWidth(instr.op));
       break;
     }
     case Op::kSt4:
@@ -423,9 +436,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
     case Op::kSt8F: {
       std::uint64_t addresses[32];
       std::size_t count = 0;
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         const std::uint64_t addr =
             static_cast<std::uint64_t>(RegI(warp, lane, instr.a));
         addresses[count++] = addr;
@@ -437,7 +448,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
         } else {
           memory_->StoreF64(addr, RegF(warp, lane, instr.b));
         }
-      }
+      });
       // Stores are fire-and-forget: account bandwidth, do not stall.
       (void)AccountMemory(addresses, count, MemoryWidth(instr.op));
       last_progress_cycle_ = cycle_;
@@ -459,9 +470,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
       std::size_t count = 0;
       // Lanes are serialized by hardware on address conflicts; the simulator
       // applies them in lane order, which is one legal serialization.
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         const std::uint64_t addr =
             static_cast<std::uint64_t>(RegI(warp, lane, instr.b));
         addresses[count++] = addr;
@@ -475,7 +484,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
           memory_->StoreI32(
               addr, old + static_cast<std::int32_t>(RegI(warp, lane, instr.c)));
         }
-      }
+      });
       mem = AccountMemory(addresses, count, MemoryWidth(instr.op),
                           /*is_atomic=*/true);
       is_atomic_op = true;
@@ -488,58 +497,44 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
       break;
     }
     case Op::kFMovI:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) = instr.fimm;
-      }
+      });
       break;
     case Op::kFMov:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) = RegF(warp, lane, instr.b);
-      }
+      });
       break;
     case Op::kFAdd:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) =
             RegF(warp, lane, instr.b) + RegF(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kFSub:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) =
             RegF(warp, lane, instr.b) - RegF(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kFMul:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) =
             RegF(warp, lane, instr.b) * RegF(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kFDiv:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) =
             RegF(warp, lane, instr.b) / RegF(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kFFma:
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         RegF(warp, lane, instr.a) +=
             RegF(warp, lane, instr.b) * RegF(warp, lane, instr.c);
-      }
+      });
       break;
     case Op::kShflDownF: {
       // Read the source values of ALL lanes first (lock-step exchange).
@@ -547,25 +542,21 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
       for (int lane = 0; lane < 32; ++lane) {
         source[lane] = RegF(warp, lane, instr.b);
       }
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         const int src_lane = lane + static_cast<int>(instr.imm);
         RegF(warp, lane, instr.a) =
             src_lane < 32 ? source[src_lane] : source[lane];
-      }
+      });
       break;
     }
     case Op::kBrnz:
     case Op::kBrz: {
       std::uint32_t taken = 0;
-      for (std::uint32_t m = active; m;) {
-        const int lane = std::countr_zero(m);
-        m &= m - 1;
+      ForActive(active, [&](int lane) {
         const bool nz = RegI(warp, lane, instr.a) != 0;
         const bool takes = (instr.op == Op::kBrnz) ? nz : !nz;
         if (takes) taken |= 1u << lane;
-      }
+      });
       const std::uint32_t fall = active & ~taken;
       if (taken == 0) {
         // all fall through: next_pc already pc + 1
@@ -660,20 +651,30 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   last_progress_cycle_ = 0;
   alive_warps_ = 0;
   wake_ = {};
-  std::fill(l2_sectors_.begin(), l2_sectors_.end(), 0);
+  // Lazy bitmap reset: only the words the previous launch touched are
+  // nonzero, so re-launch cost is O(touched), not O(address space).
+  for (const std::size_t word : l2_touched_words_) l2_sectors_[word] = 0;
+  l2_touched_words_.clear();
+
+  // Predecode: fuse each instruction with its per-PC annotation bits so the
+  // issue loop indexes one flat table.
+  decoded_.resize(kernel.code.size());
+  for (std::size_t pc = 0; pc < kernel.code.size(); ++pc) {
+    decoded_[pc].instr = kernel.code[pc];
+    decoded_[pc].flags = 0;
+  }
+  for (const auto& [begin, end] : kernel.spin_regions) {
+    for (std::int32_t pc = begin; pc < end; ++pc) {
+      decoded_[static_cast<std::size_t>(pc)].flags |= kPcInSpin;
+    }
+    decoded_[static_cast<std::size_t>(begin)].flags |= kPcSpinHead;
+  }
+  for (const std::int32_t pc : kernel.publish_pcs) {
+    decoded_[static_cast<std::size_t>(pc)].flags |= kPcPublish;
+  }
 
   ++launch_index_;
   if (trace_) {
-    pc_flags_.assign(kernel.code.size(), 0);
-    for (const auto& [begin, end] : kernel.spin_regions) {
-      for (std::int32_t pc = begin; pc < end; ++pc) {
-        pc_flags_[static_cast<std::size_t>(pc)] |= kPcInSpin;
-      }
-      pc_flags_[static_cast<std::size_t>(begin)] |= kPcSpinHead;
-    }
-    for (const std::int32_t pc : kernel.publish_pcs) {
-      pc_flags_[static_cast<std::size_t>(pc)] |= kPcPublish;
-    }
     trace::LaunchInfo info;
     info.launch_index = launch_index_;
     info.kernel_name = kernel.name.c_str();
@@ -688,7 +689,8 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   const std::int64_t num_blocks =
       (dims.num_threads + dims.threads_per_block - 1) / dims.threads_per_block;
 
-  // Warp pool & SM slots.
+  // Warp pool & SM slots (allocations reused across launches when the device
+  // dims are unchanged; the per-SM loop below resets all mutable state).
   const int pool_per_sm = config_.max_warps_per_sm;
   const std::size_t pool_size =
       static_cast<std::size_t>(config_.num_sms) *
@@ -700,7 +702,9 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
       warp.f.assign(32 * kNumFltRegs, 0.0);
     }
   }
-  sms_.assign(static_cast<std::size_t>(config_.num_sms), Sm{});
+  if (sms_.size() != static_cast<std::size_t>(config_.num_sms)) {
+    sms_.resize(static_cast<std::size_t>(config_.num_sms));
+  }
   for (int s = 0; s < config_.num_sms; ++s) {
     Sm& sm = sms_[static_cast<std::size_t>(s)];
     sm.free_slots.clear();
@@ -738,6 +742,7 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         warp.base_tid = base_tid;
         warp.block_id = block;
         warp.stack.clear();
+        warp.poll_pc = -1;
         const std::int64_t lanes_left = dims.num_threads - base_tid;
         warp.active = lanes_left >= 32
                           ? kFullMask
@@ -774,19 +779,21 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
     if (cycle_ - last_progress_cycle_ > config_.no_progress_cycles) {
       // Diagnose: where are the surviving warps parked? A busy-wait deadlock
       // shows up as most warps clustered at the spin loop's PCs.
-      std::map<std::int32_t, int> pc_histogram;
+      std::vector<int> pc_histogram(kernel.code.size(), 0);
       int alive = 0;
       for (const Warp& warp : warp_pool_) {
         if (!warp.alive) continue;
         ++alive;
-        ++pc_histogram[warp.pc];
+        ++pc_histogram[static_cast<std::size_t>(warp.pc)];
       }
       std::string hot_pcs;
       int listed = 0;
-      for (const auto& [pc, count] : pc_histogram) {
+      for (std::size_t pc = 0; pc < pc_histogram.size(); ++pc) {
+        if (pc_histogram[pc] == 0) continue;
         if (listed++ >= 4) break;
         if (!hot_pcs.empty()) hot_pcs += ", ";
-        hot_pcs += "pc " + std::to_string(pc) + " x" + std::to_string(count);
+        hot_pcs += "pc " + std::to_string(pc) + " x" +
+                   std::to_string(pc_histogram[pc]);
       }
       const std::string dump =
           "kernel " + kernel.name +

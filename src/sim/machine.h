@@ -22,6 +22,7 @@
 //    busy-wait deadlocks into a reportable error.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <queue>
@@ -78,6 +79,17 @@ class Machine {
     // Lane-major register files.
     std::vector<std::int64_t> r;  // 32 * kNumIntRegs
     std::vector<double> f;        // 32 * kNumFltRegs
+    // Spin-poll fast path: a converged warp spinning on a poll load re-issues
+    // the same per-lane addresses every iteration, so the deduplicated sector
+    // list is cached here, keyed by (pc, active mask, addresses). The address
+    // comparison makes the cache self-validating; accounting is unchanged —
+    // only the O(lanes x sectors) dedup scan is skipped.
+    std::int32_t poll_pc = -1;
+    std::uint32_t poll_mask = 0;
+    std::uint8_t poll_count = 0;
+    std::uint8_t poll_num_sectors = 0;
+    std::array<std::uint64_t, 32> poll_addresses;
+    std::array<std::uint64_t, 32> poll_sectors;
   };
 
   struct Sm {
@@ -105,6 +117,15 @@ class Machine {
   MemTxn AccountMemory(std::span<const std::uint64_t> addresses,
                        std::size_t count, int width_bytes,
                        bool is_atomic = false);
+  // The two halves of AccountMemory: the duplicate-sector scan and the
+  // queue/latency accounting. Split so the spin-poll fast path can reuse a
+  // cached sector list and skip the scan.
+  static std::size_t DedupSectors(const std::uint64_t* addresses,
+                                  std::size_t count,
+                                  std::uint64_t sector_bytes,
+                                  std::uint64_t* sectors);
+  MemTxn AccountSectors(const std::uint64_t* sectors, std::size_t num_sectors,
+                        bool is_atomic);
 
   // L2 sector tracking (infinite capacity; see DeviceConfig comment).
   bool TouchSector(std::uint64_t sector);
@@ -122,9 +143,20 @@ class Machine {
 
   DeviceConfig config_;
   DeviceMemory* memory_;
+  // CAPELLINI_TRACE=1 per-instruction stderr dump, read once at construction.
+  bool debug_trace_ = false;
 
   // Per-launch state.
   const Kernel* kernel_ = nullptr;
+  // Predecoded copy of the kernel: each instruction fused with its per-PC
+  // annotation bits (spin region / spin head / publish), so the issue loop
+  // reads one table. Rebuilt at every Launch (O(code size), trivial next to
+  // the launch overhead).
+  struct DecodedInstr {
+    Instr instr;
+    std::uint8_t flags = 0;
+  };
+  std::vector<DecodedInstr> decoded_;
   std::vector<std::int64_t> params_;
   std::int64_t grid_threads_ = 0;
   int threads_per_block_ = 256;
@@ -143,11 +175,13 @@ class Machine {
   std::int64_t alive_warps_ = 0;
   LaunchStats stats_;
   std::vector<std::uint64_t> l2_sectors_;  // bitmap, one bit per sector
+  // Indices of l2_sectors_ words that are nonzero, so a re-launch clears
+  // O(touched) words instead of std::fill over the whole bitmap.
+  std::vector<std::size_t> l2_touched_words_;
 
-  // Tracing (see trace/sink.h). pc_flags_ caches the kernel's spin/publish
-  // annotations as per-PC bits so the issue path pays one array load.
+  // Tracing (see trace/sink.h). The per-PC spin/publish annotations the sink
+  // consumes live in decoded_[pc].flags.
   trace::TraceSink* trace_ = nullptr;
-  std::vector<std::uint8_t> pc_flags_;
   int launch_index_ = -1;
 };
 

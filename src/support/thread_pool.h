@@ -1,0 +1,70 @@
+// A small fixed-size thread pool for fanning independent work items across
+// host cores (the experiment engine's RunMany, the autotune sweep).
+//
+// Design constraints, in order:
+//  * Determinism stays the CALLER's job: tasks run in submission order but
+//    finish in any order, so callers that need reproducible output must
+//    commit results in submission order (Submit returns a future per task —
+//    waiting on them in order is the usual pattern).
+//  * Exceptions thrown by a task are captured into its future and rethrown
+//    from future::get(), never swallowed and never crossing the worker loop.
+//  * A pool with num_threads <= 1 still works (one worker), so callers can
+//    pass a user-supplied --threads value straight through.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace capellini {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns the future for its result. Tasks are picked up
+  /// in FIFO order; with one worker they also COMPLETE in FIFO order.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    // shared_ptr because std::function requires copyable callables and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+  /// it to return 0 when unknown).
+  static int HardwareConcurrency();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace capellini

@@ -1,0 +1,157 @@
+// Determinism contract of the parallel experiment engine: RunMany fans
+// independent runs across a thread pool, but its output must be bit-identical
+// to the serial run for every thread count — including runs that end in a
+// watchdog deadlock. Plus unit tests for the underlying ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.h"
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "support/thread_pool.h"
+
+namespace capellini {
+namespace {
+
+NamedMatrix SmallNamed(const char* name, Csr matrix) {
+  NamedMatrix named;
+  named.stats = ComputeStats(matrix, name);
+  named.name = name;
+  named.matrix = std::move(matrix);
+  return named;
+}
+
+// A mixed corpus: a parallel-friendly matrix, a level-structured one, and a
+// serial chain on which the naive kernel deadlocks — error records must
+// round-trip through the pool exactly like successful ones.
+std::vector<NamedMatrix> MixedCorpus() {
+  std::vector<NamedMatrix> corpus;
+  corpus.push_back(SmallNamed(
+      "hg", MakeLevelStructured({.num_levels = 3, .components_per_level = 500,
+                                 .avg_nnz_per_row = 2.2, .size_jitter = 0.2,
+                                 .interleave = false, .seed = 21})));
+  corpus.push_back(SmallNamed(
+      "mid", MakeLevelStructured({.num_levels = 8, .components_per_level = 60,
+                                  .avg_nnz_per_row = 3.0, .size_jitter = 0.2,
+                                  .interleave = false, .seed = 30})));
+  corpus.push_back(SmallNamed("chain", MakeBidiagonal(64)));
+  return corpus;
+}
+
+void ExpectSameRecords(const std::vector<RunRecord>& a,
+                       const std::vector<RunRecord>& b, int threads) {
+  ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i) + " threads=" +
+                 std::to_string(threads));
+    EXPECT_EQ(a[i].matrix, b[i].matrix);
+    EXPECT_EQ(a[i].algorithm, b[i].algorithm);
+    EXPECT_EQ(a[i].status.code(), b[i].status.code());
+    if (!a[i].status.ok() && !b[i].status.ok()) {
+      EXPECT_EQ(a[i].status.message(), b[i].status.message());
+    }
+    EXPECT_EQ(a[i].correct, b[i].correct);
+    EXPECT_EQ(a[i].max_rel_error, b[i].max_rel_error);
+    EXPECT_EQ(a[i].result.stats.cycles, b[i].result.stats.cycles);
+    EXPECT_EQ(a[i].result.stats.instructions, b[i].result.stats.instructions);
+    EXPECT_EQ(a[i].result.stats.dram_bytes, b[i].result.stats.dram_bytes);
+    EXPECT_EQ(a[i].result.exec_ms, b[i].result.exec_ms);
+    EXPECT_EQ(a[i].result.gflops, b[i].result.gflops);
+    EXPECT_EQ(a[i].result.x, b[i].result.x);
+  }
+}
+
+TEST(ExperimentParallelTest, RecordsIdenticalForEveryThreadCount) {
+  const std::vector<NamedMatrix> corpus = MixedCorpus();
+  // kCapelliniNaive deadlocks on the chain (intra-warp dependencies); the
+  // other two algorithms solve everything. The engine must preserve both
+  // kinds of record in input order.
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kSyncFreeCsc,
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+      kernels::DeviceAlgorithm::kCapelliniNaive,
+  };
+  sim::DeviceConfig config = sim::TinyTestDevice();
+  config.no_progress_cycles = 30'000;  // trip the watchdog quickly
+
+  ExperimentOptions options;
+  options.threads = 1;
+  const auto serial = RunMany(corpus, algorithms, config, options);
+  ASSERT_EQ(serial.size(), corpus.size() * algorithms.size());
+
+  bool saw_deadlock = false;
+  for (const RunRecord& record : serial) {
+    if (record.status.code() == StatusCode::kDeadlock) saw_deadlock = true;
+  }
+  EXPECT_TRUE(saw_deadlock) << "corpus no longer exercises the error path";
+
+  for (const int threads : {2, 8}) {
+    options.threads = threads;
+    const auto parallel = RunMany(corpus, algorithms, config, options);
+    ExpectSameRecords(serial, parallel, threads);
+  }
+}
+
+TEST(ExperimentParallelTest, ThreadsZeroMeansHardwareConcurrency) {
+  const std::vector<NamedMatrix> corpus = MixedCorpus();
+  const std::vector<kernels::DeviceAlgorithm> algorithms = {
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst,
+  };
+  ExperimentOptions options;
+  options.threads = 1;
+  const auto serial = RunMany(corpus, algorithms, sim::TinyTestDevice(),
+                              options);
+  options.threads = 0;
+  const auto automatic = RunMany(corpus, algorithms, sim::TinyTestDevice(),
+                                 options);
+  ExpectSameRecords(serial, automatic, 0);
+}
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, ResultsArriveInSubmissionOrder) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be usable.
+  auto after = pool.Submit([] { return 11; });
+  EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.Submit([&completed] { ++completed; });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(completed.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroTasksAndClampedThreadCount) {
+  ThreadPool pool(0);  // clamped to one worker
+  EXPECT_EQ(pool.num_threads(), 1);
+  // Destruction with an empty queue must not hang.
+}
+
+}  // namespace
+}  // namespace capellini
