@@ -1,0 +1,268 @@
+// Serving throughput: batch size x worker count sweep over a zipf trace,
+// compared against the one-shot path (a fresh Solver analyzed + solved per
+// request — what a caller without the registry pays).
+//
+//   ./bench/bench_serve                  # full sweep
+//   ./bench/bench_serve --quick --json=BENCH_serve.json   # CI smoke
+//
+// Two gates, both fatal (nonzero exit):
+//   * determinism: the service in deterministic mode (workers=1, max_batch=1)
+//     must byte-reproduce the serial one-shot solutions (FNV-1a checksum);
+//   * correctness: every served solution is verified against the reference.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/solver.h"
+#include "matrix/triangular.h"
+#include "serve/replay.h"
+#include "serve/service.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace capellini::bench {
+namespace {
+
+using serve::MatrixHandle;
+using serve::MatrixRegistry;
+using serve::RequestTrace;
+using serve::ServiceOptions;
+using serve::SolveService;
+
+struct SweepPoint {
+  int max_batch = 1;
+  int workers = 1;
+  double requests_per_sec = 0.0;
+  double speedup = 0.0;        // vs the one-shot baseline
+  double mean_batch = 0.0;     // mean coalesced launch width
+};
+
+/// Serial one-shot loop: fresh Solver per request, Recommend + Solve. Returns
+/// wall ms of the solve loop and the FNV-1a checksum over the solutions.
+struct OneShotBaseline {
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  std::uint64_t checksum = serve::kFnvSeed;
+};
+
+OneShotBaseline RunOneShot(const std::vector<NamedMatrix>& corpus,
+                           const RequestTrace& trace,
+                           const SolverOptions& solver_options) {
+  // Manufacture the right-hand sides up front so the timed region is solves
+  // only — the served sweep's clock also excludes problem generation.
+  struct Item {
+    std::size_t matrix;
+    std::vector<Val> b;
+  };
+  std::vector<Item> items;
+  items.reserve(trace.requests.size());
+  for (const serve::TraceRequest& request : trace.requests) {
+    const auto m = static_cast<std::size_t>(request.matrix) % corpus.size();
+    items.push_back(
+        Item{m, MakeReferenceProblem(corpus[m].matrix, request.seed).b});
+  }
+
+  OneShotBaseline baseline;
+  Timer timer;
+  for (const Item& item : items) {
+    Solver solver(corpus[item.matrix].matrix, solver_options);
+    auto solved = solver.Solve(solver.Recommend(), item.b);
+    CAPELLINI_CHECK_MSG(solved.ok(), "one-shot solve failed");
+    baseline.checksum = serve::HashBytes(baseline.checksum, solved->x.data(),
+                                         solved->x.size() * sizeof(Val));
+  }
+  baseline.wall_ms = timer.ElapsedMs();
+  if (baseline.wall_ms > 0.0) {
+    baseline.requests_per_sec =
+        static_cast<double>(items.size()) / (baseline.wall_ms / 1e3);
+  }
+  return baseline;
+}
+
+/// Builds a fresh registry + service for one sweep point and replays the
+/// trace in preload mode (queue filled while paused, clock covers the drain).
+Expected<SweepPoint> RunSweepPoint(const std::vector<NamedMatrix>& corpus,
+                                   const RequestTrace& trace,
+                                   const SolverOptions& solver_options,
+                                   int max_batch, int workers,
+                                   const OneShotBaseline& baseline,
+                                   std::uint64_t* checksum_out = nullptr) {
+  MatrixRegistry registry;
+  std::vector<MatrixHandle> handles;
+  for (const NamedMatrix& named : corpus) {
+    auto handle = registry.Register(named.matrix, named.name, solver_options);
+    if (!handle.ok()) return handle.status();
+    handles.push_back(*handle);
+  }
+
+  ServiceOptions service_options;
+  service_options.workers = workers;
+  service_options.max_batch = max_batch;
+  service_options.max_queue = trace.requests.size() + 1;
+  service_options.start_paused = true;
+  SolveService service(&registry, service_options);
+
+  serve::ReplayOptions replay_options;
+  replay_options.preload = true;
+  auto report = serve::ReplayTrace(service, handles, trace, replay_options);
+  if (!report.ok()) return report.status();
+  service.Shutdown();
+  if (report->failed != 0 || report->wrong != 0 || report->rejected != 0) {
+    return InternalError("sweep point batch=" + std::to_string(max_batch) +
+                         " workers=" + std::to_string(workers) + ": " +
+                         std::to_string(report->failed) + " failed, " +
+                         std::to_string(report->wrong) + " wrong, " +
+                         std::to_string(report->rejected) + " rejected");
+  }
+  if (checksum_out != nullptr) *checksum_out = report->solution_checksum;
+
+  SweepPoint point;
+  point.max_batch = max_batch;
+  point.workers = workers;
+  point.requests_per_sec = report->requests_per_sec;
+  point.speedup = baseline.requests_per_sec > 0.0
+                      ? point.requests_per_sec / baseline.requests_per_sec
+                      : 0.0;
+  const serve::ServiceStats::Totals totals = service.stats().totals();
+  point.mean_batch = totals.batches > 0
+                         ? static_cast<double>(totals.requests) /
+                               static_cast<double>(totals.batches)
+                         : 0.0;
+  return point;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  std::int64_t requests = 240;
+  double zipf = 1.1;
+  CliFlags extra;
+  extra.AddBool("quick", &quick, "CI smoke: small trace, reduced sweep");
+  extra.AddInt("requests", &requests, "requests in the generated trace");
+  extra.AddDouble("zipf", &zipf, "zipf exponent for matrix popularity");
+  BenchOptions options = ParseBenchFlags(argc, argv, &extra);
+
+  CorpusOptions corpus_options = ToCorpusOptions(options);
+  if (quick) {
+    requests = std::min<std::int64_t>(requests, 96);
+    if (corpus_options.target_rows == 0) corpus_options.target_rows = 1200;
+  }
+  const std::vector<NamedMatrix> corpus = HighGranularityCorpus(corpus_options);
+  const RequestTrace trace = serve::GenerateZipfTrace(
+      static_cast<int>(requests), static_cast<int>(corpus.size()), zipf,
+      static_cast<std::uint64_t>(options.seed) ^ 0x51ab);
+  SolverOptions solver_options;  // paper-default simulated Pascal
+
+  std::printf("bench_serve: %zu matrices, %zu requests (zipf %.2f)\n",
+              corpus.size(), trace.requests.size(), zipf);
+
+  // --- one-shot baseline ---------------------------------------------------
+  const OneShotBaseline baseline = RunOneShot(corpus, trace, solver_options);
+  std::printf("one-shot (fresh Solver per request): %.1f req/s\n",
+              baseline.requests_per_sec);
+
+  // --- determinism gate ----------------------------------------------------
+  std::uint64_t serve_checksum = 0;
+  {
+    ServiceOptions det = SolveService::DeterministicOptions();
+    auto gate = RunSweepPoint(corpus, trace, solver_options, det.max_batch,
+                              det.workers, baseline, &serve_checksum);
+    if (!gate.ok()) {
+      std::fprintf(stderr, "determinism replay failed: %s\n",
+                   gate.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const bool deterministic = serve_checksum == baseline.checksum;
+  std::printf("determinism gate: one-shot %016llx vs served %016llx -> %s\n",
+              static_cast<unsigned long long>(baseline.checksum),
+              static_cast<unsigned long long>(serve_checksum),
+              deterministic ? "MATCH" : "MISMATCH");
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FATAL: deterministic mode did not byte-reproduce the "
+                 "one-shot solutions\n");
+    return 1;
+  }
+
+  // --- batch x workers sweep -----------------------------------------------
+  const std::vector<int> batches = quick ? std::vector<int>{1, 4}
+                                         : std::vector<int>{1, 2, 4, 6};
+  const std::vector<int> workers = quick ? std::vector<int>{1, 2}
+                                         : std::vector<int>{1, 2, 4};
+  std::vector<SweepPoint> points;
+  for (int batch : batches) {
+    for (int nworkers : workers) {
+      auto point = RunSweepPoint(corpus, trace, solver_options, batch,
+                                 nworkers, baseline);
+      if (!point.ok()) {
+        std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
+        return 1;
+      }
+      if (options.progress) {
+        std::fprintf(stderr, "  batch=%d workers=%d -> %.1f req/s\n", batch,
+                     nworkers, point->requests_per_sec);
+      }
+      points.push_back(*point);
+    }
+  }
+
+  TextTable table({"max_batch", "workers", "req/s", "vs one-shot",
+                   "mean launch width"});
+  table.SetTitle("served throughput (preloaded zipf trace, drain only)");
+  for (const SweepPoint& point : points) {
+    table.AddRow({std::to_string(point.max_batch),
+                  std::to_string(point.workers),
+                  TextTable::Num(point.requests_per_sec, 1),
+                  TextTable::Num(point.speedup, 2) + "x",
+                  TextTable::Num(point.mean_batch, 2)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  double best_batched = 0.0;
+  for (const SweepPoint& point : points) {
+    if (point.max_batch >= 4) best_batched = std::max(best_batched, point.speedup);
+  }
+  std::printf("\nbest batched (max_batch >= 4) speedup vs one-shot: %.2fx\n",
+              best_batched);
+
+  if (!options.json.empty()) {
+    std::FILE* file = std::fopen(options.json.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.json.c_str());
+      return 1;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"serve\",\n");
+    std::fprintf(file, "  \"requests\": %zu,\n", trace.requests.size());
+    std::fprintf(file, "  \"matrices\": %zu,\n", corpus.size());
+    std::fprintf(file, "  \"one_shot_requests_per_sec\": %.3f,\n",
+                 baseline.requests_per_sec);
+    std::fprintf(file,
+                 "  \"determinism\": {\"one_shot_checksum\": \"%016llx\", "
+                 "\"served_checksum\": \"%016llx\", \"match\": %s},\n",
+                 static_cast<unsigned long long>(baseline.checksum),
+                 static_cast<unsigned long long>(serve_checksum),
+                 deterministic ? "true" : "false");
+    std::fprintf(file, "  \"best_batched_speedup\": %.3f,\n", best_batched);
+    std::fprintf(file, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(file,
+                   "    {\"max_batch\": %d, \"workers\": %d, "
+                   "\"requests_per_sec\": %.3f, \"speedup\": %.3f, "
+                   "\"mean_launch_width\": %.3f}%s\n",
+                   p.max_batch, p.workers, p.requests_per_sec, p.speedup,
+                   p.mean_batch, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    std::printf("JSON written to %s\n", options.json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Run(argc, argv); }

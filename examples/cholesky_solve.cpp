@@ -2,10 +2,15 @@
 // solvers): solve the SPD system A y = c where A = L * L^T is given by its
 // Cholesky factor L.
 //
-//  * forward substitution  L z = c   -> CapelliniSpTRSV on the simulated GPU
-//  * backward substitution L^T y = z -> SolveUpperSystem (index reversal +
-//    CapelliniSpTRSV), also on the simulated GPU; a hand-written host
-//    backward solve cross-checks it
+// Both triangular halves are registered once in a MatrixRegistry — L itself
+// and the reversed L^T (ReverseSystem turns the upper factor into an
+// equivalent lower system) — so the structural analysis for each factor is
+// computed exactly once no matter how many right-hand sides follow:
+//
+//  * forward substitution  L z = c   -> registry solver, CapelliniSpTRSV
+//  * backward substitution L^T y = z -> registry solver on the reversed
+//    factor; cross-checked byte-for-byte against the one-shot
+//    SolveUpperSystem path and against a hand-written host backward solve
 //
 // The residual || A y - c || verifies the pipeline end to end.
 //
@@ -18,6 +23,7 @@
 #include "gen/level_structured.h"
 #include "matrix/convert.h"
 #include "matrix/triangular.h"
+#include "serve/registry.h"
 #include "support/rng.h"
 
 namespace {
@@ -52,12 +58,12 @@ void ApplyA(const Csr& lower, const Csr& upper, std::span<const Val> x,
 
 int main() {
   // The Cholesky factor: a sparse unit-lower matrix (so A = L L^T is SPD).
-  Csr lower = MakeLevelStructured({.num_levels = 12,
-                                   .components_per_level = 1500,
-                                   .avg_nnz_per_row = 3.0,
-                                   .size_jitter = 0.2,
-                                   .interleave = false,
-                                   .seed = 2024});
+  const Csr lower = MakeLevelStructured({.num_levels = 12,
+                                         .components_per_level = 1500,
+                                         .avg_nnz_per_row = 3.0,
+                                         .size_jitter = 0.2,
+                                         .interleave = false,
+                                         .seed = 2024});
   const Csr upper = TransposeCsr(lower);
   const Idx n = lower.rows();
   std::printf("Cholesky-factored SPD system: n = %d, nnz(L) = %lld\n", n,
@@ -70,9 +76,29 @@ int main() {
   std::vector<Val> c(static_cast<std::size_t>(n));
   ApplyA(lower, upper, y_true, c);
 
-  // Forward solve on the simulated GPU.
-  Solver solver(std::move(lower));
-  auto forward = solver.Solve(Algorithm::kCapellini, c);
+  // Register both factors once; every later solve reuses the memoized
+  // analysis (levels, granularity, algorithm verdict).
+  serve::MatrixRegistry registry;
+  auto forward_handle = registry.Register(lower, "cholesky-L");
+  auto backward_handle =
+      registry.Register(ReverseSystem(upper), "cholesky-Lt-reversed");
+  if (!forward_handle.ok() || !backward_handle.ok()) {
+    std::fprintf(stderr, "registration failed\n");
+    return 1;
+  }
+  auto forward_entry = registry.Acquire(*forward_handle);
+  auto backward_entry = registry.Acquire(*backward_handle);
+  if (!forward_entry.ok() || !backward_entry.ok()) {
+    std::fprintf(stderr, "acquire failed\n");
+    return 1;
+  }
+  std::printf("registered both factors: analysis %.2f ms (L) + %.2f ms "
+              "(reversed L^T), done once\n",
+              (*forward_entry)->analysis_ms, (*backward_entry)->analysis_ms);
+
+  // Forward solve on the simulated GPU through the registry solver.
+  const Solver& forward_solver = (*forward_entry)->solver;
+  auto forward = forward_solver.Solve(Algorithm::kCapellini, c);
   if (!forward.ok()) {
     std::fprintf(stderr, "forward solve failed: %s\n",
                  forward.status().ToString().c_str());
@@ -82,18 +108,37 @@ int main() {
               AlgorithmName(Algorithm::kCapellini), forward->gflops,
               forward->solve_ms);
 
-  // Backward solve: the library's upper-triangular API (index reversal +
-  // the same thread-level kernel).
-  auto backward =
-      SolveUpperSystem(upper, forward->x, Algorithm::kCapellini, {});
+  // Backward solve through the registry's pre-reversed factor: reverse the
+  // right-hand side, solve the equivalent lower system, reverse back.
+  const Solver& backward_solver = (*backward_entry)->solver;
+  std::vector<Val> z_reversed(static_cast<std::size_t>(n));
+  ReverseVector(forward->x, z_reversed);
+  auto backward = backward_solver.Solve(Algorithm::kCapellini, z_reversed);
   if (!backward.ok()) {
     std::fprintf(stderr, "backward solve failed: %s\n",
                  backward.status().ToString().c_str());
     return 1;
   }
-  std::vector<Val> y = backward->x;
-  std::printf("backward (L^T y = z)  %s via SolveUpperSystem, %.2f GFLOPS\n",
+  std::vector<Val> y(static_cast<std::size_t>(n));
+  ReverseVector(backward->x, y);
+  std::printf("backward (L^T y = z)  %s via registry (reversed factor), "
+              "%.2f GFLOPS\n",
               AlgorithmName(Algorithm::kCapellini), backward->gflops);
+
+  // The one-shot upper-triangular API must produce bit-identical results —
+  // it performs exactly the same reversal internally.
+  auto one_shot = SolveUpperSystem(upper, forward->x, Algorithm::kCapellini, {});
+  if (!one_shot.ok()) {
+    std::fprintf(stderr, "SolveUpperSystem failed: %s\n",
+                 one_shot.status().ToString().c_str());
+    return 1;
+  }
+  if (one_shot->x != y) {
+    std::fprintf(stderr,
+                 "registry backward solve differs from SolveUpperSystem\n");
+    return 1;
+  }
+  std::printf("one-shot SolveUpperSystem cross-check: bit-identical\n");
 
   // Cross-check with a hand-written host backward substitution.
   std::vector<Val> y_host(static_cast<std::size_t>(n));
@@ -106,7 +151,7 @@ int main() {
 
   // Independent residual check.
   std::vector<Val> ay(static_cast<std::size_t>(n));
-  ApplyA(solver.matrix(), upper, y, ay);
+  ApplyA(lower, upper, y, ay);
   double residual = 0.0, norm = 0.0;
   for (std::size_t i = 0; i < ay.size(); ++i) {
     residual += (ay[i] - c[i]) * (ay[i] - c[i]);

@@ -19,18 +19,121 @@
 //
 // writes a Chrome trace-event file (load it at ui.perfetto.dev) and prints
 // the stall-attribution table and solve-progress ramp.
+//
+// Serving (src/serve):
+//
+//   ./examples/sptrsv_tool --serve_replay=trace.json
+//
+// replays a request trace through the batching solve service over a generated
+// corpus (the trace is generated and written to the path first if the file
+// does not exist); --list-algorithms prints every algorithm the tool accepts.
 #include <cstdio>
 #include <optional>
 
 #include "core/analysis.h"
 #include "core/autotune.h"
 #include "core/solver.h"
+#include "gen/corpus.h"
 #include "gen/rmat.h"
 #include "matrix/convert.h"
 #include "matrix/mm_io.h"
 #include "matrix/triangular.h"
+#include "serve/replay.h"
+#include "serve/service.h"
 #include "support/cli.h"
 #include "trace/session.h"
+
+namespace {
+
+/// --list-algorithms: one line per algorithm the --algorithm flag accepts.
+int ListAlgorithms() {
+  using namespace capellini;
+  std::printf("%-16s %-6s %-9s\n", "name", "runs", "batchable");
+  for (const Algorithm algorithm :
+       {Algorithm::kCapellini, Algorithm::kCapelliniTwoPhase,
+        Algorithm::kSyncFree, Algorithm::kSyncFreeCsr, Algorithm::kCusparse,
+        Algorithm::kLevelSet, Algorithm::kHybrid, Algorithm::kSerialCpu,
+        Algorithm::kLevelSetCpu, Algorithm::kSyncFreeCpu}) {
+    // "batchable" = has a k-rhs kernel, so the solve service can coalesce
+    // same-matrix requests into one launch.
+    const bool batchable = algorithm == Algorithm::kCapellini ||
+                           algorithm == Algorithm::kSyncFreeCsr;
+    std::printf("%-16s %-6s %-9s\n", AlgorithmName(algorithm),
+                IsDeviceAlgorithm(algorithm) ? "device" : "host",
+                batchable ? "yes" : "no");
+  }
+  std::printf("\n'auto' picks Capellini when parallel granularity > 0.7, "
+              "SyncFree otherwise (Figure 6).\n");
+  return 0;
+}
+
+/// --serve_replay: replay `path` (generated and written first if missing)
+/// through a MatrixRegistry + SolveService over a small generated corpus.
+int ServeReplay(const std::string& path, const capellini::SolverOptions& options) {
+  using namespace capellini;
+  using namespace capellini::serve;
+
+  CorpusOptions corpus_options;
+  corpus_options.target_rows = 1200;
+  const std::vector<NamedMatrix> corpus = HighGranularityCorpus(corpus_options);
+
+  RequestTrace trace;
+  auto read = ReadTraceJson(path);
+  if (read.ok() && !read->requests.empty()) {
+    trace = std::move(*read);
+    std::printf("replaying %zu requests from %s\n", trace.requests.size(),
+                path.c_str());
+  } else {
+    trace = GenerateZipfTrace(96, static_cast<int>(corpus.size()), 1.1, 0x51ab);
+    if (const Status status = WriteTraceJson(trace, path); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("no readable trace at %s — generated a zipf trace "
+                "(%zu requests) and wrote it there\n",
+                path.c_str(), trace.requests.size());
+  }
+
+  MatrixRegistry registry;
+  std::vector<MatrixHandle> handles;
+  for (const NamedMatrix& named : corpus) {
+    auto handle = registry.Register(named.matrix, named.name, options);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "register '%s' failed: %s\n", named.name.c_str(),
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(*handle);
+  }
+
+  ServiceOptions service_options;
+  service_options.workers = 2;
+  service_options.max_batch = 4;
+  service_options.max_queue = trace.requests.size() + 1;
+  service_options.start_paused = true;
+  SolveService service(&registry, service_options);
+
+  ReplayOptions replay_options;
+  replay_options.preload = true;
+  auto report = ReplayTrace(service, handles, trace, replay_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  service.Shutdown();
+
+  std::printf("%zu completed, %zu rejected, %zu failed, %zu wrong; "
+              "%.1f req/s (checksum %016llx)\n\n",
+              report->completed, report->rejected, report->failed,
+              report->wrong, report->requests_per_sec,
+              static_cast<unsigned long long>(report->solution_checksum));
+  const RegistrySnapshot cache = registry.Snapshot();
+  std::fputs(service.stats().ToTable(&cache).c_str(), stdout);
+  return (report->wrong == 0 && report->failed == 0) ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace capellini;
@@ -43,6 +146,8 @@ int main(int argc, char** argv) {
   bool generate = false;
   bool tune = false;
   bool trace_summary = false;
+  bool list_algorithms = false;
+  std::string serve_replay_path;
   std::int64_t generate_nodes = 1 << 14;
   std::int64_t threads = 0;
 
@@ -67,8 +172,22 @@ int main(int argc, char** argv) {
   flags.AddInt("threads", &threads,
                "worker threads for --tune (0 = hardware concurrency); "
                "incompatible with tracing");
+  flags.AddBool("list_algorithms", &list_algorithms,
+                "print every accepted --algorithm value and exit");
+  flags.AddString("serve_replay", &serve_replay_path,
+                  "replay this request-trace JSON through the batching solve "
+                  "service (generates + writes the trace if the file is "
+                  "missing)");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
+  }
+  if (list_algorithms) return ListAlgorithms();
+  if (!serve_replay_path.empty()) {
+    SolverOptions serve_options;
+    for (const auto& device : sim::PaperPlatforms()) {
+      if (device.name == platform) serve_options.device = device;
+    }
+    return ServeReplay(serve_replay_path, serve_options);
   }
 
   // --- load or generate ------------------------------------------------

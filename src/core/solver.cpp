@@ -1,5 +1,6 @@
 #include "core/solver.h"
 
+#include "core/analysis.h"
 #include "core/select.h"
 #include "host/levelset_cpu.h"
 #include "host/serial.h"
@@ -79,17 +80,20 @@ Solver::Solver(Csr lower, SolverOptions options)
                       "(see ExtractLowerTriangular)");
 }
 
-const LevelSets& Solver::Levels() const {
-  if (!levels_.has_value()) levels_ = ComputeLevelSets(lower_);
-  return *levels_;
+Solver::~Solver() = default;
+
+const Analysis& Solver::analysis() const {
+  std::call_once(analysis_once_, [this] {
+    analysis_ = std::make_unique<const Analysis>(
+        Analyze(lower_, "solver-matrix"));
+    analyzed_.store(true, std::memory_order_release);
+  });
+  return *analysis_;
 }
 
-const MatrixStats& Solver::Stats() const {
-  if (!stats_.has_value()) {
-    stats_ = ComputeStats(lower_, "solver-matrix", &Levels());
-  }
-  return *stats_;
-}
+const LevelSets& Solver::Levels() const { return analysis().levels; }
+
+const MatrixStats& Solver::Stats() const { return analysis().stats; }
 
 Expected<SolveResult> Solver::Solve(Algorithm algorithm,
                                     std::span<const Val> b) const {
@@ -142,7 +146,7 @@ Expected<SolveResult> Solver::Solve(Algorithm algorithm,
   return result;
 }
 
-Algorithm Solver::Recommend() const { return SelectAlgorithm(Stats()); }
+Algorithm Solver::Recommend() const { return analysis().recommended; }
 
 Expected<SolveResult> SolveUpperSystem(const Csr& upper,
                                        std::span<const Val> b,

@@ -8,7 +8,9 @@
 //   if (result.ok()) use(result->x, result->gflops);
 #pragma once
 
-#include <optional>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,6 +23,8 @@
 #include "support/status.h"
 
 namespace capellini {
+
+struct Analysis;  // core/analysis.h
 
 /// All solve strategies exposed by the library.
 enum class Algorithm {
@@ -73,12 +77,27 @@ class Solver {
   /// Takes ownership of the matrix. Aborts if it is not lower-triangular
   /// with a full diagonal (use ExtractLowerTriangular first).
   explicit Solver(Csr lower, SolverOptions options = {});
+  ~Solver();
+
+  Solver(Solver&&) = delete;
+  Solver& operator=(Solver&&) = delete;
 
   const Csr& matrix() const { return lower_; }
   const SolverOptions& options() const { return options_; }
 
-  /// Structural indicators (levels, alpha/beta/delta). Computed lazily and
-  /// cached; the level sets are reused by the level-set algorithms.
+  /// Full structural analysis (levels, alpha/beta/delta, row-length
+  /// histogram, Figure-6 recommendation). Computed on first use — guarded by
+  /// a std::once_flag, so one Solver can be handed to many concurrent
+  /// readers (the serve registry does exactly that) and the analysis is
+  /// still computed exactly once.
+  const Analysis& analysis() const;
+
+  /// True once analysis() has run (i.e. further calls are cache hits).
+  bool analyzed() const { return analyzed_.load(std::memory_order_acquire); }
+
+  /// Structural indicators (levels, alpha/beta/delta). Views into the
+  /// memoized analysis(); the level sets are reused by the level-set
+  /// algorithms.
   const MatrixStats& Stats() const;
   const LevelSets& Levels() const;
 
@@ -93,8 +112,9 @@ class Solver {
  private:
   Csr lower_;
   SolverOptions options_;
-  mutable std::optional<LevelSets> levels_;
-  mutable std::optional<MatrixStats> stats_;
+  mutable std::once_flag analysis_once_;
+  mutable std::unique_ptr<const Analysis> analysis_;
+  mutable std::atomic<bool> analyzed_{false};
 };
 
 }  // namespace capellini

@@ -1,0 +1,113 @@
+#include "serve/registry.h"
+
+#include "core/analysis.h"
+#include "support/timer.h"
+
+namespace capellini::serve {
+
+MatrixRegistry::MatrixRegistry(RegistryOptions options) : options_(options) {}
+
+std::size_t MatrixRegistry::FootprintBytes(const Entry& entry) {
+  const Csr& m = entry.solver.matrix();
+  std::size_t bytes = 0;
+  bytes += m.row_ptr().size() * sizeof(Idx);
+  bytes += m.col_idx().size() * sizeof(Idx);
+  bytes += m.val().size() * sizeof(Val);
+  const LevelSets& levels = entry.solver.Levels();
+  bytes += levels.level_of.size() * sizeof(Idx);
+  bytes += levels.level_ptr.size() * sizeof(Idx);
+  bytes += levels.order.size() * sizeof(Idx);
+  return bytes;
+}
+
+Expected<MatrixHandle> MatrixRegistry::Register(Csr lower, std::string name,
+                                                SolverOptions options) {
+  // Validate with a Status (the Solver constructor CHECK-aborts, which is
+  // fine for library misuse but not for a multi-tenant service input).
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument("Register needs a lower-triangular matrix with a "
+                           "full diagonal (see ExtractLowerTriangular)");
+  }
+
+  // Build + analyze outside the lock: analysis is the expensive part and
+  // must not serialize concurrent registrations of other matrices.
+  MatrixHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handle = next_handle_++;
+  }
+  auto entry = std::make_shared<Entry>(handle, std::move(name),
+                                       std::move(lower), std::move(options));
+  Timer timer;
+  entry->solver.analysis();  // memoize eagerly; hits from now on
+  entry->analysis_ms = timer.ElapsedMs();
+  entry->bytes = FootprintBytes(*entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.byte_budget != 0 && entry->bytes > options_.byte_budget) {
+    return ResourceExhausted(
+        "matrix '" + entry->name + "' needs " + std::to_string(entry->bytes) +
+        " bytes, more than the whole registry budget of " +
+        std::to_string(options_.byte_budget));
+  }
+  EvictLruUntilFitsLocked(entry->bytes);
+  lru_.push_front(handle);
+  resident_bytes_ += entry->bytes;
+  entries_.emplace(handle, Slot{std::move(entry), lru_.begin()});
+  ++stats_.registrations;
+  return handle;
+}
+
+void MatrixRegistry::EvictLruUntilFitsLocked(std::size_t incoming_bytes) {
+  if (options_.byte_budget == 0) return;
+  while (!lru_.empty() &&
+         resident_bytes_ + incoming_bytes > options_.byte_budget) {
+    const MatrixHandle victim = lru_.back();
+    auto it = entries_.find(victim);
+    resident_bytes_ -= it->second.entry->bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+Expected<MatrixRegistry::EntryRef> MatrixRegistry::Acquire(
+    MatrixHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return NotFound("handle " + std::to_string(handle) +
+                    " is not registered (evicted or never registered)");
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+  return EntryRef(it->second.entry);
+}
+
+bool MatrixRegistry::Evict(MatrixHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return false;
+  resident_bytes_ -= it->second.entry->bytes;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  ++stats_.evictions;
+  return true;
+}
+
+bool MatrixRegistry::Contains(MatrixHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(handle) != entries_.end();
+}
+
+RegistrySnapshot MatrixRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot = stats_;
+  snapshot.resident_entries = entries_.size();
+  snapshot.resident_bytes = resident_bytes_;
+  return snapshot;
+}
+
+}  // namespace capellini::serve

@@ -1,0 +1,122 @@
+// MatrixRegistry: the analyzed-matrix cache behind the solve service.
+//
+// A caller registers a lower-triangular factor ONCE and gets back a stable
+// handle; the registry owns the Solver and memoizes its structural analysis
+// (levels, parallel granularity, the Figure-6 SelectAlgorithm verdict), so
+// the analyze/solve split that vendor libraries expose (cusparse_analysis /
+// cusparse_solve) falls out for free: every subsequent solve on the handle
+// is a cache hit.
+//
+// Resource model:
+//  * A configurable byte budget bounds resident matrices; registration past
+//    the budget evicts least-recently-used entries (LRU order is updated by
+//    Acquire).
+//  * Entries are handed out as shared_ptr. Eviction only drops the
+//    registry's reference — in-flight solves on an evicted matrix keep it
+//    alive and complete normally; the memory is reclaimed when the last
+//    solve finishes.
+//  * All registry operations take one short-lived mutex for the map/LRU
+//    bookkeeping only. Solves never hold it, so concurrent solves on
+//    different (or the same) matrices never serialize through the registry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solver.h"
+#include "matrix/csr.h"
+#include "support/status.h"
+
+namespace capellini::serve {
+
+/// Stable identifier for a registered matrix. Never reused, so a handle held
+/// across an eviction + re-registration cleanly reports NotFound instead of
+/// silently binding to the new entry.
+using MatrixHandle = std::uint64_t;
+inline constexpr MatrixHandle kInvalidHandle = 0;
+
+struct RegistryOptions {
+  /// Upper bound on resident bytes (matrix arrays + analysis arrays).
+  /// 0 = unlimited. A single matrix larger than the whole budget is
+  /// rejected with kResourceExhausted rather than thrashing the cache.
+  std::size_t byte_budget = 0;
+};
+
+/// Point-in-time registry counters (see ServiceStats for the service-level
+/// view; these are the cache-side numbers).
+struct RegistrySnapshot {
+  std::uint64_t registrations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t hits = 0;       // Acquire on a resident handle
+  std::uint64_t misses = 0;     // Acquire on an unknown/evicted handle
+  std::size_t resident_entries = 0;
+  std::size_t resident_bytes = 0;
+};
+
+class MatrixRegistry {
+ public:
+  /// One registered matrix: the Solver (whose analysis() is memoized and
+  /// safe under concurrent readers) plus cache bookkeeping.
+  struct Entry {
+    MatrixHandle handle = kInvalidHandle;
+    std::string name;
+    Solver solver;
+    std::size_t bytes = 0;
+    /// Host milliseconds spent in Analyze() at registration — the cold-start
+    /// cost the registry amortizes away.
+    double analysis_ms = 0.0;
+
+    Entry(MatrixHandle h, std::string n, Csr lower, SolverOptions options)
+        : handle(h), name(std::move(n)),
+          solver(std::move(lower), std::move(options)) {}
+  };
+  using EntryRef = std::shared_ptr<const Entry>;
+
+  explicit MatrixRegistry(RegistryOptions options = {});
+
+  /// Validates, analyzes and caches `lower`. Returns the new handle, or
+  ///  * kInvalidArgument if the matrix is not lower-triangular with diagonal
+  ///    (a Status, not an abort: served paths must not bring the process
+  ///    down on bad tenant input);
+  ///  * kResourceExhausted if the matrix alone exceeds the byte budget.
+  Expected<MatrixHandle> Register(Csr lower, std::string name,
+                                  SolverOptions options = {});
+
+  /// Looks up a handle and marks it most-recently-used. NotFound if the
+  /// handle was never registered or has been evicted.
+  Expected<EntryRef> Acquire(MatrixHandle handle);
+
+  /// Drops a handle explicitly (idempotent; returns false if absent).
+  bool Evict(MatrixHandle handle);
+
+  bool Contains(MatrixHandle handle) const;
+  RegistrySnapshot Snapshot() const;
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  /// Approximate resident footprint of an entry: CSR arrays + the memoized
+  /// level-set arrays (the two allocations that dominate).
+  static std::size_t FootprintBytes(const Entry& entry);
+  void EvictLruUntilFitsLocked(std::size_t incoming_bytes);
+
+  RegistryOptions options_;
+  mutable std::mutex mutex_;
+  MatrixHandle next_handle_ = 1;
+  // LRU list front = most recent; map values hold the list iterator for O(1)
+  // splice on Acquire.
+  std::list<MatrixHandle> lru_;
+  struct Slot {
+    std::shared_ptr<Entry> entry;
+    std::list<MatrixHandle>::iterator lru_it;
+  };
+  std::unordered_map<MatrixHandle, Slot> entries_;
+  std::size_t resident_bytes_ = 0;
+  RegistrySnapshot stats_;
+};
+
+}  // namespace capellini::serve

@@ -1,0 +1,216 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "matrix/triangular.h"
+#include "support/rng.h"
+
+namespace capellini::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace
+
+std::uint64_t HashBytes(std::uint64_t hash, const void* data,
+                        std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
+                               std::uint64_t seed) {
+  CAPELLINI_CHECK_MSG(num_requests >= 0 && num_matrices >= 1,
+                      "trace needs at least one matrix");
+  Rng rng(seed);
+
+  // CDF over ranks 1..M with P(rank r) ~ 1 / r^s.
+  std::vector<double> cdf(static_cast<std::size_t>(num_matrices));
+  double total = 0.0;
+  for (int r = 0; r < num_matrices; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& v : cdf) v /= total;
+
+  // Shuffle which matrix gets which popularity rank (Fisher-Yates).
+  std::vector<int> rank_to_matrix(static_cast<std::size_t>(num_matrices));
+  for (int i = 0; i < num_matrices; ++i) {
+    rank_to_matrix[static_cast<std::size_t>(i)] = i;
+  }
+  for (int i = num_matrices - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(i + 1)));
+    std::swap(rank_to_matrix[static_cast<std::size_t>(i)], rank_to_matrix[j]);
+  }
+
+  RequestTrace trace;
+  trace.requests.reserve(static_cast<std::size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto rank = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(cdf.size()) - 1));
+    trace.requests.push_back(
+        TraceRequest{rank_to_matrix[rank], rng.Next() | 1u});
+  }
+  return trace;
+}
+
+Status WriteTraceJson(const RequestTrace& trace, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return IoError("cannot write " + path);
+  std::fprintf(file, "{\"requests\": [\n");
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const TraceRequest& r = trace.requests[i];
+    std::fprintf(file, "  {\"matrix\": %d, \"seed\": %llu}%s\n", r.matrix,
+                 static_cast<unsigned long long>(r.seed),
+                 i + 1 < trace.requests.size() ? "," : "");
+  }
+  std::fprintf(file, "]}\n");
+  std::fclose(file);
+  return Status::Ok();
+}
+
+Expected<RequestTrace> ReadTraceJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return IoError("cannot read " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+
+  // Minimal scanner for the writer's schema: every "matrix" key must be
+  // followed by a "seed" key. Tolerates whitespace/ordering the writer emits
+  // but is not a general JSON parser (we have no JSON dependency).
+  RequestTrace trace;
+  std::size_t pos = 0;
+  const std::string matrix_key = "\"matrix\"";
+  const std::string seed_key = "\"seed\"";
+  while ((pos = text.find(matrix_key, pos)) != std::string::npos) {
+    pos += matrix_key.size();
+    TraceRequest request;
+    if (std::sscanf(text.c_str() + pos, " : %d", &request.matrix) != 1) {
+      return IoError(path + ": malformed \"matrix\" value");
+    }
+    const std::size_t seed_pos = text.find(seed_key, pos);
+    if (seed_pos == std::string::npos) {
+      return IoError(path + ": \"matrix\" without a following \"seed\"");
+    }
+    unsigned long long seed = 0;
+    if (std::sscanf(text.c_str() + seed_pos + seed_key.size(), " : %llu",
+                    &seed) != 1) {
+      return IoError(path + ": malformed \"seed\" value");
+    }
+    request.seed = seed;
+    if (request.matrix < 0) {
+      return IoError(path + ": negative matrix index");
+    }
+    trace.requests.push_back(request);
+    pos = seed_pos + seed_key.size();
+  }
+  return trace;
+}
+
+Expected<ReplayReport> ReplayTrace(SolveService& service,
+                                   const std::vector<MatrixHandle>& handles,
+                                   const RequestTrace& trace,
+                                   const ReplayOptions& options) {
+  if (handles.empty()) return InvalidArgument("no handles to replay against");
+
+  struct Pending {
+    std::future<ServeResult> future;
+    std::vector<Val> x_true;
+  };
+
+  ReplayReport report;
+  std::vector<Pending> pending;
+  pending.reserve(trace.requests.size());
+
+  // Queue-full and evicted-handle submissions are both counted as
+  // rejections: under a byte budget a cold factor can be LRU-evicted while
+  // its trace requests are still in flight, and a serving client would
+  // re-register and retry — the replay just records the drop.
+  const auto is_rejection = [](const Status& status) {
+    return status.code() == StatusCode::kResourceExhausted ||
+           status.code() == StatusCode::kNotFound;
+  };
+
+  const Clock::time_point submit_begin = Clock::now();
+  for (const TraceRequest& request : trace.requests) {
+    const MatrixHandle handle =
+        handles[static_cast<std::size_t>(request.matrix) % handles.size()];
+    auto entry = service.registry()->Acquire(handle);
+    if (!entry.ok()) {
+      if (is_rejection(entry.status())) {
+        ++report.submitted;
+        ++report.rejected;
+        continue;
+      }
+      return entry.status();
+    }
+    const ReferenceProblem problem =
+        MakeReferenceProblem((*entry)->solver.matrix(), request.seed);
+    ++report.submitted;
+    auto submitted = service.Submit(handle, problem.b);
+    if (!submitted.ok()) {
+      if (is_rejection(submitted.status())) {
+        ++report.rejected;
+        continue;
+      }
+      return submitted.status();
+    }
+    pending.push_back(Pending{std::move(*submitted),
+                              options.verify ? problem.x_true
+                                             : std::vector<Val>{}});
+  }
+
+  // With preload the queue was filled while the workers were paused; the
+  // measured wall clock is the drain alone (the batching-limited regime).
+  const Clock::time_point drain_begin =
+      options.preload ? Clock::now() : submit_begin;
+  if (options.preload) service.Start();
+
+  std::uint64_t checksum = kFnvSeed;
+  for (Pending& p : pending) {
+    ServeResult result = p.future.get();
+    if (!result.status.ok()) {
+      ++report.failed;
+      continue;
+    }
+    ++report.completed;
+    checksum = HashBytes(checksum, result.solve.x.data(),
+                         result.solve.x.size() * sizeof(Val));
+    if (options.verify &&
+        MaxRelativeError(result.solve.x, p.x_true) > 1e-8) {
+      ++report.wrong;
+    }
+  }
+  const Clock::time_point end = Clock::now();
+  report.wall_ms = ElapsedMs(drain_begin, end);
+  report.solution_checksum = checksum;
+  const double seconds = report.wall_ms / 1e3;
+  if (seconds > 0.0) {
+    report.requests_per_sec =
+        static_cast<double>(report.completed) / seconds;
+  }
+  return report;
+}
+
+}  // namespace capellini::serve

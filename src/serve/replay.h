@@ -1,0 +1,78 @@
+// Request traces for the solve service: generate a zipf-distributed workload
+// over a matrix corpus, persist it as JSON, and replay it through a
+// SolveService while verifying every solution.
+//
+// Zipf popularity is the serving-realistic shape: a few hot factors take
+// most of the solve traffic (they batch well and stay cache-resident), a
+// long tail of cold ones churns the LRU. The trace is fully deterministic —
+// bench_serve's determinism gate replays the same trace through the service
+// and through a serial one-shot loop and checksums the solutions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/proxies.h"
+#include "serve/service.h"
+#include "support/status.h"
+
+namespace capellini::serve {
+
+struct TraceRequest {
+  /// Index into the corpus / handle list the trace is replayed against.
+  int matrix = 0;
+  /// Seed for the manufactured right-hand side (b = L * x_true).
+  std::uint64_t seed = 0;
+};
+
+struct RequestTrace {
+  std::vector<TraceRequest> requests;
+};
+
+/// Draws `num_requests` requests whose matrix popularity follows a zipf law
+/// with exponent `s` over `num_matrices` ranks (rank order is shuffled by
+/// `seed` so matrix 0 is not always the hot one).
+RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
+                               std::uint64_t seed);
+
+/// {"requests": [{"matrix": 3, "seed": 17}, ...]}
+Status WriteTraceJson(const RequestTrace& trace, const std::string& path);
+Expected<RequestTrace> ReadTraceJson(const std::string& path);
+
+struct ReplayReport {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;   // future resolved with OK status
+  std::size_t rejected = 0;    // admission-control rejections
+  std::size_t failed = 0;      // non-OK ServeResult
+  std::size_t wrong = 0;       // solution off the reference by > 1e-8
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  /// FNV-1a over every completed solution in submission order — the
+  /// determinism-mode fingerprint.
+  std::uint64_t solution_checksum = 0;
+};
+
+struct ReplayOptions {
+  /// Load the whole trace before the workers start (needs
+  /// ServiceOptions::start_paused and max_queue >= trace size). Maximizes
+  /// coalescing; the wall clock covers only the drain.
+  bool preload = false;
+  /// Verify each solution against the serially solved reference.
+  bool verify = true;
+};
+
+/// Replays `trace` through `service`: request i targets handles[matrix % n].
+/// Right-hand sides are manufactured per request from the trace seed.
+/// Rejected submissions are counted, not retried.
+Expected<ReplayReport> ReplayTrace(SolveService& service,
+                                   const std::vector<MatrixHandle>& handles,
+                                   const RequestTrace& trace,
+                                   const ReplayOptions& options = {});
+
+/// FNV-1a helper shared with bench_serve's one-shot baseline.
+std::uint64_t HashBytes(std::uint64_t hash, const void* data,
+                        std::size_t size);
+inline constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+}  // namespace capellini::serve

@@ -1,0 +1,254 @@
+#include "serve/service.h"
+
+#include <algorithm>
+
+#include "kernels/launch.h"
+#include "support/thread_pool.h"
+
+namespace capellini::serve {
+namespace {
+
+/// Algorithms with a k-right-hand-side kernel (kernels/mrhs.cpp). Everything
+/// else is served per-request.
+bool HasMrhsForm(Algorithm algorithm) {
+  return algorithm == Algorithm::kCapellini ||
+         algorithm == Algorithm::kSyncFreeCsr;
+}
+
+kernels::MrhsAlgorithm ToMrhsAlgorithm(Algorithm algorithm) {
+  return algorithm == Algorithm::kCapellini
+             ? kernels::MrhsAlgorithm::kCapelliniMrhs
+             : kernels::MrhsAlgorithm::kSyncFreeMrhs;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point begin,
+                 std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace
+
+ServiceOptions SolveService::DeterministicOptions() {
+  ServiceOptions options;
+  options.workers = 1;
+  options.max_batch = 1;
+  return options;
+}
+
+SolveService::SolveService(MatrixRegistry* registry, ServiceOptions options)
+    : registry_(registry), options_(options) {
+  CAPELLINI_CHECK_MSG(registry_ != nullptr, "service needs a registry");
+  options_.workers = std::max(1, options_.workers);
+  options_.max_batch = std::clamp(options_.max_batch, 1, 6);
+  paused_ = options_.start_paused;
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  worker_done_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    worker_done_.push_back(pool_->Submit([this] { WorkerLoop(); }));
+  }
+}
+
+SolveService::~SolveService() { Shutdown(); }
+
+void SolveService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SolveService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ && worker_done_.empty()) return;
+    shutdown_ = true;
+    paused_ = false;  // accepted work still drains
+  }
+  cv_.notify_all();
+  for (std::future<void>& done : worker_done_) done.get();
+  worker_done_.clear();
+  pool_.reset();
+}
+
+Expected<std::future<ServeResult>> SolveService::Submit(
+    MatrixHandle handle, std::vector<Val> b, RequestOptions options) {
+  auto acquired = registry_->Acquire(handle);
+  if (!acquired.ok()) return acquired.status();
+  const MatrixRegistry::EntryRef& entry = *acquired;
+  if (b.size() != static_cast<std::size_t>(entry->solver.matrix().rows())) {
+    return InvalidArgument(
+        "b has " + std::to_string(b.size()) + " entries, matrix '" +
+        entry->name + "' has " +
+        std::to_string(entry->solver.matrix().rows()) + " rows");
+  }
+
+  Request request;
+  request.handle = handle;
+  request.entry = entry;
+  request.b = std::move(b);
+  // Memoized analysis makes the default a cache hit, never a re-analysis.
+  request.algorithm = options.algorithm.has_value()
+                          ? *options.algorithm
+                          : entry->solver.Recommend();
+  request.enqueue_time = Clock::now();
+  const double deadline_ms = options.deadline_ms.has_value()
+                                 ? *options.deadline_ms
+                                 : options_.default_deadline_ms;
+  request.deadline =
+      deadline_ms > 0.0
+          ? request.enqueue_time +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms))
+          : Clock::time_point::max();
+  std::future<ServeResult> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return FailedPrecondition("service is shut down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      stats_.RecordRejection();
+      return ResourceExhausted(
+          "queue full (" + std::to_string(options_.max_queue) +
+          " pending requests) — retry with backoff");
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<SolveService::Request> SolveService::PopGroupLocked() {
+  std::vector<Request> group;
+  group.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // Copy the match keys: push_back below may reallocate the vector.
+  const MatrixHandle handle = group.front().handle;
+  const Algorithm algorithm = group.front().algorithm;
+  if (options_.max_batch > 1 && HasMrhsForm(algorithm)) {
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         group.size() < static_cast<std::size_t>(options_.max_batch);) {
+      if (it->handle == handle && it->algorithm == algorithm) {
+        group.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return group;
+}
+
+void SolveService::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> group;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return (!paused_ && !queue_.empty()) || (shutdown_ && queue_.empty());
+      });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      group = PopGroupLocked();
+    }
+    ServeGroup(std::move(group));
+  }
+}
+
+void SolveService::ServeGroup(std::vector<Request> group) {
+  const Clock::time_point dequeue_time = Clock::now();
+
+  // Expired requests complete with a clean Status without burning a launch.
+  std::vector<Request> live;
+  live.reserve(group.size());
+  for (Request& request : group) {
+    if (dequeue_time > request.deadline) {
+      stats_.RecordDeadlineMiss(request.handle, request.entry->name);
+      ServeResult result;
+      result.status = DeadlineExceeded(
+          "request expired after " +
+          std::to_string(ElapsedMs(request.enqueue_time, dequeue_time)) +
+          " ms in queue");
+      result.algorithm = request.algorithm;
+      result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+      request.promise.set_value(std::move(result));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  const MatrixRegistry::Entry& entry = *live.front().entry;
+  if (live.size() >= 2) {
+    stats_.RecordBatch(static_cast<int>(live.size()));
+    ServeBatched(live, entry);
+    return;
+  }
+
+  // Solo request: the exact Solver::Solve call the one-shot path makes —
+  // this identity is the determinism-mode contract.
+  Request& request = live.front();
+  ServeResult result;
+  result.algorithm = request.algorithm;
+  result.batch_size = 1;
+  result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+  stats_.RecordBatch(1);
+  auto solved = entry.solver.Solve(request.algorithm, request.b);
+  if (solved.ok()) {
+    result.solve = std::move(*solved);
+  } else {
+    result.status = solved.status();
+  }
+  stats_.RecordRequest(request.handle, entry.name, result.status.ok(), 1,
+                       result.queue_wait_ms, result.solve.solve_ms);
+  request.promise.set_value(std::move(result));
+}
+
+void SolveService::ServeBatched(std::vector<Request>& group,
+                                const MatrixRegistry::Entry& entry) {
+  const Clock::time_point dequeue_time = Clock::now();
+  const auto n = static_cast<std::size_t>(entry.solver.matrix().rows());
+  const int k = static_cast<int>(group.size());
+
+  // Column-major n x k B: column r is request r's right-hand side.
+  std::vector<Val> b(n * static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    std::copy(group[static_cast<std::size_t>(r)].b.begin(),
+              group[static_cast<std::size_t>(r)].b.end(),
+              b.begin() + static_cast<std::size_t>(r) * n);
+  }
+
+  const SolverOptions& solver_options = entry.solver.options();
+  auto solved = kernels::SolveMrhsOnDevice(
+      ToMrhsAlgorithm(group.front().algorithm), entry.solver.matrix(), b, k,
+      solver_options.device, solver_options.kernel_options);
+
+  for (int r = 0; r < k; ++r) {
+    Request& request = group[static_cast<std::size_t>(r)];
+    ServeResult result;
+    result.algorithm = request.algorithm;
+    result.batch_size = k;
+    result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+    if (solved.ok()) {
+      result.solve.x.assign(
+          solved->x.begin() + static_cast<std::size_t>(r) * n,
+          solved->x.begin() + static_cast<std::size_t>(r + 1) * n);
+      // Launch-level metrics are shared by the whole group: the point of
+      // coalescing is that k systems cost one structure walk.
+      result.solve.solve_ms = solved->exec_ms;
+      result.solve.preprocessing_ms = solved->preprocessing_ms;
+      result.solve.gflops = solved->gflops;
+      result.solve.bandwidth_gbs = solved->bandwidth_gbs;
+      result.solve.device_stats = solved->stats;
+    } else {
+      result.status = solved.status();
+    }
+    stats_.RecordRequest(request.handle, entry.name, result.status.ok(), k,
+                         result.queue_wait_ms, result.solve.solve_ms);
+    request.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace capellini::serve

@@ -1,0 +1,153 @@
+// SolveService: an async, batching solve front-end over the MatrixRegistry.
+//
+// Request path:
+//   Submit(handle, b, opts) -> Expected<std::future<ServeResult>>
+//     * admission control: a bounded FIFO queue; when full, Submit returns
+//       kResourceExhausted immediately (backpressure, never an abort);
+//     * workers (support/thread_pool) pop the queue; the COALESCING step
+//       scans the queue in FIFO order and groups up to `max_batch` requests
+//       that target the same handle with the same effective algorithm into
+//       ONE SolveMrhsOnDevice launch — the structure walk is paid once for
+//       the whole group (Liu et al.'s mrhs result, applied as a scheduler
+//       policy). Algorithms without an mrhs form fall back to per-request
+//       Solver::Solve;
+//     * per-request deadlines are checked at dequeue time — an expired
+//       request completes with kDeadlineExceeded without burning a launch;
+//     * simulator watchdog trips (the naive kernel's deadlock) surface as
+//       the kDeadlock Status inside the future, exactly like the library
+//       path. Nothing on a served path aborts the process.
+//
+// Determinism contract: with DeterministicOptions() (workers=1, max_batch=1)
+// the service is a plain FIFO executor — every request runs the identical
+// Solver::Solve call the one-shot path would, in submission order, so the
+// returned SolveResults are byte-identical to a serial loop. serve_test and
+// bench_serve's CI gate both checksum this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/solver.h"
+#include "serve/registry.h"
+#include "serve/stats.h"
+
+namespace capellini {
+class ThreadPool;  // support/thread_pool.h
+}
+
+namespace capellini::serve {
+
+struct ServiceOptions {
+  /// Worker threads draining the queue.
+  int workers = 2;
+  /// Coalescing cap: up to this many same-handle requests per launch.
+  /// Clamped to [1, 6] (the mrhs kernel's accumulator-register limit).
+  int max_batch = 4;
+  /// Admission bound; Submit rejects with kResourceExhausted when the queue
+  /// holds this many pending requests.
+  std::size_t max_queue = 256;
+  /// Default per-request deadline in wall-clock ms from submission
+  /// (0 = none). Requests can override per submission.
+  double default_deadline_ms = 0.0;
+  /// If true the workers do not start draining until Start() — tests and
+  /// benches use this to load the queue first so coalescing is
+  /// deterministic and maximal.
+  bool start_paused = false;
+};
+
+struct RequestOptions {
+  /// Algorithm override; nullopt = the handle's memoized recommendation.
+  std::optional<Algorithm> algorithm;
+  /// Per-request deadline ms (overrides ServiceOptions::default_deadline_ms;
+  /// < 0 means "no deadline even if the service has a default").
+  std::optional<double> deadline_ms;
+};
+
+/// What the future resolves to. `status` carries solve-time errors
+/// (deadline, deadlock, ...); admission errors are returned by Submit
+/// directly and never produce a future.
+struct ServeResult {
+  Status status;
+  SolveResult solve;
+  Algorithm algorithm = Algorithm::kCapellini;
+  /// Requests coalesced into the launch that served this one (1 = solo).
+  int batch_size = 1;
+  double queue_wait_ms = 0.0;
+};
+
+class SolveService {
+ public:
+  /// `registry` must outlive the service.
+  SolveService(MatrixRegistry* registry, ServiceOptions options = {});
+  /// Drains every accepted request (accepted work always completes), then
+  /// joins the workers.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueues a solve of `handle`'s matrix against `b`. Fails fast with
+  ///  * kNotFound          — unknown/evicted handle,
+  ///  * kInvalidArgument   — b has the wrong length,
+  ///  * kResourceExhausted — queue full,
+  ///  * kFailedPrecondition — service already shut down.
+  Expected<std::future<ServeResult>> Submit(MatrixHandle handle,
+                                            std::vector<Val> b,
+                                            RequestOptions options = {});
+
+  /// Releases workers when constructed with start_paused (no-op otherwise).
+  void Start();
+
+  /// Blocks until every accepted request has completed and stops the
+  /// workers. Subsequent Submits fail with kFailedPrecondition. Idempotent.
+  void Shutdown();
+
+  const ServiceStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return options_; }
+  MatrixRegistry* registry() const { return registry_; }
+
+  /// workers=1, max_batch=1: byte-reproduces the serial one-shot path.
+  static ServiceOptions DeterministicOptions();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Request {
+    MatrixHandle handle = kInvalidHandle;
+    MatrixRegistry::EntryRef entry;  // pinned at admission
+    std::vector<Val> b;
+    Algorithm algorithm = Algorithm::kCapellini;
+    Clock::time_point enqueue_time;
+    Clock::time_point deadline;  // time_point::max() = none
+    std::promise<ServeResult> promise;
+  };
+
+  void WorkerLoop();
+  /// Pops the next group: the front request plus up to max_batch-1 more
+  /// queued requests with the same handle + algorithm (scanning the whole
+  /// queue, not just the front — zipf traffic interleaves handles).
+  std::vector<Request> PopGroupLocked();
+  void ServeGroup(std::vector<Request> group);
+  void ServeBatched(std::vector<Request>& group,
+                    const MatrixRegistry::Entry& entry);
+
+  MatrixRegistry* registry_;
+  ServiceOptions options_;
+  ServiceStats stats_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool shutdown_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> worker_done_;
+};
+
+}  // namespace capellini::serve

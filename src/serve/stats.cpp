@@ -1,0 +1,197 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/table.h"
+
+namespace capellini::serve {
+namespace {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void AppendLatencyJson(std::ostringstream& out, const char* key,
+                       const LatencySummary& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\": {\"count\": %zu, \"mean_ms\": %.6f, \"p50_ms\": %.6f, "
+                "\"p90_ms\": %.6f, \"p99_ms\": %.6f, \"max_ms\": %.6f}",
+                key, s.count, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms,
+                s.max_ms);
+  out << buf;
+}
+
+}  // namespace
+
+LatencySummary Summarize(std::vector<double> samples_ms) {
+  LatencySummary summary;
+  if (samples_ms.empty()) return summary;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  summary.count = samples_ms.size();
+  double sum = 0.0;
+  for (const double v : samples_ms) sum += v;
+  summary.mean_ms = sum / static_cast<double>(samples_ms.size());
+  summary.p50_ms = PercentileSorted(samples_ms, 50.0);
+  summary.p90_ms = PercentileSorted(samples_ms, 90.0);
+  summary.p99_ms = PercentileSorted(samples_ms, 99.0);
+  summary.max_ms = samples_ms.back();
+  return summary;
+}
+
+void ServiceStats::RecordRequest(MatrixHandle handle, const std::string& name,
+                                 bool ok, int batch_size, double queue_wait_ms,
+                                 double solve_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerHandle& ph = per_handle_[handle];
+  if (ph.name.empty()) ph.name = name;
+  if (ok) {
+    ++totals_.requests;
+    ++ph.requests;
+  } else {
+    ++totals_.failures;
+    ++ph.failures;
+  }
+  if (batch_size >= 2) ++ph.batched_requests;
+  ph.queue_wait_ms.push_back(queue_wait_ms);
+  ph.solve_ms.push_back(solve_ms);
+  queue_wait_ms_.push_back(queue_wait_ms);
+  solve_ms_.push_back(solve_ms);
+}
+
+void ServiceStats::RecordBatch(int batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.batches;
+  const auto k = static_cast<std::size_t>(batch_size);
+  if (batch_occupancy_.size() < k) batch_occupancy_.resize(k, 0);
+  ++batch_occupancy_[k - 1];
+}
+
+void ServiceStats::RecordRejection() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.rejections;
+}
+
+void ServiceStats::RecordDeadlineMiss(MatrixHandle handle,
+                                      const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.deadline_misses;
+  PerHandle& ph = per_handle_[handle];
+  if (ph.name.empty()) ph.name = name;
+  ++ph.deadline_misses;
+}
+
+ServiceStats::Totals ServiceStats::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+std::vector<std::uint64_t> ServiceStats::BatchOccupancy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batch_occupancy_;
+}
+
+std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+
+  const LatencySummary wait = Summarize(queue_wait_ms_);
+  const LatencySummary solve = Summarize(solve_ms_);
+  TextTable global({"Requests", "Failures", "Rejected", "Deadline", "Batches",
+                    "Wait p50/p99 ms", "Solve p50/p99 ms"});
+  global.SetTitle("service totals");
+  global.AddRow({std::to_string(totals_.requests),
+                 std::to_string(totals_.failures),
+                 std::to_string(totals_.rejections),
+                 std::to_string(totals_.deadline_misses),
+                 std::to_string(totals_.batches),
+                 TextTable::Num(wait.p50_ms, 3) + " / " +
+                     TextTable::Num(wait.p99_ms, 3),
+                 TextTable::Num(solve.p50_ms, 3) + " / " +
+                     TextTable::Num(solve.p99_ms, 3)});
+  out << global.ToString();
+
+  if (!batch_occupancy_.empty()) {
+    out << "batch occupancy (k requests per launch):\n";
+    for (std::size_t k = 0; k < batch_occupancy_.size(); ++k) {
+      if (batch_occupancy_[k] == 0) continue;
+      out << "  k=" << (k + 1) << ": " << batch_occupancy_[k] << " launch"
+          << (batch_occupancy_[k] == 1 ? "" : "es") << "\n";
+    }
+  }
+
+  if (!per_handle_.empty()) {
+    TextTable table({"Handle", "Matrix", "Requests", "Failures", "Batched",
+                     "Wait p50 ms", "Solve p50 ms"});
+    table.SetTitle("per-handle");
+    for (const auto& [handle, ph] : per_handle_) {
+      table.AddRow({std::to_string(handle), ph.name,
+                    std::to_string(ph.requests), std::to_string(ph.failures),
+                    std::to_string(ph.batched_requests),
+                    TextTable::Num(Summarize(ph.queue_wait_ms).p50_ms, 3),
+                    TextTable::Num(Summarize(ph.solve_ms).p50_ms, 3)});
+    }
+    out << table.ToString();
+  }
+
+  if (registry != nullptr) {
+    TextTable cache({"Registered", "Resident", "Bytes", "Hits", "Misses",
+                     "Evictions"});
+    cache.SetTitle("registry cache");
+    cache.AddRow({std::to_string(registry->registrations),
+                  std::to_string(registry->resident_entries),
+                  std::to_string(registry->resident_bytes),
+                  std::to_string(registry->hits),
+                  std::to_string(registry->misses),
+                  std::to_string(registry->evictions)});
+    out << cache.ToString();
+  }
+  return out.str();
+}
+
+std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"requests\": " << totals_.requests << ",\n";
+  out << "  \"failures\": " << totals_.failures << ",\n";
+  out << "  \"rejections\": " << totals_.rejections << ",\n";
+  out << "  \"deadline_misses\": " << totals_.deadline_misses << ",\n";
+  out << "  \"batches\": " << totals_.batches << ",\n";
+  out << "  \"batch_occupancy\": [";
+  for (std::size_t k = 0; k < batch_occupancy_.size(); ++k) {
+    out << (k == 0 ? "" : ", ") << batch_occupancy_[k];
+  }
+  out << "],\n  ";
+  AppendLatencyJson(out, "queue_wait", Summarize(queue_wait_ms_));
+  out << ",\n  ";
+  AppendLatencyJson(out, "solve", Summarize(solve_ms_));
+  if (registry != nullptr) {
+    out << ",\n  \"registry\": {\"registrations\": " << registry->registrations
+        << ", \"resident_entries\": " << registry->resident_entries
+        << ", \"resident_bytes\": " << registry->resident_bytes
+        << ", \"hits\": " << registry->hits
+        << ", \"misses\": " << registry->misses
+        << ", \"evictions\": " << registry->evictions << "}";
+  }
+  out << ",\n  \"per_handle\": [\n";
+  std::size_t i = 0;
+  for (const auto& [handle, ph] : per_handle_) {
+    out << "    {\"handle\": " << handle << ", \"name\": \"" << ph.name
+        << "\", \"requests\": " << ph.requests
+        << ", \"failures\": " << ph.failures
+        << ", \"batched_requests\": " << ph.batched_requests << "}"
+        << (++i < per_handle_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace capellini::serve

@@ -1,0 +1,81 @@
+// ServiceStats: per-handle and global observability for the solve service.
+//
+// Workers record one event per request (queue wait, solve latency, batch
+// size, outcome) plus registry-level cache events; the accumulated counters
+// render as a fixed-width table for operators and as JSON for CI artifacts.
+// Percentiles are computed at dump time from retained samples — the service
+// is a measurement harness, not a prod telemetry pipeline, so exact
+// percentiles beat streaming sketches here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/registry.h"
+
+namespace capellini::serve {
+
+/// Exact percentiles over recorded samples (empty summary = all zeros).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+LatencySummary Summarize(std::vector<double> samples_ms);
+
+class ServiceStats {
+ public:
+  /// One completed (or failed) request. batch_size >= 1 is the number of
+  /// requests coalesced into the launch that served this one.
+  void RecordRequest(MatrixHandle handle, const std::string& name,
+                     bool ok, int batch_size, double queue_wait_ms,
+                     double solve_ms);
+  /// One device launch that coalesced `batch_size` requests.
+  void RecordBatch(int batch_size);
+  void RecordRejection();
+  void RecordDeadlineMiss(MatrixHandle handle, const std::string& name);
+
+  /// Counter snapshot used by tests and the JSON dump.
+  struct Totals {
+    std::uint64_t requests = 0;   // completed OK
+    std::uint64_t failures = 0;   // completed with non-OK Status (not rejects)
+    std::uint64_t rejections = 0; // refused at admission (queue full, ...)
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t batches = 0;    // device launches (one per coalesced group)
+  };
+  Totals totals() const;
+
+  /// batch-occupancy histogram: index k-1 counts launches that coalesced
+  /// exactly k requests.
+  std::vector<std::uint64_t> BatchOccupancy() const;
+
+  /// Renders global + per-handle tables; `registry` adds the cache columns.
+  std::string ToTable(const RegistrySnapshot* registry = nullptr) const;
+  std::string ToJson(const RegistrySnapshot* registry = nullptr) const;
+
+ private:
+  struct PerHandle {
+    std::string name;
+    std::uint64_t requests = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t batched_requests = 0;  // served in a batch of >= 2
+    std::vector<double> queue_wait_ms;
+    std::vector<double> solve_ms;
+  };
+
+  mutable std::mutex mutex_;
+  Totals totals_;
+  std::vector<std::uint64_t> batch_occupancy_;  // index k-1 = batches of k
+  std::map<MatrixHandle, PerHandle> per_handle_;
+  std::vector<double> queue_wait_ms_;
+  std::vector<double> solve_ms_;
+};
+
+}  // namespace capellini::serve

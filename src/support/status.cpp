@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kDeadlock,   // simulator watchdog tripped
   kInternal,
   kIoError,
+  kResourceExhausted,  // admission control: queue full / byte budget exceeded
+  kDeadlineExceeded,   // request expired before (or while) being served
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid_argument", ...).
@@ -68,6 +70,12 @@ inline Status InternalError(std::string msg) {
 }
 inline Status IoError(std::string msg) {
   return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 /// Value-or-Status. Minimal stand-in for C++23 std::expected.

@@ -1,0 +1,431 @@
+// Tests for the serving layer: registry LRU + byte budget, shared analysis
+// under concurrent readers, admission control, coalesced (batched) solves,
+// deadlines, and the determinism-mode byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/solver.h"
+#include "gen/level_structured.h"
+#include "matrix/convert.h"
+#include "matrix/triangular.h"
+#include "serve/registry.h"
+#include "serve/replay.h"
+#include "serve/service.h"
+
+namespace capellini::serve {
+namespace {
+
+Csr TestMatrix(std::uint64_t seed, Idx components_per_level = 150) {
+  return MakeLevelStructured({.num_levels = 6,
+                              .components_per_level = components_per_level,
+                              .avg_nnz_per_row = 3.0,
+                              .size_jitter = 0.2,
+                              .interleave = false,
+                              .seed = seed});
+}
+
+SolverOptions TinyOptions() {
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  return options;
+}
+
+std::size_t EntryBytes(const Csr& matrix) {
+  MatrixRegistry probe;
+  auto handle = probe.Register(matrix, "probe", TinyOptions());
+  return (*probe.Acquire(*handle))->bytes;
+}
+
+TEST(RegistryTest, RegisterAcquireSolve) {
+  MatrixRegistry registry;
+  const Csr matrix = TestMatrix(31);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 32);
+  auto handle = registry.Register(matrix, "m31", TinyOptions());
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+
+  auto entry = registry.Acquire(*handle);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->name, "m31");
+  EXPECT_GT((*entry)->bytes, 0u);
+  EXPECT_TRUE((*entry)->solver.analyzed());  // memoized at registration
+
+  auto result = (*entry)->solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.registrations, 1u);
+  EXPECT_EQ(snapshot.hits, 1u);  // the one Acquire above
+  EXPECT_EQ(snapshot.resident_bytes, (*entry)->bytes);
+}
+
+TEST(RegistryTest, RejectsNonLowerTriangularWithStatusNotAbort) {
+  MatrixRegistry registry;
+  const Csr upper = TransposeCsr(TestMatrix(33));
+  auto handle = registry.Register(upper, "upper", TinyOptions());
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, LruEvictionAndReRegistration) {
+  const Csr a = TestMatrix(41);
+  const Csr b = TestMatrix(42);
+  const std::size_t bytes = EntryBytes(a);
+
+  // Budget fits roughly one matrix: registering B evicts A (the LRU).
+  MatrixRegistry registry(RegistryOptions{.byte_budget = bytes * 3 / 2});
+  auto ha = registry.Register(a, "a", TinyOptions());
+  ASSERT_TRUE(ha.ok());
+  auto hb = registry.Register(b, "b", TinyOptions());
+  ASSERT_TRUE(hb.ok());
+
+  EXPECT_FALSE(registry.Contains(*ha));
+  EXPECT_TRUE(registry.Contains(*hb));
+  auto miss = registry.Acquire(*ha);
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Snapshot().evictions, 1u);
+  EXPECT_EQ(registry.Snapshot().misses, 1u);
+
+  // Re-registration gets a fresh handle and solves correctly.
+  auto ha2 = registry.Register(a, "a", TinyOptions());
+  ASSERT_TRUE(ha2.ok());
+  EXPECT_NE(*ha2, *ha);
+  EXPECT_FALSE(registry.Contains(*hb));  // b became the LRU victim
+  const ReferenceProblem problem = MakeReferenceProblem(a, 43);
+  auto result =
+      (*registry.Acquire(*ha2))->solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+}
+
+TEST(RegistryTest, OversizedMatrixRejectedWithResourceExhausted) {
+  const Csr a = TestMatrix(44);
+  MatrixRegistry registry(RegistryOptions{.byte_budget = EntryBytes(a) / 2});
+  auto handle = registry.Register(a, "too-big", TinyOptions());
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RegistryTest, EvictionKeepsInFlightReferencesAlive) {
+  MatrixRegistry registry;
+  const Csr a = TestMatrix(45);
+  auto handle = registry.Register(a, "a", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  auto entry = registry.Acquire(*handle);
+  ASSERT_TRUE(entry.ok());
+
+  EXPECT_TRUE(registry.Evict(*handle));
+  EXPECT_FALSE(registry.Contains(*handle));
+
+  // The held shared_ptr still backs a correct solve.
+  const ReferenceProblem problem = MakeReferenceProblem(a, 46);
+  auto result = (*entry)->solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(MaxRelativeError(result->x, problem.x_true), 1e-10);
+}
+
+TEST(SolverTest, AnalysisIsSharedAndSafeUnderConcurrentReaders) {
+  const Solver solver(TestMatrix(51), TinyOptions());
+  constexpr int kReaders = 8;
+  std::vector<std::thread> readers;
+  std::vector<const Analysis*> seen(kReaders, nullptr);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&solver, &seen, i] {
+      seen[static_cast<std::size_t>(i)] = &solver.analysis();
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  for (const Analysis* a : seen) {
+    EXPECT_EQ(a, seen[0]);  // computed once, shared by every reader
+  }
+  EXPECT_TRUE(solver.analyzed());
+  EXPECT_EQ(&solver.Stats(), &solver.analysis().stats);
+  EXPECT_EQ(&solver.Levels(), &solver.analysis().levels);
+}
+
+TEST(ServiceTest, ServesRequestsAndVerifies) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(61), "m61", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  SolveService service(&registry, ServiceOptions{.workers = 2});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  std::vector<std::future<ServeResult>> futures;
+  std::vector<ReferenceProblem> problems;
+  for (int i = 0; i < 6; ++i) {
+    problems.push_back(
+        MakeReferenceProblem(matrix, 62 + static_cast<std::uint64_t>(i)));
+    auto submitted = service.Submit(*handle, problems.back().b);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_LE(MaxRelativeError(result.solve.x, problems[i].x_true), 1e-10);
+    EXPECT_GE(result.batch_size, 1);
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.stats().totals().requests, 6u);
+}
+
+TEST(ServiceTest, CoalescesSameHandleRequestsIntoOneLaunch) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(63), "m63", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  // Paused workers make coalescing deterministic: 5 queued requests with
+  // max_batch=4 must group as {4, 1}.
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = 4,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  RequestOptions capellini;
+  capellini.algorithm = Algorithm::kCapellini;
+  std::vector<std::future<ServeResult>> futures;
+  std::vector<ReferenceProblem> problems;
+  for (int i = 0; i < 5; ++i) {
+    problems.push_back(
+        MakeReferenceProblem(matrix, 70 + static_cast<std::uint64_t>(i)));
+    auto submitted = service.Submit(*handle, problems.back().b, capellini);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.Start();
+
+  int batched = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_LE(MaxRelativeError(result.solve.x, problems[i].x_true), 1e-10);
+    if (result.batch_size == 4) ++batched;
+  }
+  EXPECT_EQ(batched, 4);
+  service.Shutdown();
+  const std::vector<std::uint64_t> occupancy = service.stats().BatchOccupancy();
+  ASSERT_EQ(occupancy.size(), 4u);
+  EXPECT_EQ(occupancy[0], 1u);  // the leftover solo
+  EXPECT_EQ(occupancy[3], 1u);  // the coalesced four
+}
+
+TEST(ServiceTest, BatchesUpperSystemSolvesThroughReversedRegistration) {
+  // The backward-substitution half of a direct solve, served: register the
+  // index-reversed upper system once, batch k upper solves, un-reverse and
+  // compare against the serial host solutions.
+  const Csr lower = TestMatrix(81);
+  const Csr upper = TransposeCsr(lower);
+  ASSERT_TRUE(IsUpperTriangularWithDiagonal(upper));
+  const auto n = static_cast<std::size_t>(upper.rows());
+
+  MatrixRegistry registry;
+  auto handle =
+      registry.Register(ReverseSystem(upper), "upper-reversed", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  constexpr int kRhs = 4;
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = kRhs,
+                                      .start_paused = true});
+  RequestOptions capellini;
+  capellini.algorithm = Algorithm::kCapellini;
+
+  std::vector<std::vector<Val>> bs(kRhs);
+  std::vector<std::future<ServeResult>> futures;
+  Rng rng(82);
+  for (int r = 0; r < kRhs; ++r) {
+    bs[static_cast<std::size_t>(r)].resize(n);
+    for (Val& v : bs[static_cast<std::size_t>(r)]) {
+      v = rng.NextDouble(0.5, 1.5);
+    }
+    std::vector<Val> b_reversed(n);
+    ReverseVector(bs[static_cast<std::size_t>(r)], b_reversed);
+    auto submitted = service.Submit(*handle, std::move(b_reversed), capellini);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.Start();
+
+  for (int r = 0; r < kRhs; ++r) {
+    ServeResult result = futures[static_cast<std::size_t>(r)].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.batch_size, kRhs);  // one launch served all k
+    std::vector<Val> x(n);
+    ReverseVector(result.solve.x, x);
+
+    auto serial = SolveUpperSystem(upper, bs[static_cast<std::size_t>(r)],
+                                   Algorithm::kSerialCpu, TinyOptions());
+    ASSERT_TRUE(serial.ok());
+    EXPECT_LE(MaxRelativeError(x, serial->x), 1e-10);
+  }
+}
+
+TEST(ServiceTest, QueueFullSubmissionsReturnStatusNoAbort) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(91), "m91", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_queue = 1,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 92);
+
+  auto accepted = service.Submit(*handle, problem.b);
+  ASSERT_TRUE(accepted.ok());
+  auto rejected = service.Submit(*handle, problem.b);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.stats().totals().rejections, 1u);
+
+  service.Start();
+  ServeResult result = accepted->get();
+  EXPECT_TRUE(result.status.ok());
+}
+
+TEST(ServiceTest, SubmitValidatesHandleAndLength) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(93), "m93", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  SolveService service(&registry, SolveService::DeterministicOptions());
+
+  auto unknown = service.Submit(*handle + 17, std::vector<Val>(10, 1.0));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  auto short_b = service.Submit(*handle, std::vector<Val>(3, 1.0));
+  ASSERT_FALSE(short_b.ok());
+  EXPECT_EQ(short_b.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, ExpiredRequestsGetDeadlineExceeded) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(94), "m94", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1, .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 95);
+  RequestOptions tight;
+  tight.deadline_ms = 0.01;
+  auto submitted = service.Submit(*handle, problem.b, tight);
+  ASSERT_TRUE(submitted.ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  ServeResult result = submitted->get();
+  ASSERT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().totals().deadline_misses, 1u);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownFailsCleanly) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(96), "m96", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  SolveService service(&registry, SolveService::DeterministicOptions());
+  service.Shutdown();
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  auto submitted =
+      service.Submit(*handle, MakeReferenceProblem(matrix, 97).b);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, DeterminismModeByteReproducesSerialOneShotPath) {
+  // Two matrices, a zipf trace, and the determinism contract: the service at
+  // workers=1 / max_batch=1 must produce the exact bytes of a serial loop of
+  // one-shot Solver::Solve calls.
+  std::vector<Csr> corpus = {TestMatrix(101), TestMatrix(102, 100)};
+  MatrixRegistry registry;
+  std::vector<MatrixHandle> handles;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    auto handle = registry.Register(corpus[i], "m" + std::to_string(i),
+                                    TinyOptions());
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  const RequestTrace trace = GenerateZipfTrace(16, 2, 1.1, 103);
+
+  // Serial one-shot baseline: a fresh Solver per request, exactly what a
+  // caller without the serving layer would run.
+  std::uint64_t serial_checksum = kFnvSeed;
+  for (const TraceRequest& request : trace.requests) {
+    const Csr& matrix = corpus[static_cast<std::size_t>(request.matrix)];
+    const Solver solver(matrix, TinyOptions());
+    const ReferenceProblem problem =
+        MakeReferenceProblem(matrix, request.seed);
+    auto result = solver.Solve(solver.Recommend(), problem.b);
+    ASSERT_TRUE(result.ok());
+    serial_checksum = HashBytes(serial_checksum, result->x.data(),
+                                result->x.size() * sizeof(Val));
+  }
+
+  SolveService service(&registry, SolveService::DeterministicOptions());
+  auto report = ReplayTrace(service, handles, trace);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->completed, trace.requests.size());
+  EXPECT_EQ(report->wrong, 0u);
+  EXPECT_EQ(report->solution_checksum, serial_checksum);
+}
+
+TEST(ReplayTest, ZipfTraceIsDeterministicAndSkewed) {
+  const RequestTrace a = GenerateZipfTrace(200, 8, 1.2, 7);
+  const RequestTrace b = GenerateZipfTrace(200, 8, 1.2, 7);
+  ASSERT_EQ(a.requests.size(), 200u);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].matrix, b.requests[i].matrix);
+    EXPECT_EQ(a.requests[i].seed, b.requests[i].seed);
+  }
+  // The hottest matrix should dominate: > 25% of requests under s=1.2.
+  std::vector<int> counts(8, 0);
+  for (const TraceRequest& request : a.requests) {
+    ++counts[static_cast<std::size_t>(request.matrix)];
+  }
+  EXPECT_GT(*std::max_element(counts.begin(), counts.end()), 50);
+}
+
+TEST(ReplayTest, TraceJsonRoundTrips) {
+  RequestTrace trace = GenerateZipfTrace(25, 4, 1.0, 11);
+  const std::string path = ::testing::TempDir() + "serve_trace_test.json";
+  ASSERT_TRUE(WriteTraceJson(trace, path).ok());
+  auto loaded = ReadTraceJson(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->requests.size(), trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(loaded->requests[i].matrix, trace.requests[i].matrix);
+    EXPECT_EQ(loaded->requests[i].seed, trace.requests[i].seed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StatsTest, SummarizePercentilesAndJson) {
+  LatencySummary summary = Summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 2.5);
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 2.5);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 4.0);
+
+  ServiceStats stats;
+  stats.RecordBatch(3);
+  stats.RecordRequest(1, "m", true, 3, 0.5, 1.0);
+  stats.RecordRejection();
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"requests\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rejections\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_occupancy\": [0, 0, 1]"), std::string::npos);
+  EXPECT_NE(stats.ToTable().find("per-handle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace capellini::serve
