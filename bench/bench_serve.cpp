@@ -5,10 +5,13 @@
 //   ./bench/bench_serve                  # full sweep
 //   ./bench/bench_serve --quick --json=BENCH_serve.json   # CI smoke
 //
-// Two gates, both fatal (nonzero exit):
+// Three gates, all fatal (nonzero exit):
 //   * determinism: the service in deterministic mode (workers=1, max_batch=1)
 //     must byte-reproduce the serial one-shot solutions (FNV-1a checksum);
-//   * correctness: every served solution is verified against the reference.
+//   * correctness: every served solution is verified against the reference;
+//   * scheduling: at every overloaded offered rate, EDF + cost-based
+//     admission must show a strictly lower deadline-miss rate than FIFO with
+//     count-only admission (the overload sweep; --sched_json dumps it).
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -133,14 +136,90 @@ Expected<SweepPoint> RunSweepPoint(const std::vector<NamedMatrix>& corpus,
   return point;
 }
 
+/// One policy at one offered load in the overload sweep.
+struct OverloadPoint {
+  double load_factor = 0.0;       // offered rate / measured capacity
+  serve::QueuePolicy policy = serve::QueuePolicy::kFifo;
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;       // admission control (count or cost bound)
+  std::size_t expired = 0;        // kDeadlineExceeded
+  std::size_t completed = 0;
+  double miss_rate = 0.0;         // expired / submitted
+  double goodput_rps = 0.0;       // completed-in-deadline per second
+  std::uint64_t reorders = 0;
+  double cost_error = 0.0;        // mean |est - actual| / actual
+};
+
+const char* PolicyName(serve::QueuePolicy policy) {
+  return policy == serve::QueuePolicy::kEdf ? "edf+cost" : "fifo";
+}
+
+/// Replays a deadline-stamped trace at a paced (open-loop) offered rate
+/// through a fresh registry + service and reports the deadline outcome.
+/// max_batch is pinned to 1 on both sides so the comparison isolates queue
+/// ordering + admission — coalescing would let FIFO recover capacity and
+/// blur the A/B.
+Expected<OverloadPoint> RunOverloadPoint(
+    const std::vector<NamedMatrix>& corpus, const RequestTrace& trace,
+    const SolverOptions& solver_options, int workers, double offered_rps,
+    double load_factor, serve::QueuePolicy policy, double max_queue_cost_ms) {
+  MatrixRegistry registry;
+  std::vector<MatrixHandle> handles;
+  for (const NamedMatrix& named : corpus) {
+    auto handle = registry.Register(named.matrix, named.name, solver_options);
+    if (!handle.ok()) return handle.status();
+    handles.push_back(*handle);
+  }
+
+  ServiceOptions service_options;
+  service_options.workers = workers;
+  service_options.max_batch = 1;
+  service_options.max_queue = trace.requests.size() + 1;
+  service_options.policy = policy;
+  service_options.max_queue_cost_ms = max_queue_cost_ms;
+  SolveService service(&registry, service_options);
+
+  serve::ReplayOptions replay_options;
+  replay_options.pace_requests_per_sec = offered_rps;
+  replay_options.verify = false;  // correctness is gated by the main sweep
+  auto report = serve::ReplayTrace(service, handles, trace, replay_options);
+  if (!report.ok()) return report.status();
+  service.Shutdown();
+  if (report->failed != 0) {
+    return InternalError("overload point " + std::string(PolicyName(policy)) +
+                         ": " + std::to_string(report->failed) +
+                         " requests failed outright");
+  }
+
+  OverloadPoint point;
+  point.load_factor = load_factor;
+  point.policy = policy;
+  point.submitted = report->submitted;
+  point.rejected = report->rejected;
+  point.expired = report->expired;
+  point.completed = report->completed;
+  point.miss_rate = report->submitted > 0
+                        ? static_cast<double>(report->expired) /
+                              static_cast<double>(report->submitted)
+                        : 0.0;
+  point.goodput_rps = report->requests_per_sec;
+  const serve::ServiceStats::Totals totals = service.stats().totals();
+  point.reorders = totals.reorders;
+  point.cost_error = service.stats().MeanCostErrorRatio();
+  return point;
+}
+
 int Run(int argc, char** argv) {
   bool quick = false;
   std::int64_t requests = 240;
   double zipf = 1.1;
+  std::string sched_json;
   CliFlags extra;
   extra.AddBool("quick", &quick, "CI smoke: small trace, reduced sweep");
   extra.AddInt("requests", &requests, "requests in the generated trace");
   extra.AddDouble("zipf", &zipf, "zipf exponent for matrix popularity");
+  extra.AddString("sched_json", &sched_json,
+                  "write the overload-sweep (FIFO vs EDF+cost) results here");
   BenchOptions options = ParseBenchFlags(argc, argv, &extra);
 
   CorpusOptions corpus_options = ToCorpusOptions(options);
@@ -226,6 +305,160 @@ int Run(int argc, char** argv) {
   }
   std::printf("\nbest batched (max_batch >= 4) speedup vs one-shot: %.2fx\n",
               best_batched);
+
+  // --- overload sweep: FIFO vs EDF + cost admission ------------------------
+  // Capacity is calibrated with the same workers / max_batch=1 configuration
+  // the overload points run, so "load factor 2" genuinely offers twice what
+  // the service can drain.
+  const int overload_workers = 2;
+  double capacity_rps = 0.0;
+  double mean_service_ms = 0.0;   // host wall clock per request (deadlines)
+  double model_mean_cost_ms = 0.0;  // cost-model units (admission budget)
+  {
+    MatrixRegistry registry;
+    std::vector<MatrixHandle> handles;
+    for (const NamedMatrix& named : corpus) {
+      auto handle = registry.Register(named.matrix, named.name, solver_options);
+      CAPELLINI_CHECK_MSG(handle.ok(), "calibration registration failed");
+      handles.push_back(*handle);
+    }
+    ServiceOptions calib;
+    calib.workers = overload_workers;
+    calib.max_batch = 1;
+    calib.max_queue = trace.requests.size() + 1;
+    calib.start_paused = true;
+    SolveService service(&registry, calib);
+    serve::ReplayOptions replay_options;
+    replay_options.preload = true;
+    replay_options.verify = false;
+    auto calibration =
+        serve::ReplayTrace(service, handles, trace, replay_options);
+    if (!calibration.ok() || calibration->requests_per_sec <= 0.0) {
+      std::fprintf(stderr, "overload calibration failed\n");
+      return 1;
+    }
+    service.Shutdown();
+    capacity_rps = calibration->requests_per_sec;
+    mean_service_ms =
+        static_cast<double>(overload_workers) * 1e3 / capacity_rps;
+    // The admission ledger lives in cost-model units (the simulator's kernel
+    // ms, NOT the host wall clock that sets capacity). Read the calibrated
+    // per-handle estimates back out of the drained registry and weight them
+    // by the trace so the budget prices the queue the model will see.
+    double model_cost_sum = 0.0;
+    for (const serve::TraceRequest& request : trace.requests) {
+      const auto m = static_cast<std::size_t>(request.matrix) % handles.size();
+      auto entry = registry.Acquire(handles[m]);
+      CAPELLINI_CHECK_MSG(entry.ok(), "calibration handle disappeared");
+      model_cost_sum += (*entry)->cost.EstimateMs();
+    }
+    model_mean_cost_ms =
+        model_cost_sum / static_cast<double>(trace.requests.size());
+  }
+  std::printf(
+      "\noverload calibration: capacity %.1f req/s "
+      "(mean service %.2f ms host, %.4f ms model, %d workers)\n",
+      capacity_rps, mean_service_ms, model_mean_cost_ms, overload_workers);
+
+  // Deadlines span a few to a couple dozen service times: tight enough that
+  // an unbounded FIFO backlog blows through them, loose enough that a
+  // cost-bounded queue can honor most. The cost budget caps queued work at
+  // ~6 mean model-cost requests, so admitted requests wait a bounded time.
+  RequestTrace deadline_trace = trace;
+  serve::AssignDeadlines(deadline_trace, 4.0 * mean_service_ms,
+                         24.0 * mean_service_ms,
+                         static_cast<std::uint64_t>(options.seed) ^ 0xdead);
+  const double cost_budget_ms = 6.0 * model_mean_cost_ms;
+  const std::vector<double> load_factors =
+      quick ? std::vector<double>{2.0, 4.0} : std::vector<double>{1.5, 3.0, 6.0};
+
+  std::vector<OverloadPoint> overload_points;
+  bool sched_gate_pass = true;
+  for (double load : load_factors) {
+    const double offered = load * capacity_rps;
+    auto fifo = RunOverloadPoint(corpus, deadline_trace, solver_options,
+                                 overload_workers, offered, load,
+                                 serve::QueuePolicy::kFifo,
+                                 /*max_queue_cost_ms=*/0.0);
+    auto edf = RunOverloadPoint(corpus, deadline_trace, solver_options,
+                                overload_workers, offered, load,
+                                serve::QueuePolicy::kEdf, cost_budget_ms);
+    if (!fifo.ok() || !edf.ok()) {
+      std::fprintf(stderr, "overload point at load %.1f failed: %s\n", load,
+                   (!fifo.ok() ? fifo.status() : edf.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    if (options.progress) {
+      std::fprintf(stderr, "  load %.1fx: fifo miss %.1f%%, edf miss %.1f%%\n",
+                   load, 100.0 * fifo->miss_rate, 100.0 * edf->miss_rate);
+    }
+    // The gate: at equal offered load, EDF + cost admission must miss
+    // strictly less often than FIFO. FIFO missing nothing means the load
+    // point is not actually overloaded — also a failure (the sweep would be
+    // vacuous).
+    if (fifo->expired == 0 || edf->miss_rate >= fifo->miss_rate) {
+      sched_gate_pass = false;
+    }
+    overload_points.push_back(*fifo);
+    overload_points.push_back(*edf);
+  }
+
+  TextTable sched_table({"load", "policy", "submitted", "rejected", "expired",
+                         "completed", "miss rate", "goodput req/s"});
+  sched_table.SetTitle("overload sweep (paced open-loop arrivals)");
+  for (const OverloadPoint& p : overload_points) {
+    sched_table.AddRow({TextTable::Num(p.load_factor, 1) + "x",
+                        PolicyName(p.policy), std::to_string(p.submitted),
+                        std::to_string(p.rejected), std::to_string(p.expired),
+                        std::to_string(p.completed),
+                        TextTable::Num(100.0 * p.miss_rate, 1) + "%",
+                        TextTable::Num(p.goodput_rps, 1)});
+  }
+  std::printf("\n%s", sched_table.ToString().c_str());
+  std::printf("\nscheduling gate (EDF+cost misses < FIFO misses at every "
+              "load): %s\n",
+              sched_gate_pass ? "PASS" : "FAIL");
+
+  if (!sched_json.empty()) {
+    std::FILE* file = std::fopen(sched_json.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", sched_json.c_str());
+      return 1;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"serve_sched\",\n");
+    std::fprintf(file, "  \"requests\": %zu,\n", trace.requests.size());
+    std::fprintf(file, "  \"capacity_requests_per_sec\": %.3f,\n",
+                 capacity_rps);
+    std::fprintf(file, "  \"mean_service_ms\": %.4f,\n", mean_service_ms);
+    std::fprintf(file, "  \"cost_budget_ms\": %.4f,\n", cost_budget_ms);
+    std::fprintf(file, "  \"gate_pass\": %s,\n",
+                 sched_gate_pass ? "true" : "false");
+    std::fprintf(file, "  \"points\": [\n");
+    for (std::size_t i = 0; i < overload_points.size(); ++i) {
+      const OverloadPoint& p = overload_points[i];
+      std::fprintf(file,
+                   "    {\"load_factor\": %.2f, \"policy\": \"%s\", "
+                   "\"submitted\": %zu, \"rejected\": %zu, \"expired\": %zu, "
+                   "\"completed\": %zu, \"miss_rate\": %.4f, "
+                   "\"goodput_requests_per_sec\": %.3f, \"reorders\": %llu, "
+                   "\"cost_error_ratio\": %.4f}%s\n",
+                   p.load_factor, PolicyName(p.policy), p.submitted,
+                   p.rejected, p.expired, p.completed, p.miss_rate,
+                   p.goodput_rps, static_cast<unsigned long long>(p.reorders),
+                   p.cost_error, i + 1 < overload_points.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    std::printf("scheduling JSON written to %s\n", sched_json.c_str());
+  }
+  if (!sched_gate_pass) {
+    std::fprintf(stderr,
+                 "FATAL: EDF + cost admission did not beat FIFO's deadline-"
+                 "miss rate at every overloaded offered load\n");
+    return 1;
+  }
 
   if (!options.json.empty()) {
     std::FILE* file = std::fopen(options.json.c_str(), "w");

@@ -7,9 +7,14 @@
 //   ./examples/serve_replay --requests=500 --workers=4 --max_batch=6
 //   ./examples/serve_replay --trace=trace.json          # persist the trace
 //   ./examples/serve_replay --stats_json=serve_stats.json
+//   # deadline-aware scheduling + cost-based admission under overload:
+//   ./examples/serve_replay --deadline_min_ms=5 --deadline_max_ms=50 \
+//       --pace_rps=200 --max_queue_cost_ms=2 --preload=false
+//   ./examples/serve_replay --policy=fifo ...           # A/B the scheduler
 //
 // Every solution is verified against the serial reference; the binary exits
 // nonzero on any wrong answer, so it doubles as an end-to-end smoke test.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -31,6 +36,12 @@ int main(int argc, char** argv) {
   std::int64_t seed = 0xC0FFEE;
   double zipf = 1.1;
   bool preload = true;
+  std::string policy = "edf";
+  double max_queue_cost_ms = 0.0;
+  double coalesce_window_ms = 0.0;
+  double deadline_min_ms = 0.0;
+  double deadline_max_ms = 0.0;
+  double pace_rps = 0.0;
   std::string trace_path;
   std::string stats_json;
 
@@ -49,6 +60,22 @@ int main(int argc, char** argv) {
   flags.AddBool("preload", &preload,
                 "queue the whole trace before starting the workers "
                 "(maximal coalescing)");
+  flags.AddString("policy", &policy,
+                  "queue ordering: edf (earliest deadline first) or fifo");
+  flags.AddDouble("max_queue_cost_ms", &max_queue_cost_ms,
+                  "cost-based admission: reject when the estimated queued "
+                  "work exceeds this many model ms (0 = count bound only)");
+  flags.AddDouble("coalesce_window_ms", &coalesce_window_ms,
+                  "only coalesce requests whose deadlines are within this "
+                  "many ms of the group leader's (0 = unlimited)");
+  flags.AddDouble("deadline_min_ms", &deadline_min_ms,
+                  "stamp uniform-random deadlines in "
+                  "[deadline_min_ms, deadline_max_ms] on the trace (0 = none)");
+  flags.AddDouble("deadline_max_ms", &deadline_max_ms,
+                  "upper bound for --deadline_min_ms");
+  flags.AddDouble("pace_rps", &pace_rps,
+                  "offer requests open-loop at this rate instead of as fast "
+                  "as possible (forces --preload=false)");
   flags.AddString("trace", &trace_path, "also write the trace JSON here");
   flags.AddString("stats_json", &stats_json, "write the stats JSON here");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
@@ -80,10 +107,16 @@ int main(int argc, char** argv) {
               registry.Snapshot().resident_bytes / 1024);
 
   // --- trace ---------------------------------------------------------------
-  const RequestTrace trace =
+  RequestTrace trace =
       GenerateZipfTrace(static_cast<int>(requests),
                         static_cast<int>(handles.size()), zipf,
                         static_cast<std::uint64_t>(seed) ^ 0x51ab);
+  if (deadline_min_ms > 0.0) {
+    AssignDeadlines(trace, deadline_min_ms,
+                    std::max(deadline_min_ms, deadline_max_ms),
+                    static_cast<std::uint64_t>(seed) ^ 0xdead);
+  }
+  if (pace_rps > 0.0) preload = false;  // pacing needs live workers
   if (!trace_path.empty()) {
     if (const Status status = WriteTraceJson(trace, trace_path); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -97,11 +130,20 @@ int main(int argc, char** argv) {
   service_options.workers = static_cast<int>(workers);
   service_options.max_batch = static_cast<int>(max_batch);
   service_options.max_queue = static_cast<std::size_t>(max_queue);
+  service_options.max_queue_cost_ms = max_queue_cost_ms;
+  service_options.coalesce_window_ms = coalesce_window_ms;
   service_options.start_paused = preload;
+  if (policy == "fifo") {
+    service_options.policy = QueuePolicy::kFifo;
+  } else if (policy != "edf") {
+    std::fprintf(stderr, "unknown --policy '%s' (edf|fifo)\n", policy.c_str());
+    return 2;
+  }
   SolveService service(&registry, service_options);
 
   ReplayOptions replay_options;
   replay_options.preload = preload;
+  replay_options.pace_requests_per_sec = pace_rps;
   auto report = ReplayTrace(service, handles, trace, replay_options);
   if (!report.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
@@ -111,9 +153,15 @@ int main(int argc, char** argv) {
   service.Shutdown();
 
   std::printf("\nreplayed %zu requests: %zu completed, %zu rejected, "
-              "%zu failed, %zu wrong\n",
+              "%zu expired, %zu failed, %zu wrong\n",
               report->submitted, report->completed, report->rejected,
-              report->failed, report->wrong);
+              report->expired, report->failed, report->wrong);
+  const ServiceStats::Totals totals = service.stats().totals();
+  std::printf("scheduler: policy=%s, %llu reorders, mean cost-model error "
+              "%.2fx, queued cost at shutdown %.3f ms\n",
+              policy.c_str(),
+              static_cast<unsigned long long>(totals.reorders),
+              service.stats().MeanCostErrorRatio(), service.QueuedCostMs());
   std::printf("wall %.1f ms -> %.1f requests/s (solution checksum "
               "%016llx)\n\n",
               report->wall_ms, report->requests_per_sec,

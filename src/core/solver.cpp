@@ -1,5 +1,7 @@
 #include "core/solver.h"
 
+#include <algorithm>
+
 #include "core/analysis.h"
 #include "core/select.h"
 #include "host/levelset_cpu.h"
@@ -147,6 +149,19 @@ Expected<SolveResult> Solver::Solve(Algorithm algorithm,
 }
 
 Algorithm Solver::Recommend() const { return analysis().recommended; }
+
+double Solver::CostHintMs() const {
+  const MatrixStats& s = analysis().stats;
+  const double rows = static_cast<double>(s.rows);
+  const double nnz = static_cast<double>(s.nnz);
+  const double levels = static_cast<double>(std::max<Idx>(Idx{1}, s.num_levels));
+  // Interpreter cost scales with value traffic (nnz dominates the per-row
+  // loop, rows the spin/publish overhead); deep level structures add a
+  // serialization term that high Eq.-1 granularity lets the device hide.
+  const double serialization =
+      levels / (1.0 + std::max(0.0, s.parallel_granularity));
+  return 1e-4 * (rows + 4.0 * nnz) * (1.0 + 0.05 * serialization);
+}
 
 Expected<SolveResult> SolveUpperSystem(const Csr& upper,
                                        std::span<const Val> b,

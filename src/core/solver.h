@@ -109,6 +109,13 @@ class Solver {
   /// SyncFree otherwise (see core/select.h for the rule).
   Algorithm Recommend() const;
 
+  /// Deterministic a-priori estimate of one solve's host cost in
+  /// milliseconds, derived from the memoized analysis (rows, nnz, level
+  /// count, Eq.-1 parallel granularity). It is a scheduling hint, not a
+  /// prediction: the serve layer seeds its per-handle cost model from it and
+  /// corrects online from observed solve times.
+  double CostHintMs() const;
+
  private:
   Csr lower_;
   SolverOptions options_;

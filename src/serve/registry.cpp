@@ -7,6 +7,23 @@ namespace capellini::serve {
 
 MatrixRegistry::MatrixRegistry(RegistryOptions options) : options_(options) {}
 
+void MatrixRegistry::CostModel::Observe(double solve_ms) const {
+  // Benign race: two first observers can both see n == 0 and store; either
+  // sample is an equally good replacement for the analytic seed.
+  const std::uint64_t n = samples_.fetch_add(1, std::memory_order_acq_rel);
+  if (n == 0) {
+    ewma_ms_.store(solve_ms, std::memory_order_release);
+    return;
+  }
+  double current = ewma_ms_.load(std::memory_order_relaxed);
+  double next = current + kAlpha * (solve_ms - current);
+  while (!ewma_ms_.compare_exchange_weak(current, next,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    next = current + kAlpha * (solve_ms - current);
+  }
+}
+
 std::size_t MatrixRegistry::FootprintBytes(const Entry& entry) {
   const Csr& m = entry.solver.matrix();
   std::size_t bytes = 0;
@@ -42,6 +59,7 @@ Expected<MatrixHandle> MatrixRegistry::Register(Csr lower, std::string name,
   entry->solver.analysis();  // memoize eagerly; hits from now on
   entry->analysis_ms = timer.ElapsedMs();
   entry->bytes = FootprintBytes(*entry);
+  entry->cost.seed_ms_ = entry->solver.CostHintMs();
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.byte_budget != 0 && entry->bytes > options_.byte_budget) {
@@ -84,6 +102,27 @@ Expected<MatrixRegistry::EntryRef> MatrixRegistry::Acquire(
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   it->second.lru_it = lru_.begin();
   return EntryRef(it->second.entry);
+}
+
+Expected<MatrixRegistry::EntryRef> MatrixRegistry::Peek(
+    MatrixHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return NotFound("handle " + std::to_string(handle) +
+                    " is not registered (evicted or never registered)");
+  }
+  return EntryRef(it->second.entry);
+}
+
+void MatrixRegistry::Promote(MatrixHandle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
 }
 
 bool MatrixRegistry::Evict(MatrixHandle handle) {

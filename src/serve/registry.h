@@ -20,6 +20,7 @@
 //    different (or the same) matrices never serialize through the registry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -60,6 +61,35 @@ struct RegistrySnapshot {
 
 class MatrixRegistry {
  public:
+  /// Per-handle solve-cost model for the scheduler's admission control:
+  /// seeded at registration from the analysis (Solver::CostHintMs) and
+  /// refined online by an EWMA over observed solve milliseconds. Entries are
+  /// shared as shared_ptr<const Entry> across service workers, so the mutable
+  /// state is lock-free atomics and every method is const.
+  class CostModel {
+   public:
+    /// Current per-solve estimate in ms: the analytic seed until the first
+    /// observation, the EWMA afterwards.
+    double EstimateMs() const {
+      return samples_.load(std::memory_order_acquire) == 0
+                 ? seed_ms_
+                 : ewma_ms_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t samples() const {
+      return samples_.load(std::memory_order_acquire);
+    }
+    /// Folds one observed solve time in. The first sample replaces the
+    /// analytic seed outright; later samples blend with weight kAlpha.
+    void Observe(double solve_ms) const;
+
+   private:
+    friend class MatrixRegistry;
+    static constexpr double kAlpha = 0.25;
+    double seed_ms_ = 0.0;  // written once at registration
+    mutable std::atomic<double> ewma_ms_{0.0};
+    mutable std::atomic<std::uint64_t> samples_{0};
+  };
+
   /// One registered matrix: the Solver (whose analysis() is memoized and
   /// safe under concurrent readers) plus cache bookkeeping.
   struct Entry {
@@ -70,6 +100,8 @@ class MatrixRegistry {
     /// Host milliseconds spent in Analyze() at registration — the cold-start
     /// cost the registry amortizes away.
     double analysis_ms = 0.0;
+    /// Scheduler cost model (analysis-seeded, EWMA-corrected).
+    CostModel cost;
 
     Entry(MatrixHandle h, std::string n, Csr lower, SolverOptions options)
         : handle(h), name(std::move(n)),
@@ -90,6 +122,18 @@ class MatrixRegistry {
   /// Looks up a handle and marks it most-recently-used. NotFound if the
   /// handle was never registered or has been evicted.
   Expected<EntryRef> Acquire(MatrixHandle handle);
+
+  /// Looks up a handle WITHOUT promoting it in the LRU or counting a cache
+  /// hit. Admission control peeks first and only Promote()s requests it
+  /// actually admits, so a spammy rejected tenant can neither refresh its
+  /// own entry nor inflate the hit counters. Unknown/evicted handles still
+  /// count as misses (a miss is terminal either way).
+  Expected<EntryRef> Peek(MatrixHandle handle) const;
+
+  /// Marks an admitted handle most-recently-used and counts the cache hit.
+  /// No-op if the handle is gone — the caller already pinned an EntryRef, so
+  /// a concurrent eviction is harmless.
+  void Promote(MatrixHandle handle);
 
   /// Drops a handle explicitly (idempotent; returns false if absent).
   bool Evict(MatrixHandle handle);
@@ -116,7 +160,7 @@ class MatrixRegistry {
   };
   std::unordered_map<MatrixHandle, Slot> entries_;
   std::size_t resident_bytes_ = 0;
-  RegistrySnapshot stats_;
+  mutable RegistrySnapshot stats_;  // Peek is const but counts misses
 };
 
 }  // namespace capellini::serve

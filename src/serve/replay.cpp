@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "matrix/triangular.h"
@@ -70,15 +71,33 @@ RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
   return trace;
 }
 
+void AssignDeadlines(RequestTrace& trace, double min_ms, double max_ms,
+                     std::uint64_t seed) {
+  CAPELLINI_CHECK_MSG(min_ms > 0.0 && max_ms >= min_ms,
+                      "deadlines need 0 < min_ms <= max_ms");
+  Rng rng(seed);
+  for (TraceRequest& request : trace.requests) {
+    request.deadline_ms = rng.NextDouble(min_ms, max_ms);
+  }
+}
+
 Status WriteTraceJson(const RequestTrace& trace, const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return IoError("cannot write " + path);
   std::fprintf(file, "{\"requests\": [\n");
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     const TraceRequest& r = trace.requests[i];
-    std::fprintf(file, "  {\"matrix\": %d, \"seed\": %llu}%s\n", r.matrix,
-                 static_cast<unsigned long long>(r.seed),
-                 i + 1 < trace.requests.size() ? "," : "");
+    if (r.deadline_ms > 0.0) {
+      std::fprintf(file,
+                   "  {\"matrix\": %d, \"seed\": %llu, \"deadline_ms\": "
+                   "%.6f}%s\n",
+                   r.matrix, static_cast<unsigned long long>(r.seed),
+                   r.deadline_ms, i + 1 < trace.requests.size() ? "," : "");
+    } else {
+      std::fprintf(file, "  {\"matrix\": %d, \"seed\": %llu}%s\n", r.matrix,
+                   static_cast<unsigned long long>(r.seed),
+                   i + 1 < trace.requests.size() ? "," : "");
+    }
   }
   std::fprintf(file, "]}\n");
   std::fclose(file);
@@ -122,8 +141,24 @@ Expected<RequestTrace> ReadTraceJson(const std::string& path) {
     if (request.matrix < 0) {
       return IoError(path + ": negative matrix index");
     }
-    trace.requests.push_back(request);
     pos = seed_pos + seed_key.size();
+    // Optional per-request deadline, written only when positive: accept a
+    // "deadline_ms" key that belongs to THIS record (before the next
+    // "matrix").
+    const std::string deadline_key = "\"deadline_ms\"";
+    const std::size_t next_matrix = text.find(matrix_key, pos);
+    const std::size_t deadline_pos = text.find(deadline_key, pos);
+    if (deadline_pos != std::string::npos &&
+        (next_matrix == std::string::npos || deadline_pos < next_matrix)) {
+      double deadline_ms = 0.0;
+      if (std::sscanf(text.c_str() + deadline_pos + deadline_key.size(),
+                      " : %lf", &deadline_ms) != 1) {
+        return IoError(path + ": malformed \"deadline_ms\" value");
+      }
+      request.deadline_ms = deadline_ms;
+      pos = deadline_pos + deadline_key.size();
+    }
+    trace.requests.push_back(request);
   }
   return trace;
 }
@@ -153,10 +188,23 @@ Expected<ReplayReport> ReplayTrace(SolveService& service,
   };
 
   const Clock::time_point submit_begin = Clock::now();
-  for (const TraceRequest& request : trace.requests) {
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const TraceRequest& request = trace.requests[i];
+    if (options.pace_requests_per_sec > 0.0) {
+      // Open-loop arrivals: request i is offered at i / rate regardless of
+      // how the service is keeping up — exactly the overload regime the
+      // admission control is for.
+      std::this_thread::sleep_until(
+          submit_begin + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 static_cast<double>(i) /
+                                 options.pace_requests_per_sec)));
+    }
     const MatrixHandle handle =
         handles[static_cast<std::size_t>(request.matrix) % handles.size()];
-    auto entry = service.registry()->Acquire(handle);
+    // Peek: manufacturing the right-hand side is client-side work and must
+    // not touch the LRU — only the admitted Submit below promotes.
+    auto entry = service.registry()->Peek(handle);
     if (!entry.ok()) {
       if (is_rejection(entry.status())) {
         ++report.submitted;
@@ -168,7 +216,11 @@ Expected<ReplayReport> ReplayTrace(SolveService& service,
     const ReferenceProblem problem =
         MakeReferenceProblem((*entry)->solver.matrix(), request.seed);
     ++report.submitted;
-    auto submitted = service.Submit(handle, problem.b);
+    RequestOptions request_options;
+    if (request.deadline_ms > 0.0) {
+      request_options.deadline_ms = request.deadline_ms;
+    }
+    auto submitted = service.Submit(handle, problem.b, request_options);
     if (!submitted.ok()) {
       if (is_rejection(submitted.status())) {
         ++report.rejected;
@@ -191,7 +243,11 @@ Expected<ReplayReport> ReplayTrace(SolveService& service,
   for (Pending& p : pending) {
     ServeResult result = p.future.get();
     if (!result.status.ok()) {
-      ++report.failed;
+      if (result.status.code() == StatusCode::kDeadlineExceeded) {
+        ++report.expired;
+      } else {
+        ++report.failed;
+      }
       continue;
     }
     ++report.completed;

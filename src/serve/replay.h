@@ -24,6 +24,8 @@ struct TraceRequest {
   int matrix = 0;
   /// Seed for the manufactured right-hand side (b = L * x_true).
   std::uint64_t seed = 0;
+  /// Per-request deadline in wall-clock ms from submission (0 = none).
+  double deadline_ms = 0.0;
 };
 
 struct RequestTrace {
@@ -36,6 +38,12 @@ struct RequestTrace {
 RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
                                std::uint64_t seed);
 
+/// Stamps every request with a deterministic uniform-random deadline in
+/// [min_ms, max_ms] — the mixed-deadline workload the EDF scheduler and the
+/// bench_serve overload sweep exercise.
+void AssignDeadlines(RequestTrace& trace, double min_ms, double max_ms,
+                     std::uint64_t seed);
+
 /// {"requests": [{"matrix": 3, "seed": 17}, ...]}
 Status WriteTraceJson(const RequestTrace& trace, const std::string& path);
 Expected<RequestTrace> ReadTraceJson(const std::string& path);
@@ -44,7 +52,8 @@ struct ReplayReport {
   std::size_t submitted = 0;
   std::size_t completed = 0;   // future resolved with OK status
   std::size_t rejected = 0;    // admission-control rejections
-  std::size_t failed = 0;      // non-OK ServeResult
+  std::size_t expired = 0;     // kDeadlineExceeded ServeResults
+  std::size_t failed = 0;      // other non-OK ServeResults
   std::size_t wrong = 0;       // solution off the reference by > 1e-8
   double wall_ms = 0.0;
   double requests_per_sec = 0.0;
@@ -60,6 +69,11 @@ struct ReplayOptions {
   bool preload = false;
   /// Verify each solution against the serially solved reference.
   bool verify = true;
+  /// Pace submissions at this offered rate against live workers (0 = submit
+  /// as fast as possible). Mutually exclusive with preload — pacing models
+  /// an open-loop arrival process, which is how the overload sweep drives
+  /// the service past capacity.
+  double pace_requests_per_sec = 0.0;
 };
 
 /// Replays `trace` through `service`: request i targets handles[matrix % n].

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "kernels/launch.h"
 #include "support/thread_pool.h"
@@ -24,6 +25,13 @@ kernels::MrhsAlgorithm ToMrhsAlgorithm(Algorithm algorithm) {
 double ElapsedMs(std::chrono::steady_clock::time_point begin,
                  std::chrono::steady_clock::time_point end) {
   return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+std::string RetryAfterHint(double retry_ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " — retry after ~%.1f ms",
+                std::max(0.0, retry_ms));
+  return buf;
 }
 
 }  // namespace
@@ -71,11 +79,19 @@ void SolveService::Shutdown() {
   pool_.reset();
 }
 
+double SolveService::QueuedCostMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_cost_ms_;
+}
+
 Expected<std::future<ServeResult>> SolveService::Submit(
     MatrixHandle handle, std::vector<Val> b, RequestOptions options) {
-  auto acquired = registry_->Acquire(handle);
-  if (!acquired.ok()) return acquired.status();
-  const MatrixRegistry::EntryRef& entry = *acquired;
+  // Peek, not Acquire: LRU promotion and cache-hit accounting must only
+  // happen for admitted requests — a rejected spammer must not be able to
+  // refresh its entry and evict well-behaved residents.
+  auto peeked = registry_->Peek(handle);
+  if (!peeked.ok()) return peeked.status();
+  const MatrixRegistry::EntryRef& entry = *peeked;
   if (b.size() != static_cast<std::size_t>(entry->solver.matrix().rows())) {
     return InvalidArgument(
         "b has " + std::to_string(b.size()) + " entries, matrix '" +
@@ -101,23 +117,67 @@ Expected<std::future<ServeResult>> SolveService::Submit(
                 std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double, std::milli>(deadline_ms))
           : Clock::time_point::max();
+  request.deadline_budget_ms = deadline_ms > 0.0 ? deadline_ms : -1.0;
+  request.est_cost_ms = entry->cost.EstimateMs();
   std::future<ServeResult> future = request.promise.get_future();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_) {
+      stats_.RecordRejection();
       return FailedPrecondition("service is shut down");
     }
     if (queue_.size() >= options_.max_queue) {
       stats_.RecordRejection();
+      // Hint: time until one slot frees at the current drain rate.
+      const double per_slot_ms =
+          queued_cost_ms_ / static_cast<double>(queue_.size()) /
+          static_cast<double>(options_.workers);
       return ResourceExhausted(
           "queue full (" + std::to_string(options_.max_queue) +
-          " pending requests) — retry with backoff");
+          " pending requests)" + RetryAfterHint(per_slot_ms));
     }
-    queue_.push_back(std::move(request));
+    if (options_.max_queue_cost_ms > 0.0 && !queue_.empty() &&
+        queued_cost_ms_ + request.est_cost_ms > options_.max_queue_cost_ms) {
+      stats_.RecordRejection();
+      // Hint: time until enough queued work drains that this request fits.
+      const double excess =
+          queued_cost_ms_ + request.est_cost_ms - options_.max_queue_cost_ms;
+      char ledger[96];
+      std::snprintf(ledger, sizeof ledger,
+                    "estimated queued cost %.3f ms + %.3f ms exceeds budget "
+                    "%.3f ms",
+                    queued_cost_ms_, request.est_cost_ms,
+                    options_.max_queue_cost_ms);
+      return ResourceExhausted(
+          ledger +
+          RetryAfterHint(excess / static_cast<double>(options_.workers)));
+    }
+    request.seq = next_seq_++;
+    queued_cost_ms_ += request.est_cost_ms;
+    if (EnqueueLocked(std::move(request))) stats_.RecordReorder();
   }
+  registry_->Promote(handle);
   cv_.notify_one();
   return future;
+}
+
+bool SolveService::EnqueueLocked(Request request) {
+  if (options_.policy == QueuePolicy::kFifo || queue_.empty() ||
+      queue_.back().deadline <= request.deadline) {
+    queue_.push_back(std::move(request));
+    return false;
+  }
+  // EDF: stable insert before the first strictly-later deadline. Ties keep
+  // arrival order, so a deadline-free workload is served in exact FIFO
+  // order — the determinism-mode contract.
+  auto it = std::upper_bound(
+      queue_.begin(), queue_.end(), request.deadline,
+      [](const Clock::time_point& deadline, const Request& queued) {
+        return deadline < queued.deadline;
+      });
+  queue_.insert(it, std::move(request));
+  return true;
 }
 
 std::vector<SolveService::Request> SolveService::PopGroupLocked() {
@@ -127,11 +187,21 @@ std::vector<SolveService::Request> SolveService::PopGroupLocked() {
   // Copy the match keys: push_back below may reallocate the vector.
   const MatrixHandle handle = group.front().handle;
   const Algorithm algorithm = group.front().algorithm;
+  const Clock::time_point leader_deadline = group.front().deadline;
   if (options_.max_batch > 1 && HasMrhsForm(algorithm)) {
     for (auto it = queue_.begin();
          it != queue_.end() &&
          group.size() < static_cast<std::size_t>(options_.max_batch);) {
-      if (it->handle == handle && it->algorithm == algorithm) {
+      const bool key_match =
+          it->handle == handle && it->algorithm == algorithm;
+      // Deadline compatibility: joining the leader's launch must not pull a
+      // far-future request ahead of tighter work elsewhere in the queue.
+      const bool deadline_compatible =
+          options_.coalesce_window_ms <= 0.0 ||
+          std::chrono::duration<double, std::milli>(it->deadline -
+                                                    leader_deadline)
+                  .count() <= options_.coalesce_window_ms;
+      if (key_match && deadline_compatible) {
         group.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
@@ -139,6 +209,13 @@ std::vector<SolveService::Request> SolveService::PopGroupLocked() {
       }
     }
   }
+  const std::uint64_t dequeue_seq = next_dequeue_seq_++;
+  for (Request& request : group) {
+    request.dequeue_seq = dequeue_seq;
+    queued_cost_ms_ -= request.est_cost_ms;
+  }
+  // Sweep float drift so a long-lived ledger cannot wedge admission.
+  queued_cost_ms_ = queue_.empty() ? 0.0 : std::max(0.0, queued_cost_ms_);
   return group;
 }
 
@@ -158,6 +235,8 @@ void SolveService::WorkerLoop() {
 }
 
 void SolveService::ServeGroup(std::vector<Request> group) {
+  // The ONE dequeue timestamp for this group: solo, batched, and expired
+  // paths all measure queue_wait_ms from it, so the three agree.
   const Clock::time_point dequeue_time = Clock::now();
 
   // Expired requests complete with a clean Status without burning a launch.
@@ -165,7 +244,6 @@ void SolveService::ServeGroup(std::vector<Request> group) {
   live.reserve(group.size());
   for (Request& request : group) {
     if (dequeue_time > request.deadline) {
-      stats_.RecordDeadlineMiss(request.handle, request.entry->name);
       ServeResult result;
       result.status = DeadlineExceeded(
           "request expired after " +
@@ -173,6 +251,17 @@ void SolveService::ServeGroup(std::vector<Request> group) {
           " ms in queue");
       result.algorithm = request.algorithm;
       result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+      result.dequeue_seq = request.dequeue_seq;
+      result.est_cost_ms = request.est_cost_ms;
+      stats_.RecordRequest(
+          {.handle = request.handle,
+           .name = request.entry->name,
+           .outcome = ServiceStats::Outcome::kExpired,
+           .batch_size = 1,
+           .queue_wait_ms = result.queue_wait_ms,
+           .solve_ms = 0.0,
+           .deadline_budget_ms = request.deadline_budget_ms,
+           .est_cost_ms = request.est_cost_ms});
       request.promise.set_value(std::move(result));
     } else {
       live.push_back(std::move(request));
@@ -183,7 +272,7 @@ void SolveService::ServeGroup(std::vector<Request> group) {
   const MatrixRegistry::Entry& entry = *live.front().entry;
   if (live.size() >= 2) {
     stats_.RecordBatch(static_cast<int>(live.size()));
-    ServeBatched(live, entry);
+    ServeBatched(live, entry, dequeue_time);
     return;
   }
 
@@ -194,21 +283,35 @@ void SolveService::ServeGroup(std::vector<Request> group) {
   result.algorithm = request.algorithm;
   result.batch_size = 1;
   result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+  result.dequeue_seq = request.dequeue_seq;
+  result.est_cost_ms = request.est_cost_ms;
   stats_.RecordBatch(1);
   auto solved = entry.solver.Solve(request.algorithm, request.b);
   if (solved.ok()) {
     result.solve = std::move(*solved);
+    entry.cost.Observe(result.solve.solve_ms);
   } else {
     result.status = solved.status();
   }
-  stats_.RecordRequest(request.handle, entry.name, result.status.ok(), 1,
-                       result.queue_wait_ms, result.solve.solve_ms);
+  stats_.RecordRequest(
+      {.handle = request.handle,
+       .name = entry.name,
+       .outcome = result.status.ok() ? ServiceStats::Outcome::kOk
+                                     : ServiceStats::Outcome::kFailed,
+       .batch_size = 1,
+       .queue_wait_ms = result.queue_wait_ms,
+       .solve_ms = result.solve.solve_ms,
+       .deadline_budget_ms = request.deadline_budget_ms,
+       .est_cost_ms = request.est_cost_ms});
   request.promise.set_value(std::move(result));
 }
 
 void SolveService::ServeBatched(std::vector<Request>& group,
-                                const MatrixRegistry::Entry& entry) {
-  const Clock::time_point dequeue_time = Clock::now();
+                                const MatrixRegistry::Entry& entry,
+                                Clock::time_point dequeue_time) {
+  // `dequeue_time` is ServeGroup's single stamp: re-stamping here would fold
+  // deadline filtering and B-assembly time into queue_wait_ms and disagree
+  // with the solo path.
   const auto n = static_cast<std::size_t>(entry.solver.matrix().rows());
   const int k = static_cast<int>(group.size());
 
@@ -224,6 +327,10 @@ void SolveService::ServeBatched(std::vector<Request>& group,
   auto solved = kernels::SolveMrhsOnDevice(
       ToMrhsAlgorithm(group.front().algorithm), entry.solver.matrix(), b, k,
       solver_options.device, solver_options.kernel_options);
+  // One launch, one cost observation: the point of coalescing is that k
+  // systems cost one structure walk, and the admission model prices the
+  // launch, not the request count.
+  if (solved.ok()) entry.cost.Observe(solved->exec_ms);
 
   for (int r = 0; r < k; ++r) {
     Request& request = group[static_cast<std::size_t>(r)];
@@ -231,6 +338,8 @@ void SolveService::ServeBatched(std::vector<Request>& group,
     result.algorithm = request.algorithm;
     result.batch_size = k;
     result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+    result.dequeue_seq = request.dequeue_seq;
+    result.est_cost_ms = request.est_cost_ms;
     if (solved.ok()) {
       result.solve.x.assign(
           solved->x.begin() + static_cast<std::size_t>(r) * n,
@@ -245,8 +354,16 @@ void SolveService::ServeBatched(std::vector<Request>& group,
     } else {
       result.status = solved.status();
     }
-    stats_.RecordRequest(request.handle, entry.name, result.status.ok(), k,
-                         result.queue_wait_ms, result.solve.solve_ms);
+    stats_.RecordRequest(
+        {.handle = request.handle,
+         .name = entry.name,
+         .outcome = result.status.ok() ? ServiceStats::Outcome::kOk
+                                       : ServiceStats::Outcome::kFailed,
+         .batch_size = k,
+         .queue_wait_ms = result.queue_wait_ms,
+         .solve_ms = result.solve.solve_ms,
+         .deadline_budget_ms = request.deadline_budget_ms,
+         .est_cost_ms = request.est_cost_ms});
     request.promise.set_value(std::move(result));
   }
 }

@@ -2,26 +2,43 @@
 //
 // Request path:
 //   Submit(handle, b, opts) -> Expected<std::future<ServeResult>>
-//     * admission control: a bounded FIFO queue; when full, Submit returns
-//       kResourceExhausted immediately (backpressure, never an abort);
+//     * admission control runs BEFORE the registry's LRU is touched (a
+//       rejected tenant must not refresh its entry or count cache hits):
+//       a bounded queue (count bound `max_queue`, plus an optional
+//       estimated-cost bound `max_queue_cost_ms` fed by the per-handle cost
+//       model) refuses with kResourceExhausted and a computed retry-after
+//       hint — backpressure, never an abort;
+//     * the queue is earliest-deadline-first under QueuePolicy::kEdf (the
+//       default): requests are kept sorted by (deadline, arrival seq), so a
+//       deadline-free workload degenerates to exact FIFO and
+//       DeterministicOptions() keeps byte-identical results. kFifo preserves
+//       strict arrival order for A/B comparison (bench_serve's overload
+//       sweep);
 //     * workers (support/thread_pool) pop the queue; the COALESCING step
-//       scans the queue in FIFO order and groups up to `max_batch` requests
-//       that target the same handle with the same effective algorithm into
-//       ONE SolveMrhsOnDevice launch — the structure walk is paid once for
+//       scans the queue in scheduling order and groups up to `max_batch`
+//       deadline-compatible requests (same handle + algorithm, deadlines
+//       within `coalesce_window_ms` of the group leader's) into ONE
+//       SolveMrhsOnDevice launch — the structure walk is paid once for
 //       the whole group (Liu et al.'s mrhs result, applied as a scheduler
 //       policy). Algorithms without an mrhs form fall back to per-request
 //       Solver::Solve;
 //     * per-request deadlines are checked at dequeue time — an expired
 //       request completes with kDeadlineExceeded without burning a launch;
+//     * every terminal outcome hits ServiceStats exactly once: ok/failed/
+//       expired through RecordRequest, admission refusals (queue full, cost
+//       bound, shutdown) through RecordRejection;
+//     * observed solve times feed back into the registry entry's EWMA cost
+//       model, so admission estimates track the workload;
 //     * simulator watchdog trips (the naive kernel's deadlock) surface as
 //       the kDeadlock Status inside the future, exactly like the library
 //       path. Nothing on a served path aborts the process.
 //
-// Determinism contract: with DeterministicOptions() (workers=1, max_batch=1)
-// the service is a plain FIFO executor — every request runs the identical
-// Solver::Solve call the one-shot path would, in submission order, so the
-// returned SolveResults are byte-identical to a serial loop. serve_test and
-// bench_serve's CI gate both checksum this.
+// Determinism contract: with DeterministicOptions() (workers=1, max_batch=1,
+// no deadlines, cost admission off) the service is a plain FIFO executor —
+// every request runs the identical Solver::Solve call the one-shot path
+// would, in submission order, so the returned SolveResults are byte-identical
+// to a serial loop. serve_test and bench_serve's CI gate both checksum this,
+// under both queue policies.
 #pragma once
 
 #include <chrono>
@@ -43,18 +60,38 @@ class ThreadPool;  // support/thread_pool.h
 
 namespace capellini::serve {
 
+enum class QueuePolicy {
+  /// Strict arrival order (the PR-3 behavior, kept for A/B sweeps).
+  kFifo,
+  /// Earliest deadline first, stable on arrival order for ties. Deadline-free
+  /// requests sort last (deadline = +inf) in arrival order.
+  kEdf,
+};
+
 struct ServiceOptions {
   /// Worker threads draining the queue.
   int workers = 2;
   /// Coalescing cap: up to this many same-handle requests per launch.
   /// Clamped to [1, 6] (the mrhs kernel's accumulator-register limit).
   int max_batch = 4;
-  /// Admission bound; Submit rejects with kResourceExhausted when the queue
-  /// holds this many pending requests.
+  /// Count-based admission bound; Submit rejects with kResourceExhausted
+  /// when the queue holds this many pending requests.
   std::size_t max_queue = 256;
+  /// Cost-based admission bound: reject when the estimated cost of the
+  /// queued work (per-handle cost model: analysis-seeded, EWMA over observed
+  /// solve ms) plus the incoming request exceeds this many milliseconds.
+  /// 0 = disabled. An empty queue always admits one request, so a single
+  /// expensive matrix can never be starved out.
+  double max_queue_cost_ms = 0.0;
   /// Default per-request deadline in wall-clock ms from submission
   /// (0 = none). Requests can override per submission.
   double default_deadline_ms = 0.0;
+  /// Queue ordering policy. kEdf with no deadlines is exactly kFifo.
+  QueuePolicy policy = QueuePolicy::kEdf;
+  /// Coalescing deadline-compatibility window: a queued request joins a
+  /// group only if its deadline is within this many ms of the group
+  /// leader's. 0 = unlimited (pure same-key coalescing).
+  double coalesce_window_ms = 0.0;
   /// If true the workers do not start draining until Start() — tests and
   /// benches use this to load the queue first so coalescing is
   /// deterministic and maximal.
@@ -78,7 +115,15 @@ struct ServeResult {
   Algorithm algorithm = Algorithm::kCapellini;
   /// Requests coalesced into the launch that served this one (1 = solo).
   int batch_size = 1;
+  /// Wait from submission to the (single) dequeue timestamp of the group
+  /// that served this request — solo and batched paths measure from the
+  /// same stamp.
   double queue_wait_ms = 0.0;
+  /// Monotone index of the dequeue (launch group) that served this request;
+  /// tests assert scheduling order through it.
+  std::uint64_t dequeue_seq = 0;
+  /// The scheduler's cost estimate for this request at admission (ms).
+  double est_cost_ms = 0.0;
 };
 
 class SolveService {
@@ -95,8 +140,10 @@ class SolveService {
   /// Enqueues a solve of `handle`'s matrix against `b`. Fails fast with
   ///  * kNotFound          — unknown/evicted handle,
   ///  * kInvalidArgument   — b has the wrong length,
-  ///  * kResourceExhausted — queue full,
+  ///  * kResourceExhausted — queue full or estimated queued cost over
+  ///                         budget; the message carries a retry-after hint,
   ///  * kFailedPrecondition — service already shut down.
+  /// Only admitted requests promote the handle in the registry LRU.
   Expected<std::future<ServeResult>> Submit(MatrixHandle handle,
                                             std::vector<Val> b,
                                             RequestOptions options = {});
@@ -107,6 +154,10 @@ class SolveService {
   /// Blocks until every accepted request has completed and stops the
   /// workers. Subsequent Submits fail with kFailedPrecondition. Idempotent.
   void Shutdown();
+
+  /// Estimated milliseconds of solve work currently queued (the cost-based
+  /// admission ledger).
+  double QueuedCostMs() const;
 
   const ServiceStats& stats() const { return stats_; }
   const ServiceOptions& options() const { return options_; }
@@ -124,25 +175,38 @@ class SolveService {
     Algorithm algorithm = Algorithm::kCapellini;
     Clock::time_point enqueue_time;
     Clock::time_point deadline;  // time_point::max() = none
+    double deadline_budget_ms = -1.0;  // < 0 = none (stats bucketing)
+    double est_cost_ms = 0.0;          // admission ledger entry
+    std::uint64_t seq = 0;             // arrival order (EDF tie-break)
+    std::uint64_t dequeue_seq = 0;     // stamped by PopGroupLocked
     std::promise<ServeResult> promise;
   };
 
   void WorkerLoop();
+  /// Inserts in scheduling order (kEdf: sorted by (deadline, seq); kFifo:
+  /// tail). Returns true if the request landed ahead of queued work.
+  bool EnqueueLocked(Request request);
   /// Pops the next group: the front request plus up to max_batch-1 more
-  /// queued requests with the same handle + algorithm (scanning the whole
-  /// queue, not just the front — zipf traffic interleaves handles).
+  /// queued deadline-compatible requests with the same handle + algorithm
+  /// (scanning the whole queue, not just the front — zipf traffic
+  /// interleaves handles). Stamps dequeue_seq and releases the popped
+  /// requests' cost from the admission ledger.
   std::vector<Request> PopGroupLocked();
   void ServeGroup(std::vector<Request> group);
   void ServeBatched(std::vector<Request>& group,
-                    const MatrixRegistry::Entry& entry);
+                    const MatrixRegistry::Entry& entry,
+                    Clock::time_point dequeue_time);
 
   MatrixRegistry* registry_;
   ServiceOptions options_;
   ServiceStats stats_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  double queued_cost_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_dequeue_seq_ = 0;
   bool paused_ = false;
   bool shutdown_ = false;
 

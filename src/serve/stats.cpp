@@ -1,6 +1,7 @@
 #include "serve/stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -46,24 +47,52 @@ LatencySummary Summarize(std::vector<double> samples_ms) {
   return summary;
 }
 
-void ServiceStats::RecordRequest(MatrixHandle handle, const std::string& name,
-                                 bool ok, int batch_size, double queue_wait_ms,
-                                 double solve_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  PerHandle& ph = per_handle_[handle];
-  if (ph.name.empty()) ph.name = name;
-  if (ok) {
-    ++totals_.requests;
-    ++ph.requests;
-  } else {
-    ++totals_.failures;
-    ++ph.failures;
+std::size_t ServiceStats::DeadlineBucketIndex(double deadline_budget_ms) {
+  for (std::size_t i = 0; i + 1 < kDeadlineBucketUpperMs.size(); ++i) {
+    if (deadline_budget_ms <= kDeadlineBucketUpperMs[i]) return i;
   }
-  if (batch_size >= 2) ++ph.batched_requests;
-  ph.queue_wait_ms.push_back(queue_wait_ms);
-  ph.solve_ms.push_back(solve_ms);
-  queue_wait_ms_.push_back(queue_wait_ms);
-  solve_ms_.push_back(solve_ms);
+  return kDeadlineBucketUpperMs.size() - 1;
+}
+
+void ServiceStats::RecordRequest(const RequestRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerHandle& ph = per_handle_[record.handle];
+  if (ph.name.empty()) ph.name = record.name;
+  switch (record.outcome) {
+    case Outcome::kOk:
+      ++totals_.requests;
+      ++ph.requests;
+      break;
+    case Outcome::kFailed:
+      ++totals_.failures;
+      ++ph.failures;
+      break;
+    case Outcome::kExpired:
+      ++totals_.deadline_misses;
+      ++ph.deadline_misses;
+      break;
+  }
+  if (record.batch_size >= 2) ++ph.batched_requests;
+  // Queue wait is real for every terminal outcome; a solve latency only
+  // exists when a launch actually ran.
+  ph.queue_wait_ms.push_back(record.queue_wait_ms);
+  queue_wait_ms_.push_back(record.queue_wait_ms);
+  if (record.outcome != Outcome::kExpired) {
+    ph.solve_ms.push_back(record.solve_ms);
+    solve_ms_.push_back(record.solve_ms);
+  }
+  if (record.deadline_budget_ms >= 0.0) {
+    DeadlineBucket& bucket =
+        deadline_buckets_[DeadlineBucketIndex(record.deadline_budget_ms)];
+    ++bucket.total;
+    if (record.outcome == Outcome::kExpired) ++bucket.missed;
+  }
+  if (record.outcome == Outcome::kOk && record.est_cost_ms > 0.0 &&
+      record.solve_ms > 0.0) {
+    cost_error_ratio_sum_ +=
+        std::abs(record.est_cost_ms - record.solve_ms) / record.solve_ms;
+    ++cost_error_samples_;
+  }
 }
 
 void ServiceStats::RecordBatch(int batch_size) {
@@ -79,13 +108,28 @@ void ServiceStats::RecordRejection() {
   ++totals_.rejections;
 }
 
-void ServiceStats::RecordDeadlineMiss(MatrixHandle handle,
-                                      const std::string& name) {
+void ServiceStats::RecordReorder() {
   std::lock_guard<std::mutex> lock(mutex_);
-  ++totals_.deadline_misses;
-  PerHandle& ph = per_handle_[handle];
-  if (ph.name.empty()) ph.name = name;
-  ++ph.deadline_misses;
+  ++totals_.reorders;
+}
+
+std::vector<ServiceStats::DeadlineBucket> ServiceStats::DeadlineBuckets()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DeadlineBucket> buckets(deadline_buckets_.begin(),
+                                      deadline_buckets_.end());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i].upper_ms = kDeadlineBucketUpperMs[i];
+  }
+  return buckets;
+}
+
+double ServiceStats::MeanCostErrorRatio() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cost_error_samples_ == 0
+             ? 0.0
+             : cost_error_ratio_sum_ /
+                   static_cast<double>(cost_error_samples_);
 }
 
 ServiceStats::Totals ServiceStats::totals() const {
@@ -105,18 +149,57 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
   const LatencySummary wait = Summarize(queue_wait_ms_);
   const LatencySummary solve = Summarize(solve_ms_);
   TextTable global({"Requests", "Failures", "Rejected", "Deadline", "Batches",
-                    "Wait p50/p99 ms", "Solve p50/p99 ms"});
+                    "Reorders", "Wait p50/p99 ms", "Solve p50/p99 ms"});
   global.SetTitle("service totals");
   global.AddRow({std::to_string(totals_.requests),
                  std::to_string(totals_.failures),
                  std::to_string(totals_.rejections),
                  std::to_string(totals_.deadline_misses),
                  std::to_string(totals_.batches),
+                 std::to_string(totals_.reorders),
                  TextTable::Num(wait.p50_ms, 3) + " / " +
                      TextTable::Num(wait.p99_ms, 3),
                  TextTable::Num(solve.p50_ms, 3) + " / " +
                      TextTable::Num(solve.p99_ms, 3)});
   out << global.ToString();
+
+  if (cost_error_samples_ > 0) {
+    char line[96];
+    std::snprintf(line, sizeof line,
+                  "cost model: mean |est-actual|/actual = %.3f over %llu "
+                  "solves\n",
+                  cost_error_ratio_sum_ /
+                      static_cast<double>(cost_error_samples_),
+                  static_cast<unsigned long long>(cost_error_samples_));
+    out << line;
+  }
+  bool any_bucket = false;
+  for (const DeadlineBucket& bucket : deadline_buckets_) {
+    if (bucket.total != 0) any_bucket = true;
+  }
+  if (any_bucket) {
+    out << "deadline-budget buckets (miss rate):\n";
+    for (std::size_t i = 0; i < deadline_buckets_.size(); ++i) {
+      const DeadlineBucket& bucket = deadline_buckets_[i];
+      if (bucket.total == 0) continue;
+      char line[96];
+      if (kDeadlineBucketUpperMs[i] > 0.0) {
+        std::snprintf(line, sizeof line, "  <= %6.1f ms: %llu/%llu (%.1f%%)\n",
+                      kDeadlineBucketUpperMs[i],
+                      static_cast<unsigned long long>(bucket.missed),
+                      static_cast<unsigned long long>(bucket.total),
+                      100.0 * static_cast<double>(bucket.missed) /
+                          static_cast<double>(bucket.total));
+      } else {
+        std::snprintf(line, sizeof line, "  >  100.0 ms: %llu/%llu (%.1f%%)\n",
+                      static_cast<unsigned long long>(bucket.missed),
+                      static_cast<unsigned long long>(bucket.total),
+                      100.0 * static_cast<double>(bucket.missed) /
+                          static_cast<double>(bucket.total));
+      }
+      out << line;
+    }
+  }
 
   if (!batch_occupancy_.empty()) {
     out << "batch occupancy (k requests per launch):\n";
@@ -165,6 +248,27 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
   out << "  \"rejections\": " << totals_.rejections << ",\n";
   out << "  \"deadline_misses\": " << totals_.deadline_misses << ",\n";
   out << "  \"batches\": " << totals_.batches << ",\n";
+  out << "  \"reorders\": " << totals_.reorders << ",\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f",
+                  cost_error_samples_ == 0
+                      ? 0.0
+                      : cost_error_ratio_sum_ /
+                            static_cast<double>(cost_error_samples_));
+    out << "  \"cost_error_ratio\": " << buf << ",\n";
+  }
+  out << "  \"deadline_buckets\": [";
+  for (std::size_t i = 0; i < deadline_buckets_.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"upper_ms\": %.1f, \"total\": %llu, \"missed\": %llu}",
+                  i == 0 ? "" : ", ", kDeadlineBucketUpperMs[i],
+                  static_cast<unsigned long long>(deadline_buckets_[i].total),
+                  static_cast<unsigned long long>(deadline_buckets_[i].missed));
+    out << buf;
+  }
+  out << "],\n";
   out << "  \"batch_occupancy\": [";
   for (std::size_t k = 0; k < batch_occupancy_.size(); ++k) {
     out << (k == 0 ? "" : ", ") << batch_occupancy_[k];

@@ -6,8 +6,15 @@
 // Percentiles are computed at dump time from retained samples — the service
 // is a measurement harness, not a prod telemetry pipeline, so exact
 // percentiles beat streaming sketches here.
+//
+// Accounting invariant: every submitted request hits the stats EXACTLY once
+// with its terminal outcome — RecordRequest (ok / failed / expired) for
+// requests that entered the queue, RecordRejection for admission refusals
+// (queue full, cost bound, shutdown). serve_test asserts
+//   requests + failures + deadline_misses + rejections == submitted.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -31,29 +38,72 @@ LatencySummary Summarize(std::vector<double> samples_ms);
 
 class ServiceStats {
  public:
-  /// One completed (or failed) request. batch_size >= 1 is the number of
-  /// requests coalesced into the launch that served this one.
-  void RecordRequest(MatrixHandle handle, const std::string& name,
-                     bool ok, int batch_size, double queue_wait_ms,
-                     double solve_ms);
+  enum class Outcome {
+    kOk,       // solved, future carries the solution
+    kFailed,   // solve-time error (deadlock, kernel failure, ...)
+    kExpired,  // deadline passed before a launch was burned
+  };
+
+  /// One terminal request outcome.
+  struct RequestRecord {
+    MatrixHandle handle = kInvalidHandle;
+    std::string name;
+    Outcome outcome = Outcome::kOk;
+    /// Requests coalesced into the launch that served this one (1 = solo).
+    int batch_size = 1;
+    double queue_wait_ms = 0.0;
+    double solve_ms = 0.0;  // ignored for kExpired (no launch happened)
+    /// Deadline budget granted at submission; < 0 = no deadline. Drives the
+    /// per-deadline-bucket miss rates.
+    double deadline_budget_ms = -1.0;
+    /// Scheduler cost estimate at admission (0 = none recorded). Compared
+    /// against the observed solve_ms for the cost-model error metric.
+    double est_cost_ms = 0.0;
+  };
+  void RecordRequest(const RequestRecord& record);
+
   /// One device launch that coalesced `batch_size` requests.
   void RecordBatch(int batch_size);
+  /// One admission refusal (queue full, cost bound exceeded, shutdown).
   void RecordRejection();
-  void RecordDeadlineMiss(MatrixHandle handle, const std::string& name);
+  /// One EDF enqueue that landed ahead of at least one already-queued
+  /// request (always zero under QueuePolicy::kFifo or deadline-free load).
+  void RecordReorder();
 
   /// Counter snapshot used by tests and the JSON dump.
   struct Totals {
     std::uint64_t requests = 0;   // completed OK
-    std::uint64_t failures = 0;   // completed with non-OK Status (not rejects)
-    std::uint64_t rejections = 0; // refused at admission (queue full, ...)
-    std::uint64_t deadline_misses = 0;
+    std::uint64_t failures = 0;   // completed with non-OK Status (not rejects
+                                  // and not deadline misses)
+    std::uint64_t rejections = 0; // refused at admission (queue full, cost
+                                  // bound, shutdown)
+    std::uint64_t deadline_misses = 0;  // expired before service
     std::uint64_t batches = 0;    // device launches (one per coalesced group)
+    std::uint64_t reorders = 0;   // EDF insertions ahead of queued work
   };
   Totals totals() const;
 
   /// batch-occupancy histogram: index k-1 counts launches that coalesced
   /// exactly k requests.
   std::vector<std::uint64_t> BatchOccupancy() const;
+
+  /// Deadline-budget bucket: all requests submitted with a deadline budget
+  /// <= upper_ms (and above the previous bucket's bound), plus how many of
+  /// them expired. Bucket bounds are kDeadlineBucketUpperMs; the last bucket
+  /// is open-ended. Deadline-free requests are not bucketed.
+  struct DeadlineBucket {
+    double upper_ms = 0.0;
+    std::uint64_t total = 0;
+    std::uint64_t missed = 0;
+  };
+  static constexpr std::array<double, 4> kDeadlineBucketUpperMs = {
+      5.0, 20.0, 100.0, 0.0};  // 0.0 = +inf sentinel for the last bucket
+  std::vector<DeadlineBucket> DeadlineBuckets() const;
+
+  /// Mean |estimated - actual| / actual over completed-OK requests that
+  /// carried a cost estimate — the cost model's online error. 0 when no
+  /// request carried one.
+  double MeanCostErrorRatio() const;
 
   /// Renders global + per-handle tables; `registry` adds the cache columns.
   std::string ToTable(const RegistrySnapshot* registry = nullptr) const;
@@ -70,12 +120,17 @@ class ServiceStats {
     std::vector<double> solve_ms;
   };
 
+  static std::size_t DeadlineBucketIndex(double deadline_budget_ms);
+
   mutable std::mutex mutex_;
   Totals totals_;
   std::vector<std::uint64_t> batch_occupancy_;  // index k-1 = batches of k
   std::map<MatrixHandle, PerHandle> per_handle_;
   std::vector<double> queue_wait_ms_;
   std::vector<double> solve_ms_;
+  std::array<DeadlineBucket, kDeadlineBucketUpperMs.size()> deadline_buckets_{};
+  double cost_error_ratio_sum_ = 0.0;
+  std::uint64_t cost_error_samples_ = 0;
 };
 
 }  // namespace capellini::serve

@@ -379,6 +379,332 @@ TEST(ServiceTest, DeterminismModeByteReproducesSerialOneShotPath) {
   EXPECT_EQ(report->solution_checksum, serial_checksum);
 }
 
+TEST(RegistryTest, CostModelSeedsFromAnalysisAndLearnsOnline) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(47), "m47", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  auto entry = registry.Acquire(*handle);
+  ASSERT_TRUE(entry.ok());
+
+  // Seeded from the analysis before any solve runs.
+  EXPECT_EQ((*entry)->cost.samples(), 0u);
+  EXPECT_GT((*entry)->cost.EstimateMs(), 0.0);
+  EXPECT_DOUBLE_EQ((*entry)->cost.EstimateMs(), (*entry)->solver.CostHintMs());
+
+  // First observation replaces the seed; later ones blend (alpha = 0.25).
+  (*entry)->cost.Observe(2.0);
+  EXPECT_DOUBLE_EQ((*entry)->cost.EstimateMs(), 2.0);
+  (*entry)->cost.Observe(4.0);
+  EXPECT_DOUBLE_EQ((*entry)->cost.EstimateMs(), 2.5);
+  EXPECT_EQ((*entry)->cost.samples(), 2u);
+}
+
+TEST(ServiceTest, ServingARequestFeedsTheCostModel) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(48), "m48", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  SolveService service(&registry, SolveService::DeterministicOptions());
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  auto submitted = service.Submit(*handle, MakeReferenceProblem(matrix, 49).b);
+  ASSERT_TRUE(submitted.ok());
+  ServeResult result = submitted->get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.est_cost_ms, 0.0);
+  auto entry = registry.Acquire(*handle);
+  EXPECT_EQ((*entry)->cost.samples(), 1u);
+  EXPECT_DOUBLE_EQ((*entry)->cost.EstimateMs(), result.solve.solve_ms);
+  service.Shutdown();
+  EXPECT_EQ(service.QueuedCostMs(), 0.0);
+}
+
+TEST(ServiceTest, EdfServesTightestDeadlineFirstStableOnTies) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(111), "m111", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  // Paused single worker, no coalescing: dequeue_seq is the serve order.
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = 1,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const auto submit = [&](std::optional<double> deadline_ms) {
+    RequestOptions options;
+    options.deadline_ms = deadline_ms;
+    auto submitted = service.Submit(
+        *handle, MakeReferenceProblem(matrix, 112).b, options);
+    EXPECT_TRUE(submitted.ok());
+    return std::move(*submitted);
+  };
+  // Arrival order: A (none), B (5 s), C (1 s), D (5 s, ties with B).
+  auto a = submit(std::nullopt);
+  auto b = submit(5000.0);
+  auto c = submit(1000.0);
+  auto d = submit(5000.0);
+  service.Start();
+
+  // EDF order: C, then B before D (stable tie on arrival), then A.
+  EXPECT_EQ(c.get().dequeue_seq, 0u);
+  EXPECT_EQ(b.get().dequeue_seq, 1u);
+  EXPECT_EQ(d.get().dequeue_seq, 2u);
+  EXPECT_EQ(a.get().dequeue_seq, 3u);
+  service.Shutdown();
+  // B, C, D each landed ahead of already-queued work.
+  EXPECT_EQ(service.stats().totals().reorders, 3u);
+  EXPECT_EQ(service.stats().totals().deadline_misses, 0u);
+}
+
+TEST(ServiceTest, FifoPolicyIgnoresDeadlineOrder) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(113), "m113", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = 1,
+                                      .policy = QueuePolicy::kFifo,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  RequestOptions tight;
+  tight.deadline_ms = 1000.0;
+  auto first = service.Submit(*handle, MakeReferenceProblem(matrix, 114).b);
+  auto second =
+      service.Submit(*handle, MakeReferenceProblem(matrix, 115).b, tight);
+  ASSERT_TRUE(first.ok() && second.ok());
+  service.Start();
+  EXPECT_EQ(first->get().dequeue_seq, 0u);  // arrival order, not deadline
+  EXPECT_EQ(second->get().dequeue_seq, 1u);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().totals().reorders, 0u);
+}
+
+TEST(ServiceTest, CoalescingRespectsTheDeadlineCompatibilityWindow) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(116), "m116", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = 4,
+                                      .coalesce_window_ms = 10.0,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  RequestOptions capellini;
+  capellini.algorithm = Algorithm::kCapellini;
+  const auto submit = [&](double deadline_ms) {
+    RequestOptions options = capellini;
+    options.deadline_ms = deadline_ms;
+    auto submitted = service.Submit(
+        *handle, MakeReferenceProblem(matrix, 117).b, options);
+    EXPECT_TRUE(submitted.ok());
+    return std::move(*submitted);
+  };
+  auto leader = submit(5000.0);
+  auto outside = submit(5012.0);  // 12 ms after the leader: beyond the window
+  auto inside = submit(5001.0);   // 1 ms after: joins the leader's launch
+  service.Start();
+
+  ServeResult leader_result = leader.get();
+  ServeResult inside_result = inside.get();
+  ServeResult outside_result = outside.get();
+  EXPECT_EQ(leader_result.batch_size, 2);
+  EXPECT_EQ(inside_result.batch_size, 2);
+  EXPECT_EQ(inside_result.dequeue_seq, leader_result.dequeue_seq);
+  EXPECT_EQ(outside_result.batch_size, 1);
+  EXPECT_GT(outside_result.dequeue_seq, leader_result.dequeue_seq);
+  service.Shutdown();
+}
+
+TEST(ServiceTest, CostAdmissionRejectsWithRetryAfterHint) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(121), "m121", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  // Budget far below one request's estimate: the empty-queue exemption
+  // admits the first request, the cost bound rejects the second.
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_queue_cost_ms = 1e-3,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 122);
+
+  auto accepted = service.Submit(*handle, problem.b);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_GT(service.QueuedCostMs(), 0.0);
+
+  auto rejected = service.Submit(*handle, problem.b);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(rejected.status().message().find("retry after"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().totals().rejections, 1u);
+
+  service.Start();
+  EXPECT_TRUE(accepted->get().status.ok());
+  service.Shutdown();
+  EXPECT_EQ(service.QueuedCostMs(), 0.0);
+}
+
+TEST(ServiceTest, EveryTerminalOutcomeHitsStatsExactlyOnce) {
+  MatrixRegistry registry;
+  auto handle = registry.Register(TestMatrix(123), "m123", TinyOptions());
+  ASSERT_TRUE(handle.ok());
+
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_queue = 2,
+                                      .start_paused = true});
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 124);
+
+  std::size_t submitted = 0;
+  RequestOptions tight;
+  tight.deadline_ms = 0.01;
+  auto ok_request = service.Submit(*handle, problem.b);
+  ++submitted;
+  auto expired_request = service.Submit(*handle, problem.b, tight);
+  ++submitted;
+  auto queue_full = service.Submit(*handle, problem.b);
+  ++submitted;
+  ASSERT_TRUE(ok_request.ok());
+  ASSERT_TRUE(expired_request.ok());
+  ASSERT_FALSE(queue_full.ok());
+  EXPECT_EQ(queue_full.status().code(), StatusCode::kResourceExhausted);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+  EXPECT_TRUE(ok_request->get().status.ok());
+  EXPECT_EQ(expired_request->get().status.code(),
+            StatusCode::kDeadlineExceeded);
+  service.Shutdown();
+
+  auto after_shutdown = service.Submit(*handle, problem.b);
+  ++submitted;
+  ASSERT_FALSE(after_shutdown.ok());
+  EXPECT_EQ(after_shutdown.status().code(), StatusCode::kFailedPrecondition);
+
+  // The accounting invariant: every submission lands in exactly one bucket.
+  const ServiceStats::Totals totals = service.stats().totals();
+  EXPECT_EQ(totals.requests, 1u);
+  EXPECT_EQ(totals.failures, 0u);
+  EXPECT_EQ(totals.deadline_misses, 1u);
+  EXPECT_EQ(totals.rejections, 2u);  // queue full + after shutdown
+  EXPECT_EQ(totals.requests + totals.failures + totals.deadline_misses +
+                totals.rejections,
+            submitted);
+
+  // The expired request's 0.01 ms budget fell in the tightest bucket.
+  const auto buckets = service.stats().DeadlineBuckets();
+  EXPECT_EQ(buckets[0].total, 1u);
+  EXPECT_EQ(buckets[0].missed, 1u);
+}
+
+TEST(ServiceTest, RejectedSubmissionsDoNotPromoteLruOrCountHits) {
+  const Csr a = TestMatrix(131);
+  const Csr b = TestMatrix(132);
+  const Csr c = TestMatrix(133);
+  const std::size_t bytes = EntryBytes(a);
+
+  // Budget holds two matrices; registering a third evicts the true LRU.
+  MatrixRegistry registry(RegistryOptions{.byte_budget = bytes * 5 / 2});
+  auto ha = registry.Register(a, "a", TinyOptions());
+  auto hb = registry.Register(b, "b", TinyOptions());
+  ASSERT_TRUE(ha.ok() && hb.ok());
+
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_queue = 1,
+                                      .start_paused = true});
+  // Admitting a request on b promotes b (hit + MRU); the rejected request on
+  // a must leave a as the LRU victim and the hit count untouched.
+  auto admitted = service.Submit(*hb, MakeReferenceProblem(b, 134).b);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(registry.Snapshot().hits, 1u);
+  auto rejected = service.Submit(*ha, MakeReferenceProblem(a, 135).b);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(registry.Snapshot().hits, 1u);  // Peek counted no hit
+
+  auto hc = registry.Register(c, "c", TinyOptions());
+  ASSERT_TRUE(hc.ok());
+  EXPECT_FALSE(registry.Contains(*ha));  // a stayed LRU and was evicted
+  EXPECT_TRUE(registry.Contains(*hb));
+  service.Start();
+  EXPECT_TRUE(admitted->get().status.ok());
+}
+
+TEST(ServiceTest, MixedDeadlinePreloadMissRateAndChecksumVsFifoSeed) {
+  // Satellite regression: under a paused service, enqueue mixed-deadline
+  // requests, resume, and assert completion order (via dequeue_seq),
+  // miss rate, and that DeterministicOptions replay checksums are unchanged
+  // from the FIFO seed.
+  std::vector<Csr> corpus = {TestMatrix(141), TestMatrix(142, 100)};
+  MatrixRegistry registry;
+  std::vector<MatrixHandle> handles;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    auto handle = registry.Register(corpus[i], "m" + std::to_string(i),
+                                    TinyOptions());
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(*handle);
+  }
+  const RequestTrace trace = GenerateZipfTrace(16, 2, 1.1, 143);
+
+  const auto replay_checksum = [&](QueuePolicy policy) {
+    ServiceOptions options = SolveService::DeterministicOptions();
+    options.policy = policy;
+    SolveService service(&registry, options);
+    auto report = ReplayTrace(service, handles, trace);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->completed, trace.requests.size());
+    EXPECT_EQ(report->wrong, 0u);
+    return report->solution_checksum;
+  };
+  // A deadline-free workload must replay byte-identically under both
+  // policies: EDF with all-infinite deadlines IS the FIFO seed order.
+  EXPECT_EQ(replay_checksum(QueuePolicy::kFifo),
+            replay_checksum(QueuePolicy::kEdf));
+
+  // Mixed deadlines: one already-expired request among live ones. EDF pulls
+  // the tight deadline to the front; it expires cleanly, everything else
+  // completes, and the miss rate is exactly 1/4.
+  SolveService service(&registry,
+                       ServiceOptions{.workers = 1,
+                                      .max_batch = 1,
+                                      .start_paused = true});
+  const Csr& matrix = corpus[0];
+  RequestOptions tight;
+  tight.deadline_ms = 0.01;
+  RequestOptions loose;
+  loose.deadline_ms = 60000.0;
+  std::vector<std::future<ServeResult>> futures;
+  const auto submit = [&](std::uint64_t seed, RequestOptions options) {
+    auto submitted =
+        service.Submit(handles[0], MakeReferenceProblem(matrix, seed).b,
+                       options);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  };
+  submit(144, loose);
+  submit(145, RequestOptions{});
+  submit(146, tight);
+  submit(147, RequestOptions{});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+
+  ServeResult expired = futures[2].get();
+  EXPECT_EQ(expired.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.dequeue_seq, 0u);  // EDF served the tightest first
+  ServeResult loose_result = futures[0].get();
+  EXPECT_TRUE(loose_result.status.ok());
+  EXPECT_EQ(loose_result.dequeue_seq, 1u);  // then the 60 s deadline
+  EXPECT_TRUE(futures[1].get().status.ok());
+  EXPECT_TRUE(futures[3].get().status.ok());
+  service.Shutdown();
+
+  const ServiceStats::Totals totals = service.stats().totals();
+  EXPECT_EQ(totals.deadline_misses, 1u);
+  EXPECT_EQ(totals.requests, 3u);
+}
+
 TEST(ReplayTest, ZipfTraceIsDeterministicAndSkewed) {
   const RequestTrace a = GenerateZipfTrace(200, 8, 1.2, 7);
   const RequestTrace b = GenerateZipfTrace(200, 8, 1.2, 7);
@@ -397,6 +723,12 @@ TEST(ReplayTest, ZipfTraceIsDeterministicAndSkewed) {
 
 TEST(ReplayTest, TraceJsonRoundTrips) {
   RequestTrace trace = GenerateZipfTrace(25, 4, 1.0, 11);
+  // Deadlines on even-index requests only: the round trip must preserve
+  // both stamped and deadline-free records.
+  AssignDeadlines(trace, 5.0, 50.0, 12);
+  for (std::size_t i = 1; i < trace.requests.size(); i += 2) {
+    trace.requests[i].deadline_ms = 0.0;
+  }
   const std::string path = ::testing::TempDir() + "serve_trace_test.json";
   ASSERT_TRUE(WriteTraceJson(trace, path).ok());
   auto loaded = ReadTraceJson(path);
@@ -405,8 +737,22 @@ TEST(ReplayTest, TraceJsonRoundTrips) {
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     EXPECT_EQ(loaded->requests[i].matrix, trace.requests[i].matrix);
     EXPECT_EQ(loaded->requests[i].seed, trace.requests[i].seed);
+    EXPECT_NEAR(loaded->requests[i].deadline_ms, trace.requests[i].deadline_ms,
+                1e-6);
   }
   std::remove(path.c_str());
+}
+
+TEST(ReplayTest, AssignDeadlinesIsDeterministicAndInRange) {
+  RequestTrace a = GenerateZipfTrace(40, 3, 1.0, 13);
+  RequestTrace b = a;
+  AssignDeadlines(a, 2.0, 20.0, 14);
+  AssignDeadlines(b, 2.0, 20.0, 14);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].deadline_ms, b.requests[i].deadline_ms);
+    EXPECT_GE(a.requests[i].deadline_ms, 2.0);
+    EXPECT_LE(a.requests[i].deadline_ms, 20.0);
+  }
 }
 
 TEST(StatsTest, SummarizePercentilesAndJson) {
@@ -418,13 +764,55 @@ TEST(StatsTest, SummarizePercentilesAndJson) {
 
   ServiceStats stats;
   stats.RecordBatch(3);
-  stats.RecordRequest(1, "m", true, 3, 0.5, 1.0);
+  stats.RecordRequest({.handle = 1,
+                       .name = "m",
+                       .outcome = ServiceStats::Outcome::kOk,
+                       .batch_size = 3,
+                       .queue_wait_ms = 0.5,
+                       .solve_ms = 1.0,
+                       .deadline_budget_ms = 12.0,
+                       .est_cost_ms = 2.0});
   stats.RecordRejection();
+  stats.RecordReorder();
   const std::string json = stats.ToJson();
   EXPECT_NE(json.find("\"requests\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"rejections\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"reorders\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"batch_occupancy\": [0, 0, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_buckets\""), std::string::npos);
   EXPECT_NE(stats.ToTable().find("per-handle"), std::string::npos);
+
+  // est 2.0 vs actual 1.0 -> |2-1|/1 = 1.0 mean cost error.
+  EXPECT_DOUBLE_EQ(stats.MeanCostErrorRatio(), 1.0);
+  // The 12 ms budget lands in the (5, 20] bucket, served in time.
+  const auto buckets = stats.DeadlineBuckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[1].total, 1u);
+  EXPECT_EQ(buckets[1].missed, 0u);
+}
+
+TEST(StatsTest, ExpiredRequestsBucketAsMissesWithoutSolveSamples) {
+  ServiceStats stats;
+  stats.RecordRequest({.handle = 1,
+                       .name = "m",
+                       .outcome = ServiceStats::Outcome::kExpired,
+                       .batch_size = 1,
+                       .queue_wait_ms = 7.5,
+                       .solve_ms = 0.0,
+                       .deadline_budget_ms = 3.0,
+                       .est_cost_ms = 1.0});
+  const ServiceStats::Totals totals = stats.totals();
+  EXPECT_EQ(totals.requests, 0u);
+  EXPECT_EQ(totals.failures, 0u);
+  EXPECT_EQ(totals.deadline_misses, 1u);
+  const auto buckets = stats.DeadlineBuckets();
+  EXPECT_EQ(buckets[0].total, 1u);   // 3 ms budget -> <= 5 ms bucket
+  EXPECT_EQ(buckets[0].missed, 1u);
+  // Queue wait is real for an expired request; solve latency is not.
+  EXPECT_NE(stats.ToJson().find("\"queue_wait\": {\"count\": 1"),
+            std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"solve\": {\"count\": 0"),
+            std::string::npos);
 }
 
 }  // namespace
