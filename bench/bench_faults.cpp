@@ -1,0 +1,275 @@
+// Reliability benchmark: seeded fault sweep over the self-healing pipeline.
+//
+// Three gated sections (any gate failure prints FAIL and exits 1 — CI runs
+// this as the fault-smoke job):
+//
+//  1. Zero-perturbation gate. A solve with NO injector and a solve with an
+//     attached injector whose rates are all zero must be bit-identical —
+//     same x, same simulated cycle count (FNV-1a checksum, the same
+//     contract-by-checksum idiom as bench_runner).
+//  2. Timing-only gate. Stuck-warp and memory-delay faults perturb the
+//     schedule, never the values: x stays bit-identical to the clean run
+//     while the cycle count moves.
+//  3. Recovery sweep. For each seed, a FaultPlan with dropped publishes and
+//     exponent-bit store flips is replayed twice from Reseed: once under raw
+//     kCapellini (which must fail — deadlock or bad residual — in at least
+//     30% of runs, or the injection rates have rotted) and once under
+//     SolveReliable (which must end verified in 100% of runs: the ladder's
+//     host serial rung is immune to device faults). One seed is re-run to
+//     pin the determinism contract: same seed => same faults => same
+//     recovery path.
+//
+// Also reports the measured verification overhead: wall-clock ms spent in
+// VerifySolution next to the wall-clock cost of the solve it guards.
+//
+//   bench_faults            # full sweep (60 seeds)
+//   bench_faults --quick    # CI tier (20 seeds)
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/verify.h"
+#include "gen/banded.h"
+#include "sim/config.h"
+#include "sim/fault.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace capellini::bench {
+namespace {
+
+std::uint64_t Fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t ChecksumSolve(const SolveResult& result) {
+  std::uint64_t hash = 1469598103934665603ull;
+  if (!result.x.empty()) {
+    hash = Fnv1a(hash, result.x.data(), result.x.size() * sizeof(Val));
+  }
+  hash = Fnv1a(hash, &result.device_stats.cycles,
+               sizeof(result.device_stats.cycles));
+  return hash;
+}
+
+/// The sweep device: a small GPU with a tight no-progress watchdog, so a
+/// starved spin-wait converts to kDeadlock in milliseconds of wall clock.
+sim::DeviceConfig SweepDevice() {
+  sim::DeviceConfig config = sim::TinyTestDevice();
+  config.no_progress_cycles = 50'000;
+  return config;
+}
+
+Solver MakeSolver(const Csr& matrix, sim::FaultInjector* injector) {
+  SolverOptions options;
+  options.device = SweepDevice();
+  options.kernel_options.fault_injector = injector;
+  return Solver(Csr(matrix), options);
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "\nFAIL: %s\n", what);
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::int64_t rows = 256;
+  std::int64_t seeds = 0;  // 0 = tier default
+  CliFlags flags;
+  flags.AddBool("quick", &quick, "CI tier: fewer seeds");
+  flags.AddInt("rows", &rows, "rows of the swept matrix");
+  flags.AddInt("seeds", &seeds, "fault seeds to sweep (0 = tier default)");
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    if (status.code() != StatusCode::kNotFound || status.message() != "help") {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    }
+    return status.code() == StatusCode::kNotFound ? 0 : 2;
+  }
+  const int num_seeds = seeds > 0 ? static_cast<int>(seeds) : (quick ? 20 : 60);
+
+  // Banded with a forced chain: every row depends on its predecessor, so one
+  // dropped publish starves the whole tail of the matrix.
+  BandedOptions banded;
+  banded.rows = static_cast<Idx>(rows);
+  banded.bandwidth = 4;
+  banded.seed = 11;
+  const Csr matrix = MakeBanded(banded);
+  const std::vector<Val> b(static_cast<std::size_t>(matrix.rows()), 1.0);
+
+  std::printf("Fault sweep: %s rows=%" PRId64 " nnz=%" PRId64 " seeds=%d\n\n",
+              "banded(band=4,chain)", static_cast<std::int64_t>(matrix.rows()),
+              static_cast<std::int64_t>(matrix.nnz()), num_seeds);
+
+  // --- gate 1: attached-but-disabled injector is bit-identical ------------
+  const Solver clean_solver = MakeSolver(matrix, nullptr);
+  auto clean = clean_solver.Solve(Algorithm::kCapellini, b);
+  if (!clean.ok()) return Fail("clean solve failed");
+  const std::uint64_t clean_checksum = ChecksumSolve(*clean);
+
+  sim::FaultInjector injector;  // default plan: all rates zero
+  const Solver faulty_solver = MakeSolver(matrix, &injector);
+  auto disabled = faulty_solver.Solve(Algorithm::kCapellini, b);
+  if (!disabled.ok()) return Fail("solve with disabled injector failed");
+  const std::uint64_t disabled_checksum = ChecksumSolve(*disabled);
+  std::printf("zero-perturbation gate: clean=%016" PRIx64
+              " attached-zero-rate=%016" PRIx64 " -> %s\n",
+              clean_checksum, disabled_checksum,
+              clean_checksum == disabled_checksum ? "identical" : "DIVERGED");
+  if (clean_checksum != disabled_checksum) {
+    return Fail("attached zero-rate injector perturbed the solve");
+  }
+
+  // --- gate 2: timing-only faults move cycles, never values ---------------
+  sim::FaultPlan timing_plan;
+  timing_plan.seed = 42;
+  timing_plan.stuck_warp_rate = 0.01;
+  timing_plan.mem_delay_rate = 0.01;
+  injector.Reseed(timing_plan);
+  auto jittered = faulty_solver.Solve(Algorithm::kCapellini, b);
+  if (!jittered.ok()) return Fail("timing-fault solve failed");
+  const bool same_values = jittered->x == clean->x;
+  const bool moved_cycles =
+      jittered->device_stats.cycles != clean->device_stats.cycles;
+  std::printf("timing-only gate: values %s, cycles %" PRIu64 " -> %" PRIu64
+              " (%s), injected stuck=%" PRIu64 " delay=%" PRIu64 "\n\n",
+              same_values ? "identical" : "DIVERGED",
+              clean->device_stats.cycles, jittered->device_stats.cycles,
+              moved_cycles ? "moved" : "UNMOVED",
+              injector.counts()[sim::FaultKind::kStuckWarp],
+              injector.counts()[sim::FaultKind::kMemDelay]);
+  if (!same_values) return Fail("timing-only faults changed the solution");
+  if (!moved_cycles) {
+    return Fail("timing faults injected but the cycle count never moved");
+  }
+
+  // --- gate 3: the recovery sweep -----------------------------------------
+  // Rates sized for ~1.5 expected dropped publishes and ~1 expected bit flip
+  // per run: most seeds inject at least one fault, some inject none.
+  sim::FaultPlan plan;
+  plan.drop_publish_rate = 1.5 / static_cast<double>(matrix.rows());
+  plan.bitflip_store_rate = 1.0 / static_cast<double>(matrix.rows());
+
+  const VerifyOptions verify_options;
+  int raw_failures = 0;
+  int raw_deadlocks = 0;
+  int raw_residual_failures = 0;
+  int recovered = 0;
+  int reliable_verified = 0;
+  int total_attempts = 0;
+  int max_attempts = 0;
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_flips = 0;
+  double verify_wall_ms = 0.0;
+  double solve_wall_ms = 0.0;
+
+  for (int seed = 1; seed <= num_seeds; ++seed) {
+    plan.seed = static_cast<std::uint64_t>(seed);
+
+    // Raw pass: one unprotected kCapellini launch against the plan.
+    injector.Reseed(plan);
+    auto raw = faulty_solver.Solve(Algorithm::kCapellini, b);
+    bool raw_failed = false;
+    if (!raw.ok()) {
+      raw_failed = true;
+      if (raw.status().code() == StatusCode::kDeadlock) ++raw_deadlocks;
+    } else if (!VerifySolution(matrix, b, raw->x, verify_options).passed) {
+      raw_failed = true;
+      ++raw_residual_failures;
+    }
+    if (raw_failed) ++raw_failures;
+    injected_drops += injector.counts()[sim::FaultKind::kDropPublish];
+    injected_flips += injector.counts()[sim::FaultKind::kBitFlipStore];
+
+    // Reliable pass: identical fault stream (Reseed), full retry ladder.
+    injector.Reseed(plan);
+    Timer solve_timer;
+    auto reliable = faulty_solver.SolveReliable(Algorithm::kCapellini, b);
+    solve_wall_ms += solve_timer.ElapsedMs();
+    if (!reliable.ok()) return Fail("SolveReliable returned no solution");
+    if (reliable->verified) {
+      ++reliable_verified;
+      if (raw_failed) ++recovered;
+    }
+    total_attempts += static_cast<int>(reliable->attempts.size());
+    if (static_cast<int>(reliable->attempts.size()) > max_attempts) {
+      max_attempts = static_cast<int>(reliable->attempts.size());
+    }
+    verify_wall_ms += reliable->verify_ms;
+
+    // Determinism pin (first seed only): replay the reliable pass and
+    // require the identical recovery path.
+    if (seed == 1) {
+      injector.Reseed(plan);
+      auto replay = faulty_solver.SolveReliable(Algorithm::kCapellini, b);
+      if (!replay.ok()) return Fail("determinism replay returned no solution");
+      bool same_path = replay->attempts.size() == reliable->attempts.size() &&
+                       replay->final_algorithm == reliable->final_algorithm &&
+                       replay->solve.x == reliable->solve.x;
+      for (std::size_t i = 0; same_path && i < replay->attempts.size(); ++i) {
+        same_path = replay->attempts[i].algorithm ==
+                        reliable->attempts[i].algorithm &&
+                    replay->attempts[i].status == reliable->attempts[i].status;
+      }
+      std::printf("determinism pin (seed 1): replayed recovery path %s\n",
+                  same_path ? "identical" : "DIVERGED");
+      if (!same_path) return Fail("same seed produced a different recovery");
+    }
+  }
+
+  const double raw_fail_rate =
+      static_cast<double>(raw_failures) / static_cast<double>(num_seeds);
+  const double mean_attempts =
+      static_cast<double>(total_attempts) / static_cast<double>(num_seeds);
+
+  TextTable table({"Metric", "Value"});
+  table.AddRow({"seeds swept", std::to_string(num_seeds)});
+  table.AddRow({"injected publish drops", std::to_string(injected_drops)});
+  table.AddRow({"injected bit flips", std::to_string(injected_flips)});
+  table.AddRow({"raw kCapellini failures",
+                std::to_string(raw_failures) + " (" +
+                    TextTable::Num(100.0 * raw_fail_rate, 1) + "%)"});
+  table.AddRow({"  of which deadlocks", std::to_string(raw_deadlocks)});
+  table.AddRow(
+      {"  of which bad residuals", std::to_string(raw_residual_failures)});
+  table.AddRow({"SolveReliable verified",
+                std::to_string(reliable_verified) + "/" +
+                    std::to_string(num_seeds)});
+  table.AddRow({"recovered raw failures", std::to_string(recovered) + "/" +
+                                              std::to_string(raw_failures)});
+  table.AddRow({"mean attempts", TextTable::Num(mean_attempts, 2)});
+  table.AddRow({"max attempts", std::to_string(max_attempts)});
+  std::printf("\n%s", table.ToString().c_str());
+
+  std::printf(
+      "\nverification overhead: %.3f ms verifying vs %.3f ms solving "
+      "(%.1f%% of the protected path's wall clock)\n",
+      verify_wall_ms, solve_wall_ms,
+      solve_wall_ms > 0.0 ? 100.0 * verify_wall_ms / solve_wall_ms : 0.0);
+
+  if (raw_fail_rate < 0.30) {
+    return Fail("raw failure rate under 30% — injection rates have rotted");
+  }
+  if (reliable_verified != num_seeds) {
+    return Fail("SolveReliable left runs unverified");
+  }
+  std::printf(
+      "\nAll gates passed: disabled injection is bit-identical, timing "
+      "faults are value-neutral, and every injected-fault run recovered.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Main(argc, argv); }

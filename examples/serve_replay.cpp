@@ -8,7 +8,7 @@
 //   ./examples/serve_replay --trace=trace.json          # persist the trace
 //   ./examples/serve_replay --stats_json=serve_stats.json
 //   # deadline-aware scheduling + cost-based admission under overload:
-//   ./examples/serve_replay --deadline_min_ms=5 --deadline_max_ms=50 \
+//   ./examples/serve_replay --deadline_min_ms=5 --deadline_max_ms=50
 //       --pace_rps=200 --max_queue_cost_ms=2 --preload=false
 //   ./examples/serve_replay --policy=fifo ...           # A/B the scheduler
 //

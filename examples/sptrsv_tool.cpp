@@ -27,12 +27,24 @@
 // replays a request trace through the batching solve service over a generated
 // corpus (the trace is generated and written to the path first if the file
 // does not exist); --list-algorithms prints every algorithm the tool accepts.
+// Reliability (src/core/verify.h + src/sim/fault.h):
+//
+//   ./examples/sptrsv_tool --generate --check
+//   ./examples/sptrsv_tool --generate --faults=plan.json --check
+//   ./examples/sptrsv_tool --generate --faults=plan.json --reliable
+//
+// --check verifies the solution (NaN/Inf guard + relative residual) and
+// prints the verdict; --faults replays a deterministic fault plan against
+// the simulated device (same seed => same faults => same outcome); --reliable
+// solves through the self-healing retry ladder and prints every attempt.
 #include <cstdio>
 #include <optional>
 
 #include "core/analysis.h"
 #include "core/autotune.h"
 #include "core/solver.h"
+#include "core/verify.h"
+#include "sim/fault.h"
 #include "gen/corpus.h"
 #include "gen/rmat.h"
 #include "matrix/convert.h"
@@ -148,6 +160,9 @@ int main(int argc, char** argv) {
   bool trace_summary = false;
   bool list_algorithms = false;
   std::string serve_replay_path;
+  std::string faults_path;
+  bool check = false;
+  bool reliable = false;
   std::int64_t generate_nodes = 1 << 14;
   std::int64_t threads = 0;
 
@@ -178,6 +193,16 @@ int main(int argc, char** argv) {
                   "replay this request-trace JSON through the batching solve "
                   "service (generates + writes the trace if the file is "
                   "missing)");
+  flags.AddString("faults", &faults_path,
+                  "inject deterministic faults from this plan JSON (see "
+                  "sim/fault.h; generates + writes a sample plan if the file "
+                  "is missing)");
+  flags.AddBool("check", &check,
+                "verify the solution (NaN/Inf guard + relative residual) and "
+                "print the verdict");
+  flags.AddBool("reliable", &reliable,
+                "solve through the self-healing retry ladder (implies "
+                "--check) and print every attempt");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
   }
@@ -265,6 +290,32 @@ int main(int argc, char** argv) {
                  AlgorithmName(algorithm));
     return 2;
   }
+  // --- fault injection -----------------------------------------------------
+  sim::FaultInjector injector;  // must outlive the Solver's launches
+  if (!faults_path.empty()) {
+    sim::FaultPlan plan;
+    auto read_plan = sim::ReadFaultPlanJson(faults_path);
+    if (read_plan.ok()) {
+      plan = *read_plan;
+    } else {
+      // A runnable starting point: ~2 expected dropped publishes per solve.
+      plan.seed = 7;
+      plan.drop_publish_rate = 2.0 / static_cast<double>(lower.rows());
+      if (const Status status = sim::WriteFaultPlanJson(plan, faults_path);
+          !status.ok()) {
+        std::fprintf(stderr, "cannot write fault plan: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("no readable fault plan at %s — wrote a sample plan there\n",
+                  faults_path.c_str());
+    }
+    injector.Reseed(plan);
+    options.kernel_options.fault_injector = &injector;
+    std::printf("injecting faults: %s\n",
+                sim::FaultPlanSummary(plan).c_str());
+  }
+
   std::optional<trace::TraceSession> trace_session;
   if (want_trace) {
     trace::TraceSession::Options trace_options;
@@ -280,26 +331,72 @@ int main(int argc, char** argv) {
   // --- solve and verify ----------------------------------------------------
   const ReferenceProblem problem = MakeReferenceProblem(lower, 11);
   const Solver solver(lower, options);
-  auto result = solver.Solve(algorithm, problem.b);
-  if (!result.ok()) {
-    std::fprintf(stderr, "solve failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
+  SolveResult solved;
+  bool ladder_verified = true;
+  if (reliable) {
+    auto result = solver.SolveReliable(algorithm, problem.b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nretry ladder (%zu attempt%s, %.4f ms verifying):\n",
+                result->attempts.size(),
+                result->attempts.size() == 1 ? "" : "s", result->verify_ms);
+    for (const AttemptRecord& attempt : result->attempts) {
+      std::printf("  %-20s %-18s residual %.2e %s\n",
+                  AlgorithmName(attempt.algorithm),
+                  StatusCodeName(attempt.status), attempt.residual,
+                  attempt.verified ? "VERIFIED" : "rejected");
+    }
+    solved = std::move(result->solve);
+    algorithm = result->final_algorithm;
+    ladder_verified = result->verified;
+  } else {
+    auto result = solver.Solve(algorithm, problem.b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    solved = std::move(*result);
   }
-  const double error = MaxRelativeError(result->x, problem.x_true);
+  const double error = MaxRelativeError(solved.x, problem.x_true);
   std::printf("\nsolved with %s on %s\n", AlgorithmName(algorithm),
               options.device.name.c_str());
-  std::printf("  solve time          %.4f ms%s\n", result->solve_ms,
+  std::printf("  solve time          %.4f ms%s\n", solved.solve_ms,
               IsDeviceAlgorithm(algorithm) ? " (simulated)" : " (measured)");
-  std::printf("  preprocessing       %.4f ms\n", result->preprocessing_ms);
-  std::printf("  throughput          %.2f GFLOPS\n", result->gflops);
+  std::printf("  preprocessing       %.4f ms\n", solved.preprocessing_ms);
+  std::printf("  throughput          %.2f GFLOPS\n", solved.gflops);
   if (IsDeviceAlgorithm(algorithm)) {
-    std::printf("  bandwidth           %.2f GB/s\n", result->bandwidth_gbs);
+    std::printf("  bandwidth           %.2f GB/s\n", solved.bandwidth_gbs);
     std::printf("  warp instructions   %llu\n",
                 static_cast<unsigned long long>(
-                    result->device_stats.instructions));
+                    solved.device_stats.instructions));
   }
   std::printf("  max relative error  %.2e\n", error);
+
+  bool check_passed = true;
+  if (check || reliable) {
+    const Verification verdict = VerifySolution(lower, problem.b, solved.x);
+    check_passed = verdict.passed && ladder_verified;
+    std::printf("  residual            %.2e (bound %.0e) — %s\n",
+                verdict.residual, VerifyOptions{}.residual_bound,
+                check_passed ? "VERIFIED" : "FAILED VERIFICATION");
+  }
+  if (!faults_path.empty()) {
+    const sim::FaultCounts counts = injector.counts();
+    std::printf("  injected faults     drop=%llu flip=%llu stuck=%llu "
+                "delay=%llu\n",
+                static_cast<unsigned long long>(
+                    counts[sim::FaultKind::kDropPublish]),
+                static_cast<unsigned long long>(
+                    counts[sim::FaultKind::kBitFlipStore]),
+                static_cast<unsigned long long>(
+                    counts[sim::FaultKind::kStuckWarp]),
+                static_cast<unsigned long long>(
+                    counts[sim::FaultKind::kMemDelay]));
+  }
 
   if (trace_session) {
     if (trace_summary) {
@@ -366,5 +463,5 @@ int main(int argc, char** argv) {
                 tuned->best_threshold, tuned->best_gflops,
                 tuned->capellini_gflops, tuned->syncfree_gflops);
   }
-  return error < 1e-8 ? 0 : 1;
+  return error < 1e-8 && check_passed ? 0 : 1;
 }

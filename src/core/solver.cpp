@@ -30,6 +30,8 @@ kernels::DeviceAlgorithm ToDeviceAlgorithm(Algorithm algorithm) {
       return DeviceAlgorithm::kCapelliniWritingFirst;
     case Algorithm::kHybrid:
       return DeviceAlgorithm::kHybrid;
+    case Algorithm::kCapelliniNaive:
+      return DeviceAlgorithm::kCapelliniNaive;
     default:
       CAPELLINI_CHECK_MSG(false, "not a device algorithm");
       return DeviceAlgorithm::kCapelliniWritingFirst;
@@ -60,6 +62,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "Capellini";
     case Algorithm::kHybrid:
       return "Hybrid";
+    case Algorithm::kCapelliniNaive:
+      return "Capellini-Naive";
   }
   return "unknown";
 }

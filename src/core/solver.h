@@ -24,7 +24,9 @@
 
 namespace capellini {
 
-struct Analysis;  // core/analysis.h
+struct Analysis;         // core/analysis.h
+struct ReliableOptions;  // core/verify.h
+struct ReliableResult;   // core/verify.h
 
 /// All solve strategies exposed by the library.
 enum class Algorithm {
@@ -40,6 +42,9 @@ enum class Algorithm {
   kCapelliniTwoPhase,
   kCapellini,       // Writing-First (Algorithm 5) — the headline method
   kHybrid,          // §4.4
+  kCapelliniNaive,  // deadlocking strawman (§3.3 Challenge 1) — exposed so
+                    // reliability tests/benches can trip the watchdog on
+                    // demand; never recommended, never in a retry ladder
 };
 
 const char* AlgorithmName(Algorithm algorithm);
@@ -104,6 +109,20 @@ class Solver {
   /// Solves lower * x = b.
   Expected<SolveResult> Solve(Algorithm algorithm,
                               std::span<const Val> b) const;
+
+  /// Self-healing solve (core/verify.h): solves with `algorithm`, verifies
+  /// the solution (NaN/Inf guard + relative residual), and on any failure —
+  /// bad residual, non-finite values, or a solve-time error like kDeadlock —
+  /// escalates through a bounded retry ladder ending at the host serial
+  /// solver, recording every attempt. Returns a Status only when no rung
+  /// produced a solution at all; an unverifiable final solution comes back
+  /// with ReliableResult::verified == false for the caller to map to
+  /// kDataLoss.
+  Expected<ReliableResult> SolveReliable(Algorithm algorithm,
+                                         std::span<const Val> b) const;
+  Expected<ReliableResult> SolveReliable(Algorithm algorithm,
+                                         std::span<const Val> b,
+                                         const ReliableOptions& options) const;
 
   /// Figure-6 style recommendation: Capellini for high parallel granularity,
   /// SyncFree otherwise (see core/select.h for the rule).

@@ -1,0 +1,119 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/timer.h"
+
+namespace capellini {
+
+Verification VerifySolution(const Csr& lower, std::span<const Val> b,
+                            std::span<const Val> x,
+                            const VerifyOptions& options) {
+  CAPELLINI_CHECK_MSG(
+      b.size() == static_cast<std::size_t>(lower.rows()) && b.size() == x.size(),
+      "VerifySolution: b/x must match the matrix dimension");
+  Verification v;
+  v.finite = true;
+  for (const Val value : x) {
+    if (!std::isfinite(value)) {
+      v.finite = false;
+      v.residual = std::numeric_limits<double>::infinity();
+      return v;
+    }
+  }
+
+  // One CSR pass computes ||Lx - b||_inf and ||L||_inf together.
+  double residual_inf = 0.0;
+  double matrix_inf = 0.0;
+  double x_inf = 0.0;
+  for (const Val value : x) x_inf = std::max(x_inf, std::abs(value));
+  double b_inf = 0.0;
+  for (const Val value : b) b_inf = std::max(b_inf, std::abs(value));
+
+  const std::span<const Idx> row_ptr = lower.row_ptr();
+  const std::span<const Idx> col_idx = lower.col_idx();
+  const std::span<const Val> vals = lower.val();
+  for (std::int64_t i = 0; i < lower.rows(); ++i) {
+    double row_sum = 0.0;
+    double row_abs = 0.0;
+    for (Idx k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const double a = vals[static_cast<std::size_t>(k)];
+      row_sum += a * x[static_cast<std::size_t>(
+                     col_idx[static_cast<std::size_t>(k)])];
+      row_abs += std::abs(a);
+    }
+    residual_inf =
+        std::max(residual_inf,
+                 std::abs(row_sum - b[static_cast<std::size_t>(i)]));
+    matrix_inf = std::max(matrix_inf, row_abs);
+  }
+
+  const double denom = matrix_inf * x_inf + b_inf;
+  // A zero denominator means L, x and b are all zero: the residual is exact.
+  v.residual = denom > 0.0 ? residual_inf / denom : residual_inf;
+  v.passed = v.finite && v.residual <= options.residual_bound;
+  return v;
+}
+
+std::vector<Algorithm> DefaultRetryLadder() {
+  return {Algorithm::kCapelliniTwoPhase, Algorithm::kLevelSet,
+          Algorithm::kSerialCpu};
+}
+
+Expected<ReliableResult> Solver::SolveReliable(Algorithm algorithm,
+                                               std::span<const Val> b) const {
+  return SolveReliable(algorithm, b, ReliableOptions{});
+}
+
+Expected<ReliableResult> Solver::SolveReliable(
+    Algorithm algorithm, std::span<const Val> b,
+    const ReliableOptions& options) const {
+  std::vector<Algorithm> ladder;
+  ladder.push_back(algorithm);
+  const std::vector<Algorithm> escalation =
+      options.ladder.empty() ? DefaultRetryLadder() : options.ladder;
+  for (const Algorithm rung : escalation) {
+    if (std::find(ladder.begin(), ladder.end(), rung) == ladder.end()) {
+      ladder.push_back(rung);
+    }
+  }
+
+  ReliableResult result;
+  bool have_solution = false;
+  Status last_error;
+  for (const Algorithm rung : ladder) {
+    AttemptRecord attempt;
+    attempt.algorithm = rung;
+    auto solved = Solve(rung, b);
+    if (!solved.ok()) {
+      attempt.status = solved.status().code();
+      attempt.residual = std::numeric_limits<double>::infinity();
+      last_error = solved.status();
+      result.attempts.push_back(attempt);
+      continue;
+    }
+    Timer verify_timer;
+    const Verification verification =
+        VerifySolution(lower_, b, solved->x, options.verify);
+    result.verify_ms += verify_timer.ElapsedMs();
+    attempt.residual = verification.residual;
+    attempt.verified = verification.passed;
+    attempt.status =
+        verification.passed ? StatusCode::kOk : StatusCode::kDataLoss;
+    result.attempts.push_back(attempt);
+    // Keep the newest solution either way: if no rung ever verifies, the
+    // caller still gets the last (least-escalated-from) answer, flagged.
+    result.solve = std::move(*solved);
+    result.final_algorithm = rung;
+    result.verified = verification.passed;
+    have_solution = true;
+    if (verification.passed) return result;
+  }
+  if (have_solution) return result;  // verified == false: caller's call
+  return last_error;
+}
+
+}  // namespace capellini

@@ -1,0 +1,92 @@
+// Post-solve verification and the self-healing solve pipeline.
+//
+// The simulated device can now fail the way real GPUs fail (sim/fault.h):
+// a solve may deadlock, or — worse — complete with a silently corrupted
+// solution. VerifySolution is the cheap detector: an O(nnz) NaN/Inf guard
+// plus the relative infinity-norm residual
+//
+//     ||L x - b||_inf / (||L||_inf ||x||_inf + ||b||_inf)
+//
+// against a configurable bound. It is one matrix-vector pass — small next to
+// any solve that walked the same nonzeros with spin-waits in the loop
+// (bench_faults reports the measured overhead).
+//
+// Solver::SolveReliable builds the recovery policy on top: verify after
+// every solve, and on failure (bad residual, non-finite values, or a
+// solve-time error such as kDeadlock) escalate through a bounded retry
+// ladder — by default  first algorithm -> kCapelliniTwoPhase -> kLevelSet ->
+// kSerialCpu. The host serial rung is immune to device faults, so the
+// ladder structurally guarantees a solution; every attempt is recorded so
+// callers (the serve layer, bench_faults) can see the recovery path.
+// Determinism: with a seeded FaultInjector, same seed => same faults =>
+// same attempt sequence.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace capellini {
+
+struct VerifyOptions {
+  /// Accept when the relative residual is at or below this bound. The
+  /// interpreter does exact IEEE double arithmetic, so clean solves land
+  /// many orders of magnitude under the default; an injected exponent-bit
+  /// flip lands many orders above it.
+  double residual_bound = 1e-8;
+};
+
+struct Verification {
+  /// Every component of x is finite (no NaN/Inf).
+  bool finite = false;
+  /// Relative infinity-norm residual; +inf when x is non-finite.
+  double residual = 0.0;
+  /// finite && residual <= bound.
+  bool passed = false;
+};
+
+/// Verifies x against lower * x = b. `lower` must be the solver's matrix;
+/// sizes are the caller's contract (checked).
+Verification VerifySolution(const Csr& lower, std::span<const Val> b,
+                            std::span<const Val> x,
+                            const VerifyOptions& options = {});
+
+struct ReliableOptions {
+  VerifyOptions verify;
+  /// Retry rungs tried after the requested algorithm fails verification.
+  /// Empty = the default escalation {kCapelliniTwoPhase, kLevelSet,
+  /// kSerialCpu}. The requested algorithm is always rung 0 and duplicates
+  /// are skipped.
+  std::vector<Algorithm> ladder;
+};
+
+/// One rung of the ladder, as it played out.
+struct AttemptRecord {
+  Algorithm algorithm = Algorithm::kCapellini;
+  /// kOk = solved and verified; kDataLoss = solved but failed verification;
+  /// otherwise the solve's own error (kDeadlock, ...).
+  StatusCode status = StatusCode::kOk;
+  /// Relative residual when a solution existed to verify; +inf otherwise.
+  double residual = 0.0;
+  bool verified = false;
+};
+
+struct ReliableResult {
+  /// The accepted solution: the first verified rung, or — when no rung
+  /// verified — the last rung that produced a solution at all (then
+  /// `verified` is false and callers should treat the result as kDataLoss).
+  SolveResult solve;
+  Algorithm final_algorithm = Algorithm::kCapellini;
+  bool verified = false;
+  /// Wall-clock milliseconds spent inside VerifySolution, summed over
+  /// attempts — the detection overhead bench_faults reports.
+  double verify_ms = 0.0;
+  std::vector<AttemptRecord> attempts;
+};
+
+/// The default escalation appended after `first`: kCapelliniTwoPhase,
+/// kLevelSet, kSerialCpu (exposed for tests and docs).
+std::vector<Algorithm> DefaultRetryLadder();
+
+}  // namespace capellini

@@ -158,6 +158,7 @@ Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
   sim::DeviceMemory memory;
   sim::Machine machine(config, &memory);
   machine.set_trace_sink(options_in.trace_sink);
+  machine.set_fault_injector(options_in.fault_injector);
   // Clamp the block size to what the device can host (matters for the tiny
   // test device, whose SMs hold fewer warps than a default 256-thread block).
   SolveOptions options = options_in;
@@ -436,6 +437,7 @@ Expected<MrhsSolveResult> SolveMrhsOnDevice(MrhsAlgorithm algorithm,
   sim::DeviceMemory memory;
   sim::Machine machine(config, &memory);
   machine.set_trace_sink(options_in.trace_sink);
+  machine.set_fault_injector(options_in.fault_injector);
   const auto rows = static_cast<std::uint64_t>(m);
   const auto nnz = static_cast<std::uint64_t>(lower.nnz());
   const auto vec = rows * static_cast<std::uint64_t>(k);

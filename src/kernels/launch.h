@@ -16,6 +16,10 @@ namespace capellini::trace {
 class TraceSink;
 }
 
+namespace capellini::sim {
+class FaultInjector;
+}
+
 namespace capellini::kernels {
 
 /// The SpTRSV implementations that run on the simulated device.
@@ -43,6 +47,9 @@ struct SolveOptions {
   /// solve's launches (see trace/sink.h). Not owned; nullptr = tracing off
   /// with zero overhead.
   trace::TraceSink* trace_sink = nullptr;
+  /// Fault injector attached to the simulated machine (see sim/fault.h).
+  /// Not owned; nullptr = injection off with zero overhead.
+  sim::FaultInjector* fault_injector = nullptr;
 };
 
 struct DeviceSolveResult {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/verify.h"
 #include "kernels/launch.h"
 #include "support/thread_pool.h"
+#include "support/timer.h"
 
 namespace capellini::serve {
 namespace {
@@ -257,6 +259,7 @@ void SolveService::ServeGroup(std::vector<Request> group) {
           {.handle = request.handle,
            .name = request.entry->name,
            .outcome = ServiceStats::Outcome::kExpired,
+           .code = StatusCode::kDeadlineExceeded,
            .batch_size = 1,
            .queue_wait_ms = result.queue_wait_ms,
            .solve_ms = 0.0,
@@ -270,40 +273,175 @@ void SolveService::ServeGroup(std::vector<Request> group) {
   if (live.empty()) return;
 
   const MatrixRegistry::Entry& entry = *live.front().entry;
+
+  // Circuit breaker: one decision per dequeued group (it is one handle).
+  switch (BreakerAdmit(live.front().handle)) {
+    case BreakerDecision::kShortCircuit:
+      // Open, fast-fail mode: complete without burning a launch.
+      for (Request& request : live) {
+        ServeResult result;
+        result.status = ResourceExhausted("circuit breaker open for '" +
+                                          entry.name + "' — failing fast");
+        result.algorithm = request.algorithm;
+        result.batch_size = 1;
+        result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
+        result.dequeue_seq = request.dequeue_seq;
+        result.est_cost_ms = request.est_cost_ms;
+        stats_.RecordBreakerShortCircuit();
+        FinishRequest(request, entry, std::move(result), 1,
+                      /*report_breaker=*/false);
+      }
+      return;
+    case BreakerDecision::kFallback:
+      // Open, host-fallback mode: the serial CPU solver is immune to the
+      // device faults that opened the breaker. Its outcome says nothing
+      // about device health, so it does not feed the breaker.
+      for (Request& request : live) {
+        stats_.RecordBreakerShortCircuit();
+        stats_.RecordBatch(1);
+        request.algorithm = Algorithm::kSerialCpu;
+        ServeSolo(request, entry, dequeue_time, /*report_breaker=*/false);
+      }
+      return;
+    case BreakerDecision::kProbe:
+      stats_.RecordBreakerProbe();
+      break;  // run the full path; the outcome closes or re-opens
+    case BreakerDecision::kAllow:
+      break;
+  }
+
   if (live.size() >= 2) {
     stats_.RecordBatch(static_cast<int>(live.size()));
     ServeBatched(live, entry, dequeue_time);
     return;
   }
+  stats_.RecordBatch(1);
+  ServeSolo(live.front(), entry, dequeue_time, /*report_breaker=*/true);
+}
 
-  // Solo request: the exact Solver::Solve call the one-shot path makes —
-  // this identity is the determinism-mode contract.
-  Request& request = live.front();
+void SolveService::ServeSolo(Request& request,
+                             const MatrixRegistry::Entry& entry,
+                             Clock::time_point dequeue_time,
+                             bool report_breaker) {
   ServeResult result;
   result.algorithm = request.algorithm;
   result.batch_size = 1;
   result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
   result.dequeue_seq = request.dequeue_seq;
   result.est_cost_ms = request.est_cost_ms;
-  stats_.RecordBatch(1);
-  auto solved = entry.solver.Solve(request.algorithm, request.b);
-  if (solved.ok()) {
-    result.solve = std::move(*solved);
-    entry.cost.Observe(result.solve.solve_ms);
+
+  if (options_.reliable) {
+    ReliableOptions reliable_options;
+    reliable_options.verify.residual_bound = options_.residual_bound;
+    auto reliable =
+        entry.solver.SolveReliable(request.algorithm, request.b,
+                                   reliable_options);
+    if (reliable.ok()) {
+      result.attempts = static_cast<int>(reliable->attempts.size());
+      result.residual = reliable->attempts.back().residual;
+      result.verified = reliable->verified;
+      result.algorithm = reliable->final_algorithm;
+      if (reliable->verified) {
+        result.solve = std::move(reliable->solve);
+        entry.cost.Observe(result.solve.solve_ms);
+      } else {
+        result.status = DataLoss("no rung of the retry ladder verified '" +
+                                 entry.name + "'");
+      }
+    } else {
+      result.status = reliable.status();
+    }
   } else {
-    result.status = solved.status();
+    // The exact Solver::Solve call the one-shot path makes — this identity
+    // is the determinism-mode contract.
+    auto solved = entry.solver.Solve(request.algorithm, request.b);
+    if (solved.ok()) {
+      result.solve = std::move(*solved);
+      entry.cost.Observe(result.solve.solve_ms);
+    } else {
+      result.status = solved.status();
+    }
   }
+  FinishRequest(request, entry, std::move(result), 1, report_breaker);
+}
+
+void SolveService::FinishRequest(Request& request,
+                                 const MatrixRegistry::Entry& entry,
+                                 ServeResult result, int batch_size,
+                                 bool report_breaker) {
+  const StatusCode code = result.status.code();
   stats_.RecordRequest(
       {.handle = request.handle,
        .name = entry.name,
        .outcome = result.status.ok() ? ServiceStats::Outcome::kOk
                                      : ServiceStats::Outcome::kFailed,
-       .batch_size = 1,
+       .code = code,
+       .batch_size = batch_size,
        .queue_wait_ms = result.queue_wait_ms,
        .solve_ms = result.solve.solve_ms,
        .deadline_budget_ms = request.deadline_budget_ms,
        .est_cost_ms = request.est_cost_ms});
+  if (report_breaker) BreakerReport(request.handle, code);
   request.promise.set_value(std::move(result));
+}
+
+SolveService::BreakerDecision SolveService::BreakerAdmit(MatrixHandle handle) {
+  if (options_.breaker_threshold <= 0) return BreakerDecision::kAllow;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& breaker = breakers_[handle];
+  switch (breaker.state) {
+    case Breaker::State::kClosed:
+      return BreakerDecision::kAllow;
+    case Breaker::State::kOpen:
+      if (breaker.open_skips >= options_.breaker_cooldown) {
+        breaker.state = Breaker::State::kHalfOpen;
+        return BreakerDecision::kProbe;
+      }
+      ++breaker.open_skips;
+      break;
+    case Breaker::State::kHalfOpen:
+      // A probe is in flight; keep deflecting until it reports.
+      break;
+  }
+  return options_.breaker_mode == BreakerMode::kFastFail
+             ? BreakerDecision::kShortCircuit
+             : BreakerDecision::kFallback;
+}
+
+void SolveService::BreakerReport(MatrixHandle handle, StatusCode code) {
+  if (options_.breaker_threshold <= 0) return;
+  // Only device-health signals move the breaker: the watchdog (kDeadlock)
+  // and failed verification (kDataLoss). Everything else — including a
+  // plain OK — is evidence the device path works.
+  const bool failure =
+      code == StatusCode::kDeadlock || code == StatusCode::kDataLoss;
+  std::lock_guard<std::mutex> lock(breaker_mutex_);
+  Breaker& breaker = breakers_[handle];
+  switch (breaker.state) {
+    case Breaker::State::kClosed:
+      if (!failure) {
+        breaker.consecutive_failures = 0;
+      } else if (++breaker.consecutive_failures >=
+                 options_.breaker_threshold) {
+        breaker.state = Breaker::State::kOpen;
+        breaker.open_skips = 0;
+        breaker.consecutive_failures = 0;
+        stats_.RecordBreakerOpen();
+      }
+      break;
+    case Breaker::State::kHalfOpen:
+      if (failure) {
+        breaker.state = Breaker::State::kOpen;
+        breaker.open_skips = 0;
+        stats_.RecordBreakerOpen();  // re-opened by a failed probe
+      } else {
+        breaker.state = Breaker::State::kClosed;
+        breaker.consecutive_failures = 0;
+      }
+      break;
+    case Breaker::State::kOpen:
+      break;  // stale report from a launch that began before the open
+  }
 }
 
 void SolveService::ServeBatched(std::vector<Request>& group,
@@ -340,6 +478,7 @@ void SolveService::ServeBatched(std::vector<Request>& group,
     result.queue_wait_ms = ElapsedMs(request.enqueue_time, dequeue_time);
     result.dequeue_seq = request.dequeue_seq;
     result.est_cost_ms = request.est_cost_ms;
+    bool needs_rescue = !solved.ok();
     if (solved.ok()) {
       result.solve.x.assign(
           solved->x.begin() + static_cast<std::size_t>(r) * n,
@@ -351,20 +490,46 @@ void SolveService::ServeBatched(std::vector<Request>& group,
       result.solve.gflops = solved->gflops;
       result.solve.bandwidth_gbs = solved->bandwidth_gbs;
       result.solve.device_stats = solved->stats;
+      if (options_.reliable) {
+        // Per-column verification: a fault can corrupt one column of the
+        // shared launch while the other k-1 are fine.
+        VerifyOptions verify_options;
+        verify_options.residual_bound = options_.residual_bound;
+        const Verification check = VerifySolution(
+            entry.solver.matrix(), request.b, result.solve.x, verify_options);
+        result.residual = check.residual;
+        result.verified = check.passed;
+        needs_rescue = !check.passed;
+      }
     } else {
       result.status = solved.status();
     }
-    stats_.RecordRequest(
-        {.handle = request.handle,
-         .name = entry.name,
-         .outcome = result.status.ok() ? ServiceStats::Outcome::kOk
-                                       : ServiceStats::Outcome::kFailed,
-         .batch_size = k,
-         .queue_wait_ms = result.queue_wait_ms,
-         .solve_ms = result.solve.solve_ms,
-         .deadline_budget_ms = request.deadline_budget_ms,
-         .est_cost_ms = request.est_cost_ms});
-    request.promise.set_value(std::move(result));
+    if (needs_rescue && options_.reliable) {
+      // Rescue the column solo through the full retry ladder; the shared
+      // launch (whether failed outright or merely unverified) counts as one
+      // spent attempt.
+      ReliableOptions reliable_options;
+      reliable_options.verify.residual_bound = options_.residual_bound;
+      auto rescued = entry.solver.SolveReliable(request.algorithm, request.b,
+                                                reliable_options);
+      if (rescued.ok()) {
+        result.attempts = 1 + static_cast<int>(rescued->attempts.size());
+        result.residual = rescued->attempts.back().residual;
+        result.verified = rescued->verified;
+        result.algorithm = rescued->final_algorithm;
+        if (rescued->verified) {
+          result.status = Status::Ok();
+          result.solve = std::move(rescued->solve);
+        } else {
+          result.status = DataLoss("no rung of the retry ladder verified '" +
+                                   entry.name + "'");
+        }
+      } else {
+        result.status = rescued.status();
+      }
+    }
+    FinishRequest(request, entry, std::move(result), k,
+                  /*report_breaker=*/true);
   }
 }
 

@@ -45,6 +45,7 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -66,6 +67,16 @@ enum class QueuePolicy {
   /// Earliest deadline first, stable on arrival order for ties. Deadline-free
   /// requests sort last (deadline = +inf) in arrival order.
   kEdf,
+};
+
+/// What an open circuit breaker does with requests for its handle.
+enum class BreakerMode {
+  /// Complete immediately with kResourceExhausted ("circuit breaker open"):
+  /// no launch is burned on a handle that keeps failing.
+  kFastFail,
+  /// Route around the device: serve with the host serial solver, which is
+  /// immune to the device-side faults that opened the breaker.
+  kHostFallback,
 };
 
 struct ServiceOptions {
@@ -96,6 +107,24 @@ struct ServiceOptions {
   /// benches use this to load the queue first so coalescing is
   /// deterministic and maximal.
   bool start_paused = false;
+  /// Self-healing solves (core/verify.h): verify every solution and escalate
+  /// through the retry ladder (Solver::SolveReliable) on deadlock, NaN/Inf
+  /// or a bad residual. Coalesced launches verify each coalesced solution
+  /// and re-run only the failing requests through the ladder. Off by
+  /// default — DeterministicOptions' byte-identity contract needs the plain
+  /// Solve call.
+  bool reliable = false;
+  /// Residual bound for verification when `reliable` is on.
+  double residual_bound = 1e-8;
+  /// Circuit breaker: this many CONSECUTIVE device failures (kDeadlock or
+  /// kDataLoss) on one handle open its breaker. 0 = breaker disabled.
+  int breaker_threshold = 0;
+  /// While open, this many dequeued requests are deflected (per
+  /// breaker_mode) before one half-open probe is let through; the probe's
+  /// outcome closes the breaker or re-opens it. Counted in requests, not
+  /// wall clock, so tests and replays are deterministic.
+  int breaker_cooldown = 4;
+  BreakerMode breaker_mode = BreakerMode::kFastFail;
 };
 
 struct RequestOptions {
@@ -124,6 +153,13 @@ struct ServeResult {
   std::uint64_t dequeue_seq = 0;
   /// The scheduler's cost estimate for this request at admission (ms).
   double est_cost_ms = 0.0;
+  /// Reliable mode only (ServiceOptions::reliable): did the returned
+  /// solution pass verification, what was its relative residual, and how
+  /// many solve attempts (the original plus retries) it took. With reliable
+  /// off, `verified` stays false and `residual` 0 — nothing was checked.
+  bool verified = false;
+  double residual = 0.0;
+  int attempts = 1;
 };
 
 class SolveService {
@@ -182,6 +218,19 @@ class SolveService {
     std::promise<ServeResult> promise;
   };
 
+  /// Per-handle circuit breaker: closed -> (threshold consecutive device
+  /// failures) -> open -> (cooldown deflections) -> half-open probe ->
+  /// closed on success / open on failure. All transitions happen at serve
+  /// time under breaker_mutex_, driven by request counts — deterministic
+  /// under DeterministicOptions.
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int open_skips = 0;
+  };
+  enum class BreakerDecision { kAllow, kProbe, kShortCircuit, kFallback };
+
   void WorkerLoop();
   /// Inserts in scheduling order (kEdf: sorted by (deadline, seq); kFifo:
   /// tail). Returns true if the request landed ahead of queued work.
@@ -196,6 +245,17 @@ class SolveService {
   void ServeBatched(std::vector<Request>& group,
                     const MatrixRegistry::Entry& entry,
                     Clock::time_point dequeue_time);
+  /// One request through Solve or SolveReliable (per options_.reliable).
+  /// `report_breaker` is false on breaker-fallback serves: a host solve says
+  /// nothing about the device path's health.
+  void ServeSolo(Request& request, const MatrixRegistry::Entry& entry,
+                 Clock::time_point dequeue_time, bool report_breaker);
+  /// Records stats + breaker outcome and resolves the promise — every
+  /// non-expired terminal outcome funnels through here exactly once.
+  void FinishRequest(Request& request, const MatrixRegistry::Entry& entry,
+                     ServeResult result, int batch_size, bool report_breaker);
+  BreakerDecision BreakerAdmit(MatrixHandle handle);
+  void BreakerReport(MatrixHandle handle, StatusCode code);
 
   MatrixRegistry* registry_;
   ServiceOptions options_;
@@ -209,6 +269,11 @@ class SolveService {
   std::uint64_t next_dequeue_seq_ = 0;
   bool paused_ = false;
   bool shutdown_ = false;
+
+  // Breaker state is per handle and outlives entry eviction (a re-registered
+  // handle id is new, so stale state cannot leak onto a different matrix).
+  mutable std::mutex breaker_mutex_;
+  std::map<MatrixHandle, Breaker> breakers_;
 
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::future<void>> worker_done_;

@@ -66,6 +66,17 @@ void ServiceStats::RecordRequest(const RequestRecord& record) {
     case Outcome::kFailed:
       ++totals_.failures;
       ++ph.failures;
+      switch (record.code) {
+        case StatusCode::kDeadlock:
+          ++totals_.failures_deadlock;
+          break;
+        case StatusCode::kDataLoss:
+          ++totals_.failures_verify;
+          break;
+        default:
+          ++totals_.failures_other;
+          break;
+      }
       break;
     case Outcome::kExpired:
       ++totals_.deadline_misses;
@@ -111,6 +122,21 @@ void ServiceStats::RecordRejection() {
 void ServiceStats::RecordReorder() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.reorders;
+}
+
+void ServiceStats::RecordBreakerOpen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.breaker_opens;
+}
+
+void ServiceStats::RecordBreakerProbe() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.breaker_probes;
+}
+
+void ServiceStats::RecordBreakerShortCircuit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.breaker_short_circuits;
 }
 
 std::vector<ServiceStats::DeadlineBucket> ServiceStats::DeadlineBuckets()
@@ -162,6 +188,28 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
                  TextTable::Num(solve.p50_ms, 3) + " / " +
                      TextTable::Num(solve.p99_ms, 3)});
   out << global.ToString();
+
+  if (totals_.failures > 0) {
+    char line[112];
+    std::snprintf(line, sizeof line,
+                  "failure reasons: deadlock=%llu verify=%llu other=%llu\n",
+                  static_cast<unsigned long long>(totals_.failures_deadlock),
+                  static_cast<unsigned long long>(totals_.failures_verify),
+                  static_cast<unsigned long long>(totals_.failures_other));
+    out << line;
+  }
+  if (totals_.breaker_opens + totals_.breaker_probes +
+          totals_.breaker_short_circuits >
+      0) {
+    char line[112];
+    std::snprintf(
+        line, sizeof line,
+        "circuit breaker: opens=%llu probes=%llu short_circuits=%llu\n",
+        static_cast<unsigned long long>(totals_.breaker_opens),
+        static_cast<unsigned long long>(totals_.breaker_probes),
+        static_cast<unsigned long long>(totals_.breaker_short_circuits));
+    out << line;
+  }
 
   if (cost_error_samples_ > 0) {
     char line[96];
@@ -249,6 +297,13 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
   out << "  \"deadline_misses\": " << totals_.deadline_misses << ",\n";
   out << "  \"batches\": " << totals_.batches << ",\n";
   out << "  \"reorders\": " << totals_.reorders << ",\n";
+  out << "  \"failures_deadlock\": " << totals_.failures_deadlock << ",\n";
+  out << "  \"failures_verify\": " << totals_.failures_verify << ",\n";
+  out << "  \"failures_other\": " << totals_.failures_other << ",\n";
+  out << "  \"breaker_opens\": " << totals_.breaker_opens << ",\n";
+  out << "  \"breaker_probes\": " << totals_.breaker_probes << ",\n";
+  out << "  \"breaker_short_circuits\": " << totals_.breaker_short_circuits
+      << ",\n";
   {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6f",

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "serve/registry.h"
+#include "support/status.h"
 
 namespace capellini::serve {
 
@@ -49,6 +50,9 @@ class ServiceStats {
     MatrixHandle handle = kInvalidHandle;
     std::string name;
     Outcome outcome = Outcome::kOk;
+    /// Terminal status code; splits kFailed by reason (kDeadlock = watchdog,
+    /// kDataLoss = failed verification, anything else = other).
+    StatusCode code = StatusCode::kOk;
     /// Requests coalesced into the launch that served this one (1 = solo).
     int batch_size = 1;
     double queue_wait_ms = 0.0;
@@ -70,6 +74,14 @@ class ServiceStats {
   /// request (always zero under QueuePolicy::kFifo or deadline-free load).
   void RecordReorder();
 
+  /// Circuit-breaker lifecycle events (see SolveService): a handle's breaker
+  /// opened (or re-opened after a failed probe), a half-open probe ran, a
+  /// request was deflected from the device path while open (fast-failed or
+  /// host-served, per BreakerMode).
+  void RecordBreakerOpen();
+  void RecordBreakerProbe();
+  void RecordBreakerShortCircuit();
+
   /// Counter snapshot used by tests and the JSON dump.
   struct Totals {
     std::uint64_t requests = 0;   // completed OK
@@ -80,6 +92,16 @@ class ServiceStats {
     std::uint64_t deadline_misses = 0;  // expired before service
     std::uint64_t batches = 0;    // device launches (one per coalesced group)
     std::uint64_t reorders = 0;   // EDF insertions ahead of queued work
+    // Failure-reason split; failures == failures_deadlock + failures_verify
+    // + failures_other (serve_test pins this alongside the exactly-once
+    // invariant).
+    std::uint64_t failures_deadlock = 0;  // kDeadlock (watchdog tripped)
+    std::uint64_t failures_verify = 0;    // kDataLoss (failed verification)
+    std::uint64_t failures_other = 0;     // any other non-OK terminal code
+    // Circuit-breaker lifecycle.
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_probes = 0;
+    std::uint64_t breaker_short_circuits = 0;
   };
   Totals totals() const;
 

@@ -182,7 +182,7 @@ std::string FormatKernel(const Kernel& kernel) {
   out << "kernel " << kernel.name << " (" << kernel.code.size()
       << " instructions, " << kernel.num_params << " params)\n";
   for (std::size_t pc = 0; pc < kernel.code.size(); ++pc) {
-    char head[16];
+    char head[24];
     std::snprintf(head, sizeof head, "%4zu: ", pc);
     out << head << FormatInstr(kernel.code[pc]) << '\n';
   }

@@ -1,0 +1,184 @@
+#include "sim/fault.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace capellini::sim {
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix so consecutive event indices
+/// give independent uniforms.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropPublish:
+      return "drop_publish";
+    case FaultKind::kBitFlipStore:
+      return "bitflip_store";
+    case FaultKind::kStuckWarp:
+      return "stuck_warp";
+    case FaultKind::kMemDelay:
+      return "mem_delay";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Reseed(const FaultPlan& plan) {
+  plan_ = plan;
+  for (auto& e : events_) e.store(0, std::memory_order_relaxed);
+  for (auto& i : injected_) i.store(0, std::memory_order_relaxed);
+  total_injected_.store(0, std::memory_order_relaxed);
+}
+
+FaultCounts FaultInjector::counts() const {
+  FaultCounts counts;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    counts.injected[static_cast<std::size_t>(k)] =
+        injected_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+bool FaultInjector::Decide(FaultKind kind, double rate) {
+  if (rate <= 0.0) return false;  // zero-rate kinds consume nothing
+  const auto k = static_cast<std::size_t>(kind);
+  const std::uint64_t event =
+      events_[k].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      Mix(plan_.seed ^ Mix(static_cast<std::uint64_t>(k + 1) ^ (event << 3)));
+  if (ToUnit(h) >= rate) return false;
+  if (plan_.max_faults != 0) {
+    // Respect the total cap without overshooting under concurrent callers.
+    std::uint64_t current = total_injected_.load(std::memory_order_relaxed);
+    do {
+      if (current >= plan_.max_faults) return false;
+    } while (!total_injected_.compare_exchange_weak(
+        current, current + 1, std::memory_order_relaxed));
+  } else {
+    total_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  injected_[k].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::MaybeFlipStoreBit(double& value) {
+  if (!Decide(FaultKind::kBitFlipStore, plan_.bitflip_store_rate)) {
+    return false;
+  }
+  // Flip the low exponent bit: the value halves or doubles — large enough
+  // that the relative-residual check always notices, without manufacturing
+  // NaN/Inf (those have their own guard and would make corruption trivially
+  // detectable).
+  auto bits = std::bit_cast<std::uint64_t>(value);
+  bits ^= 1ull << 52;
+  value = std::bit_cast<double>(bits);
+  return true;
+}
+
+Status WriteFaultPlanJson(const FaultPlan& plan, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return IoError("cannot write " + path);
+  std::fprintf(file,
+               "{\n"
+               "  \"seed\": %llu,\n"
+               "  \"drop_publish_rate\": %.9g,\n"
+               "  \"bitflip_store_rate\": %.9g,\n"
+               "  \"stuck_warp_rate\": %.9g,\n"
+               "  \"mem_delay_rate\": %.9g,\n"
+               "  \"stuck_cycles\": %llu,\n"
+               "  \"mem_delay_cycles\": %llu,\n"
+               "  \"max_faults\": %llu\n"
+               "}\n",
+               static_cast<unsigned long long>(plan.seed),
+               plan.drop_publish_rate, plan.bitflip_store_rate,
+               plan.stuck_warp_rate, plan.mem_delay_rate,
+               static_cast<unsigned long long>(plan.stuck_cycles),
+               static_cast<unsigned long long>(plan.mem_delay_cycles),
+               static_cast<unsigned long long>(plan.max_faults));
+  std::fclose(file);
+  return Status::Ok();
+}
+
+Expected<FaultPlan> ReadFaultPlanJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return IoError("cannot read " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(file);
+
+  FaultPlan plan;
+  bool any = false;
+  // Minimal scanner for the writer's schema (see serve/replay.cpp): each key
+  // is optional, unknown keys are ignored, defaults survive.
+  auto read_u64 = [&](const char* key, std::uint64_t& out) -> Status {
+    const std::size_t pos = text.find("\"" + std::string(key) + "\"");
+    if (pos == std::string::npos) return Status::Ok();
+    unsigned long long value = 0;
+    if (std::sscanf(text.c_str() + pos + std::strlen(key) + 2, " : %llu",
+                    &value) != 1) {
+      return IoError(path + ": malformed \"" + key + "\" value");
+    }
+    out = value;
+    any = true;
+    return Status::Ok();
+  };
+  auto read_rate = [&](const char* key, double& out) -> Status {
+    const std::size_t pos = text.find("\"" + std::string(key) + "\"");
+    if (pos == std::string::npos) return Status::Ok();
+    double value = 0.0;
+    if (std::sscanf(text.c_str() + pos + std::strlen(key) + 2, " : %lf",
+                    &value) != 1) {
+      return IoError(path + ": malformed \"" + key + "\" value");
+    }
+    if (value < 0.0 || value > 1.0) {
+      return IoError(path + ": \"" + key + "\" must be in [0, 1]");
+    }
+    out = value;
+    any = true;
+    return Status::Ok();
+  };
+  CAPELLINI_RETURN_IF_ERROR(read_u64("seed", plan.seed));
+  CAPELLINI_RETURN_IF_ERROR(
+      read_rate("drop_publish_rate", plan.drop_publish_rate));
+  CAPELLINI_RETURN_IF_ERROR(
+      read_rate("bitflip_store_rate", plan.bitflip_store_rate));
+  CAPELLINI_RETURN_IF_ERROR(read_rate("stuck_warp_rate", plan.stuck_warp_rate));
+  CAPELLINI_RETURN_IF_ERROR(read_rate("mem_delay_rate", plan.mem_delay_rate));
+  CAPELLINI_RETURN_IF_ERROR(read_u64("stuck_cycles", plan.stuck_cycles));
+  CAPELLINI_RETURN_IF_ERROR(
+      read_u64("mem_delay_cycles", plan.mem_delay_cycles));
+  CAPELLINI_RETURN_IF_ERROR(read_u64("max_faults", plan.max_faults));
+  if (!any) return IoError(path + ": no FaultPlan keys found");
+  return plan;
+}
+
+std::string FaultPlanSummary(const FaultPlan& plan) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu drop=%g flip=%g stuck=%g delay=%g max=%llu",
+                static_cast<unsigned long long>(plan.seed),
+                plan.drop_publish_rate, plan.bitflip_store_rate,
+                plan.stuck_warp_rate, plan.mem_delay_rate,
+                static_cast<unsigned long long>(plan.max_faults));
+  return buf;
+}
+
+}  // namespace capellini::sim

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the simulated GPU.
+//
+// The paper's sync-free kernels assume every value/flag publish lands and
+// every spin-wait eventually observes it. On real GPUs those are
+// memory-ordering and forward-progress assumptions, not guarantees. A
+// FaultInjector attached to sim::Machine (set_fault_injector, the same seam
+// as the TraceSink) injects the hazards the paper waves away:
+//
+//  * dropped publishes   — a MarkPublish-annotated store vanishes before
+//                          reaching memory (bandwidth is still spent). For
+//                          the flag-based kernels this starves every
+//                          dependent row's spin-wait: the no-progress
+//                          watchdog converts it into kDeadlock. For
+//                          level-set, the solution silently loses a value.
+//  * bit-flipped stores  — an f64 store lands with its low exponent bit
+//                          flipped (value halved or doubled): a loud silent
+//                          corruption only post-solve verification catches.
+//  * stuck warps         — a ready warp is parked for `stuck_cycles` instead
+//                          of issuing (scheduling jitter; timing-only).
+//  * delayed memory      — a load/atomic completion is pushed
+//                          `mem_delay_cycles` further out (timing-only).
+//
+// Determinism is the contract: every decision is a pure hash of
+// (plan.seed, fault kind, per-kind event counter), so the same plan against
+// the same workload injects the same faults at the same events — same seed
+// => same faults => same recovery path. A null injector, or an attached
+// injector whose rates are all zero, leaves timing and results bit-identical
+// to an untouched machine (bench_faults gates this with a checksum).
+//
+// Like trace/sink.h this header sits below the support layer: sim/machine
+// includes it, so it depends only on the standard library and
+// support/status.h.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/status.h"
+
+namespace capellini::sim {
+
+enum class FaultKind {
+  kDropPublish = 0,
+  kBitFlipStore,
+  kStuckWarp,
+  kMemDelay,
+};
+inline constexpr int kNumFaultKinds = 4;
+
+const char* FaultKindName(FaultKind kind);
+
+/// What to inject and how often. Rates are per-opportunity probabilities:
+/// per published lane-store, per f64 lane-store, per issued
+/// warp-instruction, per stalled load/atomic respectively.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_publish_rate = 0.0;
+  double bitflip_store_rate = 0.0;
+  double stuck_warp_rate = 0.0;
+  double mem_delay_rate = 0.0;
+  /// How long a stuck warp is parked before re-entering the ready queue.
+  std::uint64_t stuck_cycles = 2000;
+  /// Extra cycles added to a delayed memory response.
+  std::uint64_t mem_delay_cycles = 600;
+  /// Total faults injected across all kinds (0 = unlimited). max_faults = 1
+  /// is the property-test's "exactly one dropped flag" scenario.
+  std::uint64_t max_faults = 0;
+
+  bool Enabled() const {
+    return drop_publish_rate > 0.0 || bitflip_store_rate > 0.0 ||
+           stuck_warp_rate > 0.0 || mem_delay_rate > 0.0;
+  }
+};
+
+/// Faults actually injected, by kind.
+struct FaultCounts {
+  std::array<std::uint64_t, kNumFaultKinds> injected{};
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : injected) sum += v;
+    return sum;
+  }
+  std::uint64_t operator[](FaultKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// Attach with Machine::set_fault_injector. The injector may stay attached
+/// across launches (a multi-launch level-set solve keeps advancing the same
+/// event counters); Reseed restarts the event stream for a fresh run.
+/// Counters are atomic so one injector can be observed while a solve runs,
+/// but decisions are only deterministic when a single Machine consumes them
+/// (the serial solve paths — which is where injection is used).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  /// Replaces the plan and zeroes every counter: the next event stream is
+  /// exactly the one a fresh injector with this plan would produce.
+  void Reseed(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultCounts counts() const;
+
+  // --- decision hooks (called by sim::Machine) -----------------------------
+
+  /// One publish-annotated lane-store is about to land; true = drop it.
+  bool DropPublish() { return Decide(FaultKind::kDropPublish, plan_.drop_publish_rate); }
+
+  /// One f64 lane-store is about to land; flips `value`'s low exponent bit
+  /// (halving or doubling it) and returns true when injecting.
+  bool MaybeFlipStoreBit(double& value);
+
+  /// One ready warp is about to issue; nonzero = park it this many cycles.
+  std::uint64_t StuckCycles() {
+    return Decide(FaultKind::kStuckWarp, plan_.stuck_warp_rate)
+               ? plan_.stuck_cycles
+               : 0;
+  }
+
+  /// One load/atomic stall completed accounting; nonzero = extra delay.
+  std::uint64_t ExtraMemDelay() {
+    return Decide(FaultKind::kMemDelay, plan_.mem_delay_rate)
+               ? plan_.mem_delay_cycles
+               : 0;
+  }
+
+ private:
+  bool Decide(FaultKind kind, double rate);
+
+  FaultPlan plan_;
+  // Opportunities seen per kind (every call advances one); decisions hash
+  // (seed, kind, this counter), so they are independent of wall clock and of
+  // the other kinds' traffic.
+  std::array<std::atomic<std::uint64_t>, kNumFaultKinds> events_{};
+  std::array<std::atomic<std::uint64_t>, kNumFaultKinds> injected_{};
+  std::atomic<std::uint64_t> total_injected_{0};
+};
+
+/// {"seed": 7, "drop_publish_rate": 0.001, ...} — the sptrsv_tool
+/// --faults=<plan.json> format. Writes every field; the reader accepts any
+/// subset and keeps defaults for the rest (same hand-rolled scanner idiom as
+/// serve/replay, no JSON dependency).
+Status WriteFaultPlanJson(const FaultPlan& plan, const std::string& path);
+Expected<FaultPlan> ReadFaultPlanJson(const std::string& path);
+
+/// One line for logs/benches: "seed=7 drop=1e-3 flip=0 ... injected=3".
+std::string FaultPlanSummary(const FaultPlan& plan);
+
+}  // namespace capellini::sim

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/fault.h"
+
 namespace capellini::sim {
 namespace {
 
@@ -440,13 +442,23 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
         const std::uint64_t addr =
             static_cast<std::uint64_t>(RegI(warp, lane, instr.a));
         addresses[count++] = addr;
+        // Dropped publish: the annotated store vanishes before reaching
+        // memory. Bandwidth below is still accounted — the transaction
+        // happened, the value didn't land — which is how the real hazard
+        // manifests (and how the no-progress watchdog later catches it).
+        if (faults_ && (pc_flags & kPcPublish) != 0 &&
+            faults_->DropPublish()) {
+          return;
+        }
         if (instr.op == Op::kSt4) {
           memory_->StoreI32(addr,
                             static_cast<std::int32_t>(RegI(warp, lane, instr.b)));
         } else if (instr.op == Op::kSt8I) {
           memory_->StoreI64(addr, RegI(warp, lane, instr.b));
         } else {
-          memory_->StoreF64(addr, RegF(warp, lane, instr.b));
+          double value = RegF(warp, lane, instr.b);
+          if (faults_) faults_->MaybeFlipStoreBit(value);
+          memory_->StoreF64(addr, value);
         }
       });
       // Stores are fire-and-forget: account bandwidth, do not stall.
@@ -596,6 +608,12 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   if (!warp.alive) {
     FinishWarp(warp_index, sm_index);
     return;
+  }
+
+  // Delayed memory response: the completion slips further out. Timing-only —
+  // the value was already read at issue (sequential consistency holds).
+  if (faults_ && mem.ready_at != 0) {
+    mem.ready_at += faults_->ExtraMemDelay();
   }
 
   Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
@@ -829,6 +847,17 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         }
         const int warp_index = sm.ready.front();
         sm.ready.pop_front();
+        // Stuck warp: parked instead of issuing — scheduling jitter, the
+        // slot goes idle. The wake queue brings it back, so the no-progress
+        // watchdog never confuses a stuck warp with a deadlock.
+        if (faults_) {
+          const std::uint64_t stuck = faults_->StuckCycles();
+          if (stuck != 0) {
+            wake_.push(WakeEntry{cycle_ + stuck, warp_index, s});
+            ++stats_.stall_slots;
+            continue;
+          }
+        }
         ExecuteInstruction(warp_index, s);
         ++stats_.issue_used;
         issued_any = true;

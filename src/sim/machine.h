@@ -39,6 +39,8 @@
 
 namespace capellini::sim {
 
+class FaultInjector;  // sim/fault.h
+
 /// Kernel launch geometry.
 struct LaunchDims {
   std::int64_t num_threads = 0;     // total threads (rounded up to warps)
@@ -56,6 +58,13 @@ class Machine {
   /// stalls, publishes and deadlock dumps; it never affects timing — stats
   /// and solutions are identical with and without a sink.
   void set_trace_sink(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Attaches a fault injector (nullptr = injection off, the default). The
+  /// same seam contract as the trace sink: with no injector — or an attached
+  /// injector whose rates are all zero — timing, counters and memory contents
+  /// are bit-identical to an untouched machine. See sim/fault.h for the
+  /// hazards it can inject.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   /// Runs `kernel` to completion and returns its counters.
   /// Fails with StatusCode::kDeadlock when the watchdog trips.
@@ -183,6 +192,10 @@ class Machine {
   // consumes live in decoded_[pc].flags.
   trace::TraceSink* trace_ = nullptr;
   int launch_index_ = -1;
+
+  // Fault injection (see sim/fault.h). Null = off; every hook site is one
+  // pointer test.
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace capellini::sim

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,
   kResourceExhausted,  // admission control: queue full / byte budget exceeded
   kDeadlineExceeded,   // request expired before (or while) being served
+  kDataLoss,           // solve produced a corrupted / unverifiable solution
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid_argument", ...).
@@ -76,6 +77,9 @@ inline Status ResourceExhausted(std::string msg) {
 }
 inline Status DeadlineExceeded(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status DataLoss(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
 }
 
 /// Value-or-Status. Minimal stand-in for C++23 std::expected.

@@ -70,7 +70,9 @@ TEST(RandomLowerTest, WindowBoundsDependencies) {
                                       .seed = 4});
   for (Idx r = 0; r < matrix.rows(); ++r) {
     for (const Idx c : matrix.RowCols(r)) {
-      if (c != r) EXPECT_GE(c, r - window);
+      if (c != r) {
+        EXPECT_GE(c, r - window);
+      }
     }
   }
 }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/solver.h"
+#include "core/verify.h"
 #include "gen/assemble.h"
+#include "gen/banded.h"
 #include "gen/level_structured.h"
 #include "gen/random_lower.h"
 #include "gen/rmat.h"
@@ -14,6 +16,7 @@
 #include "matrix/convert.h"
 #include "matrix/triangular.h"
 #include "sim/config.h"
+#include "sim/fault.h"
 
 namespace capellini {
 namespace {
@@ -162,6 +165,61 @@ TEST(AdversarialStructures, AllRowsDependOnRowZero) {
 
   const DependencyDag dag(matrix);
   EXPECT_EQ(dag.Successors(0).size(), static_cast<std::size_t>(n - 1));
+}
+
+/// Reliability property (core/verify.h): every algorithm's solution passes
+/// the residual check on every random structure — the check accepts all
+/// honest work, so any rejection in the fault tests is the fault's doing.
+TEST_P(RandomizedSolve, EveryAlgorithmPassesTheResidualCheck) {
+  const std::uint64_t seed = GetParam();
+  const Csr matrix = RandomMatrix(seed);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, seed ^ 0xAB);
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  const Solver solver(Csr(matrix), options);
+  for (const Algorithm algorithm :
+       {Algorithm::kSerialCpu, Algorithm::kLevelSet, Algorithm::kSyncFreeCsr,
+        Algorithm::kCapelliniTwoPhase, Algorithm::kCapellini}) {
+    auto result = solver.Solve(algorithm, problem.b);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm) << " seed " << seed;
+    const Verification verdict =
+        VerifySolution(matrix, problem.b, result->x);
+    EXPECT_TRUE(verdict.passed)
+        << AlgorithmName(algorithm) << " seed " << seed << " residual "
+        << verdict.residual;
+  }
+}
+
+/// Reliability property (sim/fault.h): one dropped flag publish on a chain
+/// matrix starves every dependent row — raw kCapellini fails (the watchdog
+/// converts the stall to kDeadlock) while SolveReliable spends the fault
+/// budget on rung 0 and recovers on a clean retry rung.
+TEST_P(RandomizedSolve, SingleFlagDropFailsRawButNotReliable) {
+  const std::uint64_t seed = GetParam();
+  const Csr matrix = MakeBidiagonal(96 + static_cast<Idx>(seed * 8), seed);
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, seed ^ 0xCD);
+
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_publish_rate = 1.0;
+  plan.max_faults = 1;  // exactly the first publish vanishes
+  sim::FaultInjector injector(plan);
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  options.device.no_progress_cycles = 30'000;
+  options.kernel_options.fault_injector = &injector;
+  const Solver solver(Csr(matrix), options);
+
+  auto raw = solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_FALSE(raw.ok()) << "seed " << seed;
+  EXPECT_EQ(raw.status().code(), StatusCode::kDeadlock);
+
+  injector.Reseed(plan);
+  auto reliable = solver.SolveReliable(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(reliable.ok()) << "seed " << seed;
+  EXPECT_TRUE(reliable->verified);
+  EXPECT_EQ(reliable->attempts.front().status, StatusCode::kDeadlock);
+  EXPECT_LE(MaxRelativeError(reliable->solve.x, problem.x_true), 1e-10);
 }
 
 /// Equation-1 invariance: granularity is unchanged by value changes (it is

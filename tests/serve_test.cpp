@@ -11,7 +11,9 @@
 
 #include "core/analysis.h"
 #include "core/solver.h"
+#include "gen/banded.h"
 #include "gen/level_structured.h"
+#include "sim/fault.h"
 #include "matrix/convert.h"
 #include "matrix/triangular.h"
 #include "serve/registry.h"
@@ -596,6 +598,147 @@ TEST(ServiceTest, EveryTerminalOutcomeHitsStatsExactlyOnce) {
   const auto buckets = service.stats().DeadlineBuckets();
   EXPECT_EQ(buckets[0].total, 1u);
   EXPECT_EQ(buckets[0].missed, 1u);
+}
+
+/// A chain matrix on a tight watchdog: kCapelliniNaive deadlocks on it
+/// (§3.3 Challenge 1), kCapellini solves it — the breaker's failure and
+/// recovery probes in one registry entry.
+SolverOptions WatchdogOptions() {
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  options.device.no_progress_cycles = 30'000;
+  return options;
+}
+
+TEST(ServiceTest, WatchdogOpensBreakerAndProbeClosesIt) {
+  MatrixRegistry registry;
+  auto handle =
+      registry.Register(MakeBidiagonal(64), "chain", WatchdogOptions());
+  ASSERT_TRUE(handle.ok());
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.start_paused = true;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown = 2;
+  SolveService service(&registry, options);
+
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 7);
+  RequestOptions naive;
+  naive.algorithm = Algorithm::kCapelliniNaive;
+  RequestOptions good;
+  good.algorithm = Algorithm::kCapellini;
+
+  // FIFO processing order (deadline-free EDF): two watchdog trips open the
+  // breaker, two requests deflect while it cools down, the fifth is the
+  // half-open probe that closes it, the sixth flows normally.
+  std::vector<std::future<ServeResult>> futures;
+  for (const RequestOptions* request_options :
+       {&naive, &naive, &good, &good, &good, &good}) {
+    auto submitted = service.Submit(*handle, problem.b, *request_options);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.Start();
+
+  EXPECT_EQ(futures[0].get().status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(futures[1].get().status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(futures[2].get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(futures[3].get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(futures[4].get().status.ok());  // the probe
+  EXPECT_TRUE(futures[5].get().status.ok());  // breaker closed again
+  service.Shutdown();
+
+  const ServiceStats::Totals totals = service.stats().totals();
+  EXPECT_EQ(totals.breaker_opens, 1u);
+  EXPECT_EQ(totals.breaker_probes, 1u);
+  EXPECT_EQ(totals.breaker_short_circuits, 2u);
+  // Failure split by reason, and the exactly-once invariant still holds.
+  EXPECT_EQ(totals.requests, 2u);
+  EXPECT_EQ(totals.failures, 4u);
+  EXPECT_EQ(totals.failures_deadlock, 2u);
+  EXPECT_EQ(totals.failures_verify, 0u);
+  EXPECT_EQ(totals.failures_other, 2u);  // the two fast-fail deflections
+  EXPECT_EQ(totals.failures,
+            totals.failures_deadlock + totals.failures_verify +
+                totals.failures_other);
+  EXPECT_EQ(totals.requests + totals.failures + totals.deadline_misses +
+                totals.rejections,
+            6u);
+}
+
+TEST(ServiceTest, OpenBreakerHostFallbackStillServes) {
+  MatrixRegistry registry;
+  auto handle =
+      registry.Register(MakeBidiagonal(64), "chain", WatchdogOptions());
+  ASSERT_TRUE(handle.ok());
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.start_paused = true;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown = 4;
+  options.breaker_mode = BreakerMode::kHostFallback;
+  SolveService service(&registry, options);
+
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 9);
+  RequestOptions naive;
+  naive.algorithm = Algorithm::kCapelliniNaive;
+  auto tripping = service.Submit(*handle, problem.b, naive);
+  RequestOptions good;
+  good.algorithm = Algorithm::kCapellini;
+  auto deflected = service.Submit(*handle, problem.b, good);
+  ASSERT_TRUE(tripping.ok());
+  ASSERT_TRUE(deflected.ok());
+  service.Start();
+
+  EXPECT_EQ(tripping->get().status.code(), StatusCode::kDeadlock);
+  // While open, the request is rerouted to the fault-immune host solver
+  // instead of fast-failing: degraded service beats no service.
+  ServeResult result = deflected->get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.algorithm, Algorithm::kSerialCpu);
+  EXPECT_LE(MaxRelativeError(result.solve.x, problem.x_true), 1e-10);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().totals().breaker_short_circuits, 1u);
+}
+
+TEST(ServiceTest, ReliableModeRecoversAnInjectedFault) {
+  // The injector must outlive the registry entry that points at it.
+  sim::FaultPlan plan;
+  plan.drop_publish_rate = 1.0;
+  plan.max_faults = 1;  // the first flag publish vanishes, then silence
+  sim::FaultInjector injector(plan);
+  SolverOptions faulty = WatchdogOptions();
+  faulty.kernel_options.fault_injector = &injector;
+
+  MatrixRegistry registry;
+  auto handle = registry.Register(MakeBidiagonal(64), "faulty", faulty);
+  ASSERT_TRUE(handle.ok());
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.reliable = true;
+  SolveService service(&registry, options);
+
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 11);
+  RequestOptions good;
+  good.algorithm = Algorithm::kCapellini;
+  auto submitted = service.Submit(*handle, problem.b, good);
+  ASSERT_TRUE(submitted.ok());
+  ServeResult result = submitted->get();
+
+  // The raw launch deadlocked on the dropped flag; the retry ladder
+  // escalated past it and the caller sees a verified success.
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.verified);
+  EXPECT_GE(result.attempts, 2);
+  EXPECT_NE(result.algorithm, Algorithm::kCapellini);
+  EXPECT_LE(MaxRelativeError(result.solve.x, problem.x_true), 1e-10);
+  service.Shutdown();
+  const ServiceStats::Totals totals = service.stats().totals();
+  EXPECT_EQ(totals.requests, 1u);
+  EXPECT_EQ(totals.failures, 0u);  // recovery means no terminal failure
 }
 
 TEST(ServiceTest, RejectedSubmissionsDoNotPromoteLruOrCountHits) {

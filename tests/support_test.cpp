@@ -25,14 +25,48 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(status.ToString(), "invalid_argument: bad row");
 }
 
+// Exhaustive by construction: the switch has no default, so adding a
+// StatusCode without extending this list is a -Wswitch error under the CI's
+// -Werror build, and StatusCodeName coverage can never silently lag.
+const char* RoundTripStatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kDeadlock:
+    case StatusCode::kInternal:
+    case StatusCode::kIoError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+      return StatusCodeName(code);
+  }
+  return "unhandled";
+}
+
 TEST(StatusTest, AllCodesHaveNames) {
+  std::set<std::string> names;
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kFailedPrecondition, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kDeadlock, StatusCode::kInternal,
-        StatusCode::kIoError}) {
-    EXPECT_STRNE(StatusCodeName(code), "unknown");
+        StatusCode::kIoError, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kDataLoss}) {
+    const char* name = RoundTripStatusCodeName(code);
+    EXPECT_STRNE(name, "unknown");
+    EXPECT_STRNE(name, "unhandled");
+    names.insert(name);  // also distinct: no two codes share a name
   }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(StatusTest, DataLossHelper) {
+  const Status status = DataLoss("corrupted solution");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status.ToString(), "data_loss: corrupted solution");
 }
 
 TEST(ExpectedTest, HoldsValue) {
@@ -116,7 +150,9 @@ TEST(RngTest, SampleDistinctSortedProperties) {
     for (std::size_t i = 0; i < sample.size(); ++i) {
       EXPECT_GE(sample[i], 10);
       EXPECT_LE(sample[i], 109);
-      if (i > 0) EXPECT_LT(sample[i - 1], sample[i]);
+      if (i > 0) {
+        EXPECT_LT(sample[i - 1], sample[i]);
+      }
     }
   }
 }
