@@ -15,10 +15,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/solver.h"
+#include "fleet/shard.h"
 #include "matrix/triangular.h"
 #include "serve/replay.h"
 #include "serve/service.h"
@@ -214,10 +216,14 @@ int Run(int argc, char** argv) {
   std::int64_t requests = 240;
   double zipf = 1.1;
   std::string sched_json;
+  std::int64_t devices = 1;
   CliFlags extra;
   extra.AddBool("quick", &quick, "CI smoke: small trace, reduced sweep");
   extra.AddInt("requests", &requests, "requests in the generated trace");
   extra.AddDouble("zipf", &zipf, "zipf exponent for matrix popularity");
+  extra.AddInt("devices", &devices,
+               "also run the trace through a sharded K-device fleet "
+               "(src/fleet) and print per-device placement");
   extra.AddString("sched_json", &sched_json,
                   "write the overload-sweep (FIFO vs EDF+cost) results here");
   BenchOptions options = ParseBenchFlags(argc, argv, &extra);
@@ -305,6 +311,63 @@ int Run(int argc, char** argv) {
   }
   std::printf("\nbest batched (max_batch >= 4) speedup vs one-shot: %.2fx\n",
               best_batched);
+
+  // --- multi-device axis: the same trace through a sharded fleet -----------
+  if (devices > 1) {
+    fleet::ShardOptions shard_options;
+    shard_options.num_devices = static_cast<int>(devices);
+    shard_options.service = SolveService::DeterministicOptions();
+    shard_options.service.max_queue = trace.requests.size() + 1;
+    fleet::ShardedSolveService sharded(shard_options);
+    std::vector<fleet::ShardedHandle> sharded_handles;
+    for (const NamedMatrix& named : corpus) {
+      auto handle = sharded.Register(named.matrix, named.name, solver_options);
+      CAPELLINI_CHECK_MSG(handle.ok(), "sharded registration failed");
+      sharded_handles.push_back(*handle);
+    }
+    std::vector<std::pair<int, std::future<serve::ServeResult>>> inflight;
+    for (const serve::TraceRequest& request : trace.requests) {
+      const fleet::ShardedHandle& handle = sharded_handles[
+          static_cast<std::size_t>(request.matrix) % sharded_handles.size()];
+      const Csr& matrix = (*sharded.registry(handle.device)
+                                .Peek(handle.handle))->solver.matrix();
+      auto submitted = sharded.Submit(
+          handle, MakeReferenceProblem(matrix, request.seed).b);
+      CAPELLINI_CHECK_MSG(submitted.ok(), "sharded submit failed");
+      inflight.emplace_back(handle.device, std::move(*submitted));
+    }
+    std::vector<std::size_t> served(static_cast<std::size_t>(devices), 0);
+    std::vector<double> busy_ms(static_cast<std::size_t>(devices), 0.0);
+    for (auto& [device, future] : inflight) {
+      const serve::ServeResult result = future.get();
+      CAPELLINI_CHECK_MSG(result.status.ok(), "sharded solve failed");
+      ++served[static_cast<std::size_t>(device)];
+      busy_ms[static_cast<std::size_t>(device)] += result.solve.solve_ms;
+    }
+    sharded.Shutdown();
+    TextTable shard_table({"device", "matrices placed cost ms", "requests",
+                           "busy ms (simulated)"});
+    shard_table.SetTitle("sharded fleet (--devices=" +
+                         std::to_string(devices) + ", cost-aware placement)");
+    double max_busy = 0.0;
+    for (int d = 0; d < static_cast<int>(devices); ++d) {
+      shard_table.AddRow({std::to_string(d),
+                          TextTable::Num(sharded.PlacedCostMs(d), 3),
+                          std::to_string(served[static_cast<std::size_t>(d)]),
+                          TextTable::Num(busy_ms[static_cast<std::size_t>(d)],
+                                         3)});
+      max_busy = std::max(max_busy, busy_ms[static_cast<std::size_t>(d)]);
+    }
+    std::printf("\n%s", shard_table.ToString().c_str());
+    std::printf("aggregate simulated throughput: %.1f req/s (busiest device "
+                "%.3f ms)\n",
+                max_busy > 0.0 ? 1000.0 *
+                                     static_cast<double>(
+                                         trace.requests.size()) /
+                                     max_busy
+                               : 0.0,
+                max_busy);
+  }
 
   // --- overload sweep: FIFO vs EDF + cost admission ------------------------
   // Capacity is calibrated with the same workers / max_batch=1 configuration

@@ -37,10 +37,22 @@
 // prints the verdict; --faults replays a deterministic fault plan against
 // the simulated device (same seed => same faults => same outcome); --reliable
 // solves through the self-healing retry ladder and prints every attempt.
+// Multi-device fleet (src/fleet):
+//
+//   ./examples/sptrsv_tool --generate --devices=4
+//
+// partitions the factor across 4 simulated GPUs (level-aware cuts), charges
+// a comm model for every cross-partition dependency and prints per-device
+// cycles + boundary traffic; composes with --faults (the same plan is
+// replayed on every device, so row-scoped plans kill exactly the partition
+// that owns the rows).
 #include <cstdio>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/analysis.h"
+#include "fleet/fleet.h"
 #include "core/autotune.h"
 #include "core/solver.h"
 #include "core/verify.h"
@@ -145,6 +157,58 @@ int ServeReplay(const std::string& path, const capellini::SolverOptions& options
   return (report->wrong == 0 && report->failed == 0) ? 0 : 1;
 }
 
+/// Every pairwise flag-compatibility rule, in one place, checked after the
+/// algorithm is resolved and before any work runs. Each rejection says which
+/// flag to drop. (The trace/threads rule used to live inline in main; new
+/// axes like --devices land here instead of growing more ad-hoc blocks.)
+capellini::Status ValidateToolFlags(std::int64_t devices, std::int64_t threads,
+                                    bool want_trace, bool tune, bool reliable,
+                                    capellini::Algorithm algorithm) {
+  using namespace capellini;
+  if (devices < 1) return InvalidArgument("--devices must be >= 1");
+  if (threads < 0) return InvalidArgument("--threads must be >= 0");
+  if (want_trace && threads > 1) {
+    return InvalidArgument(
+        "--threads=" + std::to_string(threads) +
+        " is incompatible with tracing — a trace sink observes one machine "
+        "at a time. Drop --trace/--trace_summary/--trace_csv or use "
+        "--threads=1.");
+  }
+  if (want_trace && !IsDeviceAlgorithm(algorithm)) {
+    return InvalidArgument(
+        std::string("--trace/--trace_summary need a simulated-device "
+                    "algorithm, but '") +
+        AlgorithmName(algorithm) +
+        "' runs on the host CPU and has no device execution to trace (pick "
+        "e.g. --algorithm=Capellini)");
+  }
+  if (devices > 1) {
+    if (want_trace) {
+      return InvalidArgument(
+          "--trace/--trace_summary/--trace_csv observe ONE machine; drop "
+          "--devices or trace a single-device run (per-device sinks are "
+          "available programmatically via DeviceFleet::set_trace_sink)");
+    }
+    if (tune) {
+      return InvalidArgument(
+          "--tune sweeps the single-device hybrid kernel; drop --devices");
+    }
+    if (reliable) {
+      return InvalidArgument(
+          "--reliable (the retry ladder) is single-device; drop --devices "
+          "or use --check, which verifies the fleet solution");
+    }
+    if (algorithm != Algorithm::kCapellini &&
+        algorithm != Algorithm::kCapelliniTwoPhase) {
+      return InvalidArgument(
+          std::string("--devices needs a Capellini thread-per-row algorithm "
+                      "(Capellini or Capellini2P), got '") +
+          AlgorithmName(algorithm) + "'");
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,6 +229,7 @@ int main(int argc, char** argv) {
   bool reliable = false;
   std::int64_t generate_nodes = 1 << 14;
   std::int64_t threads = 0;
+  std::int64_t devices = 1;
 
   CliFlags flags;
   flags.AddString("input", &input, "Matrix Market file to solve");
@@ -187,6 +252,9 @@ int main(int argc, char** argv) {
   flags.AddInt("threads", &threads,
                "worker threads for --tune (0 = hardware concurrency); "
                "incompatible with tracing");
+  flags.AddInt("devices", &devices,
+               "solve across this many simulated GPUs (src/fleet; Capellini "
+               "algorithms only, composes with --faults/--check)");
   flags.AddBool("list_algorithms", &list_algorithms,
                 "print every accepted --algorithm value and exit");
   flags.AddString("serve_replay", &serve_replay_path,
@@ -266,42 +334,38 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // The fleet only runs the Capellini thread-per-row kernels; with 'auto'
+  // don't bounce the user off a SyncFree recommendation, just pick Capellini.
+  // An EXPLICIT incompatible --algorithm still errors in ValidateToolFlags.
+  if (devices > 1 && algorithm_name == "auto") algorithm = Algorithm::kCapellini;
   SolverOptions options;
   for (const auto& device : sim::PaperPlatforms()) {
     if (device.name == platform) options.device = device;
   }
 
-  // --- tracing setup -------------------------------------------------------
+  // --- flag compatibility (one place, every rule) --------------------------
   const bool want_trace =
       !trace_path.empty() || !trace_csv_path.empty() || trace_summary;
-  if (want_trace && threads > 1) {
-    std::fprintf(stderr,
-                 "error: --threads=%lld is incompatible with tracing — a "
-                 "trace sink observes one machine at a time. Drop --trace/"
-                 "--trace_summary/--trace_csv or use --threads=1.\n",
-                 static_cast<long long>(threads));
-    return 2;
-  }
-  if (want_trace && !IsDeviceAlgorithm(algorithm)) {
-    std::fprintf(stderr,
-                 "error: --trace/--trace_summary need a simulated-device "
-                 "algorithm, but '%s' runs on the host CPU and has no device "
-                 "execution to trace (pick e.g. --algorithm=Capellini)\n",
-                 AlgorithmName(algorithm));
+  if (const Status status = ValidateToolFlags(devices, threads, want_trace,
+                                              tune, reliable, algorithm);
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", std::string(status.message()).c_str());
     return 2;
   }
   // --- fault injection -----------------------------------------------------
+  sim::FaultPlan fault_plan;
+  bool have_fault_plan = false;
   sim::FaultInjector injector;  // must outlive the Solver's launches
   if (!faults_path.empty()) {
-    sim::FaultPlan plan;
     auto read_plan = sim::ReadFaultPlanJson(faults_path);
     if (read_plan.ok()) {
-      plan = *read_plan;
+      fault_plan = *read_plan;
     } else {
       // A runnable starting point: ~2 expected dropped publishes per solve.
-      plan.seed = 7;
-      plan.drop_publish_rate = 2.0 / static_cast<double>(lower.rows());
-      if (const Status status = sim::WriteFaultPlanJson(plan, faults_path);
+      fault_plan.seed = 7;
+      fault_plan.drop_publish_rate = 2.0 / static_cast<double>(lower.rows());
+      if (const Status status =
+              sim::WriteFaultPlanJson(fault_plan, faults_path);
           !status.ok()) {
         std::fprintf(stderr, "cannot write fault plan: %s\n",
                      status.ToString().c_str());
@@ -310,10 +374,11 @@ int main(int argc, char** argv) {
       std::printf("no readable fault plan at %s — wrote a sample plan there\n",
                   faults_path.c_str());
     }
-    injector.Reseed(plan);
-    options.kernel_options.fault_injector = &injector;
+    have_fault_plan = true;
+    injector.Reseed(fault_plan);
+    if (devices == 1) options.kernel_options.fault_injector = &injector;
     std::printf("injecting faults: %s\n",
-                sim::FaultPlanSummary(plan).c_str());
+                sim::FaultPlanSummary(fault_plan).c_str());
   }
 
   std::optional<trace::TraceSession> trace_session;
@@ -331,6 +396,79 @@ int main(int argc, char** argv) {
   // --- solve and verify ----------------------------------------------------
   const ReferenceProblem problem = MakeReferenceProblem(lower, 11);
   const Solver solver(lower, options);
+
+  // --- multi-device fleet path ---------------------------------------------
+  if (devices > 1) {
+    fleet::FleetConfig fleet_config;
+    fleet_config.num_devices = static_cast<int>(devices);
+    fleet_config.device = options.device;
+    fleet_config.algorithm = algorithm == Algorithm::kCapelliniTwoPhase
+                                 ? kernels::DeviceAlgorithm::kCapelliniTwoPhase
+                                 : kernels::DeviceAlgorithm::kCapelliniWritingFirst;
+    if (threads > 0) fleet_config.host_threads = static_cast<int>(threads);
+    fleet::DeviceFleet device_fleet(fleet_config);
+    // Every device replays the SAME plan: plans scoped by rows/warps (global
+    // coordinates) then hit exactly the device that owns those rows.
+    std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
+    if (have_fault_plan) {
+      for (int d = 0; d < fleet_config.num_devices; ++d) {
+        injectors.push_back(std::make_unique<sim::FaultInjector>());
+        injectors.back()->Reseed(fault_plan);
+        device_fleet.set_fault_injector(d, injectors.back().get());
+      }
+    }
+    const fleet::FleetSolver fleet_solver(&device_fleet);
+    auto result = fleet_solver.Solve(solver, problem.b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "fleet solve failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nfleet solve: %lld devices, %s cuts, %s on %s\n",
+                static_cast<long long>(devices),
+                fleet::PartitionStrategyName(fleet_config.strategy),
+                AlgorithmName(algorithm), options.device.name.c_str());
+    std::printf("  %-3s %-14s %10s %12s %7s %7s %10s\n", "dev", "rows",
+                "cycles", "est cost ms", "msg in", "msg out", "comm stall");
+    for (std::size_t d = 0; d < result->stats.devices.size(); ++d) {
+      const fleet::DeviceStats& ds = result->stats.devices[d];
+      const std::string rows = "[" + std::to_string(ds.row_begin) + "," +
+                               std::to_string(ds.row_end) + ")";
+      std::printf("  %-3zu %-14s %10llu %12.4f %7llu %7llu %10llu%s%s\n", d,
+                  rows.c_str(), static_cast<unsigned long long>(ds.cycles),
+                  ds.est_cost_ms,
+                  static_cast<unsigned long long>(ds.in_messages),
+                  static_cast<unsigned long long>(ds.out_messages),
+                  static_cast<unsigned long long>(ds.comm_delay_cycles),
+                  static_cast<int>(d) == result->stats.critical_device
+                      ? "  <- critical"
+                      : "",
+                  ds.status.ok() ? "" : "  FAILED");
+    }
+    std::printf("  makespan %llu cycles (%.4f ms simulated), %lld cross "
+                "edges, %llu messages, %llu comm bytes\n",
+                static_cast<unsigned long long>(result->stats.makespan_cycles),
+                result->stats.exec_ms,
+                static_cast<long long>(result->stats.cross_edges),
+                static_cast<unsigned long long>(result->stats.total_messages),
+                static_cast<unsigned long long>(result->stats.total_comm_bytes));
+    if (!result->status.ok()) {
+      std::printf("  fleet status: %s\n", result->status.ToString().c_str());
+      return 1;
+    }
+    const double fleet_error = MaxRelativeError(result->x, problem.x_true);
+    std::printf("  max relative error  %.2e\n", fleet_error);
+    bool fleet_check = true;
+    if (check) {
+      const Verification verdict = VerifySolution(lower, problem.b, result->x);
+      fleet_check = verdict.passed;
+      std::printf("  residual            %.2e (bound %.0e) — %s\n",
+                  verdict.residual, VerifyOptions{}.residual_bound,
+                  fleet_check ? "VERIFIED" : "FAILED VERIFICATION");
+    }
+    return fleet_error < 1e-8 && fleet_check ? 0 : 1;
+  }
+
   SolveResult solved;
   bool ladder_verified = true;
   if (reliable) {

@@ -1,0 +1,36 @@
+#include "fleet/comm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capellini::fleet {
+
+CommModel::CommModel(const CommConfig& config, int num_devices)
+    : config_(config),
+      num_devices_(std::max(1, num_devices)),
+      links_(static_cast<std::size_t>(num_devices_) *
+             static_cast<std::size_t>(num_devices_)) {}
+
+std::uint64_t CommModel::Deliver(int src, int dst,
+                                 std::uint64_t publish_cycle) {
+  Link& link = LinkAt(src, dst);
+  const std::uint64_t depart = std::max(link.busy_until, publish_cycle);
+  const double bandwidth = std::max(1e-9, config_.bandwidth_bytes_per_cycle);
+  const auto wire = static_cast<std::uint64_t>(std::ceil(
+      static_cast<double>(config_.bytes_per_message) / bandwidth));
+  link.busy_until = depart + wire;  // next message queues behind this one
+  ++link.messages;
+  return depart + wire + config_.latency_cycles;
+}
+
+std::uint64_t CommModel::total_messages() const {
+  std::uint64_t total = 0;
+  for (const Link& link : links_) total += link.messages;
+  return total;
+}
+
+std::uint64_t CommModel::total_bytes() const {
+  return total_messages() * config_.bytes_per_message;
+}
+
+}  // namespace capellini::fleet

@@ -1,0 +1,65 @@
+// Inter-device communication model for the fleet.
+//
+// Every cross-partition dependency edge becomes one message: the producer
+// device publishes (x value + get_value flag, ~12 bytes) and the consumer
+// device sees both land `latency + bytes/bandwidth` cycles later, serialized
+// per directed link — the structural costs Xie et al. (arXiv 2012.06959)
+// identify as what a multi-GPU SpTRSV must pay. Messages are modeled as
+// sim::ExternalStore arrivals on the consumer, so consumer rows spin on the
+// flag exactly as they would for an on-device producer; communication
+// overlaps compute for free because independent local rows keep issuing
+// while boundary rows wait.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace capellini::fleet {
+
+struct CommConfig {
+  /// Fixed per-message cost (link traversal; PCIe/NVLink-scale next to a
+  /// ~1GHz device clock).
+  std::uint64_t latency_cycles = 500;
+  /// Per directed link; a message occupies the link for bytes/bandwidth
+  /// cycles (serialization).
+  double bandwidth_bytes_per_cycle = 8.0;
+  /// 8B x-value + 4B flag per boundary row.
+  std::uint64_t bytes_per_message = 12;
+};
+
+/// Per-link serialization + latency. NOT thread-safe per link by design: the
+/// fleet guarantees all messages into one destination device are delivered
+/// by that device's single task, in (source device, global row) order —
+/// which is also what makes arrival cycles deterministic for any host
+/// thread count. Counters are read after the tasks join.
+class CommModel {
+ public:
+  CommModel(const CommConfig& config, int num_devices);
+
+  const CommConfig& config() const { return config_; }
+
+  /// Arrival cycle at `dst` of a message published on `src` at
+  /// `publish_cycle`: depart = max(link busy, publish), arrive = depart +
+  /// bytes/bandwidth + latency. Advances the (src, dst) link.
+  std::uint64_t Deliver(int src, int dst, std::uint64_t publish_cycle);
+
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct Link {
+    std::uint64_t busy_until = 0;
+    std::uint64_t messages = 0;
+  };
+  Link& LinkAt(int src, int dst) {
+    return links_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(num_devices_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  CommConfig config_;
+  int num_devices_;
+  std::vector<Link> links_;
+};
+
+}  // namespace capellini::fleet

@@ -1,0 +1,257 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <future>
+#include <utility>
+
+#include "sim/fault.h"
+#include "support/thread_pool.h"
+
+namespace capellini::fleet {
+
+DeviceFleet::DeviceFleet(const FleetConfig& config) : config_(config) {
+  config_.num_devices = std::max(1, config_.num_devices);
+  const int k = config_.num_devices;
+  memories_.reserve(static_cast<std::size_t>(k));
+  machines_.reserve(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    memories_.push_back(std::make_unique<sim::DeviceMemory>());
+    machines_.push_back(
+        std::make_unique<sim::Machine>(config_.device, memories_.back().get()));
+  }
+  sinks_.assign(static_cast<std::size_t>(k), nullptr);
+  injectors_.assign(static_cast<std::size_t>(k), nullptr);
+}
+
+namespace {
+
+/// One remote row a device waits on: producer device + global row.
+struct Need {
+  int src = 0;
+  Idx row = 0;
+};
+
+/// What a device task leaves behind for its consumers.
+struct Outcome {
+  Status status;
+  std::vector<Val> x;                        // full-length device image
+  std::vector<std::uint64_t> publish_cycles; // per local row
+};
+
+}  // namespace
+
+Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
+                                         std::span<const Val> b) const {
+  const Csr& lower = solver.matrix();
+  const Idx m = lower.rows();
+  if (m == 0) return InvalidArgument("empty system");
+  if (b.size() != static_cast<std::size_t>(m)) {
+    return InvalidArgument("b has the wrong size");
+  }
+  const FleetConfig& config = fleet_->config();
+  if (config.algorithm != kernels::DeviceAlgorithm::kCapelliniTwoPhase &&
+      config.algorithm != kernels::DeviceAlgorithm::kCapelliniWritingFirst) {
+    return InvalidArgument(
+        "fleet solves need a Capellini thread-per-row algorithm");
+  }
+  const int k = config.num_devices;
+
+  // Balance weights: each row's share of the solver's a-priori cost estimate,
+  // proportional to 1 + nnz (the same shape CostHintMs itself integrates).
+  const double cost_hint = solver.CostHintMs();
+  const double denom =
+      static_cast<double>(m) + static_cast<double>(lower.nnz());
+  std::vector<double> weights(static_cast<std::size_t>(m));
+  for (Idx r = 0; r < m; ++r) {
+    weights[static_cast<std::size_t>(r)] =
+        cost_hint * (1.0 + static_cast<double>(lower.RowLen(r))) / denom;
+  }
+
+  auto partition_or = PartitionRows(lower, k, config.strategy,
+                                    &solver.Levels(), weights);
+  if (!partition_or.ok()) return partition_or.status();
+
+  FleetResult result;
+  result.partition = std::move(*partition_or);
+  const Partition& part = result.partition;
+
+  // Cross-partition needs: device d waits on every remote row referenced by
+  // its block. Deduplicated per (row, consumer device) — the consumer fetches
+  // x_c once, however many local rows read it — and sorted by (src, row),
+  // which fixes the per-link delivery order and with it every arrival cycle,
+  // independent of host threading.
+  std::vector<std::vector<Need>> needs(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    const Idx begin = part.RowBegin(d);
+    std::vector<Idx> remote;
+    for (Idx r = begin; r < part.RowEnd(d); ++r) {
+      const Idx row_begin = lower.row_ptr()[static_cast<std::size_t>(r)];
+      const Idx row_end = lower.row_ptr()[static_cast<std::size_t>(r) + 1];
+      for (Idx j = row_begin; j < row_end; ++j) {
+        const Idx col = lower.col_idx()[static_cast<std::size_t>(j)];
+        if (col < begin) remote.push_back(col);
+      }
+    }
+    std::sort(remote.begin(), remote.end());
+    remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+    needs[static_cast<std::size_t>(d)].reserve(remote.size());
+    for (const Idx row : remote) {
+      needs[static_cast<std::size_t>(d)].push_back(
+          Need{part.DeviceOf(row), row});
+    }
+  }
+
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(k));
+  std::vector<DeviceStats> dstats(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    // A task that dies before publishing its outcome must read as failed,
+    // not as a clean empty device.
+    outcomes[static_cast<std::size_t>(d)].status =
+        InternalError("device task did not complete");
+    dstats[static_cast<std::size_t>(d)].status =
+        outcomes[static_cast<std::size_t>(d)].status;
+  }
+  std::vector<std::promise<void>> done(static_cast<std::size_t>(k));
+  std::vector<std::shared_future<void>> done_futures;
+  done_futures.reserve(static_cast<std::size_t>(k));
+  for (auto& promise : done) done_futures.push_back(promise.get_future().share());
+
+  CommModel comm(config.comm, k);
+
+  // Task d blocks only on producers d' < d; the pool picks tasks up in FIFO
+  // order, so started tasks always form a prefix of the submission order and
+  // the lowest unfinished task has all producers finished — progress is
+  // guaranteed for any pool size >= 1.
+  ThreadPool pool(config.host_threads > 0 ? config.host_threads : k);
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    tasks.push_back(pool.Submit([&, d] {
+      Outcome& out = outcomes[static_cast<std::size_t>(d)];
+      DeviceStats& ds = dstats[static_cast<std::size_t>(d)];
+      struct DoneSignal {
+        std::promise<void>* promise;
+        ~DoneSignal() { promise->set_value(); }
+      } signal{&done[static_cast<std::size_t>(d)]};
+
+      ds.row_begin = part.RowBegin(d);
+      ds.row_end = part.RowEnd(d);
+      ds.nnz = lower.row_ptr()[static_cast<std::size_t>(ds.row_end)] -
+               lower.row_ptr()[static_cast<std::size_t>(ds.row_begin)];
+
+      const std::vector<Need>& my_needs = needs[static_cast<std::size_t>(d)];
+      for (const Need& need : my_needs) {
+        done_futures[static_cast<std::size_t>(need.src)].wait();
+      }
+      for (const Need& need : my_needs) {
+        const Outcome& src = outcomes[static_cast<std::size_t>(need.src)];
+        if (!src.status.ok()) {
+          out.status = DeadlockError(
+              "fleet device " + std::to_string(d) + ": upstream device " +
+              std::to_string(need.src) + " failed: " + src.status.message());
+          ds.status = out.status;
+          return;
+        }
+      }
+
+      std::vector<kernels::RangeArrival> arrivals;
+      arrivals.reserve(my_needs.size());
+      for (const Need& need : my_needs) {
+        const Outcome& src = outcomes[static_cast<std::size_t>(need.src)];
+        const std::uint64_t published =
+            src.publish_cycles[static_cast<std::size_t>(
+                need.row - part.RowBegin(need.src))];
+        if (published == UINT64_MAX) {
+          // The producer finished but this row's flag never landed (dropped
+          // publish). On hardware the consumer would spin forever; fail fast
+          // with the same status the watchdog would eventually report.
+          out.status = DeadlockError(
+              "fleet device " + std::to_string(d) + ": row " +
+              std::to_string(need.row) + " was never published by device " +
+              std::to_string(need.src) + " (dropped publish?)");
+          ds.status = out.status;
+          return;
+        }
+        const std::uint64_t arrival = comm.Deliver(need.src, d, published);
+        arrivals.push_back(kernels::RangeArrival{
+            need.row, src.x[static_cast<std::size_t>(need.row)], arrival});
+        ++ds.in_messages;
+        ds.comm_bytes_in += config.comm.bytes_per_message;
+        ds.comm_delay_cycles += arrival - published;
+        ds.last_arrival_cycle = std::max(ds.last_arrival_cycle, arrival);
+      }
+
+      if (ds.row_begin == ds.row_end) {  // empty block (K > rows)
+        out.x.assign(static_cast<std::size_t>(m), 0.0);
+        out.publish_cycles.clear();
+        out.status = Status::Ok();
+        ds.status = Status::Ok();
+        return;
+      }
+
+      kernels::SolveOptions options;
+      options.threads_per_block = config.threads_per_block;
+      options.trace_sink = fleet_->trace_sink(d);
+      options.fault_injector = fleet_->fault_injector(d);
+      if (options.fault_injector != nullptr) {
+        // Machine hooks see LOCAL tids; plans are written in global rows.
+        options.fault_injector->set_tid_offset(ds.row_begin);
+      }
+      auto range = kernels::SolveRangeOnDevice(
+          config.algorithm, lower, b, ds.row_begin, ds.row_end, arrivals,
+          fleet_->machine(d), fleet_->memory(d), options);
+      if (!range.ok()) {
+        out.status = range.status();
+        ds.status = out.status;
+        return;
+      }
+      out.x = std::move(range->x);
+      out.publish_cycles = std::move(range->publish_cycles);
+      out.status = Status::Ok();
+      ds.launch = range->stats;
+      ds.cycles = range->stats.cycles;
+      ds.exec_ms = range->exec_ms;
+      ds.boundary_stall_cycles = std::min(ds.cycles, ds.last_arrival_cycle);
+      ds.status = Status::Ok();
+    }));
+  }
+  for (auto& task : tasks) task.get();
+
+  // Outbound attribution (from the static needs lists — a consumer that
+  // failed before delivery still *required* the rows).
+  for (int d = 0; d < k; ++d) {
+    for (const Need& need : needs[static_cast<std::size_t>(d)]) {
+      ++dstats[static_cast<std::size_t>(need.src)].out_messages;
+    }
+  }
+
+  result.x.assign(static_cast<std::size_t>(m), 0.0);
+  result.stats.devices = std::move(dstats);
+  result.stats.cross_edges = CountCrossEdges(lower, part);
+  result.stats.total_messages = comm.total_messages();
+  result.stats.total_comm_bytes = comm.total_bytes();
+  for (int d = 0; d < k; ++d) {
+    DeviceStats& ds = result.stats.devices[static_cast<std::size_t>(d)];
+    ds.est_cost_ms =
+        cost_hint *
+        (static_cast<double>(ds.row_end - ds.row_begin) +
+         static_cast<double>(ds.nnz)) /
+        denom;
+    if (ds.status.ok() && ds.row_begin < ds.row_end) {
+      const Outcome& out = outcomes[static_cast<std::size_t>(d)];
+      std::copy(out.x.begin() + ds.row_begin, out.x.begin() + ds.row_end,
+                result.x.begin() + ds.row_begin);
+    }
+    if (!ds.status.ok() && result.status.ok()) result.status = ds.status;
+    if (result.stats.critical_device < 0 ||
+        ds.cycles > result.stats.makespan_cycles) {
+      result.stats.makespan_cycles = ds.cycles;
+      result.stats.critical_device = d;
+    }
+  }
+  result.stats.exec_ms = config.device.CyclesToMs(result.stats.makespan_cycles);
+  return result;
+}
+
+}  // namespace capellini::fleet

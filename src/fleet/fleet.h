@@ -1,0 +1,118 @@
+// Multi-device sharded solving: K independent simulated GPUs solving one
+// triangular system, partitioned by contiguous row blocks.
+//
+// Execution model: every device starts at fleet cycle 0 and launches a
+// range variant of a Capellini thread-per-row kernel over its block. Local
+// dependencies resolve exactly as on one device; a dependency on an earlier
+// device's row arrives as a delayed external store (value + flag) at the
+// cycle the comm model charges, and the consumer row spins on the flag just
+// as it would for an on-device producer. Because the partition is
+// contiguous, dependencies only flow from lower-numbered to higher-numbered
+// devices, so the host drives device d after its producers d' < d — with
+// the PR-2 thread pool, overlapping independent devices.
+//
+// Determinism contract (gated by bench_fleet): the Capellini kernels drain
+// left_sum in strict CSR order, so computed values are timing-independent —
+// the fleet solution is byte-identical to the single-device solve for K=1
+// and byte-identical across host thread counts for any K.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/solver.h"
+#include "fleet/comm.h"
+#include "fleet/partition.h"
+#include "fleet/stats.h"
+#include "kernels/launch.h"
+#include "sim/config.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+
+namespace capellini::fleet {
+
+struct FleetConfig {
+  int num_devices = 1;
+  /// Per-device simulated GPU (all devices identical).
+  sim::DeviceConfig device = sim::PascalGtx1080();
+  CommConfig comm;
+  PartitionStrategy strategy = PartitionStrategy::kLevelAware;
+  /// kCapelliniWritingFirst or kCapelliniTwoPhase (the thread-per-row
+  /// kernels with range variants).
+  kernels::DeviceAlgorithm algorithm =
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst;
+  int threads_per_block = 256;
+  /// Host threads driving the devices; 0 = one per device. Any value gives
+  /// byte-identical solutions (see the determinism contract above).
+  int host_threads = 0;
+};
+
+/// Owns the K machines and their memories plus the per-device trace/fault
+/// seams (same contract as the single-machine setters: not owned, nullptr =
+/// off). A fleet is reusable across solves.
+class DeviceFleet {
+ public:
+  explicit DeviceFleet(const FleetConfig& config);
+
+  const FleetConfig& config() const { return config_; }
+  int num_devices() const { return config_.num_devices; }
+
+  sim::Machine& machine(int device) {
+    return *machines_[static_cast<std::size_t>(device)];
+  }
+  sim::DeviceMemory& memory(int device) {
+    return *memories_[static_cast<std::size_t>(device)];
+  }
+
+  void set_trace_sink(int device, trace::TraceSink* sink) {
+    sinks_[static_cast<std::size_t>(device)] = sink;
+  }
+  trace::TraceSink* trace_sink(int device) const {
+    return sinks_[static_cast<std::size_t>(device)];
+  }
+  /// The injector's tid offset is set to the device's row_begin during a
+  /// fleet solve, so FaultPlan row scopes are written in GLOBAL row
+  /// coordinates no matter which device owns the rows.
+  void set_fault_injector(int device, sim::FaultInjector* faults) {
+    injectors_[static_cast<std::size_t>(device)] = faults;
+  }
+  sim::FaultInjector* fault_injector(int device) const {
+    return injectors_[static_cast<std::size_t>(device)];
+  }
+
+ private:
+  FleetConfig config_;
+  std::vector<std::unique_ptr<sim::DeviceMemory>> memories_;
+  std::vector<std::unique_ptr<sim::Machine>> machines_;
+  std::vector<trace::TraceSink*> sinks_;
+  std::vector<sim::FaultInjector*> injectors_;
+};
+
+struct FleetResult {
+  /// Assembled solution; rows of a failed device are zero (and `status`
+  /// carries the failure).
+  std::vector<Val> x;
+  /// First failing device's status, or OK. Per-device outcomes are in
+  /// stats.devices[d].status — independent devices finish clean even when
+  /// one partition is killed.
+  Status status;
+  Partition partition;
+  FleetStats stats;
+};
+
+/// Drives a DeviceFleet over a Solver's system. The Solver supplies the
+/// matrix, the memoized level sets (level-aware cuts) and CostHintMs (the
+/// balance weights and per-device cost attribution).
+class FleetSolver {
+ public:
+  explicit FleetSolver(DeviceFleet* fleet) : fleet_(fleet) {}
+
+  Expected<FleetResult> Solve(const Solver& solver,
+                              std::span<const Val> b) const;
+
+ private:
+  DeviceFleet* fleet_;  // not owned
+};
+
+}  // namespace capellini::fleet

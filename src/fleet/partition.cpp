@@ -1,0 +1,166 @@
+#include "fleet/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace capellini::fleet {
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kContiguousNnz:
+      return "contiguous-nnz";
+    case PartitionStrategy::kLevelAware:
+      return "level-aware";
+  }
+  return "unknown";
+}
+
+int Partition::DeviceOf(Idx row) const {
+  // First cut strictly greater than row, minus one: skips empty blocks and
+  // lands on the unique owner.
+  const auto it = std::upper_bound(cuts.begin() + 1, cuts.end(), row);
+  return static_cast<int>(it - cuts.begin()) - 1;
+}
+
+namespace {
+
+/// cross[c] = number of strictly-lower nonzeros (r, col) with col < c <= r —
+/// the messages a cut at row c would put on the wire. Built with a
+/// difference array in O(nnz + m).
+std::vector<std::int64_t> CrossAtCut(const Csr& lower) {
+  const Idx m = lower.rows();
+  std::vector<std::int64_t> diff(static_cast<std::size_t>(m) + 2, 0);
+  for (Idx r = 0; r < m; ++r) {
+    const Idx begin = lower.row_ptr()[static_cast<std::size_t>(r)];
+    const Idx end = lower.row_ptr()[static_cast<std::size_t>(r) + 1];
+    for (Idx j = begin; j < end; ++j) {
+      const Idx col = lower.col_idx()[static_cast<std::size_t>(j)];
+      if (col >= r) continue;  // diagonal / upper: not a dependency
+      // The edge crosses every cut c in (col, r].
+      ++diff[static_cast<std::size_t>(col) + 1];
+      --diff[static_cast<std::size_t>(r) + 1];
+    }
+  }
+  std::vector<std::int64_t> cross(static_cast<std::size_t>(m) + 1, 0);
+  std::int64_t running = 0;
+  for (Idx c = 0; c <= m; ++c) {
+    running += diff[static_cast<std::size_t>(c)];
+    cross[static_cast<std::size_t>(c)] = running;
+  }
+  return cross;
+}
+
+}  // namespace
+
+Expected<Partition> PartitionRows(const Csr& lower, int num_devices,
+                                  PartitionStrategy strategy,
+                                  const LevelSets* levels,
+                                  std::span<const double> row_weights) {
+  if (num_devices < 1) return InvalidArgument("num_devices must be >= 1");
+  const Idx m = lower.rows();
+  if (!row_weights.empty() &&
+      row_weights.size() != static_cast<std::size_t>(m)) {
+    return InvalidArgument("row_weights must have one entry per row");
+  }
+
+  // Cumulative weight; weight defaults to 1 + nnz so empty rows still carry
+  // launch cost and the quantiles are strictly increasing where rows exist.
+  std::vector<double> prefix(static_cast<std::size_t>(m) + 1, 0.0);
+  for (Idx r = 0; r < m; ++r) {
+    const double w =
+        row_weights.empty()
+            ? 1.0 + static_cast<double>(lower.RowLen(r))
+            : std::max(0.0, row_weights[static_cast<std::size_t>(r)]);
+    prefix[static_cast<std::size_t>(r) + 1] =
+        prefix[static_cast<std::size_t>(r)] + w;
+  }
+  const double total = prefix[static_cast<std::size_t>(m)];
+
+  Partition partition;
+  partition.cuts.assign(static_cast<std::size_t>(num_devices) + 1, 0);
+  partition.cuts[static_cast<std::size_t>(num_devices)] = m;
+
+  // Balanced baseline: cut d at the first row whose cumulative weight reaches
+  // the d/K quantile (monotone by construction).
+  for (int d = 1; d < num_devices; ++d) {
+    const double target =
+        total * static_cast<double>(d) / static_cast<double>(num_devices);
+    const auto it =
+        std::lower_bound(prefix.begin(), prefix.end(), target);
+    Idx cut = static_cast<Idx>(it - prefix.begin());
+    cut = std::clamp(cut, partition.cuts[static_cast<std::size_t>(d) - 1], m);
+    partition.cuts[static_cast<std::size_t>(d)] = cut;
+  }
+
+  if (strategy == PartitionStrategy::kLevelAware && m > 0) {
+    LevelSets computed;
+    if (levels == nullptr) {
+      computed = ComputeLevelSets(lower);
+      levels = &computed;
+    }
+    const std::vector<std::int64_t> cross = CrossAtCut(lower);
+    // Slide each balanced cut inside a window to the position with the fewest
+    // boundary messages; ties prefer level boundaries, then proximity to the
+    // balanced spot (so balance degrades as little as possible).
+    const Idx window = std::max<Idx>(
+        32, m / std::max(1, 8 * num_devices));
+    for (int d = 1; d < num_devices; ++d) {
+      const Idx balanced = partition.cuts[static_cast<std::size_t>(d)];
+      const Idx lo = std::max(partition.cuts[static_cast<std::size_t>(d) - 1],
+                              balanced - window);
+      const Idx hi = std::min(m, balanced + window);
+      Idx best = balanced;
+      std::int64_t best_cross = cross[static_cast<std::size_t>(balanced)];
+      bool best_on_level = false;
+      Idx best_dist = 0;
+      for (Idx c = lo; c <= hi; ++c) {
+        const std::int64_t cost = cross[static_cast<std::size_t>(c)];
+        const bool on_level =
+            c == 0 || c == m ||
+            levels->level_of[static_cast<std::size_t>(c) - 1] <
+                levels->level_of[static_cast<std::size_t>(c)];
+        const Idx dist = c > balanced ? c - balanced : balanced - c;
+        const bool better =
+            cost < best_cross ||
+            (cost == best_cross &&
+             ((on_level && !best_on_level) ||
+              (on_level == best_on_level && dist < best_dist)));
+        if (better) {
+          best = c;
+          best_cross = cost;
+          best_on_level = on_level;
+          best_dist = dist;
+        }
+      }
+      partition.cuts[static_cast<std::size_t>(d)] = best;
+    }
+    // Sliding is per-cut; restore monotonicity where neighbouring windows
+    // overlapped.
+    for (int d = 1; d <= num_devices; ++d) {
+      partition.cuts[static_cast<std::size_t>(d)] =
+          std::max(partition.cuts[static_cast<std::size_t>(d)],
+                   partition.cuts[static_cast<std::size_t>(d) - 1]);
+    }
+  }
+  return partition;
+}
+
+std::int64_t CountCrossEdges(const Csr& lower, const Partition& partition) {
+  std::int64_t crossing = 0;
+  const Idx m = lower.rows();
+  for (int d = 0; d < partition.num_devices(); ++d) {
+    const Idx begin = partition.RowBegin(d);
+    for (Idx r = begin; r < partition.RowEnd(d); ++r) {
+      const Idx row_begin = lower.row_ptr()[static_cast<std::size_t>(r)];
+      const Idx row_end = lower.row_ptr()[static_cast<std::size_t>(r) + 1];
+      for (Idx j = row_begin; j < row_end; ++j) {
+        const Idx col = lower.col_idx()[static_cast<std::size_t>(j)];
+        if (col < begin) ++crossing;  // contiguous: remote iff before my block
+      }
+    }
+  }
+  (void)m;
+  return crossing;
+}
+
+}  // namespace capellini::fleet

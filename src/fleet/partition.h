@@ -1,0 +1,72 @@
+// Row partitioning for the multi-device fleet (src/fleet).
+//
+// Devices own CONTIGUOUS global row blocks. Contiguity is what keeps the
+// sync-free scheme safe across devices: a row only depends on earlier rows,
+// so every cross-partition dependency flows from a lower-numbered device to a
+// higher-numbered one — the fleet schedules devices in index order and never
+// needs a cycle-breaking protocol (Xie et al., arXiv 2012.06959, make the
+// same structural choice for multi-GPU SpTRSV).
+//
+// Two strategies:
+//  * kContiguousNnz — cuts at cumulative-weight quantiles (weight defaults
+//    to per-row cost estimates; nnz-proportional), the balance baseline.
+//  * kLevelAware    — starts from the balanced cuts, then slides each cut
+//    within a window to minimize the number of cross-partition nonzeros
+//    (boundary messages), preferring level-set boundaries on ties: a cut at
+//    a level boundary means the consumer side starts an entire level after
+//    the producer side, the cheapest synchronization shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/levels.h"
+#include "matrix/csr.h"
+#include "support/status.h"
+
+namespace capellini::fleet {
+
+enum class PartitionStrategy {
+  kContiguousNnz = 0,
+  kLevelAware,
+};
+
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+/// K contiguous row blocks: device d owns global rows [cuts[d], cuts[d+1]).
+/// cuts.size() == K + 1, cuts[0] == 0, cuts[K] == rows; empty blocks are
+/// legal (K > rows leaves trailing devices with nothing to do).
+struct Partition {
+  std::vector<Idx> cuts;
+
+  int num_devices() const { return static_cast<int>(cuts.size()) - 1; }
+  Idx RowBegin(int device) const {
+    return cuts[static_cast<std::size_t>(device)];
+  }
+  Idx RowEnd(int device) const {
+    return cuts[static_cast<std::size_t>(device) + 1];
+  }
+  Idx RowCount(int device) const { return RowEnd(device) - RowBegin(device); }
+  /// Device owning `row` (rows must be in [0, cuts.back())). With empty
+  /// blocks the owner is the unique device whose range contains the row.
+  int DeviceOf(Idx row) const;
+};
+
+/// Splits lower's rows into `num_devices` contiguous blocks. `row_weights`
+/// (optional, size = rows) balances the cuts — the fleet passes per-row
+/// shares of Solver::CostHintMs(); empty falls back to 1 + row nnz. The
+/// level-aware strategy needs `levels` (pass Solver::Levels()); when null it
+/// recomputes them.
+Expected<Partition> PartitionRows(const Csr& lower, int num_devices,
+                                  PartitionStrategy strategy,
+                                  const LevelSets* levels = nullptr,
+                                  std::span<const double> row_weights = {});
+
+/// Number of strictly-lower nonzeros (r, c) whose producer c and consumer r
+/// land on different devices — exactly the messages the comm model charges.
+/// With one row per device every dependency crosses, so the count equals
+/// DependencyDag::num_edges() (the partitioner test's identity).
+std::int64_t CountCrossEdges(const Csr& lower, const Partition& partition);
+
+}  // namespace capellini::fleet

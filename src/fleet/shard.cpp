@@ -1,0 +1,88 @@
+#include "fleet/shard.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace capellini::fleet {
+
+ShardedSolveService::ShardedSolveService(const ShardOptions& options)
+    : options_(options) {
+  options_.num_devices = std::max(1, options_.num_devices);
+  const int k = options_.num_devices;
+  serve::RegistryOptions registry_options;
+  registry_options.byte_budget = options_.device_byte_budget;
+  registries_.reserve(static_cast<std::size_t>(k));
+  services_.reserve(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    registries_.push_back(
+        std::make_unique<serve::MatrixRegistry>(registry_options));
+    services_.push_back(std::make_unique<serve::SolveService>(
+        registries_.back().get(), options_.service));
+  }
+  placed_cost_ms_.assign(static_cast<std::size_t>(k), 0.0);
+}
+
+Expected<ShardedHandle> ShardedSolveService::Register(
+    Csr lower, std::string name, SolverOptions solver_options) {
+  // Choose under the ledger lock so concurrent registrations don't all read
+  // the same scores and pile onto one device.
+  int best = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int d = 0; d < options_.num_devices; ++d) {
+      const double score =
+          services_[static_cast<std::size_t>(d)]->QueuedCostMs() +
+          placed_cost_ms_[static_cast<std::size_t>(d)];
+      if (score < best_score) {  // strict '<': ties go to the lowest index
+        best_score = score;
+        best = d;
+      }
+    }
+  }
+  auto handle_or = registries_[static_cast<std::size_t>(best)]->Register(
+      std::move(lower), std::move(name), std::move(solver_options));
+  if (!handle_or.ok()) return handle_or.status();
+  // Peek (not Acquire): the ledger read must not promote the entry or count
+  // a cache hit. The entry is fresh, so the estimate is the analytic seed.
+  auto entry_or = registries_[static_cast<std::size_t>(best)]->Peek(*handle_or);
+  if (entry_or.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    placed_cost_ms_[static_cast<std::size_t>(best)] +=
+        (*entry_or)->cost.EstimateMs();
+  }
+  return ShardedHandle{best, *handle_or};
+}
+
+Expected<std::future<serve::ServeResult>> ShardedSolveService::Submit(
+    const ShardedHandle& handle, std::vector<Val> b,
+    serve::RequestOptions options) {
+  if (handle.device < 0 || handle.device >= options_.num_devices) {
+    return InvalidArgument("sharded handle names device " +
+                           std::to_string(handle.device) + " of a " +
+                           std::to_string(options_.num_devices) +
+                           "-device fleet");
+  }
+  return services_[static_cast<std::size_t>(handle.device)]->Submit(
+      handle.handle, std::move(b), options);
+}
+
+void ShardedSolveService::Start() {
+  for (auto& service : services_) service->Start();
+}
+
+void ShardedSolveService::Shutdown() {
+  for (auto& service : services_) service->Shutdown();
+}
+
+double ShardedSolveService::QueuedCostMs(int device) const {
+  return services_[static_cast<std::size_t>(device)]->QueuedCostMs();
+}
+
+double ShardedSolveService::PlacedCostMs(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return placed_cost_ms_[static_cast<std::size_t>(device)];
+}
+
+}  // namespace capellini::fleet

@@ -1,0 +1,85 @@
+// Sharded serving: K per-device (MatrixRegistry, SolveService) pairs behind
+// one facade, for the fleet's "millions of users" scaling axis.
+//
+// Placement is cost-aware and sticky: a matrix is registered on the device
+// with the least outstanding work — the live queued-cost ledger
+// (SolveService::QueuedCostMs) plus the cost hints of everything already
+// placed there — and every solve on its handle routes to that device (matrix
+// data lives in one device's registry budget; moving it would re-pay
+// analysis). Each device keeps its own byte budget, LRU, EDF queue, breaker
+// map and stats, so one noisy tenant saturates one shard, not the fleet.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace capellini::fleet {
+
+struct ShardOptions {
+  int num_devices = 1;
+  /// Per-device registry byte budget (0 = unlimited). The fleet-wide budget
+  /// is num_devices * device_byte_budget.
+  std::size_t device_byte_budget = 0;
+  /// Applied to every device's SolveService.
+  serve::ServiceOptions service;
+};
+
+/// A registry handle plus the device that owns it.
+struct ShardedHandle {
+  int device = -1;
+  serve::MatrixHandle handle = serve::kInvalidHandle;
+  bool valid() const {
+    return device >= 0 && handle != serve::kInvalidHandle;
+  }
+};
+
+class ShardedSolveService {
+ public:
+  explicit ShardedSolveService(const ShardOptions& options);
+
+  int num_devices() const { return options_.num_devices; }
+  const ShardOptions& options() const { return options_; }
+
+  /// Registers on the least-loaded device (queued cost + placed cost hints;
+  /// ties go to the lowest device index — deterministic for replays).
+  Expected<ShardedHandle> Register(Csr lower, std::string name,
+                                   SolverOptions solver_options = {});
+
+  /// Routes to the handle's device. Admission errors are that device's.
+  Expected<std::future<serve::ServeResult>> Submit(
+      const ShardedHandle& handle, std::vector<Val> b,
+      serve::RequestOptions options = {});
+
+  /// Start()/Shutdown() fan out to every device service.
+  void Start();
+  void Shutdown();
+
+  double QueuedCostMs(int device) const;
+  /// Sum of cost hints of matrices placed on the device — the static half of
+  /// the placement score.
+  double PlacedCostMs(int device) const;
+
+  serve::MatrixRegistry& registry(int device) {
+    return *registries_[static_cast<std::size_t>(device)];
+  }
+  serve::SolveService& service(int device) {
+    return *services_[static_cast<std::size_t>(device)];
+  }
+  const serve::ServiceStats& stats(int device) const {
+    return services_[static_cast<std::size_t>(device)]->stats();
+  }
+
+ private:
+  ShardOptions options_;
+  std::vector<std::unique_ptr<serve::MatrixRegistry>> registries_;
+  std::vector<std::unique_ptr<serve::SolveService>> services_;
+  mutable std::mutex mutex_;            // placement ledger only
+  std::vector<double> placed_cost_ms_;
+};
+
+}  // namespace capellini::fleet

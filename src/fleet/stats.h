@@ -1,0 +1,62 @@
+// Fleet-level counters: per-device execution + communication attribution,
+// merged into one makespan view (critical-path device, aggregate comm
+// volume). Plain data — filled by FleetSolver, serialized by bench_fleet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/types.h"
+#include "sim/counters.h"
+#include "support/status.h"
+
+namespace capellini::fleet {
+
+struct DeviceStats {
+  Idx row_begin = 0;
+  Idx row_end = 0;
+  std::int64_t nnz = 0;
+
+  /// Per-device launch outcome. The fleet finishes every independent device
+  /// even when one fails (fault-injection tests kill exactly one partition
+  /// and assert the rest run clean); dependents of a failed device fail fast
+  /// with kDeadlock instead of simulating the infinite spin.
+  Status status;
+
+  sim::LaunchStats launch;      // the device's kernel counters
+  std::uint64_t cycles = 0;     // launch cycles incl. launch overhead
+  double exec_ms = 0.0;
+  /// Estimated share of Solver::CostHintMs() for this block (nnz-weighted) —
+  /// what the partitioner balanced against.
+  double est_cost_ms = 0.0;
+
+  // Boundary traffic attribution.
+  std::uint64_t in_messages = 0;    // remote rows this device waited on
+  std::uint64_t out_messages = 0;   // rows it published to later devices
+  std::uint64_t comm_bytes_in = 0;
+  /// Sum over inbound messages of (arrival - publish): total wire+queue time
+  /// charged by the comm model.
+  std::uint64_t comm_delay_cycles = 0;
+  /// Cycle of the last inbound arrival — until then the device's boundary
+  /// rows were spinning on remote flags.
+  std::uint64_t last_arrival_cycle = 0;
+  /// min(cycles, last_arrival_cycle): upper bound on the stretch of the
+  /// launch that was (partly) remote-bound.
+  std::uint64_t boundary_stall_cycles = 0;
+};
+
+struct FleetStats {
+  std::vector<DeviceStats> devices;
+
+  std::int64_t cross_edges = 0;      // partition boundary size (messages)
+  std::uint64_t total_messages = 0;  // == cross_edges when all devices ran
+  std::uint64_t total_comm_bytes = 0;
+
+  /// All devices start at fleet cycle 0; the makespan is the slowest
+  /// device's launch (its spin-waits already include remote arrival time).
+  std::uint64_t makespan_cycles = 0;
+  int critical_device = -1;  // argmax cycles
+  double exec_ms = 0.0;      // makespan in simulated milliseconds
+};
+
+}  // namespace capellini::fleet

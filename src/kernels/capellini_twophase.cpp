@@ -13,10 +13,21 @@
 #include "kernels/common.h"
 
 namespace capellini::kernels {
+namespace {
 
-sim::Kernel BuildCapelliniTwoPhaseKernel() {
+// `range` = the fleet's partitioned launch: local thread t becomes global row
+// kParamAux0 + t, kParamM carries the partition's global row_end, and
+// warp_begin is the warp's first GLOBAL row (row_begin + local warp base).
+// Phase 1's col < warp_begin test then covers both earlier same-device warps
+// (dispatched earlier, make progress independently) and remote rows
+// (col < row_begin, published as delayed external arrivals) — busy-waiting
+// stays safe for both. range=false emits exactly the pre-fleet instruction
+// stream.
+sim::Kernel BuildTwoPhaseImpl(bool range) {
   using sim::Special;
-  sim::KernelBuilder b("capellini_twophase", kNumParams);
+  sim::KernelBuilder b(range ? "capellini_twophase_range"
+                             : "capellini_twophase",
+                       kNumParams);
 
   const int tid = b.R("tid");
   const int m = b.R("m");
@@ -43,7 +54,13 @@ sim::Kernel BuildCapelliniTwoPhaseKernel() {
   const int f_b = b.F("b");
 
   b.S2R(tid, Special::kGlobalTid);
-  b.LdParam(m, kParamM);
+  if (range) {
+    b.AndI(warp_begin, tid, ~std::int64_t{31});  // local warp base
+    b.LdParam(addr, kParamAux0);                 // partition row_begin
+    b.Add(tid, tid, addr);                       // tid is GLOBAL from here
+    b.Add(warp_begin, warp_begin, addr);
+  }
+  b.LdParam(m, kParamM);  // range: global row_end
   b.SetLt(pred, tid, m);
   b.ExitIfZero(pred);
 
@@ -54,7 +71,7 @@ sim::Kernel BuildCapelliniTwoPhaseKernel() {
   b.LdParam(rx, kParamX);
   b.LdParam(gv, kParamGetValue);
 
-  b.AndI(warp_begin, tid, ~std::int64_t{31});  // line 4
+  if (!range) b.AndI(warp_begin, tid, ~std::int64_t{31});  // line 4
   b.ShlI(addr, tid, 2);
   b.Add(addr, addr, rp);
   b.Ld4(j, addr);
@@ -164,6 +181,16 @@ sim::Kernel BuildCapelliniTwoPhaseKernel() {
   b.Bind(exhausted);
   b.Exit();
   return b.Build();
+}
+
+}  // namespace
+
+sim::Kernel BuildCapelliniTwoPhaseKernel() {
+  return BuildTwoPhaseImpl(/*range=*/false);
+}
+
+sim::Kernel BuildCapelliniTwoPhaseRangeKernel() {
+  return BuildTwoPhaseImpl(/*range=*/true);
 }
 
 }  // namespace capellini::kernels

@@ -16,10 +16,20 @@
 #include "kernels/common.h"
 
 namespace capellini::kernels {
+namespace {
 
-sim::Kernel BuildCapelliniWritingFirstKernel() {
+// `range` = the fleet's partitioned launch: local thread t becomes global row
+// kParamAux0 + t and kParamM carries the partition's global row_end. The body
+// is instruction-for-instruction the plain kernel — left_sum still drains in
+// strict CSR j order, so the computed values are bit-identical to a whole-
+// matrix launch no matter how arrivals interleave. range=false emits exactly
+// the pre-fleet instruction stream (cycle counts of existing launches are
+// unchanged).
+sim::Kernel BuildWritingFirstImpl(bool range) {
   using sim::Special;
-  sim::KernelBuilder b("capellini_writing_first", kNumParams);
+  sim::KernelBuilder b(range ? "capellini_writing_first_range"
+                             : "capellini_writing_first",
+                       kNumParams);
 
   const int tid = b.R("tid");
   const int m = b.R("m");
@@ -44,7 +54,11 @@ sim::Kernel BuildCapelliniWritingFirstKernel() {
   const int f_b = b.F("b");
 
   b.S2R(tid, Special::kGlobalTid);
-  b.LdParam(m, kParamM);
+  if (range) {
+    b.LdParam(addr, kParamAux0);  // partition row_begin
+    b.Add(tid, tid, addr);        // tid is a GLOBAL row from here on
+  }
+  b.LdParam(m, kParamM);  // range: global row_end
   b.SetLt(pred, tid, m);
   b.ExitIfZero(pred);
 
@@ -123,6 +137,16 @@ sim::Kernel BuildCapelliniWritingFirstKernel() {
   b.Jmp(outer);
   b.EndSpin();
   return b.Build();
+}
+
+}  // namespace
+
+sim::Kernel BuildCapelliniWritingFirstKernel() {
+  return BuildWritingFirstImpl(/*range=*/false);
+}
+
+sim::Kernel BuildCapelliniWritingFirstRangeKernel() {
+  return BuildWritingFirstImpl(/*range=*/true);
 }
 
 }  // namespace capellini::kernels

@@ -38,6 +38,14 @@ sim::Kernel BuildCapelliniWritingFirstKernel();// Algorithm 5
 sim::Kernel BuildCusparseProxyKernel();        // black-box baseline proxy
 sim::Kernel BuildHybridKernel();               // §4.4 warp/thread hybrid
 
+// Partition-range variants for the multi-device fleet (src/fleet): the launch
+// covers global rows [kParamAux0, kParamM) with row_end - row_begin threads;
+// full global arrays are uploaded per device and remote dependencies arrive
+// as delayed external stores (sim::ExternalStore). Bit-identical values to
+// the whole-matrix kernels by construction (same CSR drain order).
+sim::Kernel BuildCapelliniWritingFirstRangeKernel();
+sim::Kernel BuildCapelliniTwoPhaseRangeKernel();
+
 // Multiple right-hand sides (SpTRSM, Liu et al. CCPE'17 direction); k in
 // [1, 6]. B and X are column-major n x k.
 sim::Kernel BuildCapelliniWritingFirstMrhsKernel(int k);

@@ -384,6 +384,140 @@ Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
   return result;
 }
 
+namespace {
+
+/// Resolves MarkPublish store addresses back to rows and records each local
+/// row's first publish cycle. Observation only — attached via MultiSink next
+/// to any caller-supplied sink.
+class PublishCaptureSink final : public trace::TraceSink {
+ public:
+  PublishCaptureSink(sim::DevicePtr gv_base, Idx row_begin, Idx row_end,
+                     std::vector<std::uint64_t>* cycles)
+      : gv_base_(gv_base),
+        row_begin_(row_begin),
+        row_end_(row_end),
+        cycles_(cycles) {}
+
+  void OnPublish(const trace::PublishInfo& info) override {
+    if (info.addr < gv_base_) return;
+    const std::uint64_t row = (info.addr - gv_base_) / 4;
+    if (row < static_cast<std::uint64_t>(row_begin_) ||
+        row >= static_cast<std::uint64_t>(row_end_)) {
+      return;
+    }
+    std::uint64_t& slot =
+        (*cycles_)[row - static_cast<std::uint64_t>(row_begin_)];
+    if (slot == UINT64_MAX) slot = info.cycle;
+  }
+
+ private:
+  sim::DevicePtr gv_base_;
+  Idx row_begin_;
+  Idx row_end_;
+  std::vector<std::uint64_t>* cycles_;
+};
+
+const sim::Kernel& CachedRangeKernel(DeviceAlgorithm algorithm) {
+  if (algorithm == DeviceAlgorithm::kCapelliniTwoPhase) {
+    static const sim::Kernel kernel = BuildCapelliniTwoPhaseRangeKernel();
+    return kernel;
+  }
+  static const sim::Kernel kernel = BuildCapelliniWritingFirstRangeKernel();
+  return kernel;
+}
+
+}  // namespace
+
+Expected<RangeSolveResult> SolveRangeOnDevice(
+    DeviceAlgorithm algorithm, const Csr& lower, std::span<const Val> b,
+    Idx row_begin, Idx row_end, std::span<const RangeArrival> arrivals,
+    sim::Machine& machine, sim::DeviceMemory& memory,
+    const SolveOptions& options_in) {
+  if (algorithm != DeviceAlgorithm::kCapelliniTwoPhase &&
+      algorithm != DeviceAlgorithm::kCapelliniWritingFirst) {
+    return InvalidArgument(
+        "SolveRangeOnDevice supports the Capellini thread-per-row algorithms "
+        "only");
+  }
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument(
+        "SpTRSV needs a lower-triangular matrix with a full diagonal");
+  }
+  const Idx m = lower.rows();
+  if (b.size() != static_cast<std::size_t>(m)) {
+    return InvalidArgument("b has the wrong size");
+  }
+  if (row_begin < 0 || row_end > m || row_begin >= row_end) {
+    return InvalidArgument("bad row range");
+  }
+  for (const RangeArrival& arrival : arrivals) {
+    if (arrival.row < 0 || arrival.row >= m ||
+        (arrival.row >= row_begin && arrival.row < row_end)) {
+      return InvalidArgument("arrival row outside the remote range");
+    }
+  }
+
+  memory.Reset();
+  const DeviceProblem dev = UploadCsrProblem(lower, b, memory);
+  auto params = BaseParams(lower, dev);
+  params[kParamM] = row_end;      // global end of the local range
+  params[kParamAux0] = row_begin; // local thread 0's global row
+
+  std::vector<sim::ExternalStore> stores;
+  stores.reserve(arrivals.size());
+  for (const RangeArrival& arrival : arrivals) {
+    sim::ExternalStore store;
+    store.cycle = arrival.cycle;
+    store.f64_addr =
+        dev.x + 8ull * static_cast<std::uint64_t>(arrival.row);
+    store.f64_value = arrival.value;
+    store.i32_addr =
+        dev.get_value + 4ull * static_cast<std::uint64_t>(arrival.row);
+    store.i32_value = 1;
+    stores.push_back(store);
+  }
+  machine.set_external_stores(std::move(stores));
+
+  RangeSolveResult result;
+  result.publish_cycles.assign(
+      static_cast<std::size_t>(row_end - row_begin), UINT64_MAX);
+  PublishCaptureSink capture(dev.get_value, row_begin, row_end,
+                             &result.publish_cycles);
+  trace::MultiSink multi;
+  multi.Add(&capture);
+  multi.Add(options_in.trace_sink);
+  machine.set_trace_sink(&multi);
+  machine.set_fault_injector(options_in.fault_injector);
+
+  const int threads_per_block =
+      std::min(options_in.threads_per_block,
+               machine.config().max_warps_per_sm * 32);
+  auto stats = machine.Launch(CachedRangeKernel(algorithm),
+                              {.num_threads = row_end - row_begin,
+                               .threads_per_block = threads_per_block},
+                              params);
+  machine.set_trace_sink(nullptr);
+  machine.set_fault_injector(nullptr);
+  if (!stats.ok()) return stats.status();
+
+  result.stats = *stats;
+  result.exec_ms = machine.config().CyclesToMs(result.stats.cycles);
+  result.x.resize(static_cast<std::size_t>(m));
+  memory.CopyFromDevice(std::span<Val>(result.x), dev.x);
+  // A dropped publish still fires OnPublish (the bandwidth was spent, the
+  // value wasn't), so the flag array is the ground truth: rows whose flag
+  // never landed stay UINT64_MAX regardless of the captured cycle.
+  std::vector<std::int32_t> flags(
+      static_cast<std::size_t>(row_end - row_begin));
+  memory.CopyFromDevice(
+      std::span<std::int32_t>(flags),
+      dev.get_value + 4ull * static_cast<std::uint64_t>(row_begin));
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] == 0) result.publish_cycles[i] = UINT64_MAX;
+  }
+  return result;
+}
+
 const char* MrhsAlgorithmName(MrhsAlgorithm algorithm) {
   switch (algorithm) {
     case MrhsAlgorithm::kCapelliniMrhs:

@@ -18,6 +18,8 @@ class TraceSink;
 
 namespace capellini::sim {
 class FaultInjector;
+class Machine;
+class DeviceMemory;
 }
 
 namespace capellini::kernels {
@@ -78,6 +80,45 @@ Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
 
 /// All device algorithms, for parameterized tests.
 std::vector<DeviceAlgorithm> AllDeviceAlgorithms();
+
+// --- Partitioned launches (multi-device fleet, src/fleet) ------------------
+
+/// One remote x-component delivered to a device: at `cycle` (this device's
+/// within-launch clock) the value and its get_value flag land together, so
+/// local rows spin on the flag exactly as they would for an on-device
+/// producer.
+struct RangeArrival {
+  Idx row = 0;                // global row index, outside the local range
+  Val value = 0.0;            // x[row]
+  std::uint64_t cycle = 0;    // arrival cycle
+};
+
+struct RangeSolveResult {
+  /// Full-length solution image read back from the device; only entries in
+  /// [row_begin, row_end) were computed here (the rest are zeros/arrivals).
+  std::vector<Val> x;
+  sim::LaunchStats stats;
+  /// Simulated kernel execution time (includes launch overhead).
+  double exec_ms = 0.0;
+  /// Per LOCAL row (index row - row_begin): within-launch cycle at which the
+  /// row's flag publish executed, launch overhead excluded. UINT64_MAX when
+  /// the publish never landed (dropped by fault injection) — consumers of
+  /// that row would spin forever, so the fleet fails dependents fast.
+  std::vector<std::uint64_t> publish_cycles;
+};
+
+/// Solves the global rows [row_begin, row_end) of lower * x = b on the given
+/// machine, with remote dependencies delivered as scheduled arrivals. Only
+/// the Capellini thread-per-row algorithms (kCapelliniTwoPhase,
+/// kCapelliniWritingFirst) are supported. The machine's memory is Reset()
+/// and re-uploaded; trace/fault seams come from `options` as usual. With
+/// row_begin = 0, row_end = rows and no arrivals, the computed values are
+/// bit-identical to SolveOnDevice (same per-row drain order).
+Expected<RangeSolveResult> SolveRangeOnDevice(
+    DeviceAlgorithm algorithm, const Csr& lower, std::span<const Val> b,
+    Idx row_begin, Idx row_end, std::span<const RangeArrival> arrivals,
+    sim::Machine& machine, sim::DeviceMemory& memory,
+    const SolveOptions& options = {});
 
 // --- Multiple right-hand sides (SpTRSM) ------------------------------------
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "core/verify.h"
 #include "kernels/launch.h"
@@ -386,7 +387,9 @@ void SolveService::FinishRequest(Request& request,
 }
 
 SolveService::BreakerDecision SolveService::BreakerAdmit(MatrixHandle handle) {
-  if (options_.breaker_threshold <= 0) return BreakerDecision::kAllow;
+  if (options_.breaker_threshold <= 0 && options_.breaker_window <= 0) {
+    return BreakerDecision::kAllow;
+  }
   std::lock_guard<std::mutex> lock(breaker_mutex_);
   Breaker& breaker = breakers_[handle];
   switch (breaker.state) {
@@ -409,7 +412,7 @@ SolveService::BreakerDecision SolveService::BreakerAdmit(MatrixHandle handle) {
 }
 
 void SolveService::BreakerReport(MatrixHandle handle, StatusCode code) {
-  if (options_.breaker_threshold <= 0) return;
+  if (options_.breaker_threshold <= 0 && options_.breaker_window <= 0) return;
   // Only device-health signals move the breaker: the watchdog (kDeadlock)
   // and failed verification (kDataLoss). Everything else — including a
   // plain OK — is evidence the device path works.
@@ -418,17 +421,43 @@ void SolveService::BreakerReport(MatrixHandle handle, StatusCode code) {
   std::lock_guard<std::mutex> lock(breaker_mutex_);
   Breaker& breaker = breakers_[handle];
   switch (breaker.state) {
-    case Breaker::State::kClosed:
-      if (!failure) {
-        breaker.consecutive_failures = 0;
-      } else if (++breaker.consecutive_failures >=
-                 options_.breaker_threshold) {
+    case Breaker::State::kClosed: {
+      bool trip = false;
+      if (options_.breaker_threshold > 0) {
+        if (!failure) {
+          breaker.consecutive_failures = 0;
+        } else if (++breaker.consecutive_failures >=
+                   options_.breaker_threshold) {
+          trip = true;
+        }
+      }
+      if (options_.breaker_window > 0) {
+        const auto window =
+            static_cast<std::size_t>(options_.breaker_window);
+        breaker.window.push_back(failure);
+        while (breaker.window.size() > window) breaker.window.pop_front();
+        if (breaker.window.size() == window) {
+          // Open on failure RATE: intermittent faults (say 1 in 3 solves
+          // deadlocks) never run up a consecutive streak but still poison
+          // the handle. A partial window never trips — W requests of
+          // evidence first.
+          const auto failures = static_cast<double>(
+              std::count(breaker.window.begin(), breaker.window.end(), true));
+          const double rate =
+              std::clamp(options_.breaker_rate,
+                         std::numeric_limits<double>::min(), 1.0);
+          if (failures >= rate * static_cast<double>(window)) trip = true;
+        }
+      }
+      if (trip) {
         breaker.state = Breaker::State::kOpen;
         breaker.open_skips = 0;
         breaker.consecutive_failures = 0;
+        breaker.window.clear();  // each open needs fresh evidence
         stats_.RecordBreakerOpen();
       }
       break;
+    }
     case Breaker::State::kHalfOpen:
       if (failure) {
         breaker.state = Breaker::State::kOpen;
@@ -437,6 +466,7 @@ void SolveService::BreakerReport(MatrixHandle handle, StatusCode code) {
       } else {
         breaker.state = Breaker::State::kClosed;
         breaker.consecutive_failures = 0;
+        breaker.window.clear();
       }
       break;
     case Breaker::State::kOpen:

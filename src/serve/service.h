@@ -125,6 +125,16 @@ struct ServiceOptions {
   /// wall clock, so tests and replays are deterministic.
   int breaker_cooldown = 4;
   BreakerMode breaker_mode = BreakerMode::kFastFail;
+  /// Sliding-window breaker: track the last `breaker_window` reported device
+  /// outcomes per handle and open when the window is FULL and its failure
+  /// fraction reaches `breaker_rate`. Catches intermittent faults (e.g. a
+  /// 1-in-3 dropped publish) that never produce `breaker_threshold`
+  /// consecutive failures. 0 = window mode off. Both modes may be enabled
+  /// at once; either trip opens the breaker. Opening (and a successful
+  /// half-open probe) clears the window, so each open needs fresh evidence.
+  int breaker_window = 0;
+  /// Failure fraction that opens a full window. Clamped to (0, 1].
+  double breaker_rate = 0.5;
 };
 
 struct RequestOptions {
@@ -228,6 +238,9 @@ class SolveService {
     State state = State::kClosed;
     int consecutive_failures = 0;
     int open_skips = 0;
+    /// Last `breaker_window` outcomes (true = failure), oldest first. Only
+    /// maintained when window mode is on.
+    std::deque<bool> window;
   };
   enum class BreakerDecision { kAllow, kProbe, kShortCircuit, kFallback };
 

@@ -53,7 +53,24 @@ FaultCounts FaultInjector::counts() const {
   return counts;
 }
 
-bool FaultInjector::Decide(FaultKind kind, double rate) {
+bool FaultInjector::InScope(std::int64_t tid, int span) const {
+  if (tid < 0) return true;  // direct callers are scope-exempt
+  const std::int64_t begin = tid + tid_offset_;
+  const std::int64_t end = begin + span;
+  if (plan_.HasRowScope() &&
+      (end <= plan_.row_begin || begin >= plan_.row_end)) {
+    return false;
+  }
+  if (plan_.HasWarpScope()) {
+    const std::int64_t warp_lo = begin >> 5;
+    const std::int64_t warp_hi = ((end - 1) >> 5) + 1;
+    if (warp_hi <= plan_.warp_begin || warp_lo >= plan_.warp_end) return false;
+  }
+  return true;
+}
+
+bool FaultInjector::Decide(FaultKind kind, double rate, std::int64_t tid,
+                           int span) {
   if (rate <= 0.0) return false;  // zero-rate kinds consume nothing
   const auto k = static_cast<std::size_t>(kind);
   const std::uint64_t event =
@@ -61,6 +78,10 @@ bool FaultInjector::Decide(FaultKind kind, double rate) {
   const std::uint64_t h =
       Mix(plan_.seed ^ Mix(static_cast<std::uint64_t>(k + 1) ^ (event << 3)));
   if (ToUnit(h) >= rate) return false;
+  // Scope is checked AFTER the hash consumed its event, so scoped and
+  // unscoped plans share one event/decision stream; out-of-scope hits are
+  // suppressed and do not count against max_faults.
+  if (!InScope(tid, span)) return false;
   if (plan_.max_faults != 0) {
     // Respect the total cap without overshooting under concurrent callers.
     std::uint64_t current = total_injected_.load(std::memory_order_relaxed);
@@ -75,8 +96,8 @@ bool FaultInjector::Decide(FaultKind kind, double rate) {
   return true;
 }
 
-bool FaultInjector::MaybeFlipStoreBit(double& value) {
-  if (!Decide(FaultKind::kBitFlipStore, plan_.bitflip_store_rate)) {
+bool FaultInjector::MaybeFlipStoreBit(double& value, std::int64_t tid) {
+  if (!Decide(FaultKind::kBitFlipStore, plan_.bitflip_store_rate, tid, 1)) {
     return false;
   }
   // Flip the low exponent bit: the value halves or doubles — large enough
@@ -101,14 +122,22 @@ Status WriteFaultPlanJson(const FaultPlan& plan, const std::string& path) {
                "  \"mem_delay_rate\": %.9g,\n"
                "  \"stuck_cycles\": %llu,\n"
                "  \"mem_delay_cycles\": %llu,\n"
-               "  \"max_faults\": %llu\n"
+               "  \"max_faults\": %llu,\n"
+               "  \"row_begin\": %lld,\n"
+               "  \"row_end\": %lld,\n"
+               "  \"warp_begin\": %lld,\n"
+               "  \"warp_end\": %lld\n"
                "}\n",
                static_cast<unsigned long long>(plan.seed),
                plan.drop_publish_rate, plan.bitflip_store_rate,
                plan.stuck_warp_rate, plan.mem_delay_rate,
                static_cast<unsigned long long>(plan.stuck_cycles),
                static_cast<unsigned long long>(plan.mem_delay_cycles),
-               static_cast<unsigned long long>(plan.max_faults));
+               static_cast<unsigned long long>(plan.max_faults),
+               static_cast<long long>(plan.row_begin),
+               static_cast<long long>(plan.row_end),
+               static_cast<long long>(plan.warp_begin),
+               static_cast<long long>(plan.warp_end));
   std::fclose(file);
   return Status::Ok();
 }
@@ -166,6 +195,22 @@ Expected<FaultPlan> ReadFaultPlanJson(const std::string& path) {
   CAPELLINI_RETURN_IF_ERROR(
       read_u64("mem_delay_cycles", plan.mem_delay_cycles));
   CAPELLINI_RETURN_IF_ERROR(read_u64("max_faults", plan.max_faults));
+  auto read_i64 = [&](const char* key, std::int64_t& out) -> Status {
+    const std::size_t pos = text.find("\"" + std::string(key) + "\"");
+    if (pos == std::string::npos) return Status::Ok();
+    long long value = 0;
+    if (std::sscanf(text.c_str() + pos + std::strlen(key) + 2, " : %lld",
+                    &value) != 1) {
+      return IoError(path + ": malformed \"" + key + "\" value");
+    }
+    out = value;
+    any = true;
+    return Status::Ok();
+  };
+  CAPELLINI_RETURN_IF_ERROR(read_i64("row_begin", plan.row_begin));
+  CAPELLINI_RETURN_IF_ERROR(read_i64("row_end", plan.row_end));
+  CAPELLINI_RETURN_IF_ERROR(read_i64("warp_begin", plan.warp_begin));
+  CAPELLINI_RETURN_IF_ERROR(read_i64("warp_end", plan.warp_end));
   if (!any) return IoError(path + ": no FaultPlan keys found");
   return plan;
 }
@@ -178,7 +223,16 @@ std::string FaultPlanSummary(const FaultPlan& plan) {
                 plan.drop_publish_rate, plan.bitflip_store_rate,
                 plan.stuck_warp_rate, plan.mem_delay_rate,
                 static_cast<unsigned long long>(plan.max_faults));
-  return buf;
+  std::string out = buf;
+  if (plan.HasRowScope()) {
+    out += " rows=[" + std::to_string(plan.row_begin) + "," +
+           std::to_string(plan.row_end) + ")";
+  }
+  if (plan.HasWarpScope()) {
+    out += " warps=[" + std::to_string(plan.warp_begin) + "," +
+           std::to_string(plan.warp_end) + ")";
+  }
+  return out;
 }
 
 }  // namespace capellini::sim

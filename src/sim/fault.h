@@ -67,6 +67,22 @@ struct FaultPlan {
   /// Total faults injected across all kinds (0 = unlimited). max_faults = 1
   /// is the property-test's "exactly one dropped flag" scenario.
   std::uint64_t max_faults = 0;
+  /// Scope: when a range is set (0 <= begin < end), injection only fires for
+  /// events whose global thread id (== row for the thread-per-row kernels,
+  /// after the injector's tid offset) falls in [row_begin, row_end), and/or
+  /// whose warp id (global tid / 32) falls in [warp_begin, warp_end). Both
+  /// set = both must match. Scoping suppresses an injection AFTER the
+  /// per-event hash is consumed, so scoped and unscoped plans with the same
+  /// seed see the same event stream: a scoped plan injects exactly the
+  /// subset of the unscoped plan's faults that lands in range. Fleet tests
+  /// use this to kill one device's partition and assert the rest run clean.
+  std::int64_t row_begin = -1;
+  std::int64_t row_end = -1;
+  std::int64_t warp_begin = -1;
+  std::int64_t warp_end = -1;
+
+  bool HasRowScope() const { return row_begin >= 0 && row_end > row_begin; }
+  bool HasWarpScope() const { return warp_begin >= 0 && warp_end > warp_begin; }
 
   bool Enabled() const {
     return drop_publish_rate > 0.0 || bitflip_store_rate > 0.0 ||
@@ -105,33 +121,48 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
   FaultCounts counts() const;
 
+  /// Added to the tids the Machine hands the hooks before the plan's scope is
+  /// checked. A fleet device whose partition starts at global row R attaches
+  /// an injector with set_tid_offset(R), so one plan written in global row
+  /// coordinates targets the same rows no matter which device owns them.
+  void set_tid_offset(std::int64_t offset) { tid_offset_ = offset; }
+  std::int64_t tid_offset() const { return tid_offset_; }
+
   // --- decision hooks (called by sim::Machine) -----------------------------
+  // The tid identifies the event's thread for the plan's row/warp scope:
+  // per-lane hooks pass the lane's global tid, per-warp hooks the warp's
+  // base tid (the scope check covers all 32 lanes). The default -1 is
+  // scope-exempt — direct callers (tests) keep the unscoped behaviour.
 
   /// One publish-annotated lane-store is about to land; true = drop it.
-  bool DropPublish() { return Decide(FaultKind::kDropPublish, plan_.drop_publish_rate); }
+  bool DropPublish(std::int64_t tid = -1) {
+    return Decide(FaultKind::kDropPublish, plan_.drop_publish_rate, tid, 1);
+  }
 
   /// One f64 lane-store is about to land; flips `value`'s low exponent bit
   /// (halving or doubling it) and returns true when injecting.
-  bool MaybeFlipStoreBit(double& value);
+  bool MaybeFlipStoreBit(double& value, std::int64_t tid = -1);
 
   /// One ready warp is about to issue; nonzero = park it this many cycles.
-  std::uint64_t StuckCycles() {
-    return Decide(FaultKind::kStuckWarp, plan_.stuck_warp_rate)
+  std::uint64_t StuckCycles(std::int64_t tid = -1) {
+    return Decide(FaultKind::kStuckWarp, plan_.stuck_warp_rate, tid, 32)
                ? plan_.stuck_cycles
                : 0;
   }
 
   /// One load/atomic stall completed accounting; nonzero = extra delay.
-  std::uint64_t ExtraMemDelay() {
-    return Decide(FaultKind::kMemDelay, plan_.mem_delay_rate)
+  std::uint64_t ExtraMemDelay(std::int64_t tid = -1) {
+    return Decide(FaultKind::kMemDelay, plan_.mem_delay_rate, tid, 32)
                ? plan_.mem_delay_cycles
                : 0;
   }
 
  private:
-  bool Decide(FaultKind kind, double rate);
+  bool Decide(FaultKind kind, double rate, std::int64_t tid, int span);
+  bool InScope(std::int64_t tid, int span) const;
 
   FaultPlan plan_;
+  std::int64_t tid_offset_ = 0;
   // Opportunities seen per kind (every call advances one); decisions hash
   // (seed, kind, this counter), so they are independent of wall clock and of
   // the other kinds' traffic.

@@ -447,7 +447,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
         // happened, the value didn't land — which is how the real hazard
         // manifests (and how the no-progress watchdog later catches it).
         if (faults_ && (pc_flags & kPcPublish) != 0 &&
-            faults_->DropPublish()) {
+            faults_->DropPublish(warp.base_tid + lane)) {
           return;
         }
         if (instr.op == Op::kSt4) {
@@ -457,7 +457,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
           memory_->StoreI64(addr, RegI(warp, lane, instr.b));
         } else {
           double value = RegF(warp, lane, instr.b);
-          if (faults_) faults_->MaybeFlipStoreBit(value);
+          if (faults_) faults_->MaybeFlipStoreBit(value, warp.base_tid + lane);
           memory_->StoreF64(addr, value);
         }
       });
@@ -613,7 +613,7 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   // Delayed memory response: the completion slips further out. Timing-only —
   // the value was already read at issue (sequential consistency holds).
   if (faults_ && mem.ready_at != 0) {
-    mem.ready_at += faults_->ExtraMemDelay();
+    mem.ready_at += faults_->ExtraMemDelay(warp.base_tid);
   }
 
   Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
@@ -669,6 +669,20 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   last_progress_cycle_ = 0;
   alive_warps_ = 0;
   wake_ = {};
+  // Peer-device arrivals are applied in cycle order; they are consumed by
+  // this launch only (cleared on every exit path below).
+  std::sort(ext_.begin(), ext_.end(),
+            [](const ExternalStore& a, const ExternalStore& b) {
+              return a.cycle < b.cycle;
+            });
+  ext_next_ = 0;
+  struct ExtClear {
+    Machine* machine;
+    ~ExtClear() {
+      machine->ext_.clear();
+      machine->ext_next_ = 0;
+    }
+  } ext_clear{this};
   // Lazy bitmap reset: only the words the previous launch touched are
   // nonzero, so re-launch cost is O(touched), not O(address space).
   for (const std::size_t word : l2_touched_words_) l2_sectors_[word] = 0;
@@ -785,6 +799,21 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   dispatch();
 
   while (alive_warps_ > 0 || next_block < num_blocks) {
+    // Apply peer-device stores whose arrival cycle has been reached. Applied
+    // before any warp issues this cycle, so a poll load at cycle >= arrival
+    // observes the flag — the same ordering an on-device producer gives. Each
+    // application is forward progress: a consumer legitimately spinning on a
+    // remote flag is not a deadlock.
+    while (ext_next_ < ext_.size() && ext_[ext_next_].cycle <= cycle_) {
+      const ExternalStore& store = ext_[ext_next_++];
+      if (store.f64_addr != 0) {
+        memory_->StoreF64(store.f64_addr, store.f64_value);
+      }
+      if (store.i32_addr != 0) {
+        memory_->StoreI32(store.i32_addr, store.i32_value);
+      }
+      last_progress_cycle_ = cycle_;
+    }
     if (cycle_ > config_.max_cycles) {
       const std::string dump = "kernel " + kernel.name + " exceeded " +
                                std::to_string(config_.max_cycles) + " cycles";
@@ -794,7 +823,8 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
       }
       return DeadlockError(dump);
     }
-    if (cycle_ - last_progress_cycle_ > config_.no_progress_cycles) {
+    if (ext_next_ >= ext_.size() &&
+        cycle_ - last_progress_cycle_ > config_.no_progress_cycles) {
       // Diagnose: where are the surviving warps parked? A busy-wait deadlock
       // shows up as most warps clustered at the spin loop's PCs.
       std::vector<int> pc_histogram(kernel.code.size(), 0);
@@ -851,7 +881,8 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         // slot goes idle. The wake queue brings it back, so the no-progress
         // watchdog never confuses a stuck warp with a deadlock.
         if (faults_) {
-          const std::uint64_t stuck = faults_->StuckCycles();
+          const std::uint64_t stuck = faults_->StuckCycles(
+              warp_pool_[static_cast<std::size_t>(warp_index)].base_tid);
           if (stuck != 0) {
             wake_.push(WakeEntry{cycle_ + stuck, warp_index, s});
             ++stats_.stall_slots;

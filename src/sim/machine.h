@@ -47,6 +47,20 @@ struct LaunchDims {
   int threads_per_block = 256;      // dispatch granularity
 };
 
+/// A write scheduled to land in device memory at a given simulated cycle —
+/// the fleet layer's model of a peer device publishing a boundary x-value:
+/// the f64 solution component and the i32 get_value flag become visible
+/// together once the simulated clock reaches `cycle`, so consumer rows spin
+/// on the flag exactly as they would on an on-device producer. An address of
+/// 0 skips that half (0 is below the allocation base, never a real address).
+struct ExternalStore {
+  std::uint64_t cycle = 0;
+  std::uint64_t f64_addr = 0;
+  double f64_value = 0.0;
+  std::uint64_t i32_addr = 0;
+  std::int32_t i32_value = 0;
+};
+
 class Machine {
  public:
   Machine(DeviceConfig config, DeviceMemory* memory);
@@ -65,6 +79,15 @@ class Machine {
   /// are bit-identical to an untouched machine. See sim/fault.h for the
   /// hazards it can inject.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Schedules peer-device writes for the NEXT launch only (cleared when that
+  /// launch ends). Stores are applied when the simulated clock first reaches
+  /// their cycle; each application counts as forward progress, and the
+  /// no-progress watchdog will not trip while arrivals are still pending —
+  /// a warp legitimately spinning on a remote flag is not a deadlock.
+  void set_external_stores(std::vector<ExternalStore> stores) {
+    ext_ = std::move(stores);
+  }
 
   /// Runs `kernel` to completion and returns its counters.
   /// Fails with StatusCode::kDeadlock when the watchdog trips.
@@ -196,6 +219,11 @@ class Machine {
   // Fault injection (see sim/fault.h). Null = off; every hook site is one
   // pointer test.
   FaultInjector* faults_ = nullptr;
+
+  // Scheduled peer-device writes (sorted by cycle at Launch; applied by the
+  // main loop). ext_next_ is the first not-yet-applied entry.
+  std::vector<ExternalStore> ext_;
+  std::size_t ext_next_ = 0;
 };
 
 }  // namespace capellini::sim

@@ -31,6 +31,14 @@ class DeviceMemory {
 
   std::uint64_t size() const { return bytes_.size(); }
 
+  /// Releases every allocation and rewinds the bump pointer, so one arena can
+  /// be reused across independent uploads (the fleet re-uploads a problem per
+  /// device launch). Previously handed-out DevicePtrs become invalid.
+  void Reset() {
+    bytes_.clear();
+    bytes_.resize(kBaseOffset, 0);
+  }
+
   /// Host -> device copy.
   template <typename T>
   void CopyToDevice(DevicePtr dst, std::span<const T> src) {

@@ -131,6 +131,91 @@ TEST(FaultPlanJsonTest, RoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(FaultPlanJsonTest, ScopeRoundTrips) {
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  plan.drop_publish_rate = 1.0;
+  plan.row_begin = 64;
+  plan.row_end = 128;
+  plan.warp_begin = 2;
+  plan.warp_end = 4;
+  const std::string path = testing::TempDir() + "fault_plan_scope.json";
+  ASSERT_TRUE(sim::WriteFaultPlanJson(plan, path).ok());
+  auto read = sim::ReadFaultPlanJson(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->row_begin, 64);
+  EXPECT_EQ(read->row_end, 128);
+  EXPECT_EQ(read->warp_begin, 2);
+  EXPECT_EQ(read->warp_end, 4);
+  EXPECT_TRUE(read->HasRowScope());
+  EXPECT_TRUE(read->HasWarpScope());
+  // An unscoped plan round-trips to unscoped (the default -1 sentinels).
+  sim::FaultPlan unscoped;
+  ASSERT_TRUE(sim::WriteFaultPlanJson(unscoped, path).ok());
+  auto read_unscoped = sim::ReadFaultPlanJson(path);
+  ASSERT_TRUE(read_unscoped.ok());
+  EXPECT_FALSE(read_unscoped->HasRowScope());
+  EXPECT_FALSE(read_unscoped->HasWarpScope());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectorTest, RowScopeSuppressesOutOfScopeTids) {
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_publish_rate = 1.0;  // every in-scope event fires
+  plan.row_begin = 64;
+  plan.row_end = 128;
+  sim::FaultInjector injector(plan);
+  EXPECT_FALSE(injector.DropPublish(0));
+  EXPECT_FALSE(injector.DropPublish(63));
+  EXPECT_TRUE(injector.DropPublish(64));
+  EXPECT_TRUE(injector.DropPublish(127));
+  EXPECT_FALSE(injector.DropPublish(128));
+  // tid -1 (direct callers with no row identity) is scope-exempt.
+  EXPECT_TRUE(injector.DropPublish());
+  // The tid offset maps a range launch's LOCAL tids to global rows: local
+  // tid 0 on a device whose block starts at row 64 IS row 64.
+  injector.Reseed(plan);
+  injector.set_tid_offset(64);
+  EXPECT_TRUE(injector.DropPublish(0));
+  EXPECT_FALSE(injector.DropPublish(64));  // global row 128: out of scope
+}
+
+TEST(FaultInjectorTest, ScopeDoesNotPerturbTheEventStream) {
+  // Scoped and unscoped plans share seeds, so decisions at in-scope events
+  // must be identical — scoping only SUPPRESSES, it never re-randomizes.
+  sim::FaultPlan unscoped;
+  unscoped.seed = 21;
+  unscoped.drop_publish_rate = 0.3;
+  sim::FaultPlan scoped = unscoped;
+  scoped.row_begin = 100;
+  scoped.row_end = 200;
+  sim::FaultInjector a(unscoped);
+  sim::FaultInjector b(scoped);
+  for (int event = 0; event < 400; ++event) {
+    const bool in_scope = event >= 100 && event < 200;
+    const bool fired_unscoped = a.DropPublish(event);
+    const bool fired_scoped = b.DropPublish(event);
+    if (in_scope) {
+      EXPECT_EQ(fired_scoped, fired_unscoped) << "event " << event;
+    } else {
+      EXPECT_FALSE(fired_scoped) << "event " << event;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, WarpScopeCoversWholeWarps) {
+  sim::FaultPlan plan;
+  plan.seed = 5;
+  plan.stuck_warp_rate = 1.0;
+  plan.warp_begin = 1;
+  plan.warp_end = 2;  // only warp 1 (tids 32..63)
+  sim::FaultInjector injector(plan);
+  EXPECT_EQ(injector.StuckCycles(0), 0u);    // warp 0
+  EXPECT_GT(injector.StuckCycles(32), 0u);   // warp 1
+  EXPECT_EQ(injector.StuckCycles(64), 0u);   // warp 2
+}
+
 TEST(FaultPlanJsonTest, MissingFileAndGarbageAreErrors) {
   EXPECT_FALSE(sim::ReadFaultPlanJson("/nonexistent/plan.json").ok());
   const std::string path = testing::TempDir() + "fault_garbage.json";

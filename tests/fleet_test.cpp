@@ -1,0 +1,298 @@
+// src/fleet: partitioner edge cases, the fleet determinism contract
+// (byte-identity with the single-device solver, host-thread invariance) and
+// partition-scoped fault injection (one killed device leaves independent
+// devices clean).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/solver.h"
+#include "fleet/comm.h"
+#include "fleet/fleet.h"
+#include "fleet/partition.h"
+#include "gen/banded.h"
+#include "gen/random_lower.h"
+#include "graph/dag.h"
+#include "graph/levels.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+#include "sim/fault.h"
+
+namespace capellini {
+namespace fleet {
+namespace {
+
+Csr TestMatrix(Idx rows = 600) {
+  return MakeRandomLower({.rows = rows,
+                          .avg_strict_nnz_per_row = 3.0,
+                          .window = 64,
+                          .empty_row_fraction = 0.1,
+                          .seed = 42});
+}
+
+/// Two Val vectors with identical bytes — the fleet determinism gate (plain
+/// EXPECT_EQ on doubles would also pass -0.0 == 0.0 and miss a byte flip).
+bool BytesEqual(const std::vector<Val>& a, const std::vector<Val>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Val)) == 0);
+}
+
+TEST(PartitionTest, CutsCoverAllRowsAndStayMonotone) {
+  const Csr lower = TestMatrix();
+  for (const PartitionStrategy strategy :
+       {PartitionStrategy::kContiguousNnz, PartitionStrategy::kLevelAware}) {
+    const LevelSets levels = ComputeLevelSets(lower);
+    auto part = PartitionRows(lower, 4, strategy, &levels);
+    ASSERT_TRUE(part.ok()) << PartitionStrategyName(strategy);
+    ASSERT_EQ(part->cuts.size(), 5u);
+    EXPECT_EQ(part->cuts.front(), 0);
+    EXPECT_EQ(part->cuts.back(), lower.rows());
+    Idx covered = 0;
+    for (int d = 0; d < part->num_devices(); ++d) {
+      EXPECT_LE(part->RowBegin(d), part->RowEnd(d));
+      covered += part->RowCount(d);
+    }
+    EXPECT_EQ(covered, lower.rows());
+    // DeviceOf agrees with the blocks.
+    for (Idx r = 0; r < lower.rows(); ++r) {
+      const int d = part->DeviceOf(r);
+      EXPECT_GE(r, part->RowBegin(d));
+      EXPECT_LT(r, part->RowEnd(d));
+    }
+  }
+}
+
+TEST(PartitionTest, MoreDevicesThanRowsYieldsEmptyBlocks) {
+  const Csr lower = MakeBidiagonal(3);
+  auto part =
+      PartitionRows(lower, 8, PartitionStrategy::kContiguousNnz, nullptr);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_devices(), 8);
+  Idx covered = 0;
+  int empty = 0;
+  for (int d = 0; d < 8; ++d) {
+    covered += part->RowCount(d);
+    if (part->RowCount(d) == 0) ++empty;
+  }
+  EXPECT_EQ(covered, 3);
+  EXPECT_GE(empty, 5);  // at most 3 devices can hold a row
+}
+
+TEST(PartitionTest, SingleDeviceIsOneBlockWithNoCrossEdges) {
+  const Csr lower = TestMatrix(128);
+  auto part =
+      PartitionRows(lower, 1, PartitionStrategy::kLevelAware, nullptr);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_devices(), 1);
+  EXPECT_EQ(part->RowCount(0), 128);
+  EXPECT_EQ(CountCrossEdges(lower, *part), 0);
+}
+
+TEST(PartitionTest, DiagonalOnlyMatrixHasNoCrossEdges) {
+  // Unit diagonal only: no dependencies, so any cut set has an empty
+  // boundary.
+  const Idx rows = 97;
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(rows) + 1);
+  std::vector<Idx> col_idx(static_cast<std::size_t>(rows));
+  for (Idx r = 0; r <= rows; ++r) row_ptr[static_cast<std::size_t>(r)] = r;
+  for (Idx r = 0; r < rows; ++r) col_idx[static_cast<std::size_t>(r)] = r;
+  const Csr diag(rows, rows, std::move(row_ptr), std::move(col_idx),
+                 std::vector<Val>(static_cast<std::size_t>(rows), 1.0));
+  ASSERT_EQ(diag.nnz(), 97);
+  for (const int k : {2, 3, 7, 97}) {
+    auto part =
+        PartitionRows(diag, k, PartitionStrategy::kContiguousNnz, nullptr);
+    ASSERT_TRUE(part.ok());
+    EXPECT_EQ(CountCrossEdges(diag, *part), 0) << "k=" << k;
+  }
+}
+
+TEST(PartitionTest, SingletonPartitionsCountEveryDagEdge) {
+  // One row per device: every strictly-lower nonzero crosses a cut, so the
+  // boundary size must equal the dependency DAG's edge count exactly.
+  const Csr lower = TestMatrix(200);
+  // Uniform weights force exact one-row blocks (nnz weights would merge
+  // light rows and leave some devices empty — legal, but not the identity
+  // this test pins down).
+  const std::vector<double> uniform(static_cast<std::size_t>(lower.rows()),
+                                    1.0);
+  auto part = PartitionRows(lower, static_cast<int>(lower.rows()),
+                            PartitionStrategy::kContiguousNnz, nullptr,
+                            uniform);
+  ASSERT_TRUE(part.ok());
+  for (int d = 0; d < part->num_devices(); ++d) {
+    EXPECT_LE(part->RowCount(d), 1);
+  }
+  EXPECT_EQ(CountCrossEdges(lower, *part), DependencyDag(lower).num_edges());
+}
+
+TEST(PartitionTest, RejectsBadInputs) {
+  const Csr lower = TestMatrix(32);
+  EXPECT_FALSE(
+      PartitionRows(lower, 0, PartitionStrategy::kContiguousNnz).ok());
+  EXPECT_FALSE(
+      PartitionRows(lower, -2, PartitionStrategy::kContiguousNnz).ok());
+}
+
+FleetConfig TestFleetConfig(int devices) {
+  FleetConfig config;
+  config.num_devices = devices;
+  config.device = sim::TinyTestDevice();
+  return config;
+}
+
+TEST(FleetTest, SingleDeviceIsByteIdenticalToSolver) {
+  const Csr lower = TestMatrix();
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 11);
+  SolverOptions solver_options;
+  solver_options.device = sim::TinyTestDevice();
+  const Solver solver(lower, solver_options);
+  auto solo = solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(solo.ok());
+
+  DeviceFleet one(TestFleetConfig(1));
+  auto result = FleetSolver(&one).Solve(solver, problem.b);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_TRUE(BytesEqual(result->x, solo->x));
+  EXPECT_EQ(result->stats.cross_edges, 0);
+  EXPECT_EQ(result->stats.total_messages, 0u);
+}
+
+TEST(FleetTest, MultiDeviceMatchesSingleDeviceBytes) {
+  const Csr lower = TestMatrix();
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 23);
+  SolverOptions solver_options;
+  solver_options.device = sim::TinyTestDevice();
+  const Solver solver(lower, solver_options);
+  auto solo = solver.Solve(Algorithm::kCapellini, problem.b);
+  ASSERT_TRUE(solo.ok());
+
+  for (const int k : {2, 4}) {
+    DeviceFleet devices(TestFleetConfig(k));
+    auto result = FleetSolver(&devices).Solve(solver, problem.b);
+    ASSERT_TRUE(result.ok()) << "k=" << k;
+    ASSERT_TRUE(result->status.ok()) << "k=" << k;
+    EXPECT_TRUE(BytesEqual(result->x, solo->x)) << "k=" << k;
+    EXPECT_GT(result->stats.makespan_cycles, 0u);
+    EXPECT_GE(result->stats.critical_device, 0);
+  }
+}
+
+TEST(FleetTest, HostThreadCountNeverChangesResults) {
+  const Csr lower = TestMatrix();
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 31);
+  const Solver solver(lower, SolverOptions{.device = sim::TinyTestDevice()});
+
+  std::vector<Val> reference;
+  std::uint64_t reference_makespan = 0;
+  for (const int host_threads : {1, 2, 8}) {
+    FleetConfig config = TestFleetConfig(4);
+    config.host_threads = host_threads;
+    DeviceFleet devices(config);
+    auto result = FleetSolver(&devices).Solve(solver, problem.b);
+    ASSERT_TRUE(result.ok()) << "host_threads=" << host_threads;
+    ASSERT_TRUE(result->status.ok());
+    if (reference.empty()) {
+      reference = result->x;
+      reference_makespan = result->stats.makespan_cycles;
+    } else {
+      // Bytes AND simulated timing: the comm schedule is fixed by the
+      // partition, not by which host thread delivered a message first.
+      EXPECT_TRUE(BytesEqual(result->x, reference))
+          << "host_threads=" << host_threads;
+      EXPECT_EQ(result->stats.makespan_cycles, reference_makespan)
+          << "host_threads=" << host_threads;
+    }
+  }
+}
+
+TEST(FleetTest, EmptyBlocksSolveCleanly) {
+  const Csr lower = MakeBidiagonal(5);
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 3);
+  const Solver solver(lower, SolverOptions{.device = sim::TinyTestDevice()});
+  DeviceFleet devices(TestFleetConfig(8));  // more devices than rows
+  auto result = FleetSolver(&devices).Solve(solver, problem.b);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  for (std::size_t i = 0; i < result->x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->x[i], problem.x_true[i]) << "row " << i;
+  }
+}
+
+TEST(FleetTest, CommChargesLatencyAndSerializesLinks) {
+  CommModel comm(CommConfig{.latency_cycles = 100,
+                            .bandwidth_bytes_per_cycle = 4.0,
+                            .bytes_per_message = 12},
+                 2);
+  // 12 bytes at 4 B/cycle = 3 wire cycles + 100 latency.
+  EXPECT_EQ(comm.Deliver(0, 1, 1000), 1103u);
+  // Same link, same publish cycle: the second message queues behind the
+  // first's wire time (departs at 1003).
+  EXPECT_EQ(comm.Deliver(0, 1, 1000), 1106u);
+  EXPECT_EQ(comm.total_messages(), 2u);
+  EXPECT_EQ(comm.total_bytes(), 24u);
+}
+
+TEST(FleetTest, ScopedFaultPlanKillsOnePartitionOthersFinish) {
+  // A banded chain: every device depends on its predecessor, so killing the
+  // MIDDLE device must leave device 0 clean, fail device 1 with a device
+  // error, and fail the downstream devices with upstream errors.
+  const Csr lower = MakeBanded({.rows = 256, .bandwidth = 4, .fill = 0.8});
+  const ReferenceProblem problem = MakeReferenceProblem(lower, 13);
+  const Solver solver(lower, SolverOptions{.device = sim::TinyTestDevice()});
+
+  FleetConfig config = TestFleetConfig(4);
+  config.device.no_progress_cycles = 30'000;  // fast watchdog
+  config.strategy = PartitionStrategy::kContiguousNnz;
+  DeviceFleet devices(config);
+
+  // First find device 1's row block, then scope a kill-plan to exactly it.
+  auto dry = FleetSolver(&devices).Solve(solver, problem.b);
+  ASSERT_TRUE(dry.ok());
+  ASSERT_TRUE(dry->status.ok());
+  const Idx victim_begin = dry->partition.RowBegin(1);
+  const Idx victim_end = dry->partition.RowEnd(1);
+  ASSERT_LT(victim_begin, victim_end);
+
+  sim::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_publish_rate = 1.0;  // every publish in scope is dropped
+  plan.row_begin = victim_begin;
+  plan.row_end = victim_end;
+  std::vector<sim::FaultInjector> injectors(4);
+  for (int d = 0; d < 4; ++d) {
+    injectors[static_cast<std::size_t>(d)].Reseed(plan);
+    devices.set_fault_injector(d, &injectors[static_cast<std::size_t>(d)]);
+  }
+
+  auto result = FleetSolver(&devices).Solve(solver, problem.b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->status.ok());
+
+  const std::vector<DeviceStats>& ds = result->stats.devices;
+  ASSERT_EQ(ds.size(), 4u);
+  // Device 0 is upstream of the fault scope: clean, and its rows are exact.
+  EXPECT_TRUE(ds[0].status.ok());
+  for (Idx r = 0; r < ds[0].row_end; ++r) {
+    EXPECT_DOUBLE_EQ(result->x[static_cast<std::size_t>(r)],
+                     problem.x_true[static_cast<std::size_t>(r)]);
+  }
+  // The victim died on its own device (watchdog deadlock: its local rows
+  // spin on dropped flags); dependents failed fast on the upstream loss.
+  EXPECT_EQ(ds[1].status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(ds[2].status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(ds[3].status.code(), StatusCode::kDeadlock);
+  // Only the victim's injector fired: the plan's row scope excluded every
+  // other device's rows.
+  EXPECT_GT(injectors[1].counts().total(), 0u);
+  EXPECT_EQ(injectors[0].counts().total(), 0u);
+  EXPECT_EQ(injectors[2].counts().total(), 0u);
+  EXPECT_EQ(injectors[3].counts().total(), 0u);
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace capellini

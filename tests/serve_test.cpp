@@ -703,6 +703,96 @@ TEST(ServiceTest, OpenBreakerHostFallbackStillServes) {
   EXPECT_EQ(service.stats().totals().breaker_short_circuits, 1u);
 }
 
+TEST(ServiceTest, WindowBreakerOpensOnFailureRate) {
+  // Intermittent faults: failures alternate with successes, so no
+  // consecutive streak ever forms — only the sliding-window RATE mode can
+  // catch this pattern.
+  MatrixRegistry registry;
+  auto handle =
+      registry.Register(MakeBidiagonal(64), "chain", WatchdogOptions());
+  ASSERT_TRUE(handle.ok());
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.start_paused = true;
+  options.breaker_threshold = 0;  // consecutive mode OFF — window only
+  options.breaker_window = 4;
+  options.breaker_rate = 0.5;
+  options.breaker_cooldown = 2;
+  SolveService service(&registry, options);
+
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 7);
+  RequestOptions naive;
+  naive.algorithm = Algorithm::kCapelliniNaive;
+  RequestOptions good;
+  good.algorithm = Algorithm::kCapellini;
+
+  // F,S,F,S fills the window at 2/4 = rate 0.5 -> open; two deflect during
+  // cooldown; the probe closes it; the last flows normally.
+  std::vector<std::future<ServeResult>> futures;
+  for (const RequestOptions* request_options :
+       {&naive, &good, &naive, &good, &good, &good, &good, &good}) {
+    auto submitted = service.Submit(*handle, problem.b, *request_options);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.Start();
+
+  EXPECT_EQ(futures[0].get().status.code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(futures[1].get().status.ok());
+  EXPECT_EQ(futures[2].get().status.code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(futures[3].get().status.ok());  // fills the window -> open
+  EXPECT_EQ(futures[4].get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(futures[5].get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(futures[6].get().status.ok());  // the probe
+  EXPECT_TRUE(futures[7].get().status.ok());  // closed again
+  service.Shutdown();
+
+  const ServiceStats::Totals totals = service.stats().totals();
+  EXPECT_EQ(totals.breaker_opens, 1u);
+  EXPECT_EQ(totals.breaker_probes, 1u);
+  EXPECT_EQ(totals.breaker_short_circuits, 2u);
+}
+
+TEST(ServiceTest, WindowBreakerPartialWindowNeverTrips) {
+  // Below-rate failure mix, and a window that never fills: the breaker must
+  // stay closed — every request is served, failures stay in-band.
+  MatrixRegistry registry;
+  auto handle =
+      registry.Register(MakeBidiagonal(64), "chain", WatchdogOptions());
+  ASSERT_TRUE(handle.ok());
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.start_paused = true;
+  options.breaker_window = 8;  // 6 requests below never fill it
+  options.breaker_rate = 0.5;
+  SolveService service(&registry, options);
+
+  const Csr& matrix = (*registry.Acquire(*handle))->solver.matrix();
+  const ReferenceProblem problem = MakeReferenceProblem(matrix, 7);
+  RequestOptions naive;
+  naive.algorithm = Algorithm::kCapelliniNaive;
+  RequestOptions good;
+  good.algorithm = Algorithm::kCapellini;
+
+  std::vector<std::future<ServeResult>> futures;
+  for (const RequestOptions* request_options :
+       {&naive, &good, &naive, &good, &naive, &good}) {
+    auto submitted = service.Submit(*handle, problem.b, *request_options);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.Start();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const StatusCode code = futures[i].get().status.code();
+    EXPECT_EQ(code, i % 2 == 0 ? StatusCode::kDeadlock : StatusCode::kOk)
+        << "request " << i;
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.stats().totals().breaker_opens, 0u);
+  EXPECT_EQ(service.stats().totals().breaker_short_circuits, 0u);
+}
+
 TEST(ServiceTest, ReliableModeRecoversAnInjectedFault) {
   // The injector must outlive the registry entry that points at it.
   sim::FaultPlan plan;
