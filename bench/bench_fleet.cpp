@@ -285,11 +285,15 @@ int Run(int argc, char** argv) {
                    point.thread_invariant ? "true" : "false");
       for (std::size_t d = 0; d < point.stats.devices.size(); ++d) {
         const fleet::DeviceStats& ds = point.stats.devices[d];
+        // host_ns_per_sim_cycle: interpreter wall-clock speed for THIS
+        // device's launch (host_ms is measured, never deterministic; it is
+        // excluded from the identity/thread-invariance checksums).
         std::fprintf(file,
                      "%s{\"device\": %zu, \"row_begin\": %lld, "
                      "\"row_end\": %lld, \"cycles\": %llu, "
                      "\"in_messages\": %llu, \"out_messages\": %llu, "
-                     "\"comm_bytes_in\": %llu, \"comm_delay_cycles\": %llu}",
+                     "\"comm_bytes_in\": %llu, \"comm_delay_cycles\": %llu, "
+                     "\"host_ms\": %.3f, \"host_ns_per_sim_cycle\": %.4f}",
                      d == 0 ? "" : ", ", d,
                      static_cast<long long>(ds.row_begin),
                      static_cast<long long>(ds.row_end),
@@ -297,7 +301,11 @@ int Run(int argc, char** argv) {
                      static_cast<unsigned long long>(ds.in_messages),
                      static_cast<unsigned long long>(ds.out_messages),
                      static_cast<unsigned long long>(ds.comm_bytes_in),
-                     static_cast<unsigned long long>(ds.comm_delay_cycles));
+                     static_cast<unsigned long long>(ds.comm_delay_cycles),
+                     ds.host_ms,
+                     ds.cycles > 0
+                         ? ds.host_ms * 1e6 / static_cast<double>(ds.cycles)
+                         : 0.0);
       }
       std::fprintf(file, "]}%s\n", i + 1 < points.size() ? "," : "");
     }

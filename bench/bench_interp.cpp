@@ -1,0 +1,285 @@
+// Interpreter-speed microbench: host_ns_per_sim_cycle for the threaded-
+// dispatch core, gated three ways.
+//
+//  1. Identity gate (always on): the threaded core and the legacy scalar
+//     core (DeviceConfig::scalar_interpreter) must agree bit-for-bit on
+//     simulated cycles, instruction counts, and the FNV-1a checksum of x on
+//     every workload. Any mismatch exits nonzero — this is the same contract
+//     tests/interp_equivalence_test.cpp enforces, repeated here so the perf
+//     job cannot report a speedup from a wrong simulation.
+//  2. Speedup gate (--min_speedup, default 0 = off): aggregate
+//     scalar/threaded host-time ratio floor. Informational by default: the
+//     batching win in the threaded core funded inlining and scheduling fixes
+//     in machinery both cores share, so the two now run neck and neck and
+//     the ratio mostly measures noise. The PR's 1.5x acceptance floor is
+//     vs the pre-change bench_runner baseline, enforced by gate 3.
+//  3. Regression gate (--baseline=PATH): the measured threaded
+//     host_ns_per_sim_cycle may exceed the committed baseline's by at most
+//     --tolerance (default 0.20). The baseline
+//     (bench/baselines/BENCH_interp_baseline.json) is refreshed whenever the
+//     CI hardware class changes; the gate catches interpreter-speed
+//     regressions that land silently while tests stay green.
+//
+// Writes --json=PATH in the same hand-rolled style as the other benches.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "gen/banded.h"
+#include "gen/random_lower.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+#include "support/cli.h"
+#include "support/status.h"
+#include "support/table.h"
+
+namespace capellini::bench {
+namespace {
+
+std::uint64_t FnvChecksum(const std::vector<Val>& x) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Val v : x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+struct Workload {
+  std::string name;
+  Csr lower;
+  Algorithm algorithm = Algorithm::kCapellini;
+};
+
+struct Measurement {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t checksum = 0;
+  double best_ms = 0.0;  // best-of-reps wall for the Solve call
+};
+
+/// Solves `reps` times, keeps the best wall time (least scheduler noise) and
+/// the stats/checksum of the last run (identical across reps by the
+/// simulator's determinism contract).
+Measurement Measure(const Workload& workload, const std::vector<Val>& b,
+                    bool scalar, int reps) {
+  SolverOptions options;
+  options.device = sim::PascalGtx1080();
+  options.device.scalar_interpreter = scalar;
+  Solver solver(workload.lower, options);
+  solver.analysis();  // pay preprocessing once, outside the timed region
+  Measurement m;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto result = solver.Solve(workload.algorithm, b);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL: %s (%s core): %s\n", workload.name.c_str(),
+                   scalar ? "scalar" : "threaded",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rep == 0 || ms < m.best_ms) m.best_ms = ms;
+    m.cycles = result->device_stats.cycles;
+    m.instructions = result->device_stats.instructions;
+    m.checksum = FnvChecksum(result->x);
+  }
+  return m;
+}
+
+/// Minimal scanner for the committed baseline: finds
+/// "host_ns_per_sim_cycle": <number> (same no-dependency idiom as
+/// serve/replay and sim/fault JSON readers).
+double ReadBaselineNsPerCycle(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot open baseline %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  const std::string key = "\"host_ns_per_sim_cycle\":";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "FAIL: no host_ns_per_sim_cycle in %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+int Main(int argc, char** argv) {
+  std::int64_t rows = 12000;
+  std::int64_t reps = 3;
+  double min_speedup = 0.0;
+  double tolerance = 0.20;
+  std::string json;
+  std::string baseline;
+  CliFlags flags;
+  flags.AddInt("rows", &rows, "rows per generated workload matrix");
+  flags.AddInt("reps", &reps, "timed repetitions per (workload, core)");
+  flags.AddDouble("min_speedup", &min_speedup,
+                  "minimum aggregate scalar/threaded speedup (0 = off)");
+  flags.AddDouble("tolerance", &tolerance,
+                  "allowed fractional regression vs --baseline");
+  flags.AddString("json", &json, "write machine-readable results here");
+  flags.AddString("baseline", &baseline,
+                  "committed baseline JSON to gate against (empty = off)");
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  // Three interpreter-shaped workloads: a chained band (spin-heavy, long
+  // straight-line bodies), a random sparse factor (divergent), and the
+  // Two-Phase kernel (different instruction mix) on the band.
+  std::vector<Workload> workloads;
+  workloads.push_back({"banded_capellini",
+                       MakeBanded({.rows = static_cast<Idx>(rows),
+                                   .bandwidth = 32, .fill = 0.8,
+                                   .force_chain = true, .seed = 21}),
+                       Algorithm::kCapellini});
+  workloads.push_back(
+      {"random_capellini",
+       MakeRandomLower({.rows = static_cast<Idx>(rows),
+                        .avg_strict_nnz_per_row = 4.0, .window = 0,
+                        .empty_row_fraction = 0.2, .seed = 22}),
+       Algorithm::kCapellini});
+  workloads.push_back({"banded_twophase",
+                       MakeBanded({.rows = static_cast<Idx>(rows),
+                                   .bandwidth = 32, .fill = 0.8,
+                                   .force_chain = true, .seed = 21}),
+                       Algorithm::kCapelliniTwoPhase});
+
+  TextTable table({"workload", "cycles", "scalar ms", "threaded ms",
+                   "ns/cyc", "speedup"});
+  double scalar_ms = 0.0;
+  double threaded_ms = 0.0;
+  std::uint64_t total_cycles = 0;
+  bool identical = true;
+  std::vector<std::string> json_rows;
+  for (const Workload& workload : workloads) {
+    const ReferenceProblem problem =
+        MakeReferenceProblem(workload.lower, 23);
+    const Measurement s =
+        Measure(workload, problem.b, /*scalar=*/true, static_cast<int>(reps));
+    const Measurement t =
+        Measure(workload, problem.b, /*scalar=*/false, static_cast<int>(reps));
+    if (s.cycles != t.cycles || s.instructions != t.instructions ||
+        s.checksum != t.checksum) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FAIL: %s diverged: cycles %llu vs %llu, instr %llu vs "
+                   "%llu, checksum %016llx vs %016llx\n",
+                   workload.name.c_str(),
+                   static_cast<unsigned long long>(s.cycles),
+                   static_cast<unsigned long long>(t.cycles),
+                   static_cast<unsigned long long>(s.instructions),
+                   static_cast<unsigned long long>(t.instructions),
+                   static_cast<unsigned long long>(s.checksum),
+                   static_cast<unsigned long long>(t.checksum));
+    }
+    scalar_ms += s.best_ms;
+    threaded_ms += t.best_ms;
+    total_cycles += t.cycles;
+    const double ns_per_cycle =
+        t.cycles == 0 ? 0.0
+                      : t.best_ms * 1e6 / static_cast<double>(t.cycles);
+    table.AddRow({workload.name,
+                  TextTable::Int(static_cast<long long>(t.cycles)),
+                  TextTable::Num(s.best_ms, 1), TextTable::Num(t.best_ms, 1),
+                  TextTable::Num(ns_per_cycle, 1),
+                  TextTable::Num(s.best_ms / t.best_ms, 2)});
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"workload\": \"%s\", \"cycles\": %llu, "
+                  "\"scalar_ms\": %.3f, \"threaded_ms\": %.3f, "
+                  "\"host_ns_per_sim_cycle\": %.4f}",
+                  workload.name.c_str(),
+                  static_cast<unsigned long long>(t.cycles), s.best_ms,
+                  t.best_ms, ns_per_cycle);
+    json_rows.push_back(row);
+  }
+
+  const double ns_per_cycle =
+      total_cycles == 0
+          ? 0.0
+          : threaded_ms * 1e6 / static_cast<double>(total_cycles);
+  const double speedup = threaded_ms > 0.0 ? scalar_ms / threaded_ms : 0.0;
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\naggregate host_ns_per_sim_cycle %.2f (scalar %.2f), "
+              "speedup %.2fx\n",
+              ns_per_cycle,
+              total_cycles == 0
+                  ? 0.0
+                  : scalar_ms * 1e6 / static_cast<double>(total_cycles),
+              speedup);
+
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"host_ns_per_sim_cycle\": %.4f,\n", ns_per_cycle);
+    std::fprintf(f, "  \"scalar_ns_per_sim_cycle\": %.4f,\n",
+                 total_cycles == 0
+                     ? 0.0
+                     : scalar_ms * 1e6 / static_cast<double>(total_cycles));
+    std::fprintf(f, "  \"speedup\": %.4f,\n", speedup);
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(f, "%s%s\n", json_rows[i].c_str(),
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON written to %s\n", json.c_str());
+  }
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: scalar/threaded identity gate\n");
+    return 1;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below floor %.2fx\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  if (!baseline.empty()) {
+    const double base = ReadBaselineNsPerCycle(baseline);
+    const double limit = base * (1.0 + tolerance);
+    if (ns_per_cycle > limit) {
+      std::fprintf(stderr,
+                   "FAIL: host_ns_per_sim_cycle %.2f regressed past %.2f "
+                   "(baseline %.2f + %.0f%%)\n",
+                   ns_per_cycle, limit, base, tolerance * 100.0);
+      return 1;
+    }
+    std::printf("baseline gate OK: %.2f <= %.2f (baseline %.2f + %.0f%%)\n",
+                ns_per_cycle, limit, base, tolerance * 100.0);
+  }
+  std::printf("identity gate OK: scalar and threaded cores bit-identical\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capellini::bench
+
+int main(int argc, char** argv) { return capellini::bench::Main(argc, argv); }

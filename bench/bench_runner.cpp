@@ -79,6 +79,10 @@ struct PlatformSweep {
   double serial_wall_ms = 0.0;
   double parallel_wall_ms = 0.0;
   std::uint64_t total_cycles = 0;
+  // Interpreter speed: host nanoseconds of SINGLE-THREADED wall clock per
+  // simulated device cycle. The serial run is used so the metric is not
+  // confounded by worker count; tracked in BENCH_sweep.json from PR 7 on.
+  double host_ns_per_sim_cycle = 0.0;
   std::uint64_t checksum_serial = 0;
   std::uint64_t checksum_parallel = 0;
   std::vector<std::pair<std::string, double>> algorithm_gflops;
@@ -113,6 +117,8 @@ void WriteJson(const std::string& path, int threads, bool full,
                                   : 0.0);
     std::fprintf(file, "      \"total_simulated_cycles\": %" PRIu64 ",\n",
                  sweep.total_cycles);
+    std::fprintf(file, "      \"host_ns_per_sim_cycle\": %.4f,\n",
+                 sweep.host_ns_per_sim_cycle);
     std::fprintf(file, "      \"checksum_serial\": \"%016" PRIx64 "\",\n",
                  sweep.checksum_serial);
     std::fprintf(file, "      \"checksum_parallel\": \"%016" PRIx64 "\",\n",
@@ -164,7 +170,7 @@ int Main(int argc, char** argv) {
   bool diverged = false;
   std::vector<PlatformSweep> sweeps;
   TextTable table({"Platform", "Runs", "Serial ms", "Parallel ms", "Speedup",
-               "Runs/s", "Records"});
+               "Runs/s", "ns/cyc", "Records"});
   for (const sim::DeviceConfig& config : SelectedPlatforms(options)) {
     PlatformSweep sweep;
     sweep.platform = config.name;
@@ -181,6 +187,11 @@ int Main(int argc, char** argv) {
 
     sweep.runs = parallel_records.size();
     sweep.total_cycles = TotalCycles(parallel_records);
+    sweep.host_ns_per_sim_cycle =
+        sweep.total_cycles > 0
+            ? sweep.serial_wall_ms * 1e6 /
+                  static_cast<double>(sweep.total_cycles)
+            : 0.0;
     sweep.checksum_serial = ChecksumRecords(serial_records);
     sweep.checksum_parallel = ChecksumRecords(parallel_records);
     for (const kernels::DeviceAlgorithm algorithm : algorithms) {
@@ -204,6 +215,7 @@ int Main(int argc, char** argv) {
                           ? static_cast<double>(sweep.runs) / parallel_s
                           : 0.0,
                       1),
+         TextTable::Num(sweep.host_ns_per_sim_cycle, 1),
          match ? "identical" : "DIVERGED"});
     sweeps.push_back(std::move(sweep));
   }

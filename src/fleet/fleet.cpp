@@ -1,6 +1,7 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <utility>
@@ -198,9 +199,13 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
         // Machine hooks see LOCAL tids; plans are written in global rows.
         options.fault_injector->set_tid_offset(ds.row_begin);
       }
+      const auto host_begin = std::chrono::steady_clock::now();
       auto range = kernels::SolveRangeOnDevice(
           config.algorithm, lower, b, ds.row_begin, ds.row_end, arrivals,
           fleet_->machine(d), fleet_->memory(d), options);
+      ds.host_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - host_begin)
+                       .count();
       if (!range.ok()) {
         out.status = range.status();
         ds.status = out.status;

@@ -26,6 +26,11 @@ struct DeviceStats {
   sim::LaunchStats launch;      // the device's kernel counters
   std::uint64_t cycles = 0;     // launch cycles incl. launch overhead
   double exec_ms = 0.0;
+  /// HOST wall-clock milliseconds spent simulating this device's launch —
+  /// the interpreter-speed side of the ledger (exec_ms is simulated time).
+  /// bench_fleet derives host_ns_per_sim_cycle from this per device. Not
+  /// covered by determinism checksums: wall clock is never deterministic.
+  double host_ms = 0.0;
   /// Estimated share of Solver::CostHintMs() for this block (nnz-weighted) —
   /// what the partitioner balanced against.
   double est_cost_ms = 0.0;

@@ -334,6 +334,7 @@ void SolveService::ServeSolo(Request& request,
   if (options_.reliable) {
     ReliableOptions reliable_options;
     reliable_options.verify.residual_bound = options_.residual_bound;
+    reliable_options.ladder = RetryLadderFor(entry);
     auto reliable =
         entry.solver.SolveReliable(request.algorithm, request.b,
                                    reliable_options);
@@ -540,6 +541,7 @@ void SolveService::ServeBatched(std::vector<Request>& group,
       // spent attempt.
       ReliableOptions reliable_options;
       reliable_options.verify.residual_bound = options_.residual_bound;
+      reliable_options.ladder = RetryLadderFor(entry);
       auto rescued = entry.solver.SolveReliable(request.algorithm, request.b,
                                                 reliable_options);
       if (rescued.ok()) {
@@ -561,6 +563,19 @@ void SolveService::ServeBatched(std::vector<Request>& group,
     FinishRequest(request, entry, std::move(result), k,
                   /*report_breaker=*/true);
   }
+}
+
+std::vector<Algorithm> SolveService::RetryLadderFor(
+    const MatrixRegistry::Entry& entry) const {
+  if (options_.ladder_cost_threshold_ms <= 0.0) return {};  // default ladder
+  if (entry.cost.EstimateMs() >= options_.ladder_cost_threshold_ms) {
+    // Expensive handle: re-running it through the fast device rung just to
+    // watch it fail again costs more than going straight to the rungs that
+    // structurally terminate (per-level launches, then the fault-immune
+    // host solver).
+    return {Algorithm::kLevelSet, Algorithm::kSerialCpu};
+  }
+  return DefaultRetryLadder();
 }
 
 }  // namespace capellini::serve

@@ -116,6 +116,15 @@ struct ServiceOptions {
   bool reliable = false;
   /// Residual bound for verification when `reliable` is on.
   double residual_bound = 1e-8;
+  /// Cost-aware retry ladder (reliable mode only): a handle whose estimated
+  /// solve cost (per-handle cost model: analysis-seeded, EWMA-updated) is AT
+  /// OR ABOVE this many milliseconds skips the fast retry rungs — re-running
+  /// a big matrix through kCapelliniTwoPhase just to watch it fail again is
+  /// the most expensive way to reach the safe rung — and escalates straight
+  /// to {kLevelSet, kSerialCpu}. Cheaper handles keep the full default
+  /// ladder, whose fast rungs usually recover them in one cheap retry.
+  /// 0 = one ladder (DefaultRetryLadder) for every handle.
+  double ladder_cost_threshold_ms = 0.0;
   /// Circuit breaker: this many CONSECUTIVE device failures (kDeadlock or
   /// kDataLoss) on one handle open its breaker. 0 = breaker disabled.
   int breaker_threshold = 0;
@@ -269,6 +278,10 @@ class SolveService {
                      ServeResult result, int batch_size, bool report_breaker);
   BreakerDecision BreakerAdmit(MatrixHandle handle);
   void BreakerReport(MatrixHandle handle, StatusCode code);
+  /// The retry ladder for this entry under ladder_cost_threshold_ms (empty =
+  /// ReliableOptions' default). serve_test asserts the choice both ways.
+  std::vector<Algorithm> RetryLadderFor(
+      const MatrixRegistry::Entry& entry) const;
 
   MatrixRegistry* registry_;
   ServiceOptions options_;

@@ -122,6 +122,24 @@ constexpr bool StallsWarp(Op op) {
   }
 }
 
+/// True for ops the threaded interpreter core may execute inside a fused
+/// straight-line batch: no memory traffic, no control flow, no cross-warp
+/// visibility — the architectural effect is confined to the issuing warp's
+/// register file, so a run of them commutes with every other warp's issue
+/// and can be pre-executed in one dispatch (the simulated issue slots are
+/// still charged cycle by cycle; see Machine).
+constexpr bool IsStraightLineOp(Op op) {
+  switch (op) {
+    case Op::kBrnz:
+    case Op::kBrz:
+    case Op::kJmp:
+    case Op::kExit:
+      return false;
+    default:
+      return !IsMemoryOp(op);
+  }
+}
+
 /// Width in bytes of a memory op's per-lane access.
 constexpr int MemoryWidth(Op op) {
   switch (op) {

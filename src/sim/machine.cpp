@@ -4,8 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
+#include "sim/disasm.h"
 #include "sim/fault.h"
 
 namespace capellini::sim {
@@ -48,6 +50,60 @@ Machine::Machine(DeviceConfig config, DeviceMemory* memory)
   CAPELLINI_CHECK_MSG(config_.warp_size == 32,
                       "the interpreter is specialized for 32-lane warps");
   CAPELLINI_CHECK(config_.num_sms > 0 && config_.max_warps_per_sm > 0);
+  CAPELLINI_CHECK_MSG(
+      config_.sector_bytes > 0 &&
+          (config_.sector_bytes & (config_.sector_bytes - 1)) == 0,
+      "sector_bytes must be a power of two");
+  sector_shift_ = 0;
+  while ((1 << sector_shift_) < config_.sector_bytes) ++sector_shift_;
+  wake_wheel_.resize(kWakeWheel);
+  wake_wheel_bits_.assign(kWakeWheel / 64, 0);
+  dram_bytes_per_cycle_ = config_.BytesPerCycle();
+  l2_bytes_per_cycle_ = config_.L2BytesPerCycle();
+}
+
+void Machine::WakeReset() {
+  if (wake_wheel_count_ != 0) {
+    for (std::size_t word = 0; word < wake_wheel_bits_.size(); ++word) {
+      std::uint64_t bits = wake_wheel_bits_[word];
+      while (bits != 0) {
+        wake_wheel_[(word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits))]
+            .clear();
+        bits &= bits - 1;
+      }
+      wake_wheel_bits_[word] = 0;
+    }
+    wake_wheel_count_ = 0;
+  }
+  wake_far_ = {};
+}
+
+std::uint64_t Machine::NextWakeTime() const {
+  std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+  if (wake_wheel_count_ != 0) {
+    // All wheel times lie in (cycle_, cycle_ + kWakeWheel), so the first
+    // occupied bucket at or after residue cycle_+1 (wrapping) is the min.
+    const std::uint64_t mask = kWakeWheel - 1;
+    const std::uint64_t start = (cycle_ + 1) & mask;
+    const std::size_t words = wake_wheel_bits_.size();
+    for (std::size_t i = 0; i <= words; ++i) {
+      const std::size_t word = ((start >> 6) + i) % words;
+      std::uint64_t bits = wake_wheel_bits_[word];
+      if (i == 0) bits &= ~0ull << (start & 63);
+      if (bits == 0) continue;
+      const std::uint64_t b =
+          (static_cast<std::uint64_t>(word) << 6) +
+          static_cast<std::uint64_t>(std::countr_zero(bits));
+      const std::uint64_t delta = (b - cycle_) & mask;
+      next = cycle_ + (delta == 0 ? kWakeWheel : delta);
+      break;
+    }
+  }
+  if (!wake_far_.empty()) {
+    next = std::min(next, std::get<0>(wake_far_.top()));
+  }
+  return next;
 }
 
 bool Machine::TouchSector(std::uint64_t sector) {
@@ -61,14 +117,16 @@ bool Machine::TouchSector(std::uint64_t sector) {
 }
 
 std::size_t Machine::DedupSectors(const std::uint64_t* addresses,
-                                  std::size_t count,
-                                  std::uint64_t sector_bytes,
+                                  std::size_t count, int sector_shift,
                                   std::uint64_t* sectors) {
   std::size_t num_sectors = 0;
   for (std::size_t i = 0; i < count; ++i) {
     // An access may straddle a sector boundary only if misaligned; all our
     // kernels access naturally aligned 4/8-byte values, so one sector each.
-    const std::uint64_t s = addresses[i] / sector_bytes;
+    const std::uint64_t s = addresses[i] >> sector_shift;
+    // Consecutive lanes overwhelmingly hit the sector the previous lane
+    // appended; checking it first makes the common case O(1) per lane.
+    if (num_sectors != 0 && sectors[num_sectors - 1] == s) continue;
     bool seen = false;
     for (std::size_t k = 0; k < num_sectors; ++k) {
       if (sectors[k] == s) {
@@ -117,7 +175,7 @@ Machine::MemTxn Machine::AccountSectors(const std::uint64_t* sectors,
       std::max(l2_busy_until_, static_cast<double>(cycle_));
   l2_busy_until_ = l2_start + cost_sectors *
                                   static_cast<double>(sector_bytes) /
-                                  config_.L2BytesPerCycle();
+                                  l2_bytes_per_cycle_;
   const std::uint64_t l2_done =
       static_cast<std::uint64_t>(l2_busy_until_) +
       static_cast<std::uint64_t>(config_.l2_hit_latency_cycles);
@@ -131,7 +189,7 @@ Machine::MemTxn Machine::AccountSectors(const std::uint64_t* sectors,
       std::max(dram_busy_until_, static_cast<double>(cycle_));
   dram_busy_until_ = dram_start +
                      static_cast<double>(misses * sector_bytes) /
-                         config_.BytesPerCycle();
+                         dram_bytes_per_cycle_;
   const std::uint64_t dram_done =
       static_cast<std::uint64_t>(dram_busy_until_) +
       static_cast<std::uint64_t>(config_.dram_latency_cycles);
@@ -146,8 +204,7 @@ Machine::MemTxn Machine::AccountMemory(std::span<const std::uint64_t> addresses,
   // Distinct sectors among the active lanes' accesses = transactions.
   std::uint64_t sectors[64];
   const std::size_t num_sectors =
-      DedupSectors(addresses.data(), count,
-                   static_cast<std::uint64_t>(config_.sector_bytes), sectors);
+      DedupSectors(addresses.data(), count, sector_shift_, sectors);
   return AccountSectors(sectors, num_sectors, is_atomic);
 }
 
@@ -193,7 +250,9 @@ void Machine::FinishWarp(int warp_index, int sm_index) {
   Sm& sm = sms_[static_cast<std::size_t>(sm_index)];
   sm.free_slots.push_back(warp_index);
   --sm.resident;
+  if (sm.resident == 0) --resident_sm_count_;
   --alive_warps_;
+  sm_slots_freed_ = true;
   last_progress_cycle_ = cycle_;
 }
 
@@ -202,9 +261,9 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
   if (!warp.stack.empty()) SyncAtReconv(warp);
   CAPELLINI_CHECK(warp.active != 0);
   CAPELLINI_CHECK(warp.pc >= 0 &&
-                  warp.pc < static_cast<std::int32_t>(decoded_.size()));
+                  warp.pc < static_cast<std::int32_t>(decoded_->code.size()));
 
-  const DecodedInstr& decoded = decoded_[static_cast<std::size_t>(warp.pc)];
+  const DecodedInstr& decoded = decoded_->code[static_cast<std::size_t>(warp.pc)];
   const Instr& instr = decoded.instr;
   const std::uint8_t pc_flags = decoded.flags;
   // Debug tracing (CAPELLINI_TRACE=1): one line per issued instruction.
@@ -416,9 +475,8 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
                              /*is_atomic=*/false);
       } else {
         std::uint64_t sectors[64];
-        const std::size_t num_sectors = DedupSectors(
-            addresses, count, static_cast<std::uint64_t>(config_.sector_bytes),
-            sectors);
+        const std::size_t num_sectors =
+            DedupSectors(addresses, count, sector_shift_, sectors);
         mem = AccountSectors(sectors, num_sectors, /*is_atomic=*/false);
         if ((pc_flags & kPcInSpin) != 0) {
           warp.poll_pc = warp.pc;
@@ -632,10 +690,595 @@ void Machine::ExecuteInstruction(int warp_index, int sm_index) {
       stall.in_spin = (pc_flags & kPcInSpin) != 0;
       trace_->OnMemStall(stall);
     }
-    wake_.push(WakeEntry{mem.ready_at, warp_index, sm_index});
+    WakePush(mem.ready_at, warp_index, sm_index);
   } else {
     sm.ready.push_back(warp_index);
+    MarkSmReady(sm_index);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded-dispatch core.
+//
+// Each decoded instruction carries handler pointers instead of being switched
+// on per step. Batchable (IsStraightLineOp) instructions get two AluFn
+// variants — one specialized for a fully converged warp (unconditional 0..31
+// loops over the SoA register rows, which GCC/Clang vectorize), one iterating
+// the active mask — and the dispatcher executes a whole straight-line run
+// through them in one host step. Memory and control-flow ops get a StepFn
+// that is a verbatim transcription of the corresponding scalar switch case.
+//
+// Equivalence argument (gated by tests/interp_equivalence_test): batchable
+// ops touch only the issuing warp's registers, so pre-executing a run cannot
+// be observed by any other warp or by memory; the saved issue slots are
+// re-charged one per pop via Warp::skip, so every warp issues on exactly the
+// same cycles, every memory op executes at the same cycle in the same global
+// order (same L2/DRAM queue evolution, same values), and the fault hooks
+// consume their PRNG streams in the same sequence.
+// ---------------------------------------------------------------------------
+struct Interp {
+  using Warp = Machine::Warp;
+  using Ctx = Machine::ExecCtx;
+  using DI = Machine::DecodedInstr;
+  using MemTxn = Machine::MemTxn;
+
+  // SoA register rows: all 32 lanes of one register, contiguous.
+  static std::int64_t* RI(Warp& w, int reg) {
+    return w.r.data() + static_cast<std::size_t>(reg) * 32;
+  }
+  static double* RF(Warp& w, int reg) {
+    return w.f.data() + static_cast<std::size_t>(reg) * 32;
+  }
+
+  template <bool FULL, typename Fn>
+  static inline void Lanes(std::uint32_t mask, Fn&& fn) {
+    if constexpr (FULL) {
+      for (int lane = 0; lane < 32; ++lane) fn(lane);
+    } else {
+      while (mask) {
+        const int lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        fn(lane);
+      }
+    }
+  }
+
+  template <Op OP, bool FULL>
+  static void Alu(Warp& w, const Instr& in, const Ctx& ctx) {
+    (void)ctx;
+    const std::uint32_t mask = w.active;
+    if constexpr (OP == Op::kNop || OP == Op::kFence) {
+      // kFence: memory is sequentially consistent in the simulator; a
+      // 1-cycle ordering no-op kept for faithful instruction counts.
+      (void)w;
+      (void)in;
+      (void)mask;
+    } else if constexpr (OP == Op::kMovI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = imm; });
+    } else if constexpr (OP == Op::kMov) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane]; });
+    } else if constexpr (OP == Op::kAdd) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] + c[lane]; });
+    } else if constexpr (OP == Op::kAddI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] + imm; });
+    } else if constexpr (OP == Op::kSub) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] - c[lane]; });
+    } else if constexpr (OP == Op::kMul) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] * c[lane]; });
+    } else if constexpr (OP == Op::kMulI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] * imm; });
+    } else if constexpr (OP == Op::kAndI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] & imm; });
+    } else if constexpr (OP == Op::kShlI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] << imm; });
+    } else if constexpr (OP == Op::kShrI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] >> imm; });
+    } else if constexpr (OP == Op::kSetLt) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] < c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetLe) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask,
+                  [&](int lane) { a[lane] = b[lane] <= c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetEq) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask,
+                  [&](int lane) { a[lane] = b[lane] == c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetNe) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask,
+                  [&](int lane) { a[lane] = b[lane] != c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetGe) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask,
+                  [&](int lane) { a[lane] = b[lane] >= c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetGt) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t* c = RI(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] > c[lane] ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetLtI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] < imm ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetGeI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] >= imm ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetEqI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] == imm ? 1 : 0; });
+    } else if constexpr (OP == Op::kSetNeI) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t* b = RI(w, in.b);
+      const std::int64_t imm = in.imm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] != imm ? 1 : 0; });
+    } else if constexpr (OP == Op::kS2R) {
+      std::int64_t* a = RI(w, in.a);
+      switch (static_cast<Special>(in.b)) {
+        case Special::kGlobalTid:
+          Lanes<FULL>(mask, [&](int lane) { a[lane] = w.base_tid + lane; });
+          break;
+        case Special::kLane:
+          Lanes<FULL>(mask, [&](int lane) { a[lane] = lane; });
+          break;
+        case Special::kWarpId:
+          Lanes<FULL>(mask,
+                      [&](int lane) { a[lane] = (w.base_tid + lane) / 32; });
+          break;
+        case Special::kBlockId:
+          Lanes<FULL>(mask, [&](int lane) { a[lane] = w.block_id; });
+          break;
+        case Special::kThreadInBlock:
+          Lanes<FULL>(mask, [&](int lane) {
+            a[lane] =
+                w.base_tid + lane - w.block_id * ctx.threads_per_block;
+          });
+          break;
+        case Special::kGridThreads:
+          Lanes<FULL>(mask, [&](int lane) { a[lane] = ctx.grid_threads; });
+          break;
+      }
+    } else if constexpr (OP == Op::kLdParam) {
+      std::int64_t* a = RI(w, in.a);
+      const std::int64_t value = ctx.params[static_cast<std::size_t>(in.imm)];
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = value; });
+    } else if constexpr (OP == Op::kFMovI) {
+      double* a = RF(w, in.a);
+      const double imm = in.fimm;
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = imm; });
+    } else if constexpr (OP == Op::kFMov) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane]; });
+    } else if constexpr (OP == Op::kFAdd) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      const double* c = RF(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] + c[lane]; });
+    } else if constexpr (OP == Op::kFSub) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      const double* c = RF(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] - c[lane]; });
+    } else if constexpr (OP == Op::kFMul) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      const double* c = RF(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] * c[lane]; });
+    } else if constexpr (OP == Op::kFDiv) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      const double* c = RF(w, in.c);
+      Lanes<FULL>(mask, [&](int lane) { a[lane] = b[lane] / c[lane]; });
+    } else if constexpr (OP == Op::kFFma) {
+      double* a = RF(w, in.a);
+      const double* b = RF(w, in.b);
+      const double* c = RF(w, in.c);
+      // Written as x + y*z like the scalar core; with contraction disabled
+      // (default -std=c++20 -O3, no -ffast-math) both evaluate the same
+      // mul-then-add double rounding.
+      Lanes<FULL>(mask, [&](int lane) { a[lane] += b[lane] * c[lane]; });
+    } else if constexpr (OP == Op::kShflDownF) {
+      // Read the source values of ALL lanes first (lock-step exchange).
+      double source[32];
+      const double* b = RF(w, in.b);
+      for (int lane = 0; lane < 32; ++lane) source[lane] = b[lane];
+      double* a = RF(w, in.a);
+      const int delta = static_cast<int>(in.imm);
+      Lanes<FULL>(mask, [&](int lane) {
+        const int src_lane = lane + delta;
+        a[lane] = src_lane < 32 ? source[src_lane] : source[lane];
+      });
+    } else {
+      static_assert(OP == Op::kNop, "op is not batchable");
+    }
+  }
+
+  // Single-step fallback for a batchable op that cannot batch (divergent
+  // stack, or a run of length accounted elsewhere): same handlers, one
+  // instruction.
+  static std::int32_t StepAlu(Machine&, Warp& w, const DI& d, int,
+                              MemTxn&, const Ctx& ctx) {
+    if (w.active == kFullMask) {
+      d.alu_full(w, d.instr, ctx);
+    } else {
+      d.alu_masked(w, d.instr, ctx);
+    }
+    return w.pc + 1;
+  }
+
+  template <Op OP>
+  static std::int32_t StepLoad(Machine& m, Warp& w, const DI& d, int,
+                               MemTxn& mem, const Ctx&) {
+    const Instr& in = d.instr;
+    const std::uint32_t active = w.active;
+    std::uint64_t addresses[32];
+    std::size_t count = 0;
+    const std::int64_t* baddr = RI(w, in.b);
+    ForActive(active, [&](int lane) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(baddr[lane]);
+      addresses[count++] = addr;
+      if constexpr (OP == Op::kLd4) {
+        RI(w, in.a)[lane] = m.memory_->LoadI32(addr);
+      } else if constexpr (OP == Op::kLd8I) {
+        RI(w, in.a)[lane] = m.memory_->LoadI64(addr);
+      } else {
+        RF(w, in.a)[lane] = m.memory_->LoadF64(addr);
+      }
+    });
+    // Spin-poll fast path — same cache, same accounting as the scalar core.
+    if ((d.flags & kPcInSpin) != 0 && w.poll_pc == w.pc &&
+        w.poll_mask == active &&
+        w.poll_count == static_cast<std::uint8_t>(count) &&
+        std::equal(addresses, addresses + count, w.poll_addresses.begin())) {
+      mem = m.AccountSectors(w.poll_sectors.data(), w.poll_num_sectors,
+                             /*is_atomic=*/false);
+    } else {
+      std::uint64_t sectors[64];
+      const std::size_t num_sectors =
+          Machine::DedupSectors(addresses, count, m.sector_shift_, sectors);
+      mem = m.AccountSectors(sectors, num_sectors, /*is_atomic=*/false);
+      if ((d.flags & kPcInSpin) != 0) {
+        w.poll_pc = w.pc;
+        w.poll_mask = active;
+        w.poll_count = static_cast<std::uint8_t>(count);
+        w.poll_num_sectors = static_cast<std::uint8_t>(num_sectors);
+        std::copy(addresses, addresses + count, w.poll_addresses.begin());
+        std::copy(sectors, sectors + num_sectors, w.poll_sectors.begin());
+      }
+    }
+    return w.pc + 1;
+  }
+
+  template <Op OP>
+  static std::int32_t StepStore(Machine& m, Warp& w, const DI& d, int,
+                                MemTxn&, const Ctx&) {
+    const Instr& in = d.instr;
+    std::uint64_t addresses[32];
+    std::size_t count = 0;
+    const std::int64_t* aaddr = RI(w, in.a);
+    ForActive(w.active, [&](int lane) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(aaddr[lane]);
+      addresses[count++] = addr;
+      // Dropped publish: see the scalar core — bandwidth is accounted, the
+      // value does not land.
+      if (m.faults_ && (d.flags & kPcPublish) != 0 &&
+          m.faults_->DropPublish(w.base_tid + lane)) {
+        return;
+      }
+      if constexpr (OP == Op::kSt4) {
+        m.memory_->StoreI32(addr,
+                            static_cast<std::int32_t>(RI(w, in.b)[lane]));
+      } else if constexpr (OP == Op::kSt8I) {
+        m.memory_->StoreI64(addr, RI(w, in.b)[lane]);
+      } else {
+        double value = RF(w, in.b)[lane];
+        if (m.faults_) m.faults_->MaybeFlipStoreBit(value, w.base_tid + lane);
+        m.memory_->StoreF64(addr, value);
+      }
+    });
+    // Stores are fire-and-forget: account bandwidth, do not stall.
+    (void)m.AccountMemory(addresses, count, MemoryWidth(OP));
+    m.last_progress_cycle_ = m.cycle_;
+    return w.pc + 1;
+  }
+
+  template <Op OP>
+  static std::int32_t StepAtomic(Machine& m, Warp& w, const DI& d, int,
+                                 MemTxn& mem, const Ctx&) {
+    const Instr& in = d.instr;
+    std::uint64_t addresses[32];
+    std::size_t count = 0;
+    const std::int64_t* baddr = RI(w, in.b);
+    // Lane-order serialization, as in the scalar core.
+    ForActive(w.active, [&](int lane) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(baddr[lane]);
+      addresses[count++] = addr;
+      if constexpr (OP == Op::kAtomAddF8) {
+        const double old = m.memory_->LoadF64(addr);
+        RF(w, in.a)[lane] = old;
+        m.memory_->StoreF64(addr, old + RF(w, in.c)[lane]);
+      } else {
+        const std::int32_t old = m.memory_->LoadI32(addr);
+        RI(w, in.a)[lane] = old;
+        m.memory_->StoreI32(
+            addr, old + static_cast<std::int32_t>(RI(w, in.c)[lane]));
+      }
+    });
+    mem = m.AccountMemory(addresses, count, MemoryWidth(OP),
+                          /*is_atomic=*/true);
+    m.last_progress_cycle_ = m.cycle_;
+    return w.pc + 1;
+  }
+
+  template <Op OP>
+  static std::int32_t StepBranch(Machine&, Warp& w, const DI& d, int,
+                                 MemTxn&, const Ctx&) {
+    const Instr& in = d.instr;
+    const std::uint32_t active = w.active;
+    std::uint32_t taken = 0;
+    const std::int64_t* pred = RI(w, in.a);
+    ForActive(active, [&](int lane) {
+      const bool nz = pred[lane] != 0;
+      const bool takes = (OP == Op::kBrnz) ? nz : !nz;
+      if (takes) taken |= 1u << lane;
+    });
+    const std::uint32_t fall = active & ~taken;
+    if (taken == 0) return w.pc + 1;
+    if (fall == 0) return static_cast<std::int32_t>(in.imm);
+    // Divergence: run the fall-through side first; park the taken side,
+    // merging with an existing frame when a loop re-diverges to the same
+    // (reconv, target).
+    const auto reconv = static_cast<std::int32_t>(in.imm2);
+    const auto target = static_cast<std::int32_t>(in.imm);
+    if (!w.stack.empty() && w.stack.back().reconv_pc == reconv &&
+        w.stack.back().other_pc == target) {
+      w.stack.back().other_mask |= taken;
+    } else {
+      w.stack.push_back(Machine::Frame{reconv, target, taken});
+    }
+    w.active = fall;
+    return w.pc + 1;
+  }
+
+  static std::int32_t StepJmp(Machine&, Warp&, const DI& d, int, MemTxn&,
+                              const Ctx&) {
+    return static_cast<std::int32_t>(d.instr.imm);
+  }
+
+  static std::int32_t StepExit(Machine&, Warp& w, const DI&, int, MemTxn&,
+                               const Ctx&) {
+    w.active = 0;
+    return w.pc + 1;
+  }
+
+  // Fills the handler pointers for one decoded instruction.
+  static void Assign(Machine::DecodedInstr& d) {
+#define CAPELLINI_ALU_HANDLER(OPNAME)            \
+  case Op::OPNAME:                               \
+    d.alu_full = &Alu<Op::OPNAME, true>;         \
+    d.alu_masked = &Alu<Op::OPNAME, false>;      \
+    d.step = &StepAlu;                           \
+    break;
+    switch (d.instr.op) {
+      CAPELLINI_ALU_HANDLER(kNop)
+      CAPELLINI_ALU_HANDLER(kMovI)
+      CAPELLINI_ALU_HANDLER(kMov)
+      CAPELLINI_ALU_HANDLER(kAdd)
+      CAPELLINI_ALU_HANDLER(kAddI)
+      CAPELLINI_ALU_HANDLER(kSub)
+      CAPELLINI_ALU_HANDLER(kMul)
+      CAPELLINI_ALU_HANDLER(kMulI)
+      CAPELLINI_ALU_HANDLER(kAndI)
+      CAPELLINI_ALU_HANDLER(kShlI)
+      CAPELLINI_ALU_HANDLER(kShrI)
+      CAPELLINI_ALU_HANDLER(kSetLt)
+      CAPELLINI_ALU_HANDLER(kSetLe)
+      CAPELLINI_ALU_HANDLER(kSetEq)
+      CAPELLINI_ALU_HANDLER(kSetNe)
+      CAPELLINI_ALU_HANDLER(kSetGe)
+      CAPELLINI_ALU_HANDLER(kSetGt)
+      CAPELLINI_ALU_HANDLER(kSetLtI)
+      CAPELLINI_ALU_HANDLER(kSetGeI)
+      CAPELLINI_ALU_HANDLER(kSetEqI)
+      CAPELLINI_ALU_HANDLER(kSetNeI)
+      CAPELLINI_ALU_HANDLER(kS2R)
+      CAPELLINI_ALU_HANDLER(kLdParam)
+      CAPELLINI_ALU_HANDLER(kFMovI)
+      CAPELLINI_ALU_HANDLER(kFMov)
+      CAPELLINI_ALU_HANDLER(kFAdd)
+      CAPELLINI_ALU_HANDLER(kFSub)
+      CAPELLINI_ALU_HANDLER(kFMul)
+      CAPELLINI_ALU_HANDLER(kFDiv)
+      CAPELLINI_ALU_HANDLER(kFFma)
+      CAPELLINI_ALU_HANDLER(kShflDownF)
+      CAPELLINI_ALU_HANDLER(kFence)
+      case Op::kLd4:
+        d.step = &StepLoad<Op::kLd4>;
+        break;
+      case Op::kLd8I:
+        d.step = &StepLoad<Op::kLd8I>;
+        break;
+      case Op::kLd8F:
+        d.step = &StepLoad<Op::kLd8F>;
+        break;
+      case Op::kSt4:
+        d.step = &StepStore<Op::kSt4>;
+        break;
+      case Op::kSt8I:
+        d.step = &StepStore<Op::kSt8I>;
+        break;
+      case Op::kSt8F:
+        d.step = &StepStore<Op::kSt8F>;
+        break;
+      case Op::kAtomAddF8:
+        d.step = &StepAtomic<Op::kAtomAddF8>;
+        break;
+      case Op::kAtomAddI4:
+        d.step = &StepAtomic<Op::kAtomAddI4>;
+        break;
+      case Op::kBrnz:
+        d.step = &StepBranch<Op::kBrnz>;
+        break;
+      case Op::kBrz:
+        d.step = &StepBranch<Op::kBrz>;
+        break;
+      case Op::kJmp:
+        d.step = &StepJmp;
+        break;
+      case Op::kExit:
+        d.step = &StepExit;
+        break;
+    }
+#undef CAPELLINI_ALU_HANDLER
+  }
+};
+
+void Machine::ExecuteThreaded(int warp_index, int sm_index) {
+  Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+  if (!warp.stack.empty()) SyncAtReconv(warp);
+  CAPELLINI_CHECK(warp.active != 0);
+  CAPELLINI_CHECK(warp.pc >= 0 &&
+                  warp.pc < static_cast<std::int32_t>(decoded_->code.size()));
+
+  const DecodedInstr* code = decoded_->code.data();
+  const DecodedInstr& head = code[static_cast<std::size_t>(warp.pc)];
+  const ExecCtx ctx{params_.data(), grid_threads_, threads_per_block_};
+
+  if (head.run != 0 && warp.stack.empty()) {
+    // Fused straight-line run: execute every batchable instruction from
+    // here in one dispatch over the SoA register rows (no re-entry into the
+    // dispatch loop between them), then charge the n-1 remaining issue
+    // slots through Warp::skip. With an empty stack no instruction in the
+    // run can touch the reconvergence machinery, memory, or control flow,
+    // so nothing outside this warp's register file can observe the batch.
+    const int n = head.run;
+    stats_.instructions += static_cast<std::uint64_t>(n);
+    stats_.lane_instructions += static_cast<std::uint64_t>(n) *
+                                static_cast<std::uint64_t>(PopCount(warp.active));
+    const DecodedInstr* d = &head;
+    if (warp.active == kFullMask) {
+      for (int i = 0; i < n; ++i) {
+        d[i].alu_full(warp, d[i].instr, ctx);
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        d[i].alu_masked(warp, d[i].instr, ctx);
+      }
+    }
+    warp.pc += n;
+    warp.skip = static_cast<std::uint16_t>(n - 1);
+    sms_[static_cast<std::size_t>(sm_index)].ready.push_back(warp_index);
+    MarkSmReady(sm_index);
+    return;
+  }
+
+  ++stats_.instructions;
+  stats_.lane_instructions += static_cast<std::uint64_t>(PopCount(warp.active));
+
+  MemTxn mem;  // ready_at == 0 => ready immediately
+  warp.pc = head.step(*this, warp, head, sm_index, mem, ctx);
+  UnwindIfEmpty(warp, sm_index);
+  if (!warp.alive) {
+    FinishWarp(warp_index, sm_index);
+    return;
+  }
+
+  // Delayed memory response: timing-only, as in the scalar core.
+  if (faults_ && mem.ready_at != 0) {
+    mem.ready_at += faults_->ExtraMemDelay(warp.base_tid);
+  }
+  if (mem.ready_at > cycle_ + 1) {
+    WakePush(mem.ready_at, warp_index, sm_index);
+  } else {
+    sms_[static_cast<std::size_t>(sm_index)].ready.push_back(warp_index);
+    MarkSmReady(sm_index);
+  }
+}
+
+const Machine::DecodedKernel* Machine::DecodeKernel(const Kernel& kernel) {
+  const std::uint64_t fingerprint = kernel.Fingerprint();
+  for (auto& entry : decode_cache_) {
+    if (entry.first != &kernel) continue;
+    // Same pointer, changed content (rebuilt or mutated kernel): rebuild the
+    // stream, exactly as the old per-launch predecode would have.
+    if (entry.second->fingerprint != fingerprint) {
+      BuildDecoded(kernel, fingerprint, *entry.second);
+    }
+    return entry.second.get();
+  }
+  // Bound the cache: kernels are few (one per algorithm variant), so this
+  // trips only for pathological churn; clearing is always safe because
+  // decoded_ is re-looked-up at every Launch.
+  if (decode_cache_.size() >= 64) decode_cache_.clear();
+  decode_cache_.emplace_back(&kernel, std::make_unique<DecodedKernel>());
+  BuildDecoded(kernel, fingerprint, *decode_cache_.back().second);
+  return decode_cache_.back().second.get();
+}
+
+void Machine::BuildDecoded(const Kernel& kernel, std::uint64_t fingerprint,
+                           DecodedKernel& out) {
+  out.fingerprint = fingerprint;
+  const std::size_t n = kernel.code.size();
+  out.code.assign(n, DecodedInstr{});
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    out.code[pc].instr = kernel.code[pc];
+    Interp::Assign(out.code[pc]);
+  }
+  for (const auto& [begin, end] : kernel.spin_regions) {
+    for (std::int32_t pc = begin; pc < end; ++pc) {
+      out.code[static_cast<std::size_t>(pc)].flags |= kPcInSpin;
+    }
+    out.code[static_cast<std::size_t>(begin)].flags |= kPcSpinHead;
+  }
+  for (const std::int32_t pc : kernel.publish_pcs) {
+    out.code[static_cast<std::size_t>(pc)].flags |= kPcPublish;
+  }
+  const std::vector<std::uint16_t> runs = StraightLineRuns(kernel.code);
+  for (std::size_t pc = 0; pc < n; ++pc) out.code[pc].run = runs[pc];
 }
 
 Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
@@ -668,7 +1311,8 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   l2_busy_until_ = 0.0;
   last_progress_cycle_ = 0;
   alive_warps_ = 0;
-  wake_ = {};
+  sm_slots_freed_ = false;
+  WakeReset();
   // Peer-device arrivals are applied in cycle order; they are consumed by
   // this launch only (cleared on every exit path below).
   std::sort(ext_.begin(), ext_.end(),
@@ -688,22 +1332,17 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   for (const std::size_t word : l2_touched_words_) l2_sectors_[word] = 0;
   l2_touched_words_.clear();
 
-  // Predecode: fuse each instruction with its per-PC annotation bits so the
-  // issue loop indexes one flat table.
-  decoded_.resize(kernel.code.size());
-  for (std::size_t pc = 0; pc < kernel.code.size(); ++pc) {
-    decoded_[pc].instr = kernel.code[pc];
-    decoded_[pc].flags = 0;
-  }
-  for (const auto& [begin, end] : kernel.spin_regions) {
-    for (std::int32_t pc = begin; pc < end; ++pc) {
-      decoded_[static_cast<std::size_t>(pc)].flags |= kPcInSpin;
-    }
-    decoded_[static_cast<std::size_t>(begin)].flags |= kPcSpinHead;
-  }
-  for (const std::int32_t pc : kernel.publish_pcs) {
-    decoded_[static_cast<std::size_t>(pc)].flags |= kPcPublish;
-  }
+  // Decoded handler stream: cached across launches, keyed by kernel pointer
+  // and validated by content fingerprint (see DecodeKernel).
+  decoded_ = DecodeKernel(kernel);
+
+  // Core selection: the threaded dispatcher covers the trace-free steady
+  // state; an attached TraceSink (or the CAPELLINI_TRACE=1 debug dump) wants
+  // a per-issue hook on every instruction, which is exactly what the scalar
+  // core provides. The two are bit-identical in simulated behavior, so the
+  // "a sink never affects timing" contract holds across the switch.
+  const bool use_threaded =
+      !config_.scalar_interpreter && trace_ == nullptr && !debug_trace_;
 
   ++launch_index_;
   if (trace_) {
@@ -743,9 +1382,12 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
     for (int k = pool_per_sm - 1; k >= 0; --k) {
       sm.free_slots.push_back(s * pool_per_sm + k);
     }
-    sm.ready.clear();
+    sm.ready.Reset(pool_per_sm);
     sm.resident = 0;
   }
+  ready_sm_mask_.assign(
+      (static_cast<std::size_t>(config_.num_sms) + 63) / 64, 0);
+  resident_sm_count_ = 0;
 
   std::int64_t next_block = 0;
   int dispatch_sm = 0;
@@ -774,6 +1416,7 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
         warp.base_tid = base_tid;
         warp.block_id = block;
         warp.stack.clear();
+        warp.skip = 0;
         warp.poll_pc = -1;
         const std::int64_t lanes_left = dims.num_threads - base_tid;
         warp.active = lanes_left >= 32
@@ -781,6 +1424,8 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
                           : (1u << lanes_left) - 1u;
         warp.alive = true;
         sm.ready.push_back(warp_index);
+        MarkSmReady(dispatch_sm);
+        if (sm.resident == 0) ++resident_sm_count_;
         ++sm.resident;
         ++alive_warps_;
         if (trace_) {
@@ -832,7 +1477,10 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
       for (const Warp& warp : warp_pool_) {
         if (!warp.alive) continue;
         ++alive;
-        ++pc_histogram[static_cast<std::size_t>(warp.pc)];
+        // Architectural PC: a warp mid-drain of a pre-executed run (threaded
+        // core) has advanced pc past instructions whose issue slots are
+        // still being charged; skip is 0 on the scalar core.
+        ++pc_histogram[static_cast<std::size_t>(warp.pc - warp.skip)];
       }
       std::string hot_pcs;
       int listed = 0;
@@ -855,60 +1503,112 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
       return DeadlockError(dump);
     }
 
-    // Wake memory-stalled warps whose loads completed.
-    while (!wake_.empty() && std::get<0>(wake_.top()) <= cycle_) {
-      const WakeEntry entry = wake_.top();
-      wake_.pop();
-      sms_[static_cast<std::size_t>(std::get<2>(entry))].ready.push_back(
-          std::get<1>(entry));
+    // Far-parked warps whose wake time entered the wheel horizon.
+    while (!wake_far_.empty() &&
+           std::get<0>(wake_far_.top()) < cycle_ + kWakeWheel) {
+      const WakeEntry entry = wake_far_.top();
+      wake_far_.pop();
+      const std::uint64_t b = std::get<0>(entry) & (kWakeWheel - 1);
+      wake_wheel_[b].emplace_back(std::get<1>(entry), std::get<2>(entry));
+      wake_wheel_bits_[b >> 6] |= 1ull << (b & 63);
+      ++wake_wheel_count_;
     }
-
-    if (next_block < num_blocks) dispatch();
-
-    bool issued_any = false;
-    for (int s = 0; s < config_.num_sms; ++s) {
-      Sm& sm = sms_[static_cast<std::size_t>(s)];
-      if (sm.resident == 0) continue;
-      for (int k = 0; k < config_.issue_per_cycle; ++k) {
-        ++stats_.issue_slots;
-        if (sm.ready.empty()) {
-          ++stats_.stall_slots;
-          continue;
+    // Wake memory-stalled warps whose loads completed. Exactly one bucket
+    // can hold entries at time <= cycle_ (see wake_wheel_ invariants).
+    {
+      const std::uint64_t b = cycle_ & (kWakeWheel - 1);
+      if ((wake_wheel_bits_[b >> 6] >> (b & 63)) & 1ull) {
+        std::vector<std::pair<int, int>>& bucket = wake_wheel_[b];
+        std::sort(bucket.begin(), bucket.end());
+        for (const auto& [warp, sm] : bucket) {
+          sms_[static_cast<std::size_t>(sm)].ready.push_back(warp);
+          MarkSmReady(sm);
         }
-        const int warp_index = sm.ready.front();
-        sm.ready.pop_front();
-        // Stuck warp: parked instead of issuing — scheduling jitter, the
-        // slot goes idle. The wake queue brings it back, so the no-progress
-        // watchdog never confuses a stuck warp with a deadlock.
-        if (faults_) {
-          const std::uint64_t stuck = faults_->StuckCycles(
-              warp_pool_[static_cast<std::size_t>(warp_index)].base_tid);
-          if (stuck != 0) {
-            wake_.push(WakeEntry{cycle_ + stuck, warp_index, s});
-            ++stats_.stall_slots;
-            continue;
-          }
-        }
-        ExecuteInstruction(warp_index, s);
-        ++stats_.issue_used;
-        issued_any = true;
+        wake_wheel_count_ -= bucket.size();
+        bucket.clear();
+        wake_wheel_bits_[b >> 6] &= ~(1ull << (b & 63));
       }
     }
+
+    // Re-attempt block dispatch only after a warp retired: dispatch fails
+    // exactly when no SM has enough free slots, and a failed full scan
+    // leaves dispatch_sm where it started (it advances num_sms times), so
+    // skipping the guaranteed-failing re-scans is schedule-identical. For
+    // grids larger than device residency this removes a full SM scan from
+    // (nearly) every simulated cycle.
+    if (next_block < num_blocks && sm_slots_freed_) {
+      sm_slots_freed_ = false;
+      dispatch();
+    }
+
+    // Issue scan. Every resident SM charges issue_per_cycle slots per cycle
+    // whether or not it issues, so the total is closed-form; only SMs with a
+    // non-empty ready ring (set bits, walked in ascending SM order — the
+    // exact subset and order the full sweep would have issued from) are
+    // visited, and stalls fall out as slots minus used.
+    const std::uint64_t cycle_slots =
+        static_cast<std::uint64_t>(config_.issue_per_cycle) *
+        static_cast<std::uint64_t>(resident_sm_count_);
+    stats_.issue_slots += cycle_slots;
+    std::uint64_t used = 0;
+    for (std::size_t word = 0; word < ready_sm_mask_.size(); ++word) {
+      std::uint64_t bits = ready_sm_mask_[word];
+      while (bits != 0) {
+        const int s =
+            static_cast<int>(word << 6) + std::countr_zero(bits);
+        const std::uint64_t bit = bits & (~bits + 1);
+        bits &= bits - 1;
+        Sm& sm = sms_[static_cast<std::size_t>(s)];
+        for (int k = 0; k < config_.issue_per_cycle; ++k) {
+          // Nothing can refill a drained ring mid-loop except this SM's own
+          // re-queues (wake/dispatch run before the scan), so empty means
+          // the remaining slots of this SM-cycle are all stalls.
+          if (sm.ready.empty()) break;
+          const int warp_index = sm.ready.pop_front();
+          // Stuck warp: parked instead of issuing — scheduling jitter, the
+          // slot goes idle. The wake queue brings it back, so the
+          // no-progress watchdog never confuses a stuck warp with a
+          // deadlock.
+          if (faults_) {
+            const std::uint64_t stuck = faults_->StuckCycles(
+                warp_pool_[static_cast<std::size_t>(warp_index)].base_tid);
+            if (stuck != 0) {
+              WakePush(cycle_ + stuck, warp_index, s);
+              continue;
+            }
+          }
+          Warp& warp = warp_pool_[static_cast<std::size_t>(warp_index)];
+          if (warp.skip != 0) {
+            // The instruction for this slot was pre-executed as part of a
+            // straight-line run; charge the slot and keep the warp in the
+            // round-robin, exactly as if it had issued one instruction.
+            --warp.skip;
+            sm.ready.push_back(warp_index);
+          } else if (use_threaded) {
+            ExecuteThreaded(warp_index, s);
+          } else {
+            ExecuteInstruction(warp_index, s);
+          }
+          ++used;
+        }
+        if (sm.ready.empty()) ready_sm_mask_[word] &= ~bit;
+      }
+    }
+    stats_.issue_used += used;
+    stats_.stall_slots += cycle_slots - used;
+    const bool issued_any = used != 0;
 
     if (issued_any) {
       ++cycle_;
-    } else if (!wake_.empty()) {
+    } else if (WakePending()) {
       // Everything resident is stalled on memory: fast-forward.
-      const std::uint64_t next = std::get<0>(wake_.top());
+      const std::uint64_t next = NextWakeTime();
       const std::uint64_t skip = next > cycle_ ? next - cycle_ : 1;
-      for (const Sm& sm : sms_) {
-        if (sm.resident > 0) {
-          const std::uint64_t slots =
-              skip * static_cast<std::uint64_t>(config_.issue_per_cycle);
-          stats_.issue_slots += slots;
-          stats_.stall_slots += slots;
-        }
-      }
+      const std::uint64_t slots =
+          skip * static_cast<std::uint64_t>(config_.issue_per_cycle) *
+          static_cast<std::uint64_t>(resident_sm_count_);
+      stats_.issue_slots += slots;
+      stats_.stall_slots += slots;
       cycle_ += skip;
     } else if (alive_warps_ > 0) {
       return InternalError("live warps with nothing ready and empty wake queue");

@@ -24,10 +24,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <queue>
 #include <span>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "sim/config.h"
@@ -95,6 +96,11 @@ class Machine {
                                std::span<const std::int64_t> params);
 
  private:
+  // The threaded core's opcode handlers live in machine.cpp as static
+  // members of Interp; they touch the same private state the scalar switch
+  // does.
+  friend struct Interp;
+
   struct Frame {
     std::int32_t reconv_pc;
     std::int32_t other_pc;
@@ -107,10 +113,20 @@ class Machine {
     std::int64_t base_tid = 0;
     std::int64_t block_id = 0;
     bool alive = false;
+    // Issue-slot credit for a pre-executed straight-line run (threaded core
+    // only). When the dispatcher executes a run of n batchable instructions
+    // in one host step it sets skip = n - 1; the next n - 1 times this warp
+    // is popped from the ready queue, the slot is charged and skip
+    // decremented WITHOUT executing anything, so the simulated issue
+    // schedule is cycle-identical to stepping one instruction at a time.
+    // The architectural PC during the drain is pc - skip.
+    std::uint16_t skip = 0;
     std::vector<Frame> stack;
-    // Lane-major register files.
-    std::vector<std::int64_t> r;  // 32 * kNumIntRegs
-    std::vector<double> f;        // 32 * kNumFltRegs
+    // Register-major (SoA) register files: element [reg * 32 + lane]. All 32
+    // values of one register are contiguous, so a converged op is a unit-
+    // stride 32-wide loop the compiler can vectorize.
+    std::vector<std::int64_t> r;  // kNumIntRegs * 32
+    std::vector<double> f;        // kNumFltRegs * 32
     // Spin-poll fast path: a converged warp spinning on a poll load re-issues
     // the same per-lane addresses every iteration, so the deduplicated sector
     // list is cached here, keyed by (pc, active mask, addresses). The address
@@ -124,14 +140,57 @@ class Machine {
     std::array<std::uint64_t, 32> poll_sectors;
   };
 
+  /// Fixed-capacity FIFO of warp-pool indices — the SM's round-robin issue
+  /// queue. A resident warp is in at most one queue (ready or wake) at a
+  /// time, so capacity is bounded by max_warps_per_sm; the power-of-two ring
+  /// replaces the std::deque that dominated the issue loop's host time.
+  class ReadyRing {
+   public:
+    void Reset(int capacity) {
+      std::size_t size = 1;
+      while (size < static_cast<std::size_t>(capacity)) size <<= 1;
+      if (buffer_.size() != size) buffer_.assign(size, 0);
+      mask_ = static_cast<std::uint32_t>(size - 1);
+      head_ = 0;
+      count_ = 0;
+    }
+    bool empty() const { return count_ == 0; }
+    void push_back(int warp) {
+      buffer_[(head_ + count_) & mask_] = warp;
+      ++count_;
+    }
+    int pop_front() {
+      const int warp = buffer_[head_];
+      head_ = (head_ + 1) & mask_;
+      --count_;
+      return warp;
+    }
+
+   private:
+    std::vector<std::int32_t> buffer_;
+    std::uint32_t head_ = 0;
+    std::uint32_t count_ = 0;
+    std::uint32_t mask_ = 0;
+  };
+
   struct Sm {
     std::vector<int> free_slots;       // indices into warp pool
-    std::deque<int> ready;             // warps ready to issue
+    ReadyRing ready;                   // warps ready to issue
     int resident = 0;
   };
 
-  // One step of one warp; returns false if the kernel hit an internal error.
+  // One step of one warp on the legacy scalar core (per-step switch over
+  // Op). Kept for one release behind DeviceConfig::scalar_interpreter as the
+  // reference the threaded core is gated against; also serves the
+  // CAPELLINI_TRACE=1 debug dump and attached-TraceSink paths, which want a
+  // per-issue hook on every instruction.
   void ExecuteInstruction(int warp_index, int sm_index);
+
+  // One dispatch of one warp on the threaded core: either a fused
+  // straight-line run (batchable ops executed across all lanes over the SoA
+  // register views, remaining issue slots charged via Warp::skip) or a
+  // single step through the instruction's handler pointer.
+  void ExecuteThreaded(int warp_index, int sm_index);
 
   // Reconvergence bookkeeping (see DESIGN.md / header comment).
   void SyncAtReconv(Warp& warp);
@@ -151,10 +210,11 @@ class Machine {
                        bool is_atomic = false);
   // The two halves of AccountMemory: the duplicate-sector scan and the
   // queue/latency accounting. Split so the spin-poll fast path can reuse a
-  // cached sector list and skip the scan.
+  // cached sector list and skip the scan. Takes the sector size as a shift
+  // (sector_bytes is constrained to a power of two) — the per-lane divide
+  // was a measurable share of interpreter time.
   static std::size_t DedupSectors(const std::uint64_t* addresses,
-                                  std::size_t count,
-                                  std::uint64_t sector_bytes,
+                                  std::size_t count, int sector_shift,
                                   std::uint64_t* sectors);
   MemTxn AccountSectors(const std::uint64_t* sectors, std::size_t num_sectors,
                         bool is_atomic);
@@ -165,15 +225,43 @@ class Machine {
   void FinishWarp(int warp_index, int sm_index);
 
   std::int64_t& RegI(Warp& warp, int lane, int reg) {
-    return warp.r[static_cast<std::size_t>(lane) * kNumIntRegs +
-                  static_cast<std::size_t>(reg)];
+    return warp.r[static_cast<std::size_t>(reg) * 32 +
+                  static_cast<std::size_t>(lane)];
   }
   double& RegF(Warp& warp, int lane, int reg) {
-    return warp.f[static_cast<std::size_t>(lane) * kNumFltRegs +
-                  static_cast<std::size_t>(reg)];
+    return warp.f[static_cast<std::size_t>(reg) * 32 +
+                  static_cast<std::size_t>(lane)];
   }
 
+  // Read-only launch context threaded through the handler functions (the
+  // scalar core reads the same data off the Machine members directly).
+  struct ExecCtx {
+    const std::int64_t* params;
+    std::int64_t grid_threads;
+    std::int64_t threads_per_block;
+  };
+  struct DecodedInstr;
+  // Converged-warp handler: executes one batchable op across the lanes of
+  // `warp` over the SoA register views. The FULL variant loops all 32 lanes
+  // unconditionally; the masked variant iterates the active mask.
+  using AluFn = void (*)(Warp& warp, const Instr& instr, const ExecCtx& ctx);
+  // Generic single-step handler: executes one instruction (memory, control
+  // flow, or a non-fusable ALU step) and returns the next PC. Memory
+  // completion lands in `mem` exactly as in the scalar core.
+  using StepFn = std::int32_t (*)(Machine& m, Warp& warp,
+                                  const DecodedInstr& d, int sm_index,
+                                  MemTxn& mem, const ExecCtx& ctx);
+
   DeviceConfig config_;
+  /// log2(config_.sector_bytes), precomputed once: DedupSectors maps a lane
+  /// address to its sector with a shift instead of a 64-bit divide.
+  int sector_shift_ = 5;
+  /// config_.BytesPerCycle() / L2BytesPerCycle(), computed once at
+  /// construction: each is an FP divide AccountSectors would otherwise
+  /// re-derive per memory transaction (hundreds of millions per solve).
+  /// Cached values are the exact same doubles, so timing is unchanged.
+  double dram_bytes_per_cycle_ = 1.0;
+  double l2_bytes_per_cycle_ = 1.0;
   DeviceMemory* memory_;
   // CAPELLINI_TRACE=1 per-instruction stderr dump, read once at construction.
   bool debug_trace_ = false;
@@ -181,30 +269,103 @@ class Machine {
   // Per-launch state.
   const Kernel* kernel_ = nullptr;
   // Predecoded copy of the kernel: each instruction fused with its per-PC
-  // annotation bits (spin region / spin head / publish), so the issue loop
-  // reads one table. Rebuilt at every Launch (O(code size), trivial next to
-  // the launch overhead).
+  // annotation bits (spin region / spin head / publish), its straight-line
+  // run length, and its handler pointers, so the issue loop reads one table
+  // and never switches on Op. Two handler streams per decoded kernel — the
+  // full-mask (converged) AluFn and the masked AluFn — cover the two warp
+  // shapes a batch can run under; warps with identical control shape share
+  // the stream.
   struct DecodedInstr {
     Instr instr;
     std::uint8_t flags = 0;
+    // Number of consecutive batchable (IsStraightLineOp) instructions
+    // starting at this PC; 0 for non-batchable ops. A run executes in one
+    // dispatch on the threaded core.
+    std::uint16_t run = 0;
+    AluFn alu_full = nullptr;
+    AluFn alu_masked = nullptr;
+    StepFn step = nullptr;
   };
-  std::vector<DecodedInstr> decoded_;
+  // A decoded handler stream, cached across launches and validated by the
+  // kernel's content fingerprint (see Kernel::Fingerprint). Invalidation
+  // mirrors the old per-launch predecode: content change => rebuild.
+  struct DecodedKernel {
+    std::uint64_t fingerprint = 0;
+    std::vector<DecodedInstr> code;
+  };
+  // Returns the cached decode for `kernel`, building or rebuilding it if the
+  // pointer is new or the fingerprint no longer matches.
+  const DecodedKernel* DecodeKernel(const Kernel& kernel);
+  static void BuildDecoded(const Kernel& kernel, std::uint64_t fingerprint,
+                           DecodedKernel& out);
+
+  std::vector<std::pair<const Kernel*, std::unique_ptr<DecodedKernel>>>
+      decode_cache_;
+  const DecodedKernel* decoded_ = nullptr;  // decode of the current launch
   std::vector<std::int64_t> params_;
   std::int64_t grid_threads_ = 0;
   int threads_per_block_ = 256;
 
   std::vector<Warp> warp_pool_;
   std::vector<Sm> sms_;
-  // (ready_at, warp, sm) entries for memory-stalled warps.
+  // (ready_at, warp, sm) parking for memory-stalled warps. Every load that
+  // completes past cycle+1 parks here and is popped exactly once — hundreds
+  // of millions of entries per solve — so this is a calendar wheel (one
+  // bucket per cycle mod kWakeWheel, O(1) park/wake) instead of a priority
+  // queue (O(log stalled) with a cache-missy heap). Entries beyond the
+  // wheel horizon overflow into a small heap and re-enter the wheel as the
+  // horizon advances. Pop order is identical to the old priority queue:
+  // cycle stepping and exact-min fast-forward make drains monotonic in
+  // ready_at (each bucket holds exactly one time), and a bucket is sorted
+  // by (warp, sm) before delivery — a warp parks at most once, so this
+  // reproduces the heap's (ready_at, warp, sm) order bit-for-bit.
   using WakeEntry = std::tuple<std::uint64_t, int, int>;
+  static constexpr std::uint64_t kWakeWheel = 4096;  // power of two
+  std::vector<std::vector<std::pair<int, int>>> wake_wheel_;  // (warp, sm)
+  std::vector<std::uint64_t> wake_wheel_bits_;  // bucket occupancy bitmap
+  std::size_t wake_wheel_count_ = 0;
   std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>>
-      wake_;
+      wake_far_;
+
+  bool WakePending() const {
+    return wake_wheel_count_ != 0 || !wake_far_.empty();
+  }
+  void WakePush(std::uint64_t ready_at, int warp, int sm) {
+    if (ready_at >= cycle_ + kWakeWheel) {
+      wake_far_.push(WakeEntry{ready_at, warp, sm});
+      return;
+    }
+    const std::uint64_t b = ready_at & (kWakeWheel - 1);
+    wake_wheel_[b].emplace_back(warp, sm);
+    wake_wheel_bits_[b >> 6] |= 1ull << (b & 63);
+    ++wake_wheel_count_;
+  }
+  void WakeReset();
+  std::uint64_t NextWakeTime() const;
 
   std::uint64_t cycle_ = 0;
   double dram_busy_until_ = 0.0;
   double l2_busy_until_ = 0.0;
   std::uint64_t last_progress_cycle_ = 0;
   std::int64_t alive_warps_ = 0;
+  /// Set by FinishWarp; Launch's issue loop re-attempts block dispatch only
+  /// when a slot actually freed (a failed dispatch scan is stateless, so
+  /// skipping it never changes the schedule).
+  bool sm_slots_freed_ = false;
+  /// One bit per SM, set while that SM's ready ring is non-empty. The issue
+  /// scan walks set bits in ascending SM order (countr_zero), which visits
+  /// exactly the SMs the full sweep would have issued from, in the same
+  /// order — spin-heavy phases wake only a handful of warps per cycle, so
+  /// this skips the (num_sms - few) guaranteed-stalled SM visits.
+  std::vector<std::uint64_t> ready_sm_mask_;
+  /// SMs with resident > 0; idle-but-resident SMs charge their issue slots
+  /// as stalls in closed form instead of being visited.
+  int resident_sm_count_ = 0;
+
+  void MarkSmReady(int sm_index) {
+    ready_sm_mask_[static_cast<std::size_t>(sm_index) >> 6] |=
+        1ull << (sm_index & 63);
+  }
   LaunchStats stats_;
   std::vector<std::uint64_t> l2_sectors_;  // bitmap, one bit per sector
   // Indices of l2_sectors_ words that are nonzero, so a re-launch clears
@@ -212,7 +373,7 @@ class Machine {
   std::vector<std::size_t> l2_touched_words_;
 
   // Tracing (see trace/sink.h). The per-PC spin/publish annotations the sink
-  // consumes live in decoded_[pc].flags.
+  // consumes live in decoded_->code[pc].flags.
   trace::TraceSink* trace_ = nullptr;
   int launch_index_ = -1;
 

@@ -15,40 +15,4 @@ void DeviceMemory::Fill(DevicePtr dst, std::uint64_t size, std::uint8_t value) {
   std::memset(bytes_.data() + dst, value, size);
 }
 
-std::int32_t DeviceMemory::LoadI32(DevicePtr addr) const {
-  CheckRange(addr, 4);
-  std::int32_t v;
-  std::memcpy(&v, bytes_.data() + addr, 4);
-  return v;
-}
-
-std::int64_t DeviceMemory::LoadI64(DevicePtr addr) const {
-  CheckRange(addr, 8);
-  std::int64_t v;
-  std::memcpy(&v, bytes_.data() + addr, 8);
-  return v;
-}
-
-double DeviceMemory::LoadF64(DevicePtr addr) const {
-  CheckRange(addr, 8);
-  double v;
-  std::memcpy(&v, bytes_.data() + addr, 8);
-  return v;
-}
-
-void DeviceMemory::StoreI32(DevicePtr addr, std::int32_t value) {
-  CheckRange(addr, 4);
-  std::memcpy(bytes_.data() + addr, &value, 4);
-}
-
-void DeviceMemory::StoreI64(DevicePtr addr, std::int64_t value) {
-  CheckRange(addr, 8);
-  std::memcpy(bytes_.data() + addr, &value, 8);
-}
-
-void DeviceMemory::StoreF64(DevicePtr addr, double value) {
-  CheckRange(addr, 8);
-  std::memcpy(bytes_.data() + addr, &value, 8);
-}
-
 }  // namespace capellini::sim

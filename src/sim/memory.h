@@ -56,13 +56,40 @@ class DeviceMemory {
   /// memset on device memory.
   void Fill(DevicePtr dst, std::uint64_t size, std::uint8_t value);
 
-  // Scalar accessors used by the interpreter (bounds-checked).
-  std::int32_t LoadI32(DevicePtr addr) const;
-  std::int64_t LoadI64(DevicePtr addr) const;
-  double LoadF64(DevicePtr addr) const;
-  void StoreI32(DevicePtr addr, std::int32_t value);
-  void StoreI64(DevicePtr addr, std::int64_t value);
-  void StoreF64(DevicePtr addr, double value);
+  // Scalar accessors used by the interpreter (bounds-checked). Defined
+  // inline: the interpreter calls these once per active lane per memory
+  // instruction — hundreds of millions of times per solve — and the
+  // out-of-line call was a measurable share of host time per simulated cycle.
+  std::int32_t LoadI32(DevicePtr addr) const {
+    CheckRange(addr, 4);
+    std::int32_t v;
+    std::memcpy(&v, bytes_.data() + addr, 4);
+    return v;
+  }
+  std::int64_t LoadI64(DevicePtr addr) const {
+    CheckRange(addr, 8);
+    std::int64_t v;
+    std::memcpy(&v, bytes_.data() + addr, 8);
+    return v;
+  }
+  double LoadF64(DevicePtr addr) const {
+    CheckRange(addr, 8);
+    double v;
+    std::memcpy(&v, bytes_.data() + addr, 8);
+    return v;
+  }
+  void StoreI32(DevicePtr addr, std::int32_t value) {
+    CheckRange(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, 4);
+  }
+  void StoreI64(DevicePtr addr, std::int64_t value) {
+    CheckRange(addr, 8);
+    std::memcpy(bytes_.data() + addr, &value, 8);
+  }
+  void StoreF64(DevicePtr addr, double value) {
+    CheckRange(addr, 8);
+    std::memcpy(bytes_.data() + addr, &value, 8);
+  }
 
  private:
   static constexpr std::uint64_t kBaseOffset = 256;

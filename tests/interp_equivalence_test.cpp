@@ -1,0 +1,353 @@
+// Dispatch-equivalence suite for the threaded interpreter core.
+//
+// The threaded-dispatch / batch-vectorized core (sim/machine.cpp) is an
+// observational-equivalence refactor: it must produce bit-identical simulated
+// cycles, counters, solutions, and trace/fault event streams to the legacy
+// scalar core, which is kept for one release behind
+// DeviceConfig::scalar_interpreter. This suite is the gate: every Algorithm,
+// lower AND upper factors, with a TraceSink attached and with a seeded
+// FaultInjector attached. If the two cores ever disagree on a single cycle or
+// a single bit of x, the scalar flag must not be removed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "gen/banded.h"
+#include "gen/level_structured.h"
+#include "gen/random_lower.h"
+#include "matrix/triangular.h"
+#include "sim/config.h"
+#include "sim/disasm.h"
+#include "sim/fault.h"
+#include "sim/isa.h"
+#include "sim/kernel.h"
+#include "trace/sink.h"
+
+namespace capellini {
+namespace {
+
+/// FNV-1a over the solution bytes: bit-identity, not tolerance.
+std::uint64_t FnvChecksum(const std::vector<Val>& x) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Val v : x) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+std::vector<Val> MakeB(Idx rows) {
+  std::vector<Val> b(static_cast<std::size_t>(rows));
+  for (Idx i = 0; i < rows; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        1.0 + 0.25 * static_cast<double>(i % 17) -
+        0.125 * static_cast<double>(i % 5);
+  }
+  return b;
+}
+
+/// Two shapes with different issue behaviour: a chained band (intra-warp
+/// dependencies, spin-heavy) and an interleaved level structure (divergent,
+/// stresses Two-Phase).
+Csr TestMatrix(const std::string& name) {
+  if (name == "banded_chain") {
+    return MakeBanded({.rows = 300, .bandwidth = 24, .fill = 0.6,
+                       .force_chain = true, .seed = 11});
+  }
+  if (name == "interleaved") {
+    return MakeLevelStructured({.num_levels = 5, .components_per_level = 40,
+                                .avg_nnz_per_row = 2.5, .size_jitter = 0.3,
+                                .interleave = true, .seed = 12});
+  }
+  return MakeRandomLower({.rows = 600, .avg_strict_nnz_per_row = 3.0,
+                          .window = 0, .empty_row_fraction = 0.1,
+                          .seed = 13});
+}
+
+SolverOptions MakeOptions(bool scalar) {
+  SolverOptions options;
+  options.device = sim::TinyTestDevice();
+  options.device.scalar_interpreter = scalar;
+  options.host_threads = 2;  // deterministic host paths regardless of machine
+  return options;
+}
+
+struct RunRecord {
+  Status status = Status::Ok();
+  std::uint64_t x_checksum = 0;
+  sim::LaunchStats stats;
+};
+
+RunRecord RunLower(Algorithm algorithm, const Csr& lower,
+                   const std::vector<Val>& b, bool scalar,
+                   trace::TraceSink* sink = nullptr,
+                   sim::FaultInjector* injector = nullptr) {
+  SolverOptions options = MakeOptions(scalar);
+  options.kernel_options.trace_sink = sink;
+  options.kernel_options.fault_injector = injector;
+  Solver solver(lower, options);
+  auto result = solver.Solve(algorithm, b);
+  RunRecord record;
+  if (!result.ok()) {
+    record.status = result.status();
+    return record;
+  }
+  record.x_checksum = FnvChecksum(result->x);
+  record.stats = result->device_stats;
+  return record;
+}
+
+RunRecord RunUpper(Algorithm algorithm, const Csr& upper,
+                   const std::vector<Val>& b, bool scalar) {
+  auto result = SolveUpperSystem(upper, b, algorithm, MakeOptions(scalar));
+  RunRecord record;
+  if (!result.ok()) {
+    record.status = result.status();
+    return record;
+  }
+  record.x_checksum = FnvChecksum(result->x);
+  record.stats = result->device_stats;
+  return record;
+}
+
+/// EXPECT bit-identical counters — every field, not just cycles, so a
+/// refactor that, say, batches instruction accounting differently is caught
+/// even when the schedule happens to match.
+void ExpectStatsEqual(const sim::LaunchStats& a, const sim::LaunchStats& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.cycles, b.cycles) << context;
+  EXPECT_EQ(a.instructions, b.instructions) << context;
+  EXPECT_EQ(a.lane_instructions, b.lane_instructions) << context;
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes) << context;
+  EXPECT_EQ(a.dram_transactions, b.dram_transactions) << context;
+  EXPECT_EQ(a.issue_slots, b.issue_slots) << context;
+  EXPECT_EQ(a.issue_used, b.issue_used) << context;
+  EXPECT_EQ(a.stall_slots, b.stall_slots) << context;
+  EXPECT_EQ(a.launches, b.launches) << context;
+}
+
+void ExpectRunsEqual(const RunRecord& scalar, const RunRecord& threaded,
+                     const std::string& context) {
+  ASSERT_EQ(scalar.status.code(), threaded.status.code()) << context;
+  EXPECT_EQ(scalar.x_checksum, threaded.x_checksum) << context;
+  ExpectStatsEqual(scalar.stats, threaded.stats, context);
+}
+
+const std::vector<Algorithm>& AllSolvingAlgorithms() {
+  // Everything except the deadlocking strawman, which gets its own test.
+  static const std::vector<Algorithm> algorithms = {
+      Algorithm::kSerialCpu,   Algorithm::kLevelSetCpu,
+      Algorithm::kSyncFreeCpu, Algorithm::kLevelSet,
+      Algorithm::kSyncFree,    Algorithm::kSyncFreeCsr,
+      Algorithm::kCusparse,    Algorithm::kCapelliniTwoPhase,
+      Algorithm::kCapellini,   Algorithm::kHybrid,
+  };
+  return algorithms;
+}
+
+TEST(InterpEquivalence, EveryAlgorithmOnLowerFactors) {
+  for (const std::string& name : {std::string("banded_chain"),
+                                  std::string("interleaved"),
+                                  std::string("random")}) {
+    const Csr lower = TestMatrix(name);
+    const std::vector<Val> b = MakeB(lower.rows());
+    for (const Algorithm algorithm : AllSolvingAlgorithms()) {
+      const RunRecord scalar = RunLower(algorithm, lower, b, true);
+      const RunRecord threaded = RunLower(algorithm, lower, b, false);
+      ExpectRunsEqual(scalar, threaded,
+                      std::string(AlgorithmName(algorithm)) + " on " + name);
+    }
+  }
+}
+
+TEST(InterpEquivalence, EveryAlgorithmOnUpperFactors) {
+  const Csr lower = TestMatrix("banded_chain");
+  const Csr upper = ReverseSystem(lower);
+  const std::vector<Val> b = MakeB(upper.rows());
+  for (const Algorithm algorithm : AllSolvingAlgorithms()) {
+    const RunRecord scalar = RunUpper(algorithm, upper, b, true);
+    const RunRecord threaded = RunUpper(algorithm, upper, b, false);
+    ExpectRunsEqual(scalar, threaded,
+                    std::string(AlgorithmName(algorithm)) + " on upper");
+  }
+}
+
+/// Collects the per-PC issue histogram the suite compares across cores.
+class HistogramSink : public trace::TraceSink {
+ public:
+  void OnIssue(const trace::IssueInfo& info) override {
+    key_ = key_ * 1099511628211ull ^
+           (static_cast<std::uint64_t>(info.cycle) * 131 +
+            static_cast<std::uint64_t>(info.pc));
+    ++histogram_[info.pc];
+    ++issues_;
+  }
+  const std::map<std::int32_t, std::uint64_t>& histogram() const {
+    return histogram_;
+  }
+  std::uint64_t issues() const { return issues_; }
+  /// Order-sensitive digest of the (cycle, pc) stream — the histogram alone
+  /// would accept a reordered schedule.
+  std::uint64_t stream_key() const { return key_; }
+
+ private:
+  std::map<std::int32_t, std::uint64_t> histogram_;
+  std::uint64_t issues_ = 0;
+  std::uint64_t key_ = 1469598103934665603ull;
+};
+
+TEST(InterpEquivalence, TraceSinkSeesIdenticalStream) {
+  // An attached sink wants per-issue callbacks, so Machine::Launch routes
+  // sink-attached runs through the scalar core regardless of the flag. The
+  // contract under test: (1) the flag does not change what a sink observes,
+  // and (2) attaching a sink does not perturb timing relative to the
+  // sink-free threaded run — the cores are interchangeable mid-flight.
+  const Csr lower = TestMatrix("banded_chain");
+  const std::vector<Val> b = MakeB(lower.rows());
+  for (const Algorithm algorithm :
+       {Algorithm::kCapellini, Algorithm::kLevelSet,
+        Algorithm::kCapelliniTwoPhase}) {
+    HistogramSink scalar_sink;
+    HistogramSink threaded_sink;
+    const RunRecord scalar =
+        RunLower(algorithm, lower, b, true, &scalar_sink);
+    const RunRecord threaded =
+        RunLower(algorithm, lower, b, false, &threaded_sink);
+    const RunRecord bare = RunLower(algorithm, lower, b, false);
+    const std::string context = AlgorithmName(algorithm);
+    ExpectRunsEqual(scalar, threaded, context);
+    ExpectRunsEqual(scalar, bare, context + " (sink-free)");
+    EXPECT_EQ(scalar_sink.issues(), threaded_sink.issues()) << context;
+    EXPECT_EQ(scalar_sink.histogram(), threaded_sink.histogram()) << context;
+    EXPECT_EQ(scalar_sink.stream_key(), threaded_sink.stream_key()) << context;
+    EXPECT_GT(scalar_sink.issues(), 0u) << context;
+  }
+}
+
+TEST(InterpEquivalence, SeededFaultInjectorIdentical) {
+  // The injector's PRNG streams advance once per opportunity (per issued
+  // warp, per lane-store, per stall). The threaded core runs WITH an
+  // injector attached — so batching must consume exactly the same
+  // opportunity stream or the fault schedule diverges. Timing-only and
+  // value-corrupting kinds together: bit-identical x proves the same stores
+  // were flipped; bit-identical cycles prove the same warps were parked.
+  sim::FaultPlan plan;
+  plan.seed = 7;
+  plan.bitflip_store_rate = 0.01;
+  plan.stuck_warp_rate = 0.002;
+  plan.mem_delay_rate = 0.01;
+  plan.stuck_cycles = 40;
+  plan.mem_delay_cycles = 25;
+
+  const Csr lower = TestMatrix("banded_chain");
+  const std::vector<Val> b = MakeB(lower.rows());
+  for (const Algorithm algorithm :
+       {Algorithm::kCapellini, Algorithm::kSyncFreeCsr}) {
+    sim::FaultInjector scalar_injector(plan);
+    sim::FaultInjector threaded_injector(plan);
+    const RunRecord scalar =
+        RunLower(algorithm, lower, b, true, nullptr, &scalar_injector);
+    const RunRecord threaded =
+        RunLower(algorithm, lower, b, false, nullptr, &threaded_injector);
+    const std::string context =
+        std::string(AlgorithmName(algorithm)) + " with faults";
+    ExpectRunsEqual(scalar, threaded, context);
+    const sim::FaultCounts sc = scalar_injector.counts();
+    const sim::FaultCounts tc = threaded_injector.counts();
+    for (int kind = 0; kind < sim::kNumFaultKinds; ++kind) {
+      EXPECT_EQ(sc.injected[static_cast<std::size_t>(kind)],
+                tc.injected[static_cast<std::size_t>(kind)])
+          << context << " kind " << kind;
+    }
+    EXPECT_GT(sc.total(), 0u) << context << ": plan rates too low to bite";
+  }
+}
+
+TEST(InterpEquivalence, NaiveDeadlockIdenticalDump) {
+  // The watchdog dump includes the trip cycle and a PC histogram built from
+  // the ARCHITECTURAL pc (pc - skip for a warp mid-drain): identical message
+  // text is a strong gate on both.
+  const Csr chain = MakeBidiagonal(96);
+  const std::vector<Val> b = MakeB(chain.rows());
+  SolverOptions scalar_options = MakeOptions(true);
+  scalar_options.device.no_progress_cycles = 30'000;
+  SolverOptions threaded_options = MakeOptions(false);
+  threaded_options.device.no_progress_cycles = 30'000;
+
+  Solver scalar_solver(chain, scalar_options);
+  Solver threaded_solver(chain, threaded_options);
+  auto scalar = scalar_solver.Solve(Algorithm::kCapelliniNaive, b);
+  auto threaded = threaded_solver.Solve(Algorithm::kCapelliniNaive, b);
+  ASSERT_FALSE(scalar.ok());
+  ASSERT_FALSE(threaded.ok());
+  EXPECT_EQ(scalar.status().code(), StatusCode::kDeadlock);
+  EXPECT_EQ(scalar.status().code(), threaded.status().code());
+  EXPECT_EQ(scalar.status().message(), threaded.status().message());
+}
+
+// --- Predecode plumbing units -------------------------------------------
+
+TEST(StraightLineRuns, StopsAtMemoryAndControl) {
+  using sim::Instr;
+  using sim::Op;
+  std::vector<Instr> code;
+  code.push_back(Instr{Op::kMovI, 0, 0, 0, 1, 0, 0.0});   // 0: run of 2
+  code.push_back(Instr{Op::kAddI, 1, 0, 0, 2, 0, 0.0});   // 1: run of 1
+  code.push_back(Instr{Op::kLd8F, 0, 0, 0, 0, 0, 0.0});   // 2: memory, run 0
+  code.push_back(Instr{Op::kFAdd, 0, 0, 0, 0, 0, 0.0});   // 3: run of 2
+  code.push_back(Instr{Op::kFence, 0, 0, 0, 0, 0, 0.0});  // 4: batchable
+  code.push_back(Instr{Op::kBrnz, 0, 0, 0, 0, 5, 0.0});   // 5: control, run 0
+  code.push_back(Instr{Op::kExit, 0, 0, 0, 0, 0, 0.0});   // 6: run 0
+  const std::vector<std::uint16_t> runs = sim::StraightLineRuns(code);
+  ASSERT_EQ(runs.size(), code.size());
+  EXPECT_EQ(runs[0], 2);
+  EXPECT_EQ(runs[1], 1);
+  EXPECT_EQ(runs[2], 0);
+  EXPECT_EQ(runs[3], 2);
+  EXPECT_EQ(runs[4], 1);
+  EXPECT_EQ(runs[5], 0);
+  EXPECT_EQ(runs[6], 0);
+}
+
+TEST(KernelFingerprint, TracksContentNotName) {
+  sim::KernelBuilder builder("fingerprint_a", 1);
+  const int r = builder.R("r");
+  builder.LdParam(r, 0);
+  builder.AddI(r, r, 5);
+  builder.Exit();
+  sim::Kernel a = builder.Build();
+
+  sim::Kernel renamed = a;
+  renamed.name = "fingerprint_b";
+  EXPECT_EQ(a.Fingerprint(), renamed.Fingerprint())
+      << "the decode cache keys on content; a rename must not invalidate";
+
+  sim::Kernel edited = a;
+  edited.code[1].imm = 6;
+  EXPECT_NE(a.Fingerprint(), edited.Fingerprint())
+      << "any instruction edit must invalidate the decoded trace";
+}
+
+TEST(FormatDecodedKernel, AnnotatesFusedRuns) {
+  sim::KernelBuilder builder("decoded_listing", 1);
+  const int r = builder.R("r");
+  builder.LdParam(r, 0);
+  builder.AddI(r, r, 1);
+  builder.MulI(r, r, 3);
+  builder.Exit();
+  const sim::Kernel kernel = builder.Build();
+  const std::string listing = sim::FormatDecodedKernel(kernel);
+  EXPECT_NE(listing.find("fused run"), std::string::npos) << listing;
+}
+
+}  // namespace
+}  // namespace capellini

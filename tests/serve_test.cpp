@@ -831,6 +831,59 @@ TEST(ServiceTest, ReliableModeRecoversAnInjectedFault) {
   EXPECT_EQ(totals.failures, 0u);  // recovery means no terminal failure
 }
 
+TEST(ServiceTest, CostAwareLadderSkipsFastRungsForExpensiveHandles) {
+  // Same injected fault (first flag publish dropped -> kCapellini deadlocks),
+  // two handles on opposite sides of ladder_cost_threshold_ms. The cheap
+  // handle must recover on the ladder's first fast rung
+  // (kCapelliniTwoPhase); the expensive handle must skip the fast rungs and
+  // land directly on kLevelSet.
+  sim::FaultPlan plan;
+  plan.drop_publish_rate = 1.0;
+  plan.max_faults = 1;
+  sim::FaultInjector cheap_injector(plan);
+  sim::FaultInjector expensive_injector(plan);
+  SolverOptions cheap_solver = WatchdogOptions();
+  cheap_solver.kernel_options.fault_injector = &cheap_injector;
+  SolverOptions expensive_solver = WatchdogOptions();
+  expensive_solver.kernel_options.fault_injector = &expensive_injector;
+
+  MatrixRegistry registry;
+  auto cheap = registry.Register(MakeBidiagonal(64), "cheap", cheap_solver);
+  auto expensive =
+      registry.Register(MakeBidiagonal(4096), "expensive", expensive_solver);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(expensive.ok());
+
+  // Split the threshold between the two handles' analysis-seeded estimates.
+  const double cheap_est = (*registry.Acquire(*cheap))->cost.EstimateMs();
+  const double expensive_est =
+      (*registry.Acquire(*expensive))->cost.EstimateMs();
+  ASSERT_LT(cheap_est, expensive_est);
+
+  ServiceOptions options = SolveService::DeterministicOptions();
+  options.reliable = true;
+  options.ladder_cost_threshold_ms = expensive_est;  // "at or above" escalates
+  SolveService service(&registry, options);
+
+  RequestOptions capellini;
+  capellini.algorithm = Algorithm::kCapellini;
+  for (const auto& [handle, expected_recovery] :
+       {std::pair{*cheap, Algorithm::kCapelliniTwoPhase},
+        std::pair{*expensive, Algorithm::kLevelSet}}) {
+    const Csr& matrix = (*registry.Acquire(handle))->solver.matrix();
+    const ReferenceProblem problem = MakeReferenceProblem(matrix, 17);
+    auto submitted = service.Submit(handle, problem.b, capellini);
+    ASSERT_TRUE(submitted.ok());
+    ServeResult result = submitted->get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_TRUE(result.verified);
+    EXPECT_GE(result.attempts, 2);
+    EXPECT_EQ(result.algorithm, expected_recovery);
+    EXPECT_LE(MaxRelativeError(result.solve.x, problem.x_true), 1e-10);
+  }
+  service.Shutdown();
+}
+
 TEST(ServiceTest, RejectedSubmissionsDoNotPromoteLruOrCountHits) {
   const Csr a = TestMatrix(131);
   const Csr b = TestMatrix(132);
