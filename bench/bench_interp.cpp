@@ -2,7 +2,8 @@
 // dispatch core, gated three ways.
 //
 //  1. Identity gate (always on): the threaded core and the legacy scalar
-//     core (DeviceConfig::scalar_interpreter) must agree bit-for-bit on
+//     core (the test-only oracle behind Machine::set_scalar_core_for_test)
+//     must agree bit-for-bit on
 //     simulated cycles, instruction counts, and the FNV-1a checksum of x on
 //     every workload. Any mismatch exits nonzero — this is the same contract
 //     tests/interp_equivalence_test.cpp enforces, repeated here so the perf
@@ -33,6 +34,7 @@
 #include "gen/random_lower.h"
 #include "matrix/triangular.h"
 #include "sim/config.h"
+#include "sim/machine.h"
 #include "support/cli.h"
 #include "support/status.h"
 #include "support/table.h"
@@ -73,9 +75,9 @@ Measurement Measure(const Workload& workload, const std::vector<Val>& b,
                     bool scalar, int reps) {
   SolverOptions options;
   options.device = sim::PascalGtx1080();
-  options.device.scalar_interpreter = scalar;
   Solver solver(workload.lower, options);
   solver.analysis();  // pay preprocessing once, outside the timed region
+  sim::Machine::set_scalar_core_for_test(scalar);
   Measurement m;
   for (int rep = 0; rep < reps; ++rep) {
     const auto begin = std::chrono::steady_clock::now();
@@ -94,6 +96,7 @@ Measurement Measure(const Workload& workload, const std::vector<Val>& b,
     m.instructions = result->device_stats.instructions;
     m.checksum = FnvChecksum(result->x);
   }
+  sim::Machine::set_scalar_core_for_test(false);
   return m;
 }
 

@@ -27,6 +27,14 @@
 // replays a request trace through the batching solve service over a generated
 // corpus (the trace is generated and written to the path first if the file
 // does not exist); --list-algorithms prints every algorithm the tool accepts.
+// Streaming factors (src/update):
+//
+//   ./examples/sptrsv_tool --update_trace=mixed.json
+//
+// replays a MIXED solve/update trace: update events apply DeltaBatches to the
+// registered factors mid-replay (epoch-swapped snapshots; in-flight solves
+// finish on the pre-update matrix). A missing file gets a generated zipf
+// trace with interleaved updates written to it first.
 // Reliability (src/core/verify.h + src/sim/fault.h):
 //
 //   ./examples/sptrsv_tool --generate --check
@@ -91,9 +99,13 @@ int ListAlgorithms() {
   return 0;
 }
 
-/// --serve_replay: replay `path` (generated and written first if missing)
-/// through a MatrixRegistry + SolveService over a small generated corpus.
-int ServeReplay(const std::string& path, const capellini::SolverOptions& options) {
+/// --serve_replay / --update_trace: replay `path` (generated and written
+/// first if missing) through a MatrixRegistry + SolveService over a small
+/// generated corpus. `with_updates` makes a generated trace carry interleaved
+/// update events (streaming factors); a read trace replays whatever mix it
+/// holds either way.
+int ServeReplay(const std::string& path, const capellini::SolverOptions& options,
+                bool with_updates) {
   using namespace capellini;
   using namespace capellini::serve;
 
@@ -109,13 +121,19 @@ int ServeReplay(const std::string& path, const capellini::SolverOptions& options
                 path.c_str());
   } else {
     trace = GenerateZipfTrace(96, static_cast<int>(corpus.size()), 1.1, 0x51ab);
+    if (with_updates) {
+      InterleaveUpdates(trace, /*update_fraction=*/0.25,
+                        /*deltas_per_update=*/6, /*structural_fraction=*/0.5,
+                        0x51ab);
+    }
     if (const Status status = WriteTraceJson(trace, path); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
     std::printf("no readable trace at %s — generated a zipf trace "
-                "(%zu requests) and wrote it there\n",
-                path.c_str(), trace.requests.size());
+                "(%zu events%s) and wrote it there\n",
+                path.c_str(), trace.requests.size(),
+                with_updates ? ", updates interleaved" : "");
   }
 
   MatrixRegistry registry;
@@ -148,10 +166,18 @@ int ServeReplay(const std::string& path, const capellini::SolverOptions& options
   service.Shutdown();
 
   std::printf("%zu completed, %zu rejected, %zu failed, %zu wrong; "
-              "%.1f req/s (checksum %016llx)\n\n",
+              "%.1f req/s (checksum %016llx)\n",
               report->completed, report->rejected, report->failed,
               report->wrong, report->requests_per_sec,
               static_cast<unsigned long long>(report->solution_checksum));
+  if (report->updates != 0 || report->updates_rejected != 0) {
+    std::printf("%zu updates applied (%llu rows re-leveled), "
+                "%zu update rejections\n",
+                report->updates,
+                static_cast<unsigned long long>(report->rows_releveled),
+                report->updates_rejected);
+  }
+  std::printf("\n");
   const RegistrySnapshot cache = registry.Snapshot();
   std::fputs(service.stats().ToTable(&cache).c_str(), stdout);
   return (report->wrong == 0 && report->failed == 0) ? 0 : 1;
@@ -163,10 +189,38 @@ int ServeReplay(const std::string& path, const capellini::SolverOptions& options
 /// axes like --devices land here instead of growing more ad-hoc blocks.)
 capellini::Status ValidateToolFlags(std::int64_t devices, std::int64_t threads,
                                     bool want_trace, bool tune, bool reliable,
-                                    capellini::Algorithm algorithm) {
+                                    capellini::Algorithm algorithm,
+                                    bool serve_replay, bool update_trace) {
   using namespace capellini;
   if (devices < 1) return InvalidArgument("--devices must be >= 1");
   if (threads < 0) return InvalidArgument("--threads must be >= 0");
+  if (serve_replay && update_trace) {
+    return InvalidArgument(
+        "--serve_replay and --update_trace are both service replay modes; "
+        "pick one (--update_trace replays mixed solve/update traces)");
+  }
+  if (update_trace) {
+    if (want_trace) {
+      return InvalidArgument(
+          "--update_trace replays through the solve service, which has no "
+          "per-solve trace sink; drop --trace/--trace_summary/--trace_csv");
+    }
+    if (devices > 1) {
+      return InvalidArgument(
+          "--update_trace drives the single-device solve service; drop "
+          "--devices");
+    }
+    if (tune) {
+      return InvalidArgument(
+          "--tune sweeps the hybrid kernel outside the service; drop "
+          "--update_trace or --tune");
+    }
+    if (reliable) {
+      return InvalidArgument(
+          "--reliable (the retry ladder) is a one-shot solve path; drop "
+          "--update_trace or --reliable");
+    }
+  }
   if (want_trace && threads > 1) {
     return InvalidArgument(
         "--threads=" + std::to_string(threads) +
@@ -224,6 +278,7 @@ int main(int argc, char** argv) {
   bool trace_summary = false;
   bool list_algorithms = false;
   std::string serve_replay_path;
+  std::string update_trace_path;
   std::string faults_path;
   bool check = false;
   bool reliable = false;
@@ -261,6 +316,11 @@ int main(int argc, char** argv) {
                   "replay this request-trace JSON through the batching solve "
                   "service (generates + writes the trace if the file is "
                   "missing)");
+  flags.AddString("update_trace", &update_trace_path,
+                  "replay this MIXED solve/update trace JSON through the "
+                  "solve service — update events stream DeltaBatches into "
+                  "the registered factors (generates + writes a trace with "
+                  "interleaved updates if the file is missing)");
   flags.AddString("faults", &faults_path,
                   "inject deterministic faults from this plan JSON (see "
                   "sim/fault.h; generates + writes a sample plan if the file "
@@ -275,12 +335,28 @@ int main(int argc, char** argv) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
   }
   if (list_algorithms) return ListAlgorithms();
-  if (!serve_replay_path.empty()) {
+  if (!serve_replay_path.empty() || !update_trace_path.empty()) {
+    // Replay modes bypass the algorithm resolution below (the service picks
+    // per-matrix), but every pairwise flag rule still runs — with a
+    // placeholder algorithm, since none was resolved.
+    const bool early_want_trace =
+        !trace_path.empty() || !trace_csv_path.empty() || trace_summary;
+    if (const Status status = ValidateToolFlags(
+            devices, threads, early_want_trace, tune, reliable,
+            Algorithm::kCapellini, !serve_replay_path.empty(),
+            !update_trace_path.empty());
+        !status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   std::string(status.message()).c_str());
+      return 2;
+    }
     SolverOptions serve_options;
     for (const auto& device : sim::PaperPlatforms()) {
       if (device.name == platform) serve_options.device = device;
     }
-    return ServeReplay(serve_replay_path, serve_options);
+    const bool with_updates = !update_trace_path.empty();
+    return ServeReplay(with_updates ? update_trace_path : serve_replay_path,
+                       serve_options, with_updates);
   }
 
   // --- load or generate ------------------------------------------------
@@ -346,8 +422,10 @@ int main(int argc, char** argv) {
   // --- flag compatibility (one place, every rule) --------------------------
   const bool want_trace =
       !trace_path.empty() || !trace_csv_path.empty() || trace_summary;
-  if (const Status status = ValidateToolFlags(devices, threads, want_trace,
-                                              tune, reliable, algorithm);
+  if (const Status status =
+          ValidateToolFlags(devices, threads, want_trace, tune, reliable,
+                            algorithm, /*serve_replay=*/false,
+                            /*update_trace=*/false);
       !status.ok()) {
     std::fprintf(stderr, "error: %s\n", std::string(status.message()).c_str());
     return 2;

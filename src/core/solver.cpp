@@ -97,6 +97,13 @@ const Analysis& Solver::analysis() const {
   return *analysis_;
 }
 
+void Solver::SeedAnalysis(Analysis analysis) const {
+  std::call_once(analysis_once_, [this, &analysis] {
+    analysis_ = std::make_unique<const Analysis>(std::move(analysis));
+    analyzed_.store(true, std::memory_order_release);
+  });
+}
+
 const LevelSets& Solver::Levels() const { return analysis().levels; }
 
 const MatrixStats& Solver::Stats() const { return analysis().stats; }

@@ -100,6 +100,14 @@ class Solver {
   /// True once analysis() has run (i.e. further calls are cache hits).
   bool analyzed() const { return analyzed_.load(std::memory_order_acquire); }
 
+  /// Installs a precomputed analysis instead of running Analyze() on first
+  /// use — the streaming-update path (src/update) patches the previous
+  /// entry's analysis incrementally and seeds the replacement Solver with
+  /// it. The caller vouches that `analysis` describes matrix(). Same
+  /// once-flag as analysis(): if analysis already ran this is a no-op, so
+  /// seeding can never replace an analysis a reader is holding.
+  void SeedAnalysis(Analysis analysis) const;
+
   /// Structural indicators (levels, alpha/beta/delta). Views into the
   /// memoized analysis(); the level sets are reused by the level-set
   /// algorithms.

@@ -125,6 +125,96 @@ void MatrixRegistry::Promote(MatrixHandle handle) {
   it->second.lru_it = lru_.begin();
 }
 
+Expected<UpdateReport> MatrixRegistry::ApplyDelta(
+    MatrixHandle handle, const update::DeltaBatch& batch) {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+
+  std::shared_ptr<Entry> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(handle);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return NotFound("handle " + std::to_string(handle) +
+                      " is not registered (evicted or never registered)");
+    }
+    old = it->second.entry;
+  }
+
+  // Patch outside the registry mutex: lookups and solves proceed while we
+  // rebuild. The handle's consumer graph is built lazily on the first
+  // structural update (the one-time transpose cost) and patched afterwards.
+  Timer timer;
+  update::ConsumerGraph* graph = nullptr;
+  if (!batch.value_only()) {
+    if (old->consumers == nullptr) {
+      old->consumers = std::make_unique<update::ConsumerGraph>(
+          update::ConsumerGraph::Build(old->solver.matrix()));
+    }
+    graph = old->consumers.get();
+  }
+  Expected<update::UpdateResult> applied =
+      analyzer_.Apply(old->solver.matrix(), old->solver.analysis(), batch,
+                      graph);
+  if (!applied.ok()) return applied.status();  // graph untouched on rejection
+  update::UpdateResult result = std::move(applied).value();
+
+  auto entry = std::make_shared<Entry>(handle, old->name,
+                                       std::move(result.matrix),
+                                       old->solver.options());
+  entry->solver.SeedAnalysis(std::move(result.analysis));
+  entry->analysis_ms = old->analysis_ms;
+  entry->epoch = old->epoch + 1;
+  entry->delta_log_bytes = old->delta_log_bytes + batch.ByteSize();
+  entry->consumers = std::move(old->consumers);  // graph follows the epoch
+  entry->bytes = FootprintBytes(*entry) + entry->delta_log_bytes;
+  // The EWMA measured the previous epoch's solves; re-seed from the patched
+  // analysis so admission control prices the new structure, not stale
+  // observations.
+  entry->cost.seed_ms_ = entry->solver.CostHintMs();
+
+  UpdateReport report;
+  report.handle = handle;
+  report.name = entry->name;
+  report.epoch = entry->epoch;
+  report.value_only = result.value_only;
+  report.rows_releveled = result.rows_releveled;
+  report.total_rows = result.total_rows;
+  report.delta_bytes = batch.ByteSize();
+  report.delta_log_bytes = entry->delta_log_bytes;
+  report.update_ms = timer.ElapsedMs();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    // Evicted while we were patching: nothing to swap into. The graph left
+    // with `entry`, which dies here.
+    ++stats_.misses;
+    return NotFound("handle " + std::to_string(handle) +
+                    " was evicted during the update");
+  }
+  if (options_.byte_budget != 0 && entry->bytes > options_.byte_budget) {
+    // Keep the old epoch. The patched graph (which no longer matches it)
+    // moved into `entry` and dies with it; the next structural update
+    // rebuilds from scratch.
+    return ResourceExhausted(
+        "matrix '" + entry->name + "' needs " + std::to_string(entry->bytes) +
+        " bytes after the update, more than the whole registry budget of " +
+        std::to_string(options_.byte_budget));
+  }
+  resident_bytes_ -= it->second.entry->bytes;
+  resident_bytes_ += entry->bytes;
+  it->second.entry = std::move(entry);  // in-flight EntryRefs keep the old
+                                        // epoch alive until they finish
+  // An update is a use: promote, then make room under the budget (the
+  // promoted entry is at the LRU front, so eviction only takes others).
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+  EvictLruUntilFitsLocked(0);
+  ++stats_.updates;
+  return report;
+}
+
 bool MatrixRegistry::Evict(MatrixHandle handle) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(handle);

@@ -32,6 +32,8 @@
 #include "core/solver.h"
 #include "matrix/csr.h"
 #include "support/status.h"
+#include "update/delta.h"
+#include "update/incremental.h"
 
 namespace capellini::serve {
 
@@ -55,8 +57,23 @@ struct RegistrySnapshot {
   std::uint64_t evictions = 0;
   std::uint64_t hits = 0;       // Acquire on a resident handle
   std::uint64_t misses = 0;     // Acquire on an unknown/evicted handle
+  std::uint64_t updates = 0;    // successful ApplyDelta epoch swaps
   std::size_t resident_entries = 0;
-  std::size_t resident_bytes = 0;
+  std::size_t resident_bytes = 0;  // includes per-handle delta-log bytes
+};
+
+/// What one ApplyDelta did — the numbers ServiceStats accumulates per handle
+/// and bench_update reports (rows re-leveled / total is the incremental win).
+struct UpdateReport {
+  MatrixHandle handle = kInvalidHandle;
+  std::string name;
+  std::uint64_t epoch = 0;  // entry version after the swap
+  bool value_only = false;
+  Idx rows_releveled = 0;  // forward-cone size (0 for value-only)
+  Idx total_rows = 0;
+  std::size_t delta_bytes = 0;      // this batch's delta-log bytes
+  std::size_t delta_log_bytes = 0;  // cumulative log bytes now charged
+  double update_ms = 0.0;           // apply + incremental re-analysis cost
 };
 
 class MatrixRegistry {
@@ -102,6 +119,19 @@ class MatrixRegistry {
     double analysis_ms = 0.0;
     /// Scheduler cost model (analysis-seeded, EWMA-corrected).
     CostModel cost;
+    /// Version counter: 0 at registration, bumped by every ApplyDelta. An
+    /// in-flight solve pinned its EntryRef at admission and finishes on its
+    /// epoch's matrix while the slot already points at epoch + 1 — the same
+    /// shared_ptr liveness trick that lets solves survive LRU eviction.
+    std::uint64_t epoch = 0;
+    /// Cumulative bytes of applied DeltaBatches; charged to the byte budget
+    /// on top of the matrix + level arrays.
+    std::size_t delta_log_bytes = 0;
+    /// Strictly-lower transpose adjacency for incremental re-leveling:
+    /// built on the first structural update, then moved (not copied) to the
+    /// successor entry of each epoch. Update-path-only state — guarded by
+    /// the registry's update mutex, never read by solves.
+    mutable std::unique_ptr<update::ConsumerGraph> consumers;
 
     Entry(MatrixHandle h, std::string n, Csr lower, SolverOptions options)
         : handle(h), name(std::move(n)),
@@ -135,6 +165,22 @@ class MatrixRegistry {
   /// a concurrent eviction is harmless.
   void Promote(MatrixHandle handle);
 
+  /// Applies a DeltaBatch to a registered factor in place (DESIGN.md §4h):
+  /// validates + mutates the matrix, patches the analysis incrementally
+  /// (value-only batches reuse it untouched; structural batches re-level
+  /// only the edited rows' forward cone), and swaps an epoch-bumped
+  /// replacement Entry into the slot. In-flight solves keep the pre-update
+  /// snapshot alive through their EntryRef and are never blocked: the
+  /// expensive patch runs under a dedicated update mutex with the registry
+  /// mutex released. The learned EWMA cost state is invalidated (re-seeded
+  /// from the patched analysis) since it measured the previous epoch.
+  /// Errors: kNotFound (unknown/evicted handle — also when evicted during
+  /// the patch), kInvalidArgument (batch fails validation; factor
+  /// untouched), kResourceExhausted (updated entry alone exceeds the byte
+  /// budget; the old epoch stays resident).
+  Expected<UpdateReport> ApplyDelta(MatrixHandle handle,
+                                    const update::DeltaBatch& batch);
+
   /// Drops a handle explicitly (idempotent; returns false if absent).
   bool Evict(MatrixHandle handle);
 
@@ -150,6 +196,11 @@ class MatrixRegistry {
 
   RegistryOptions options_;
   mutable std::mutex mutex_;
+  /// Serializes ApplyDelta calls (and the analyzer scratch they share)
+  /// without blocking lookups/solves. Ordering: update_mutex_ may take
+  /// mutex_, never the reverse.
+  std::mutex update_mutex_;
+  update::IncrementalAnalyzer analyzer_;
   MatrixHandle next_handle_ = 1;
   // LRU list front = most recent; map values hold the list iterator for O(1)
   // splice on Acquire.

@@ -9,6 +9,7 @@
 
 #include "matrix/triangular.h"
 #include "support/rng.h"
+#include "update/delta.h"
 
 namespace capellini::serve {
 namespace {
@@ -65,8 +66,10 @@ RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
     const auto rank = static_cast<std::size_t>(
         std::min<std::ptrdiff_t>(it - cdf.begin(),
                                  static_cast<std::ptrdiff_t>(cdf.size()) - 1));
-    trace.requests.push_back(
-        TraceRequest{rank_to_matrix[rank], rng.Next() | 1u});
+    TraceRequest request;
+    request.matrix = rank_to_matrix[rank];
+    request.seed = rng.Next() | 1u;
+    trace.requests.push_back(request);
   }
   return trace;
 }
@@ -77,8 +80,31 @@ void AssignDeadlines(RequestTrace& trace, double min_ms, double max_ms,
                       "deadlines need 0 < min_ms <= max_ms");
   Rng rng(seed);
   for (TraceRequest& request : trace.requests) {
+    if (request.kind != TraceEventKind::kSolve) continue;
     request.deadline_ms = rng.NextDouble(min_ms, max_ms);
   }
+}
+
+void InterleaveUpdates(RequestTrace& trace, double update_fraction,
+                       int deltas_per_update, double structural_fraction,
+                       std::uint64_t seed) {
+  if (update_fraction <= 0.0 || deltas_per_update <= 0) return;
+  Rng rng(seed ^ 0x5747ea3u);
+  std::vector<TraceRequest> mixed;
+  mixed.reserve(trace.requests.size());
+  for (const TraceRequest& request : trace.requests) {
+    mixed.push_back(request);
+    if (request.kind != TraceEventKind::kSolve) continue;
+    if (!rng.NextBool(update_fraction)) continue;
+    TraceRequest update;
+    update.kind = TraceEventKind::kUpdate;
+    update.matrix = request.matrix;  // updates track traffic popularity
+    update.seed = rng.Next() | 1u;
+    update.update_deltas = deltas_per_update;
+    update.structural = rng.NextBool(structural_fraction);
+    mixed.push_back(update);
+  }
+  trace.requests = std::move(mixed);
 }
 
 Status WriteTraceJson(const RequestTrace& trace, const std::string& path) {
@@ -87,16 +113,22 @@ Status WriteTraceJson(const RequestTrace& trace, const std::string& path) {
   std::fprintf(file, "{\"requests\": [\n");
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     const TraceRequest& r = trace.requests[i];
-    if (r.deadline_ms > 0.0) {
+    const char* tail = i + 1 < trace.requests.size() ? "," : "";
+    if (r.kind == TraceEventKind::kUpdate) {
+      std::fprintf(file,
+                   "  {\"matrix\": %d, \"seed\": %llu, \"update_deltas\": %d, "
+                   "\"structural\": %d}%s\n",
+                   r.matrix, static_cast<unsigned long long>(r.seed),
+                   r.update_deltas, r.structural ? 1 : 0, tail);
+    } else if (r.deadline_ms > 0.0) {
       std::fprintf(file,
                    "  {\"matrix\": %d, \"seed\": %llu, \"deadline_ms\": "
                    "%.6f}%s\n",
                    r.matrix, static_cast<unsigned long long>(r.seed),
-                   r.deadline_ms, i + 1 < trace.requests.size() ? "," : "");
+                   r.deadline_ms, tail);
     } else {
       std::fprintf(file, "  {\"matrix\": %d, \"seed\": %llu}%s\n", r.matrix,
-                   static_cast<unsigned long long>(r.seed),
-                   i + 1 < trace.requests.size() ? "," : "");
+                   static_cast<unsigned long long>(r.seed), tail);
     }
   }
   std::fprintf(file, "]}\n");
@@ -142,14 +174,19 @@ Expected<RequestTrace> ReadTraceJson(const std::string& path) {
       return IoError(path + ": negative matrix index");
     }
     pos = seed_pos + seed_key.size();
-    // Optional per-request deadline, written only when positive: accept a
-    // "deadline_ms" key that belongs to THIS record (before the next
-    // "matrix").
+    // Optional keys belonging to THIS record (i.e. before the next
+    // "matrix"): "deadline_ms" on solves, "update_deltas"/"structural" on
+    // update events.
     const std::string deadline_key = "\"deadline_ms\"";
+    const std::string deltas_key = "\"update_deltas\"";
+    const std::string structural_key = "\"structural\"";
     const std::size_t next_matrix = text.find(matrix_key, pos);
+    const auto in_record = [&](std::size_t key_pos) {
+      return key_pos != std::string::npos &&
+             (next_matrix == std::string::npos || key_pos < next_matrix);
+    };
     const std::size_t deadline_pos = text.find(deadline_key, pos);
-    if (deadline_pos != std::string::npos &&
-        (next_matrix == std::string::npos || deadline_pos < next_matrix)) {
+    if (in_record(deadline_pos)) {
       double deadline_ms = 0.0;
       if (std::sscanf(text.c_str() + deadline_pos + deadline_key.size(),
                       " : %lf", &deadline_ms) != 1) {
@@ -157,6 +194,26 @@ Expected<RequestTrace> ReadTraceJson(const std::string& path) {
       }
       request.deadline_ms = deadline_ms;
       pos = deadline_pos + deadline_key.size();
+    }
+    const std::size_t deltas_pos = text.find(deltas_key, pos);
+    if (in_record(deltas_pos)) {
+      request.kind = TraceEventKind::kUpdate;
+      if (std::sscanf(text.c_str() + deltas_pos + deltas_key.size(), " : %d",
+                      &request.update_deltas) != 1 ||
+          request.update_deltas <= 0) {
+        return IoError(path + ": malformed \"update_deltas\" value");
+      }
+      pos = deltas_pos + deltas_key.size();
+      const std::size_t structural_pos = text.find(structural_key, pos);
+      if (in_record(structural_pos)) {
+        int structural = 0;
+        if (std::sscanf(text.c_str() + structural_pos + structural_key.size(),
+                        " : %d", &structural) != 1) {
+          return IoError(path + ": malformed \"structural\" value");
+        }
+        request.structural = structural != 0;
+        pos = structural_pos + structural_key.size();
+      }
     }
     trace.requests.push_back(request);
   }
@@ -202,16 +259,42 @@ Expected<ReplayReport> ReplayTrace(SolveService& service,
     }
     const MatrixHandle handle =
         handles[static_cast<std::size_t>(request.matrix) % handles.size()];
-    // Peek: manufacturing the right-hand side is client-side work and must
-    // not touch the LRU — only the admitted Submit below promotes.
+    // Peek: manufacturing the right-hand side (or drawing the delta batch)
+    // is client-side work and must not touch the LRU — only admitted
+    // operations promote.
     auto entry = service.registry()->Peek(handle);
     if (!entry.ok()) {
       if (is_rejection(entry.status())) {
-        ++report.submitted;
-        ++report.rejected;
+        if (request.kind == TraceEventKind::kUpdate) {
+          ++report.updates_rejected;
+        } else {
+          ++report.submitted;
+          ++report.rejected;
+        }
         continue;
       }
       return entry.status();
+    }
+    if (request.kind == TraceEventKind::kUpdate) {
+      // Apply inline: solves admitted before this point pinned the old
+      // epoch and stay verifiable against the x_true they were built from;
+      // solves submitted after see the mutated matrix. No barrier needed —
+      // that is the snapshot contract under test.
+      const update::DeltaBatch batch = update::MakeRandomBatch(
+          (*entry)->solver.matrix(), request.update_deltas, request.structural,
+          request.seed);
+      auto applied = service.ApplyDelta(handle, batch);
+      if (!applied.ok()) {
+        if (is_rejection(applied.status())) {
+          ++report.updates_rejected;
+          continue;
+        }
+        return applied.status();
+      }
+      ++report.updates;
+      report.rows_releveled +=
+          static_cast<std::uint64_t>(applied->rows_releveled);
+      continue;
     }
     const ReferenceProblem problem =
         MakeReferenceProblem((*entry)->solver.matrix(), request.seed);

@@ -19,13 +19,26 @@
 
 namespace capellini::serve {
 
+enum class TraceEventKind {
+  kSolve,   // submit one solve against the matrix
+  kUpdate,  // apply one DeltaBatch to the matrix (streaming factors)
+};
+
 struct TraceRequest {
+  TraceEventKind kind = TraceEventKind::kSolve;
   /// Index into the corpus / handle list the trace is replayed against.
   int matrix = 0;
-  /// Seed for the manufactured right-hand side (b = L * x_true).
+  /// kSolve: seed for the manufactured right-hand side (b = L * x_true).
+  /// kUpdate: seed for update::MakeRandomBatch against the handle's current
+  /// matrix — the batch is a pure function of (matrix at apply time, seed),
+  /// so a replay and its serial baseline mutate identically.
   std::uint64_t seed = 0;
-  /// Per-request deadline in wall-clock ms from submission (0 = none).
+  /// Per-request deadline in wall-clock ms from submission (0 = none;
+  /// kSolve only).
   double deadline_ms = 0.0;
+  /// kUpdate only: batch size and kind.
+  int update_deltas = 0;
+  bool structural = false;
 };
 
 struct RequestTrace {
@@ -44,7 +57,20 @@ RequestTrace GenerateZipfTrace(int num_requests, int num_matrices, double s,
 void AssignDeadlines(RequestTrace& trace, double min_ms, double max_ms,
                      std::uint64_t seed);
 
-/// {"requests": [{"matrix": 3, "seed": 17}, ...]}
+/// Interleaves update events into `trace`: after each solve request, with
+/// probability `update_fraction`, an update event targeting the SAME matrix
+/// is inserted (hot factors get updated in proportion to their traffic —
+/// the worst case for snapshot churn). Each update carries
+/// `deltas_per_update` deltas and is structural with probability
+/// `structural_fraction`. Deterministic in `seed`.
+void InterleaveUpdates(RequestTrace& trace, double update_fraction,
+                       int deltas_per_update, double structural_fraction,
+                       std::uint64_t seed);
+
+/// {"requests": [{"matrix": 3, "seed": 17}, ...]}; update events carry
+/// "update_deltas" (and "structural") instead of "deadline_ms":
+/// {"matrix": 2, "seed": 9, "update_deltas": 8, "structural": 1}.
+/// Both directions round-trip (replay_test covers mixed traces).
 Status WriteTraceJson(const RequestTrace& trace, const std::string& path);
 Expected<RequestTrace> ReadTraceJson(const std::string& path);
 
@@ -55,6 +81,12 @@ struct ReplayReport {
   std::size_t expired = 0;     // kDeadlineExceeded ServeResults
   std::size_t failed = 0;      // other non-OK ServeResults
   std::size_t wrong = 0;       // solution off the reference by > 1e-8
+  // Update events (kUpdate): applied epoch swaps vs refused/failed applies
+  // (evicted handle, over-budget entry). Solve counters above never include
+  // update events.
+  std::size_t updates = 0;
+  std::size_t updates_rejected = 0;
+  std::uint64_t rows_releveled = 0;  // summed over applied updates
   double wall_ms = 0.0;
   double requests_per_sec = 0.0;
   /// FNV-1a over every completed solution in submission order — the

@@ -69,6 +69,26 @@ void SolveService::Start() {
   cv_.notify_all();
 }
 
+Expected<UpdateReport> SolveService::ApplyDelta(
+    MatrixHandle handle, const update::DeltaBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      stats_.RecordUpdateRejection();
+      return FailedPrecondition("service is shut down");
+    }
+  }
+  // The registry swap does not touch the service queue: requests admitted
+  // before this point pinned their EntryRef and finish on the old epoch.
+  Expected<UpdateReport> report = registry_->ApplyDelta(handle, batch);
+  if (!report.ok()) {
+    stats_.RecordUpdateRejection();
+    return report.status();
+  }
+  stats_.RecordUpdate(*report, report->name);
+  return report;
+}
+
 void SolveService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

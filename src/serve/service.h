@@ -203,6 +203,16 @@ class SolveService {
                                             std::vector<Val> b,
                                             RequestOptions options = {});
 
+  /// Applies a streaming update to a registered factor (see
+  /// MatrixRegistry::ApplyDelta for semantics: epoch-bumped snapshot swap,
+  /// in-flight solves finish on the pre-update epoch). The service layer
+  /// adds accounting: every call records exactly one of RecordUpdate /
+  /// RecordUpdateRejection in stats(). Fails with kFailedPrecondition after
+  /// Shutdown (counted as a rejection), otherwise forwards the registry's
+  /// status.
+  Expected<UpdateReport> ApplyDelta(MatrixHandle handle,
+                                    const update::DeltaBatch& batch);
+
   /// Releases workers when constructed with start_paused (no-op otherwise).
   void Start();
 

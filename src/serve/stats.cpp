@@ -139,6 +139,30 @@ void ServiceStats::RecordBreakerShortCircuit() {
   ++totals_.breaker_short_circuits;
 }
 
+void ServiceStats::RecordUpdate(const UpdateReport& report,
+                                const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerHandle& ph = per_handle_[report.handle];
+  if (ph.name.empty()) ph.name = name;
+  if (report.value_only) {
+    ++totals_.updates_value;
+    ++ph.updates_value;
+  } else {
+    ++totals_.updates_structural;
+    ++ph.updates_structural;
+  }
+  totals_.update_rows_releveled +=
+      static_cast<std::uint64_t>(report.rows_releveled);
+  totals_.update_delta_bytes += report.delta_bytes;
+  ph.update_rows_releveled += static_cast<std::uint64_t>(report.rows_releveled);
+  ph.delta_log_bytes = report.delta_log_bytes;
+}
+
+void ServiceStats::RecordUpdateRejection() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.update_rejections;
+}
+
 std::vector<ServiceStats::DeadlineBucket> ServiceStats::DeadlineBuckets()
     const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -211,6 +235,29 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
     out << line;
   }
 
+  if (totals_.updates_value + totals_.updates_structural +
+          totals_.update_rejections >
+      0) {
+    char line[160];
+    std::snprintf(
+        line, sizeof line,
+        "streaming updates: value_only=%llu structural=%llu rejected=%llu "
+        "rows_releveled=%llu delta_bytes=%llu\n",
+        static_cast<unsigned long long>(totals_.updates_value),
+        static_cast<unsigned long long>(totals_.updates_structural),
+        static_cast<unsigned long long>(totals_.update_rejections),
+        static_cast<unsigned long long>(totals_.update_rows_releveled),
+        static_cast<unsigned long long>(totals_.update_delta_bytes));
+    out << line;
+    std::snprintf(
+        line, sizeof line,
+        "invalidation causes: value_only(ewma reseed)=%llu "
+        "structural(ewma reseed + cone relevel)=%llu\n",
+        static_cast<unsigned long long>(totals_.updates_value),
+        static_cast<unsigned long long>(totals_.updates_structural));
+    out << line;
+  }
+
   if (cost_error_samples_ > 0) {
     char line[96];
     std::snprintf(line, sizeof line,
@@ -260,12 +307,17 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
 
   if (!per_handle_.empty()) {
     TextTable table({"Handle", "Matrix", "Requests", "Failures", "Batched",
-                     "Wait p50 ms", "Solve p50 ms"});
+                     "Upd v/s", "Releveled", "Log bytes", "Wait p50 ms",
+                     "Solve p50 ms"});
     table.SetTitle("per-handle");
     for (const auto& [handle, ph] : per_handle_) {
       table.AddRow({std::to_string(handle), ph.name,
                     std::to_string(ph.requests), std::to_string(ph.failures),
                     std::to_string(ph.batched_requests),
+                    std::to_string(ph.updates_value) + "/" +
+                        std::to_string(ph.updates_structural),
+                    std::to_string(ph.update_rows_releveled),
+                    std::to_string(ph.delta_log_bytes),
                     TextTable::Num(Summarize(ph.queue_wait_ms).p50_ms, 3),
                     TextTable::Num(Summarize(ph.solve_ms).p50_ms, 3)});
     }
@@ -274,14 +326,15 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
 
   if (registry != nullptr) {
     TextTable cache({"Registered", "Resident", "Bytes", "Hits", "Misses",
-                     "Evictions"});
+                     "Evictions", "Updates"});
     cache.SetTitle("registry cache");
     cache.AddRow({std::to_string(registry->registrations),
                   std::to_string(registry->resident_entries),
                   std::to_string(registry->resident_bytes),
                   std::to_string(registry->hits),
                   std::to_string(registry->misses),
-                  std::to_string(registry->evictions)});
+                  std::to_string(registry->evictions),
+                  std::to_string(registry->updates)});
     out << cache.ToString();
   }
   return out.str();
@@ -304,6 +357,14 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
   out << "  \"breaker_probes\": " << totals_.breaker_probes << ",\n";
   out << "  \"breaker_short_circuits\": " << totals_.breaker_short_circuits
       << ",\n";
+  out << "  \"updates_value\": " << totals_.updates_value << ",\n";
+  out << "  \"updates_structural\": " << totals_.updates_structural << ",\n";
+  out << "  \"update_rejections\": " << totals_.update_rejections << ",\n";
+  out << "  \"update_rows_releveled\": " << totals_.update_rows_releveled
+      << ",\n";
+  out << "  \"update_delta_bytes\": " << totals_.update_delta_bytes << ",\n";
+  out << "  \"invalidation_causes\": {\"value_only\": " << totals_.updates_value
+      << ", \"structural\": " << totals_.updates_structural << "},\n";
   {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6f",
@@ -338,7 +399,8 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
         << ", \"resident_bytes\": " << registry->resident_bytes
         << ", \"hits\": " << registry->hits
         << ", \"misses\": " << registry->misses
-        << ", \"evictions\": " << registry->evictions << "}";
+        << ", \"evictions\": " << registry->evictions
+        << ", \"updates\": " << registry->updates << "}";
   }
   out << ",\n  \"per_handle\": [\n";
   std::size_t i = 0;
@@ -346,7 +408,11 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
     out << "    {\"handle\": " << handle << ", \"name\": \"" << ph.name
         << "\", \"requests\": " << ph.requests
         << ", \"failures\": " << ph.failures
-        << ", \"batched_requests\": " << ph.batched_requests << "}"
+        << ", \"batched_requests\": " << ph.batched_requests
+        << ", \"updates_value\": " << ph.updates_value
+        << ", \"updates_structural\": " << ph.updates_structural
+        << ", \"rows_releveled\": " << ph.update_rows_releveled
+        << ", \"delta_log_bytes\": " << ph.delta_log_bytes << "}"
         << (++i < per_handle_.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

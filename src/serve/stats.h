@@ -82,6 +82,17 @@ class ServiceStats {
   void RecordBreakerProbe();
   void RecordBreakerShortCircuit();
 
+  /// One streaming update (ApplyDelta) outcome. Same exactly-once contract
+  /// as request accounting: every SolveService::ApplyDelta call records
+  /// exactly one of RecordUpdate / RecordUpdateRejection, so
+  ///   updates_value + updates_structural + update_rejections == calls
+  /// (update_test pins this next to the PR-4 request invariant). A
+  /// successful update invalidates the handle's learned cost state; the
+  /// value/structural split IS the invalidation-cause split (value-only =
+  /// EWMA reseed, structural = EWMA reseed + cone re-level).
+  void RecordUpdate(const UpdateReport& report, const std::string& name);
+  void RecordUpdateRejection();
+
   /// Counter snapshot used by tests and the JSON dump.
   struct Totals {
     std::uint64_t requests = 0;   // completed OK
@@ -102,6 +113,15 @@ class ServiceStats {
     std::uint64_t breaker_opens = 0;
     std::uint64_t breaker_probes = 0;
     std::uint64_t breaker_short_circuits = 0;
+    // Streaming updates (ApplyDelta), split by invalidation cause:
+    // value-only updates reseed the EWMA cost state, structural updates
+    // additionally re-leveled a cone of rows. One record per call:
+    // updates_value + updates_structural + update_rejections == calls.
+    std::uint64_t updates_value = 0;
+    std::uint64_t updates_structural = 0;
+    std::uint64_t update_rejections = 0;
+    std::uint64_t update_rows_releveled = 0;  // summed cone sizes
+    std::uint64_t update_delta_bytes = 0;     // summed batch log bytes
   };
   Totals totals() const;
 
@@ -138,6 +158,11 @@ class ServiceStats {
     std::uint64_t failures = 0;
     std::uint64_t deadline_misses = 0;
     std::uint64_t batched_requests = 0;  // served in a batch of >= 2
+    // Streaming-update counters (see RecordUpdate).
+    std::uint64_t updates_value = 0;
+    std::uint64_t updates_structural = 0;
+    std::uint64_t update_rows_releveled = 0;
+    std::uint64_t delta_log_bytes = 0;  // cumulative log, from the last report
     std::vector<double> queue_wait_ms;
     std::vector<double> solve_ms;
   };

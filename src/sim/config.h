@@ -57,16 +57,6 @@ struct DeviceConfig {
   // this is what makes per-level launches in level-set SpTRSV expensive).
   std::uint64_t launch_overhead_cycles = 3000;
 
-  // Interpreter core selection. The default is the threaded-dispatch,
-  // batch-vectorized core: per-PC handler pointers instead of a per-step
-  // switch, straight-line runs executed in one dispatch over SoA register
-  // views, decoded handler streams cached per (kernel, warp shape). Setting
-  // this flag selects the legacy scalar switch interpreter instead. The two
-  // cores are bit-identical in simulated cycles, counters and memory
-  // contents (tests/interp_equivalence_test gates this); the scalar path is
-  // kept for one release as the reference and then removed.
-  bool scalar_interpreter = false;
-
   // Watchdogs.
   std::uint64_t max_cycles = 8'000'000'000ull;
   // If no store/atomic/warp-completion happens for this many cycles while

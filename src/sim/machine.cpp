@@ -42,6 +42,12 @@ inline void ForActive(std::uint32_t mask, Fn&& fn) {
 
 }  // namespace
 
+std::atomic<bool> Machine::scalar_core_for_test_{false};
+
+void Machine::set_scalar_core_for_test(bool scalar) {
+  scalar_core_for_test_.store(scalar, std::memory_order_relaxed);
+}
+
 Machine::Machine(DeviceConfig config, DeviceMemory* memory)
     : config_(std::move(config)),
       memory_(memory),
@@ -994,8 +1000,8 @@ struct Interp {
   }
 
   template <Op OP>
-  static std::int32_t StepStore(Machine& m, Warp& w, const DI& d, int,
-                                MemTxn&, const Ctx&) {
+  static std::int32_t StepStore(Machine& m, Warp& w, const DI& d,
+                                int sm_index, MemTxn&, const Ctx&) {
     const Instr& in = d.instr;
     std::uint64_t addresses[32];
     std::size_t count = 0;
@@ -1023,12 +1029,23 @@ struct Interp {
     // Stores are fire-and-forget: account bandwidth, do not stall.
     (void)m.AccountMemory(addresses, count, MemoryWidth(OP));
     m.last_progress_cycle_ = m.cycle_;
+    if (m.trace_ != nullptr && (d.flags & kPcPublish) != 0) {
+      const int warp_index = static_cast<int>(&w - m.warp_pool_.data());
+      trace::PublishInfo publish;
+      publish.cycle = m.cycle_;
+      publish.sm = sm_index;
+      publish.warp_slot = warp_index - sm_index * m.config_.max_warps_per_sm;
+      for (std::size_t i = 0; i < count; ++i) {
+        publish.addr = addresses[i];
+        m.trace_->OnPublish(publish);
+      }
+    }
     return w.pc + 1;
   }
 
   template <Op OP>
-  static std::int32_t StepAtomic(Machine& m, Warp& w, const DI& d, int,
-                                 MemTxn& mem, const Ctx&) {
+  static std::int32_t StepAtomic(Machine& m, Warp& w, const DI& d,
+                                 int sm_index, MemTxn& mem, const Ctx&) {
     const Instr& in = d.instr;
     std::uint64_t addresses[32];
     std::size_t count = 0;
@@ -1051,6 +1068,12 @@ struct Interp {
     mem = m.AccountMemory(addresses, count, MemoryWidth(OP),
                           /*is_atomic=*/true);
     m.last_progress_cycle_ = m.cycle_;
+    if (m.trace_ != nullptr) {
+      const int warp_index = static_cast<int>(&w - m.warp_pool_.data());
+      m.trace_->OnAtomic(m.cycle_, sm_index,
+                         warp_index - sm_index * m.config_.max_warps_per_sm,
+                         mem.transactions);
+    }
     return w.pc + 1;
   }
 
@@ -1188,7 +1211,16 @@ void Machine::ExecuteThreaded(int warp_index, int sm_index) {
   const DecodedInstr& head = code[static_cast<std::size_t>(warp.pc)];
   const ExecCtx ctx{params_.data(), grid_threads_, threads_per_block_};
 
-  if (head.run != 0 && warp.stack.empty()) {
+  // Per-issue observers — an attached TraceSink or the CAPELLINI_TRACE=1
+  // dump — want a hook on every instruction, so run fusion is disabled while
+  // one is attached: each instruction of a run becomes its own dispatch at
+  // what would have been the fused-run boundary. Fusion is schedule-neutral
+  // by construction (the skip credit charges exactly the slots the unfused
+  // issues would have), so disabling it changes neither the cycle count nor
+  // any counter — the "a sink never affects timing" contract holds.
+  const bool hooked = trace_ != nullptr || debug_trace_;
+
+  if (head.run != 0 && warp.stack.empty() && !hooked) {
     // Fused straight-line run: execute every batchable instruction from
     // here in one dispatch over the SoA register rows (no re-entry into the
     // dispatch loop between them), then charge the n-1 remaining issue
@@ -1216,8 +1248,30 @@ void Machine::ExecuteThreaded(int warp_index, int sm_index) {
     return;
   }
 
+  // Debug tracing (CAPELLINI_TRACE=1): same line format as the scalar core.
+  if (debug_trace_) {
+    std::fprintf(stderr,
+                 "cyc=%llu warp=%d pc=%d op=%d active=%08x stack=%zu\n",
+                 static_cast<unsigned long long>(cycle_), warp_index, warp.pc,
+                 static_cast<int>(head.instr.op), warp.active,
+                 warp.stack.size());
+  }
   ++stats_.instructions;
   stats_.lane_instructions += static_cast<std::uint64_t>(PopCount(warp.active));
+
+  if (trace_) {
+    trace::IssueInfo issue;
+    issue.cycle = cycle_;
+    issue.sm = sm_index;
+    issue.warp_slot = warp_index - sm_index * config_.max_warps_per_sm;
+    issue.base_tid = warp.base_tid;
+    issue.pc = warp.pc;
+    issue.active = warp.active;
+    issue.divergent = !warp.stack.empty();
+    issue.in_spin = (head.flags & kPcInSpin) != 0;
+    issue.spin_head = (head.flags & kPcSpinHead) != 0;
+    trace_->OnIssue(issue);
+  }
 
   MemTxn mem;  // ready_at == 0 => ready immediately
   warp.pc = head.step(*this, warp, head, sm_index, mem, ctx);
@@ -1232,6 +1286,21 @@ void Machine::ExecuteThreaded(int warp_index, int sm_index) {
     mem.ready_at += faults_->ExtraMemDelay(warp.base_tid);
   }
   if (mem.ready_at > cycle_ + 1) {
+    if (trace_) {
+      trace::MemStallInfo stall;
+      stall.cycle = cycle_;
+      stall.ready_at = mem.ready_at;
+      stall.sm = sm_index;
+      stall.warp_slot = warp_index - sm_index * config_.max_warps_per_sm;
+      stall.base_tid = warp.base_tid;
+      stall.queue_cycles = mem.queue_cycles;
+      stall.transactions = mem.transactions;
+      stall.dram_misses = mem.misses;
+      stall.is_atomic = head.instr.op == Op::kAtomAddF8 ||
+                        head.instr.op == Op::kAtomAddI4;
+      stall.in_spin = (head.flags & kPcInSpin) != 0;
+      trace_->OnMemStall(stall);
+    }
     WakePush(mem.ready_at, warp_index, sm_index);
   } else {
     sms_[static_cast<std::size_t>(sm_index)].ready.push_back(warp_index);
@@ -1336,13 +1405,14 @@ Expected<LaunchStats> Machine::Launch(const Kernel& kernel, LaunchDims dims,
   // and validated by content fingerprint (see DecodeKernel).
   decoded_ = DecodeKernel(kernel);
 
-  // Core selection: the threaded dispatcher covers the trace-free steady
-  // state; an attached TraceSink (or the CAPELLINI_TRACE=1 debug dump) wants
-  // a per-issue hook on every instruction, which is exactly what the scalar
-  // core provides. The two are bit-identical in simulated behavior, so the
-  // "a sink never affects timing" contract holds across the switch.
+  // Core selection: the threaded dispatcher is the only production core.
+  // An attached TraceSink (or the CAPELLINI_TRACE=1 debug dump) disables run
+  // fusion inside it so every instruction gets its per-issue hook (see
+  // ExecuteThreaded). The legacy scalar switch survives solely as the
+  // equivalence oracle behind the test-only hook below
+  // (interp_equivalence_test, bench_interp's identity gate).
   const bool use_threaded =
-      !config_.scalar_interpreter && trace_ == nullptr && !debug_trace_;
+      !scalar_core_for_test_.load(std::memory_order_relaxed);
 
   ++launch_index_;
   if (trace_) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -94,6 +95,15 @@ class Machine {
   /// Fails with StatusCode::kDeadlock when the watchdog trips.
   Expected<LaunchStats> Launch(const Kernel& kernel, LaunchDims dims,
                                std::span<const std::int64_t> params);
+
+  /// Test-only: routes subsequent launches through the legacy scalar core
+  /// instead of the threaded dispatcher. The scalar loop survives solely as
+  /// the reference oracle interp_equivalence_test and bench_interp's
+  /// identity gate compare the threaded core against; no production path
+  /// selects it (there is deliberately no public config knob). Process-wide
+  /// so the oracle can be flipped around a Solve without plumbing test state
+  /// through SolverOptions.
+  static void set_scalar_core_for_test(bool scalar);
 
  private:
   // The threaded core's opcode handlers live in machine.cpp as static
@@ -180,10 +190,11 @@ class Machine {
   };
 
   // One step of one warp on the legacy scalar core (per-step switch over
-  // Op). Kept for one release behind DeviceConfig::scalar_interpreter as the
-  // reference the threaded core is gated against; also serves the
-  // CAPELLINI_TRACE=1 debug dump and attached-TraceSink paths, which want a
-  // per-issue hook on every instruction.
+  // Op). No production path reaches it anymore: trace-attached and
+  // CAPELLINI_TRACE=1 runs go through the threaded core with run fusion
+  // disabled (per-issue hooks fire at what would have been the fused-run
+  // boundaries). The scalar loop is kept only as the equivalence oracle,
+  // selected by set_scalar_core_for_test.
   void ExecuteInstruction(int warp_index, int sm_index);
 
   // One dispatch of one warp on the threaded core: either a fused
@@ -380,6 +391,9 @@ class Machine {
   // Fault injection (see sim/fault.h). Null = off; every hook site is one
   // pointer test.
   FaultInjector* faults_ = nullptr;
+
+  // Test-only core selector (see set_scalar_core_for_test).
+  static std::atomic<bool> scalar_core_for_test_;
 
   // Scheduled peer-device writes (sorted by cycle at Launch; applied by the
   // main loop). ext_next_ is the first not-yet-applied entry.

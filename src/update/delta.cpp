@@ -1,0 +1,234 @@
+#include "update/delta.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "support/rng.h"
+
+namespace capellini::update {
+
+const char* DeltaKindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kValue:
+      return "value";
+    case DeltaKind::kInsert:
+      return "insert";
+    case DeltaKind::kErase:
+      return "erase";
+  }
+  return "?";
+}
+
+bool DeltaBatch::value_only() const { return structural_count() == 0; }
+
+std::size_t DeltaBatch::structural_count() const {
+  std::size_t count = 0;
+  for (const Delta& d : deltas_) {
+    if (d.kind != DeltaKind::kValue) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+std::string DeltaLabel(std::size_t index, const Delta& d) {
+  return "delta #" + std::to_string(index) + " (" + DeltaKindName(d.kind) +
+         " at (" + std::to_string(d.row) + "," + std::to_string(d.col) + "))";
+}
+
+}  // namespace
+
+Expected<Csr> ApplyToMatrix(const Csr& lower, const DeltaBatch& batch) {
+  const Idx n = lower.rows();
+
+  // Bucket deltas by row (batch order preserved within a row; deltas on
+  // different rows are independent, so per-row replay keeps the batch's
+  // "later deltas see earlier ones" semantics).
+  std::map<Idx, std::vector<std::size_t>> by_row;
+  const std::vector<Delta>& deltas = batch.deltas();
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Delta& d = deltas[i];
+    if (d.row < 0 || d.row >= n || d.col < 0 || d.col > d.row) {
+      return InvalidArgument(DeltaLabel(i, d) +
+                             ": coordinates must satisfy 0 <= col <= row < " +
+                             std::to_string(n));
+    }
+    if (d.kind != DeltaKind::kValue && d.col == d.row) {
+      return InvalidArgument(DeltaLabel(i, d) +
+                             ": the diagonal cannot be inserted or erased "
+                             "(SpTRSV needs a full nonzero diagonal)");
+    }
+    by_row[d.row].push_back(i);
+  }
+
+  // Replay each touched row's edits against a working (col, value) list.
+  std::map<Idx, std::vector<std::pair<Idx, Val>>> new_rows;
+  for (const auto& [row, indices] : by_row) {
+    const auto cols = lower.RowCols(row);
+    const auto vals = lower.RowVals(row);
+    std::vector<std::pair<Idx, Val>> entries;
+    entries.reserve(cols.size() + indices.size());
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      entries.emplace_back(cols[j], vals[j]);
+    }
+    for (const std::size_t i : indices) {
+      const Delta& d = deltas[i];
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), d.col,
+          [](const std::pair<Idx, Val>& e, Idx col) { return e.first < col; });
+      const bool present = it != entries.end() && it->first == d.col;
+      switch (d.kind) {
+        case DeltaKind::kValue:
+          if (!present) {
+            return InvalidArgument(DeltaLabel(i, d) +
+                                   ": no such nonzero (use insert to change "
+                                   "the sparsity pattern)");
+          }
+          if (d.col == d.row && d.value == Val{0}) {
+            return InvalidArgument(DeltaLabel(i, d) +
+                                   ": diagonal values must stay nonzero");
+          }
+          it->second = d.value;
+          break;
+        case DeltaKind::kInsert:
+          if (present) {
+            return InvalidArgument(DeltaLabel(i, d) +
+                                   ": position already holds a nonzero (use a "
+                                   "value update)");
+          }
+          entries.insert(it, {d.col, d.value});
+          break;
+        case DeltaKind::kErase:
+          if (!present) {
+            return InvalidArgument(DeltaLabel(i, d) + ": no such nonzero");
+          }
+          entries.erase(it);
+          break;
+      }
+    }
+    new_rows.emplace(row, std::move(entries));
+  }
+
+  // Rebuild the CSR arrays; untouched rows copy through unchanged.
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (Idx i = 0; i < n; ++i) {
+    const auto it = new_rows.find(i);
+    const Idx len = it != new_rows.end() ? static_cast<Idx>(it->second.size())
+                                         : lower.RowLen(i);
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] + len;
+  }
+  const std::size_t nnz = static_cast<std::size_t>(row_ptr.back());
+  std::vector<Idx> col_idx(nnz);
+  std::vector<Val> val(nnz);
+  for (Idx i = 0; i < n; ++i) {
+    std::size_t dst = static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]);
+    const auto it = new_rows.find(i);
+    if (it != new_rows.end()) {
+      for (const auto& [col, v] : it->second) {
+        col_idx[dst] = col;
+        val[dst] = v;
+        ++dst;
+      }
+    } else {
+      const auto cols = lower.RowCols(i);
+      const auto vals = lower.RowVals(i);
+      for (std::size_t j = 0; j < cols.size(); ++j, ++dst) {
+        col_idx[dst] = cols[j];
+        val[dst] = vals[j];
+      }
+    }
+  }
+  return Csr(n, lower.cols(), std::move(row_ptr), std::move(col_idx),
+             std::move(val));
+}
+
+namespace {
+
+// Row containing flat nonzero index `flat` (binary search over row_ptr).
+Idx RowOfNonzero(const Csr& m, Idx flat) {
+  const auto rp = m.row_ptr();
+  auto it = std::upper_bound(rp.begin(), rp.end(), flat);
+  return static_cast<Idx>(it - rp.begin()) - 1;
+}
+
+bool HasNonzero(const Csr& m, Idx row, Idx col) {
+  const auto cols = m.RowCols(row);
+  return std::binary_search(cols.begin(), cols.end(), col);
+}
+
+std::uint64_t CoordKey(Idx row, Idx col) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint32_t>(col);
+}
+
+}  // namespace
+
+DeltaBatch MakeRandomBatch(const Csr& lower, int num_deltas, bool structural,
+                           std::uint64_t seed) {
+  DeltaBatch batch;
+  const Idx n = lower.rows();
+  const Idx nnz = static_cast<Idx>(lower.nnz());
+  if (n == 0 || nnz == 0 || num_deltas <= 0) return batch;
+
+  Rng rng(seed ^ 0x5eedde17aba7c8ull);
+  std::unordered_set<std::uint64_t> claimed;  // distinct coordinates per batch
+  constexpr int kAttempts = 64;
+
+  const auto try_value = [&]() {
+    for (int a = 0; a < kAttempts; ++a) {
+      const Idx flat = static_cast<Idx>(
+          rng.NextBounded(static_cast<std::uint64_t>(nnz)));
+      const Idx row = RowOfNonzero(lower, flat);
+      const Idx col = lower.col_idx()[static_cast<std::size_t>(flat)];
+      if (!claimed.insert(CoordKey(row, col)).second) continue;
+      // [0.5, 1.5] keeps diagonal overwrites away from zero.
+      batch.UpdateValue(row, col, static_cast<Val>(rng.NextDouble(0.5, 1.5)));
+      return true;
+    }
+    return false;
+  };
+  const auto try_erase = [&]() {
+    for (int a = 0; a < kAttempts; ++a) {
+      const Idx flat = static_cast<Idx>(
+          rng.NextBounded(static_cast<std::uint64_t>(nnz)));
+      const Idx row = RowOfNonzero(lower, flat);
+      const Idx col = lower.col_idx()[static_cast<std::size_t>(flat)];
+      if (col == row) continue;  // never erase the diagonal
+      if (!claimed.insert(CoordKey(row, col)).second) continue;
+      batch.Erase(row, col);
+      return true;
+    }
+    return false;
+  };
+  const auto try_insert = [&]() {
+    if (n < 2) return false;
+    for (int a = 0; a < kAttempts; ++a) {
+      const Idx row = static_cast<Idx>(
+          1 + rng.NextBounded(static_cast<std::uint64_t>(n - 1)));
+      const Idx col =
+          static_cast<Idx>(rng.NextBounded(static_cast<std::uint64_t>(row)));
+      if (HasNonzero(lower, row, col)) continue;
+      if (!claimed.insert(CoordKey(row, col)).second) continue;
+      batch.Insert(row, col, static_cast<Val>(rng.NextDouble(0.5, 1.5)));
+      return true;
+    }
+    return false;
+  };
+
+  for (int i = 0; i < num_deltas; ++i) {
+    if (!structural) {
+      if (!try_value()) break;
+      continue;
+    }
+    const bool want_insert = rng.NextBool(0.5);
+    const bool placed = want_insert ? (try_insert() || try_erase())
+                                    : (try_erase() || try_insert());
+    if (!placed && !try_value()) break;  // degenerate factor: nothing left
+  }
+  return batch;
+}
+
+}  // namespace capellini::update

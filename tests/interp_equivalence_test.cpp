@@ -3,11 +3,12 @@
 // The threaded-dispatch / batch-vectorized core (sim/machine.cpp) is an
 // observational-equivalence refactor: it must produce bit-identical simulated
 // cycles, counters, solutions, and trace/fault event streams to the legacy
-// scalar core, which is kept for one release behind
-// DeviceConfig::scalar_interpreter. This suite is the gate: every Algorithm,
-// lower AND upper factors, with a TraceSink attached and with a seeded
-// FaultInjector attached. If the two cores ever disagree on a single cycle or
-// a single bit of x, the scalar flag must not be removed.
+// scalar core. The scalar loop is demoted to a test-only oracle — no public
+// config selects it; this suite (and bench_interp's identity gate) reaches it
+// through sim::Machine::set_scalar_core_for_test. The gate covers every
+// Algorithm, lower AND upper factors, with a TraceSink attached and with a
+// seeded FaultInjector attached. If the two cores ever disagree on a single
+// cycle or a single bit of x, the oracle must stay.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include "sim/fault.h"
 #include "sim/isa.h"
 #include "sim/kernel.h"
+#include "sim/machine.h"
 #include "trace/sink.h"
 
 namespace capellini {
@@ -73,13 +75,23 @@ Csr TestMatrix(const std::string& name) {
                           .seed = 13});
 }
 
-SolverOptions MakeOptions(bool scalar) {
+SolverOptions MakeOptions() {
   SolverOptions options;
   options.device = sim::TinyTestDevice();
-  options.device.scalar_interpreter = scalar;
   options.host_threads = 2;  // deterministic host paths regardless of machine
   return options;
 }
+
+/// Flips the test-only core selector for one Solve and always restores the
+/// production (threaded) core, so a failing EXPECT cannot leak the oracle
+/// into later tests.
+class ScopedScalarCore {
+ public:
+  explicit ScopedScalarCore(bool scalar) {
+    sim::Machine::set_scalar_core_for_test(scalar);
+  }
+  ~ScopedScalarCore() { sim::Machine::set_scalar_core_for_test(false); }
+};
 
 struct RunRecord {
   Status status = Status::Ok();
@@ -91,10 +103,11 @@ RunRecord RunLower(Algorithm algorithm, const Csr& lower,
                    const std::vector<Val>& b, bool scalar,
                    trace::TraceSink* sink = nullptr,
                    sim::FaultInjector* injector = nullptr) {
-  SolverOptions options = MakeOptions(scalar);
+  SolverOptions options = MakeOptions();
   options.kernel_options.trace_sink = sink;
   options.kernel_options.fault_injector = injector;
   Solver solver(lower, options);
+  ScopedScalarCore core(scalar);
   auto result = solver.Solve(algorithm, b);
   RunRecord record;
   if (!result.ok()) {
@@ -108,7 +121,8 @@ RunRecord RunLower(Algorithm algorithm, const Csr& lower,
 
 RunRecord RunUpper(Algorithm algorithm, const Csr& upper,
                    const std::vector<Val>& b, bool scalar) {
-  auto result = SolveUpperSystem(upper, b, algorithm, MakeOptions(scalar));
+  ScopedScalarCore core(scalar);
+  auto result = SolveUpperSystem(upper, b, algorithm, MakeOptions());
   RunRecord record;
   if (!result.ok()) {
     record.status = result.status();
@@ -206,11 +220,12 @@ class HistogramSink : public trace::TraceSink {
 };
 
 TEST(InterpEquivalence, TraceSinkSeesIdenticalStream) {
-  // An attached sink wants per-issue callbacks, so Machine::Launch routes
-  // sink-attached runs through the scalar core regardless of the flag. The
-  // contract under test: (1) the flag does not change what a sink observes,
-  // and (2) attaching a sink does not perturb timing relative to the
-  // sink-free threaded run — the cores are interchangeable mid-flight.
+  // An attached sink disables run fusion in the threaded core, so every
+  // instruction gets its per-issue hook at what would have been the
+  // fused-run boundary. The contract under test: (1) the threaded core's
+  // hooked stream is order-identical to the scalar oracle's, and
+  // (2) attaching a sink does not perturb timing relative to the sink-free
+  // threaded run — fusion is schedule-neutral.
   const Csr lower = TestMatrix("banded_chain");
   const std::vector<Val> b = MakeB(lower.rows());
   for (const Algorithm algorithm :
@@ -278,14 +293,15 @@ TEST(InterpEquivalence, NaiveDeadlockIdenticalDump) {
   // text is a strong gate on both.
   const Csr chain = MakeBidiagonal(96);
   const std::vector<Val> b = MakeB(chain.rows());
-  SolverOptions scalar_options = MakeOptions(true);
-  scalar_options.device.no_progress_cycles = 30'000;
-  SolverOptions threaded_options = MakeOptions(false);
-  threaded_options.device.no_progress_cycles = 30'000;
+  SolverOptions options = MakeOptions();
+  options.device.no_progress_cycles = 30'000;
 
-  Solver scalar_solver(chain, scalar_options);
-  Solver threaded_solver(chain, threaded_options);
-  auto scalar = scalar_solver.Solve(Algorithm::kCapelliniNaive, b);
+  Solver scalar_solver(chain, options);
+  Solver threaded_solver(chain, options);
+  auto scalar = [&] {
+    ScopedScalarCore core(true);
+    return scalar_solver.Solve(Algorithm::kCapelliniNaive, b);
+  }();
   auto threaded = threaded_solver.Solve(Algorithm::kCapelliniNaive, b);
   ASSERT_FALSE(scalar.ok());
   ASSERT_FALSE(threaded.ok());
