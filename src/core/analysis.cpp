@@ -1,18 +1,34 @@
 #include "core/analysis.h"
 
+#include <atomic>
 #include <sstream>
+#include <utility>
 
 #include "core/select.h"
 
 namespace capellini {
 
+namespace {
+std::atomic<std::int64_t> g_analyze_calls{0};
+}  // namespace
+
 Analysis Analyze(const Csr& lower, const std::string& name) {
+  g_analyze_calls.fetch_add(1, std::memory_order_relaxed);
+  return AssembleAnalysis(lower, name, ComputeLevelSets(lower));
+}
+
+Analysis AssembleAnalysis(const Csr& lower, const std::string& name,
+                          LevelSets levels) {
   Analysis analysis;
-  analysis.levels = ComputeLevelSets(lower);
+  analysis.levels = std::move(levels);
   analysis.stats = ComputeStats(lower, name, &analysis.levels);
   analysis.row_lengths = RowLengthHistogram(lower);
   analysis.recommended = SelectAlgorithm(analysis.stats);
   return analysis;
+}
+
+std::int64_t AnalyzeCallCountForTest() {
+  return g_analyze_calls.load(std::memory_order_relaxed);
 }
 
 std::string FormatAnalysis(const Analysis& analysis) {

@@ -2,6 +2,7 @@
 // indicators plus the recommended algorithm, with a human-readable report.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/solver.h"
@@ -21,6 +22,19 @@ struct Analysis {
 
 /// Computes levels, alpha/beta/delta and the Figure-6 recommendation.
 Analysis Analyze(const Csr& lower, const std::string& name);
+
+/// Assembles a full Analysis from precomputed level sets (an on-device
+/// analyser run, a persisted cache entry rebuilt from level_of, ...). The
+/// stats/histogram/recommendation derivation is the cheap O(nnz) tail of
+/// Analyze; only the level sweep itself is skipped. Produces bit-identical
+/// output to Analyze whenever `levels` matches ComputeLevelSets(lower).
+Analysis AssembleAnalysis(const Csr& lower, const std::string& name,
+                          LevelSets levels);
+
+/// Number of host Analyze() level sweeps since process start. Lets tests
+/// assert that warm (cache-rehydrated) or on-device registration paths run
+/// zero host analyses. AssembleAnalysis does not count.
+std::int64_t AnalyzeCallCountForTest();
 
 /// Multi-line summary ("rows", "nnz", "alpha", "beta", "delta", ...).
 std::string FormatAnalysis(const Analysis& analysis);

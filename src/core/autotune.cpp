@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "graph/levels.h"
+#include "kernels/analyze.h"
 #include "matrix/triangular.h"
 #include "support/thread_pool.h"
 
@@ -77,6 +79,52 @@ Expected<AutotuneResult> TuneHybridThreshold(const Csr& lower,
   if (capellini.ok()) result.capellini_gflops = capellini->gflops;
   if (syncfree.ok()) result.syncfree_gflops = syncfree->gflops;
   return result;
+}
+
+Expected<ReorderProfile> TuneLevelReorder(const Csr& lower,
+                                          const sim::DeviceConfig& config,
+                                          const ReorderOptions& options) {
+  if (!lower.IsLowerTriangularWithDiagonal()) {
+    return InvalidArgument("reorder tuning needs a lower-triangular system");
+  }
+  if (options.amortize_solves < 1) {
+    return InvalidArgument("amortize_solves must be >= 1");
+  }
+
+  const ReferenceProblem problem =
+      MakeReferenceProblem(lower, options.rhs_seed);
+  ReorderProfile profile;
+
+  auto direct =
+      kernels::SolveOnDevice(options.algorithm, lower, problem.b, config);
+  if (!direct.ok()) return direct.status();
+  if (MaxRelativeError(direct->x, problem.x_true) > 1e-8) {
+    return InternalError("direct solve verification failed");
+  }
+  profile.direct_solve_ms = direct->exec_ms;
+
+  auto analysis = kernels::AnalyzeOnDevice(lower, config);
+  if (!analysis.ok()) return analysis.status();
+  profile.analyze_ms = analysis->exec_ms;
+  profile.num_levels = analysis->levels.num_levels();
+
+  const PermutedSystem sys = PermuteSystemByLevel(lower, analysis->levels);
+  std::vector<Val> b_perm(problem.b.size());
+  PermuteVector(sys.order, problem.b, b_perm);
+  auto reordered =
+      kernels::SolveOnDevice(options.algorithm, sys.matrix, b_perm, config);
+  if (!reordered.ok()) return reordered.status();
+  std::vector<Val> x(problem.b.size());
+  UnpermuteVector(sys.order, reordered->x, x);
+  if (MaxRelativeError(x, problem.x_true) > 1e-8) {
+    return InternalError("reordered solve verification failed");
+  }
+  profile.reordered_solve_ms = reordered->exec_ms;
+  profile.reordered_total_ms =
+      profile.analyze_ms / options.amortize_solves +
+      profile.reordered_solve_ms;
+  profile.use_reorder = profile.reordered_total_ms < profile.direct_solve_ms;
+  return profile;
 }
 
 }  // namespace capellini

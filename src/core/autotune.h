@@ -47,4 +47,43 @@ Expected<AutotuneResult> TuneHybridThreshold(
     const Csr& lower, const sim::DeviceConfig& config,
     const AutotuneOptions& options = {});
 
+// --- Scheduled level reordering (Böhnlein et al. direction) ----------------
+
+struct ReorderOptions {
+  /// Algorithm profiled on both numberings.
+  kernels::DeviceAlgorithm algorithm =
+      kernels::DeviceAlgorithm::kCapelliniWritingFirst;
+  std::uint64_t rhs_seed = 0x7E57;
+  /// Number of solves the one-time analysis+permutation cost is amortized
+  /// over (a served factor pays it once per registration, not per solve).
+  /// Must be >= 1.
+  int amortize_solves = 1;
+};
+
+/// The autotuner's verdict on the symmetric level permutation for one
+/// matrix+device: reorder only when END-TO-END simulated time — on-device
+/// analysis (the cost of discovering the permutation) amortized over
+/// `amortize_solves`, plus the solve on the permuted numbering — beats the
+/// plain solve, which needs no analysis at all for the Capellini kernels.
+struct ReorderProfile {
+  bool use_reorder = false;
+  /// Simulated ms of `algorithm` on the original numbering (no analysis).
+  double direct_solve_ms = 0.0;
+  /// Simulated ms of the on-device analysis (in-degree + propagation).
+  double analyze_ms = 0.0;
+  /// Simulated ms of `algorithm` on the level-permuted numbering.
+  double reordered_solve_ms = 0.0;
+  /// analyze_ms / amortize_solves + reordered_solve_ms.
+  double reordered_total_ms = 0.0;
+  Idx num_levels = 0;
+};
+
+/// Runs both paths, verifies each solution against a manufactured reference
+/// (the reordered path through the full PermuteVector/UnpermuteVector round
+/// trip), and returns the end-to-end comparison. Errors if either solve
+/// fails or verifies worse than 1e-8 relative error.
+Expected<ReorderProfile> TuneLevelReorder(const Csr& lower,
+                                          const sim::DeviceConfig& config,
+                                          const ReorderOptions& options = {});
+
 }  // namespace capellini

@@ -20,21 +20,41 @@ ShardedSolveService::ShardedSolveService(const ShardOptions& options)
     services_.push_back(std::make_unique<serve::SolveService>(
         registries_.back().get(), options_.service));
   }
-  placed_cost_ms_.assign(static_cast<std::size_t>(k), 0.0);
+  placed_.resize(static_cast<std::size_t>(k));
+}
+
+void ShardedSolveService::ReconcileLedgerLocked(int device) {
+  auto& ledger = placed_[static_cast<std::size_t>(device)];
+  auto& registry = *registries_[static_cast<std::size_t>(device)];
+  for (auto it = ledger.begin(); it != ledger.end();) {
+    const serve::MatrixRegistry::EntryRef entry = registry.TryPeek(it->first);
+    if (entry == nullptr) {
+      it = ledger.erase(it);  // LRU-evicted: its cost left the device
+    } else {
+      it->second = entry->cost.EstimateMs();
+      ++it;
+    }
+  }
 }
 
 Expected<ShardedHandle> ShardedSolveService::Register(
     Csr lower, std::string name, SolverOptions solver_options) {
   // Choose under the ledger lock so concurrent registrations don't all read
-  // the same scores and pile onto one device.
+  // the same scores and pile onto one device. Reconciling first means the
+  // score prices each device by what is RESIDENT there NOW (observed EWMA
+  // corrections included), not by the sum of every hint ever placed.
   int best = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     double best_score = std::numeric_limits<double>::infinity();
     for (int d = 0; d < options_.num_devices; ++d) {
+      ReconcileLedgerLocked(d);
+      double placed = 0.0;
+      for (const auto& [handle, cost] : placed_[static_cast<std::size_t>(d)]) {
+        placed += cost;
+      }
       const double score =
-          services_[static_cast<std::size_t>(d)]->QueuedCostMs() +
-          placed_cost_ms_[static_cast<std::size_t>(d)];
+          services_[static_cast<std::size_t>(d)]->QueuedCostMs() + placed;
       if (score < best_score) {  // strict '<': ties go to the lowest index
         best_score = score;
         best = d;
@@ -44,13 +64,15 @@ Expected<ShardedHandle> ShardedSolveService::Register(
   auto handle_or = registries_[static_cast<std::size_t>(best)]->Register(
       std::move(lower), std::move(name), std::move(solver_options));
   if (!handle_or.ok()) return handle_or.status();
-  // Peek (not Acquire): the ledger read must not promote the entry or count
-  // a cache hit. The entry is fresh, so the estimate is the analytic seed.
-  auto entry_or = registries_[static_cast<std::size_t>(best)]->Peek(*handle_or);
-  if (entry_or.ok()) {
+  // TryPeek: the ledger read must not promote the entry, count a cache hit,
+  // or (if the entry somehow vanished already) count a miss. The entry is
+  // fresh, so the estimate is the analytic seed.
+  const serve::MatrixRegistry::EntryRef entry =
+      registries_[static_cast<std::size_t>(best)]->TryPeek(*handle_or);
+  if (entry != nullptr) {
     std::lock_guard<std::mutex> lock(mutex_);
-    placed_cost_ms_[static_cast<std::size_t>(best)] +=
-        (*entry_or)->cost.EstimateMs();
+    placed_[static_cast<std::size_t>(best)][*handle_or] =
+        entry->cost.EstimateMs();
   }
   return ShardedHandle{best, *handle_or};
 }
@@ -68,6 +90,31 @@ Expected<std::future<serve::ServeResult>> ShardedSolveService::Submit(
       handle.handle, std::move(b), options);
 }
 
+Expected<serve::UpdateReport> ShardedSolveService::ApplyDelta(
+    const ShardedHandle& handle, const update::DeltaBatch& batch) {
+  if (handle.device < 0 || handle.device >= options_.num_devices) {
+    return InvalidArgument("sharded handle names device " +
+                           std::to_string(handle.device) + " of a " +
+                           std::to_string(options_.num_devices) +
+                           "-device fleet");
+  }
+  auto& registry = *registries_[static_cast<std::size_t>(handle.device)];
+  auto report = registry.ApplyDelta(handle.handle, batch);
+  if (!report.ok()) return report.status();
+  // The new epoch re-seeded its cost model from the patched analysis —
+  // refresh the ledger so the next placement prices this device's new load.
+  const serve::MatrixRegistry::EntryRef entry =
+      registry.TryPeek(handle.handle);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& ledger = placed_[static_cast<std::size_t>(handle.device)];
+  if (entry == nullptr) {
+    ledger.erase(handle.handle);  // evicted while budgeting the new epoch
+  } else {
+    ledger[handle.handle] = entry->cost.EstimateMs();
+  }
+  return report;
+}
+
 void ShardedSolveService::Start() {
   for (auto& service : services_) service->Start();
 }
@@ -82,7 +129,11 @@ double ShardedSolveService::QueuedCostMs(int device) const {
 
 double ShardedSolveService::PlacedCostMs(int device) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return placed_cost_ms_[static_cast<std::size_t>(device)];
+  double placed = 0.0;
+  for (const auto& [handle, cost] : placed_[static_cast<std::size_t>(device)]) {
+    placed += cost;
+  }
+  return placed;
 }
 
 }  // namespace capellini::fleet

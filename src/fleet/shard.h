@@ -3,20 +3,29 @@
 //
 // Placement is cost-aware and sticky: a matrix is registered on the device
 // with the least outstanding work — the live queued-cost ledger
-// (SolveService::QueuedCostMs) plus the cost hints of everything already
-// placed there — and every solve on its handle routes to that device (matrix
-// data lives in one device's registry budget; moving it would re-pay
-// analysis). Each device keeps its own byte budget, LRU, EDF queue, breaker
-// map and stats, so one noisy tenant saturates one shard, not the fleet.
+// (SolveService::QueuedCostMs) plus the cost of everything already placed
+// there — and every solve on its handle routes to that device (matrix data
+// lives in one device's registry budget; moving it would re-pay analysis).
+// Each device keeps its own byte budget, LRU, EDF queue, breaker map and
+// stats, so one noisy tenant saturates one shard, not the fleet.
+//
+// The placed-cost ledger is RECONCILED against each registry on every
+// placement decision: per-handle entries are re-read from the live
+// CostModel::EstimateMs() (so observed-EWMA corrections and post-update
+// re-seeds replace the stale analytic hints) and entries whose handle was
+// LRU-evicted are dropped. Without this the ledger only ever grows and
+// long-lived fleets drift to stale placement.
 #pragma once
 
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "update/delta.h"
 
 namespace capellini::fleet {
 
@@ -55,13 +64,21 @@ class ShardedSolveService {
       const ShardedHandle& handle, std::vector<Val> b,
       serve::RequestOptions options = {});
 
+  /// Streams a factor update (src/update) to the owning device's registry —
+  /// MatrixRegistry::ApplyDelta semantics (epoch swap, snapshot isolation
+  /// for in-flight solves) — and refreshes that device's placement-ledger
+  /// entry from the post-update cost model, so a structurally heavier or
+  /// lighter epoch immediately re-prices the device for future placements.
+  Expected<serve::UpdateReport> ApplyDelta(const ShardedHandle& handle,
+                                           const update::DeltaBatch& batch);
+
   /// Start()/Shutdown() fan out to every device service.
   void Start();
   void Shutdown();
 
   double QueuedCostMs(int device) const;
-  /// Sum of cost hints of matrices placed on the device — the static half of
-  /// the placement score.
+  /// Sum of the per-handle placed costs on the device — the static half of
+  /// the placement score, reconciled on every placement decision.
   double PlacedCostMs(int device) const;
 
   serve::MatrixRegistry& registry(int device) {
@@ -75,11 +92,18 @@ class ShardedSolveService {
   }
 
  private:
+  /// Re-reads device `d`'s ledger from the live registry: evicted handles
+  /// are dropped, surviving ones re-priced from CostModel::EstimateMs().
+  /// Caller holds mutex_ (TryPeek takes the registry's own mutex; ordering
+  /// is always ledger -> registry, never the reverse).
+  void ReconcileLedgerLocked(int device);
+
   ShardOptions options_;
   std::vector<std::unique_ptr<serve::MatrixRegistry>> registries_;
   std::vector<std::unique_ptr<serve::SolveService>> services_;
-  mutable std::mutex mutex_;            // placement ledger only
-  std::vector<double> placed_cost_ms_;
+  mutable std::mutex mutex_;  // placement ledger only
+  /// Per device: handle -> last reconciled per-solve cost estimate (ms).
+  std::vector<std::unordered_map<serve::MatrixHandle, double>> placed_;
 };
 
 }  // namespace capellini::fleet

@@ -1,37 +1,27 @@
 #include "graph/levels.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/status.h"
 
 namespace capellini {
 
-LevelSets ComputeLevelSets(const Csr& lower) {
-  CAPELLINI_CHECK_MSG(lower.IsLowerTriangularWithDiagonal(),
-                      "level sets need a lower-triangular matrix with diagonal");
-  const Idx n = lower.rows();
-
-  LevelSets sets;
-  sets.level_of.assign(static_cast<std::size_t>(n), 0);
+LevelSets BuildLevelSetsFromLevelOf(std::vector<Idx> level_of) {
+  const Idx n = static_cast<Idx>(level_of.size());
   Idx max_level = -1;
-
-  // Rows only depend on earlier rows, so one ascending pass suffices.
   for (Idx i = 0; i < n; ++i) {
-    Idx level = 0;
-    const auto cols = lower.RowCols(i);
-    // Last entry is the diagonal; strictly-lower entries precede it.
-    for (std::size_t j = 0; j + 1 < cols.size(); ++j) {
-      level = std::max(level,
-                       sets.level_of[static_cast<std::size_t>(cols[j])] + 1);
-    }
-    sets.level_of[static_cast<std::size_t>(i)] = level;
-    max_level = std::max(max_level, level);
+    max_level = std::max(max_level, level_of[static_cast<std::size_t>(i)]);
   }
 
+  LevelSets sets;
+  sets.level_of = std::move(level_of);
   const Idx num_levels = n == 0 ? 0 : max_level + 1;
   sets.level_ptr.assign(static_cast<std::size_t>(num_levels) + 1, 0);
   for (Idx i = 0; i < n; ++i) {
-    ++sets.level_ptr[static_cast<std::size_t>(sets.level_of[static_cast<std::size_t>(i)]) + 1];
+    ++sets.level_ptr[static_cast<std::size_t>(
+                         sets.level_of[static_cast<std::size_t>(i)]) +
+                     1];
   }
   for (Idx k = 0; k < num_levels; ++k) {
     sets.level_ptr[static_cast<std::size_t>(k) + 1] +=
@@ -42,12 +32,34 @@ LevelSets ComputeLevelSets(const Csr& lower) {
   std::vector<Idx> cursor(sets.level_ptr.begin(), sets.level_ptr.end() - 1);
   for (Idx i = 0; i < n; ++i) {
     const Idx level = sets.level_of[static_cast<std::size_t>(i)];
-    sets.order[static_cast<std::size_t>(cursor[static_cast<std::size_t>(level)]++)] = i;
+    sets.order[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level)]++)] = i;
   }
   return sets;
 }
 
-Csr PermuteRowsByLevel(const Csr& lower, const LevelSets& levels) {
+LevelSets ComputeLevelSets(const Csr& lower) {
+  CAPELLINI_CHECK_MSG(lower.IsLowerTriangularWithDiagonal(),
+                      "level sets need a lower-triangular matrix with diagonal");
+  const Idx n = lower.rows();
+
+  std::vector<Idx> level_of(static_cast<std::size_t>(n), 0);
+
+  // Rows only depend on earlier rows, so one ascending pass suffices.
+  for (Idx i = 0; i < n; ++i) {
+    Idx level = 0;
+    const auto cols = lower.RowCols(i);
+    // Last entry is the diagonal; strictly-lower entries precede it.
+    for (std::size_t j = 0; j + 1 < cols.size(); ++j) {
+      level = std::max(level,
+                       level_of[static_cast<std::size_t>(cols[j])] + 1);
+    }
+    level_of[static_cast<std::size_t>(i)] = level;
+  }
+  return BuildLevelSetsFromLevelOf(std::move(level_of));
+}
+
+Csr GatherRowsByLevel(const Csr& lower, const LevelSets& levels) {
   const Idx n = lower.rows();
   CAPELLINI_CHECK(levels.order.size() == static_cast<std::size_t>(n));
 
@@ -71,6 +83,75 @@ Csr PermuteRowsByLevel(const Csr& lower, const LevelSets& levels) {
   }
   return Csr(n, lower.cols(), std::move(row_ptr), std::move(col_idx),
              std::move(val));
+}
+
+PermutedSystem PermuteSystemByLevel(const Csr& lower,
+                                    const LevelSets& levels) {
+  const Idx n = lower.rows();
+  CAPELLINI_CHECK(levels.order.size() == static_cast<std::size_t>(n));
+
+  PermutedSystem out;
+  out.order = levels.order;
+  out.inverse.assign(static_cast<std::size_t>(n), 0);
+  for (Idx k = 0; k < n; ++k) {
+    out.inverse[static_cast<std::size_t>(
+        out.order[static_cast<std::size_t>(k)])] = k;
+  }
+
+  std::vector<Idx> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (Idx k = 0; k < n; ++k) {
+    row_ptr[static_cast<std::size_t>(k) + 1] =
+        row_ptr[static_cast<std::size_t>(k)] +
+        lower.RowLen(out.order[static_cast<std::size_t>(k)]);
+  }
+  std::vector<Idx> col_idx(static_cast<std::size_t>(lower.nnz()));
+  std::vector<Val> val(static_cast<std::size_t>(lower.nnz()));
+  std::vector<std::pair<Idx, Val>> entries;
+  for (Idx k = 0; k < n; ++k) {
+    const Idx src = out.order[static_cast<std::size_t>(k)];
+    const auto cols = lower.RowCols(src);
+    const auto vals = lower.RowVals(src);
+    entries.clear();
+    entries.reserve(cols.size());
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      entries.emplace_back(
+          out.inverse[static_cast<std::size_t>(cols[j])], vals[j]);
+    }
+    // Renamed columns are no longer ascending; restore the CSR invariant
+    // (sorted columns, diagonal last). Dependencies map to strictly smaller
+    // levels and hence to indices < k, so the row stays lower-triangular
+    // with the diagonal as its largest column.
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t dst =
+        static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(k)]);
+    for (const auto& [c, v] : entries) {
+      col_idx[dst] = c;
+      val[dst] = v;
+      ++dst;
+    }
+  }
+  out.matrix = Csr(n, lower.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(val));
+  CAPELLINI_CHECK_MSG(out.matrix.IsLowerTriangularWithDiagonal(),
+                      "symmetric level permutation must stay triangular");
+  return out;
+}
+
+void PermuteVector(std::span<const Idx> order, std::span<const Val> in,
+                   std::span<Val> out) {
+  CAPELLINI_CHECK(in.size() == order.size() && out.size() == order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    out[k] = in[static_cast<std::size_t>(order[k])];
+  }
+}
+
+void UnpermuteVector(std::span<const Idx> order, std::span<const Val> in,
+                     std::span<Val> out) {
+  CAPELLINI_CHECK(in.size() == order.size() && out.size() == order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    out[static_cast<std::size_t>(order[k])] = in[k];
+  }
 }
 
 }  // namespace capellini

@@ -43,11 +43,52 @@ struct LevelSets {
 /// level-set SpTRSV (it walks the whole structure and builds three arrays).
 LevelSets ComputeLevelSets(const Csr& lower);
 
-/// Builds the level-permuted copy of the matrix used by level-set solvers:
+/// Assembles the level_ptr/order arrays from a per-row level assignment via
+/// the counting sort ComputeLevelSets uses (rows of one level in ascending
+/// row order). Shared by the host sweep, the incremental re-analyzer and the
+/// on-device analyser, so every producer of a `level_of` array yields
+/// bit-identical LevelSets by construction.
+LevelSets BuildLevelSetsFromLevelOf(std::vector<Idx> level_of);
+
+/// Builds the level-GATHERED copy of the matrix used by level-set solvers:
 /// row k of the result is row order[k] of `lower` (rows of one level become
 /// contiguous, so threads of one level launch read neighbouring rows).
-/// Column indices are NOT remapped — they keep indexing the original x.
-/// This gather is the expensive half of level-set preprocessing.
-Csr PermuteRowsByLevel(const Csr& lower, const LevelSets& levels);
+///
+/// CONTRACT — schedule order only: column indices are NOT remapped, they
+/// keep indexing the ORIGINAL x. The result is therefore generally NOT a
+/// lower-triangular system and must not be handed to a solver as one; it is
+/// launch metadata for kernels that gather x through the original numbering
+/// (the per-level launches in kernels/launch.cpp). For a solvable reordered
+/// system use PermuteSystemByLevel, which applies the full symmetric
+/// permutation. graph_permute_test pins both contracts.
+Csr GatherRowsByLevel(const Csr& lower, const LevelSets& levels);
+
+/// A level-scheduled SYMMETRIC permutation of a triangular system
+/// (Böhnlein et al.-style scheduled reordering): row and column k of
+/// `matrix` are row and column order[k] of the original, so the permuted
+/// matrix is again lower-triangular with full diagonal (dependencies only
+/// point to earlier levels, which sort earlier) and rows of one level occupy
+/// a contiguous, warp-aligned index range — the reordering that raises
+/// effective warp-level granularity when Eq.-1 predicts collapse.
+///
+/// Solving: (P L P^T) y = P b, then x = P^T y — use PermuteVector on b and
+/// UnpermuteVector on y. NOTE: column re-sorting changes each row's
+/// accumulation order, so solutions agree with the unpermuted solve to
+/// rounding, not bit-for-bit.
+struct PermutedSystem {
+  Csr matrix;
+  /// permuted index k <- original index order[k] (the level-set order).
+  std::vector<Idx> order;
+  /// inverse[original] = permuted.
+  std::vector<Idx> inverse;
+};
+PermutedSystem PermuteSystemByLevel(const Csr& lower, const LevelSets& levels);
+
+/// out[k] = in[order[k]] (b of the permuted system).
+void PermuteVector(std::span<const Idx> order, std::span<const Val> in,
+                   std::span<Val> out);
+/// out[order[k]] = in[k] (maps the permuted solution back).
+void UnpermuteVector(std::span<const Idx> order, std::span<const Val> in,
+                     std::span<Val> out);
 
 }  // namespace capellini

@@ -191,7 +191,7 @@ Expected<DeviceSolveResult> SolveOnDevice(DeviceAlgorithm algorithm,
       // copy of the matrix that makes per-level launches coalesced.
       preprocessing_timer.Reset();
       const LevelSets levels = ComputeLevelSets(lower);
-      const Csr permuted = PermuteRowsByLevel(lower, levels);
+      const Csr permuted = GatherRowsByLevel(lower, levels);
       result.preprocessing_ms = preprocessing_timer.ElapsedMs();
 
       const DeviceProblem dev = UploadCsrProblem(permuted, b, memory);

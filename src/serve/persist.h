@@ -1,0 +1,75 @@
+// On-disk persistence of analyzed level sets + cost-model seeds.
+//
+// Analysis is a pure function of the factor's STRUCTURE (row_ptr/col_idx);
+// values never enter the level sweep. The cache therefore keys each file on
+// a structure-only fingerprint and stores just the per-row level assignment
+// (level_ptr/order rebuild deterministically via BuildLevelSetsFromLevelOf,
+// and stats/histograms/recommendation via AssembleAnalysis), so a restarted
+// service rehydrates a bit-identical Analysis through Solver::SeedAnalysis
+// without running a single host Analyze() — the cold-start cost the ISSUE
+// targets. The cost-model seed rides along, so learned solve-cost estimates
+// survive restarts too.
+//
+// File layout (little-endian, host byte order — the cache is a local
+// restart accelerator, not an interchange format):
+//   magic  "CAPANL1\0"             8 bytes
+//   fingerprint                    u64  StructureFingerprint(matrix)
+//   rows                           i64
+//   cost_seed_ms                   f64
+//   level_of[rows]                 i32 each
+//   checksum                       u64  FNV-1a over everything above
+//
+// Failure contract: a missing file is kNotFound (expected cold-start); any
+// structural problem — bad magic, short file, checksum mismatch, or a
+// fingerprint that no longer matches the matrix (stale file from a renamed
+// or regenerated factor) — is kDataLoss and the caller re-analyzes (and
+// overwrites the bad file on the next Store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/levels.h"
+#include "matrix/csr.h"
+#include "support/status.h"
+
+namespace capellini::serve {
+
+/// FNV-1a over rows/cols/row_ptr/col_idx only. Two factors with identical
+/// structure and different values hash the same — intentionally, since they
+/// have identical analyses.
+std::uint64_t StructureFingerprint(const Csr& lower);
+
+struct PersistedAnalysis {
+  std::vector<Idx> level_of;
+  double cost_seed_ms = 0.0;
+};
+
+class AnalysisCache {
+ public:
+  /// `dir` is created on the first Store if absent.
+  explicit AnalysisCache(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// Cache file for `name` (sanitized: non-alphanumerics become '_', so
+  /// tenant-supplied names cannot escape the directory). One file per name;
+  /// the fingerprint INSIDE the file detects staleness.
+  std::string PathFor(const std::string& name) const;
+
+  /// Writes name's analysis atomically (tmp file + rename), overwriting any
+  /// previous — including stale — file.
+  Status Store(const std::string& name, const Csr& lower,
+               const LevelSets& levels, double cost_seed_ms) const;
+
+  /// kNotFound: no file for `name` (cold start). kDataLoss: the file exists
+  /// but is corrupt, truncated, or fingerprint-stale for `lower`.
+  Expected<PersistedAnalysis> Load(const std::string& name,
+                                   const Csr& lower) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace capellini::serve

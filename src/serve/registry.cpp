@@ -1,11 +1,17 @@
 #include "serve/registry.h"
 
 #include "core/analysis.h"
+#include "kernels/analyze.h"
 #include "support/timer.h"
 
 namespace capellini::serve {
 
-MatrixRegistry::MatrixRegistry(RegistryOptions options) : options_(options) {}
+MatrixRegistry::MatrixRegistry(RegistryOptions options)
+    : options_(std::move(options)) {
+  if (!options_.analysis_cache_dir.empty()) {
+    cache_ = std::make_unique<AnalysisCache>(options_.analysis_cache_dir);
+  }
+}
 
 void MatrixRegistry::CostModel::Observe(double solve_ms) const {
   // Benign race: two first observers can both see n == 0 and store; either
@@ -55,11 +61,8 @@ Expected<MatrixHandle> MatrixRegistry::Register(Csr lower, std::string name,
   }
   auto entry = std::make_shared<Entry>(handle, std::move(name),
                                        std::move(lower), std::move(options));
-  Timer timer;
-  entry->solver.analysis();  // memoize eagerly; hits from now on
-  entry->analysis_ms = timer.ElapsedMs();
+  AnalyzeEntry(*entry);
   entry->bytes = FootprintBytes(*entry);
-  entry->cost.seed_ms_ = entry->solver.CostHintMs();
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.byte_budget != 0 && entry->bytes > options_.byte_budget) {
@@ -74,6 +77,57 @@ Expected<MatrixHandle> MatrixRegistry::Register(Csr lower, std::string name,
   entries_.emplace(handle, Slot{std::move(entry), lru_.begin()});
   ++stats_.registrations;
   return handle;
+}
+
+void MatrixRegistry::AnalyzeEntry(Entry& entry) {
+  Timer timer;
+  if (cache_ != nullptr) {
+    auto persisted = cache_->Load(entry.name, entry.solver.matrix());
+    if (persisted.ok()) {
+      // Warm path: rebuild level_ptr/order from the persisted level_of (the
+      // same counting sort every producer shares), derive the cheap stats
+      // tail, and seed — zero host Analyze() level sweeps.
+      entry.solver.SeedAnalysis(AssembleAnalysis(
+          entry.solver.matrix(), entry.name,
+          BuildLevelSetsFromLevelOf(std::move(persisted->level_of))));
+      entry.analysis_ms = timer.ElapsedMs();
+      entry.cost.seed_ms_ = persisted->cost_seed_ms;
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.analysis_cache_hits;
+      return;
+    }
+    // kNotFound (cold start) or kDataLoss (stale/corrupt — Store below
+    // overwrites the bad file): run a full analysis.
+  }
+
+  bool on_device = false;
+  if (options_.analyze_on_device) {
+    auto device = kernels::AnalyzeOnDevice(entry.solver.matrix(),
+                                           entry.solver.options().device);
+    if (device.ok()) {
+      entry.analysis_ms = device->exec_ms + device->host_ms;
+      entry.solver.SeedAnalysis(AssembleAnalysis(entry.solver.matrix(),
+                                                 entry.name,
+                                                 std::move(device->levels)));
+      on_device = true;
+    }
+    // On failure (a faulted device starving the propagation kernel) fall
+    // back to the host sweep below rather than failing the registration.
+  }
+  if (!on_device) {
+    entry.solver.analysis();  // memoize eagerly; hits from now on
+    entry.analysis_ms = timer.ElapsedMs();
+  }
+  entry.cost.seed_ms_ = entry.solver.CostHintMs();
+  if (cache_ != nullptr) {
+    // Best-effort: a failed Store only costs the next restart a re-analysis.
+    (void)cache_->Store(entry.name, entry.solver.matrix(),
+                        entry.solver.Levels(), entry.cost.seed_ms_);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_ != nullptr) ++stats_.analysis_cache_misses;
+  if (on_device) ++stats_.device_analyses;
 }
 
 void MatrixRegistry::EvictLruUntilFitsLocked(std::size_t incoming_bytes) {
@@ -113,6 +167,13 @@ Expected<MatrixRegistry::EntryRef> MatrixRegistry::Peek(
     return NotFound("handle " + std::to_string(handle) +
                     " is not registered (evicted or never registered)");
   }
+  return EntryRef(it->second.entry);
+}
+
+MatrixRegistry::EntryRef MatrixRegistry::TryPeek(MatrixHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return nullptr;
   return EntryRef(it->second.entry);
 }
 
@@ -163,7 +224,10 @@ Expected<UpdateReport> MatrixRegistry::ApplyDelta(
                                        std::move(result.matrix),
                                        old->solver.options());
   entry->solver.SeedAnalysis(std::move(result.analysis));
-  entry->analysis_ms = old->analysis_ms;
+  // Each epoch reports ITS OWN analysis cost — the incremental re-level time
+  // of this update (0 for value-only), not the original registration's
+  // full-sweep time copied forward.
+  entry->analysis_ms = result.analysis_ms;
   entry->epoch = old->epoch + 1;
   entry->delta_log_bytes = old->delta_log_bytes + batch.ByteSize();
   entry->consumers = std::move(old->consumers);  // graph follows the epoch
@@ -183,6 +247,15 @@ Expected<UpdateReport> MatrixRegistry::ApplyDelta(
   report.delta_bytes = batch.ByteSize();
   report.delta_log_bytes = entry->delta_log_bytes;
   report.update_ms = timer.ElapsedMs();
+  report.analysis_ms = result.analysis_ms;
+
+  if (cache_ != nullptr && !result.value_only) {
+    // Keep the persisted file tracking the live structure so a restart warms
+    // from the post-update levels instead of tripping the stale-fingerprint
+    // path. Value-only batches leave the structure (and the file) valid.
+    (void)cache_->Store(entry->name, entry->solver.matrix(),
+                        entry->solver.Levels(), entry->solver.CostHintMs());
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(handle);

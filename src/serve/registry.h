@@ -31,6 +31,7 @@
 
 #include "core/solver.h"
 #include "matrix/csr.h"
+#include "serve/persist.h"
 #include "support/status.h"
 #include "update/delta.h"
 #include "update/incremental.h"
@@ -48,6 +49,19 @@ struct RegistryOptions {
   /// 0 = unlimited. A single matrix larger than the whole budget is
   /// rejected with kResourceExhausted rather than thrashing the cache.
   std::size_t byte_budget = 0;
+  /// Directory for persisted analyses (serve/persist.h). Empty = no
+  /// persistence. When set, cold registrations Store their level sets +
+  /// cost seed after analyzing, and later registrations of the same name
+  /// rehydrate through Solver::SeedAnalysis without a host Analyze() —
+  /// stale or corrupted files (kDataLoss) fall back to a cold analysis and
+  /// are overwritten.
+  std::string analysis_cache_dir;
+  /// Run cold analyses on the simulated device (kernels::AnalyzeOnDevice,
+  /// on the SolverOptions device) instead of the host sweep. Bit-identical
+  /// level sets by construction; analysis_ms then reports simulated device
+  /// time + host assembly. Falls back to the host sweep if the device
+  /// analysis fails (e.g. fault injection starves it).
+  bool analyze_on_device = false;
 };
 
 /// Point-in-time registry counters (see ServiceStats for the service-level
@@ -58,6 +72,14 @@ struct RegistrySnapshot {
   std::uint64_t hits = 0;       // Acquire on a resident handle
   std::uint64_t misses = 0;     // Acquire on an unknown/evicted handle
   std::uint64_t updates = 0;    // successful ApplyDelta epoch swaps
+  /// Warm registrations rehydrated from the analysis cache (zero host
+  /// Analyze() calls).
+  std::uint64_t analysis_cache_hits = 0;
+  /// Cold registrations with a cache configured: no usable file (missing,
+  /// corrupt, or fingerprint-stale) — a full analysis ran and was Stored.
+  std::uint64_t analysis_cache_misses = 0;
+  /// Cold analyses that ran as AnalyzeOnDevice kernels.
+  std::uint64_t device_analyses = 0;
   std::size_t resident_entries = 0;
   std::size_t resident_bytes = 0;  // includes per-handle delta-log bytes
 };
@@ -74,6 +96,11 @@ struct UpdateReport {
   std::size_t delta_bytes = 0;      // this batch's delta-log bytes
   std::size_t delta_log_bytes = 0;  // cumulative log bytes now charged
   double update_ms = 0.0;           // apply + incremental re-analysis cost
+  /// Incremental re-leveling portion of update_ms (0 for value-only
+  /// batches, which reuse the analysis untouched). This is also what the
+  /// new epoch's Entry::analysis_ms reports — per-epoch re-analysis cost,
+  /// not the original registration's.
+  double analysis_ms = 0.0;
 };
 
 class MatrixRegistry {
@@ -114,8 +141,10 @@ class MatrixRegistry {
     std::string name;
     Solver solver;
     std::size_t bytes = 0;
-    /// Host milliseconds spent in Analyze() at registration — the cold-start
-    /// cost the registry amortizes away.
+    /// Milliseconds spent producing THIS epoch's analysis: the cold
+    /// registration's host Analyze() (or device exec + host assembly when
+    /// analyze_on_device is set, or ~0 on a cache rehydrate), and after an
+    /// ApplyDelta the incremental re-level time of that epoch alone.
     double analysis_ms = 0.0;
     /// Scheduler cost model (analysis-seeded, EWMA-corrected).
     CostModel cost;
@@ -165,6 +194,12 @@ class MatrixRegistry {
   /// a concurrent eviction is harmless.
   void Promote(MatrixHandle handle);
 
+  /// Side-effect-free lookup: no LRU promotion, no hit/miss counting.
+  /// Returns nullptr if the handle is gone. For bookkeeping observers — the
+  /// fleet's placement-ledger reconciliation reads cost models through this
+  /// so accounting passes never pollute the cache statistics.
+  EntryRef TryPeek(MatrixHandle handle) const;
+
   /// Applies a DeltaBatch to a registered factor in place (DESIGN.md §4h):
   /// validates + mutates the matrix, patches the analysis incrementally
   /// (value-only batches reuse it untouched; structural batches re-level
@@ -193,8 +228,13 @@ class MatrixRegistry {
   /// level-set arrays (the two allocations that dominate).
   static std::size_t FootprintBytes(const Entry& entry);
   void EvictLruUntilFitsLocked(std::size_t incoming_bytes);
+  /// The cold/warm/on-device analysis decision tree of Register; runs
+  /// outside the registry mutex. Fills entry->analysis_ms and the cost seed.
+  void AnalyzeEntry(Entry& entry);
 
   RegistryOptions options_;
+  /// Engaged when options_.analysis_cache_dir is set.
+  std::unique_ptr<AnalysisCache> cache_;
   mutable std::mutex mutex_;
   /// Serializes ApplyDelta calls (and the analyzer scratch they share)
   /// without blocking lookups/solves. Ordering: update_mutex_ may take

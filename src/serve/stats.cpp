@@ -154,8 +154,10 @@ void ServiceStats::RecordUpdate(const UpdateReport& report,
   totals_.update_rows_releveled +=
       static_cast<std::uint64_t>(report.rows_releveled);
   totals_.update_delta_bytes += report.delta_bytes;
+  totals_.update_analysis_ms += report.analysis_ms;
   ph.update_rows_releveled += static_cast<std::uint64_t>(report.rows_releveled);
   ph.delta_log_bytes = report.delta_log_bytes;
+  ph.update_analysis_ms += report.analysis_ms;
 }
 
 void ServiceStats::RecordUpdateRejection() {
@@ -242,12 +244,13 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
     std::snprintf(
         line, sizeof line,
         "streaming updates: value_only=%llu structural=%llu rejected=%llu "
-        "rows_releveled=%llu delta_bytes=%llu\n",
+        "rows_releveled=%llu delta_bytes=%llu relevel_ms=%.3f\n",
         static_cast<unsigned long long>(totals_.updates_value),
         static_cast<unsigned long long>(totals_.updates_structural),
         static_cast<unsigned long long>(totals_.update_rejections),
         static_cast<unsigned long long>(totals_.update_rows_releveled),
-        static_cast<unsigned long long>(totals_.update_delta_bytes));
+        static_cast<unsigned long long>(totals_.update_delta_bytes),
+        totals_.update_analysis_ms);
     out << line;
     std::snprintf(
         line, sizeof line,
@@ -307,8 +310,8 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
 
   if (!per_handle_.empty()) {
     TextTable table({"Handle", "Matrix", "Requests", "Failures", "Batched",
-                     "Upd v/s", "Releveled", "Log bytes", "Wait p50 ms",
-                     "Solve p50 ms"});
+                     "Upd v/s", "Releveled", "Relevel ms", "Log bytes",
+                     "Wait p50 ms", "Solve p50 ms"});
     table.SetTitle("per-handle");
     for (const auto& [handle, ph] : per_handle_) {
       table.AddRow({std::to_string(handle), ph.name,
@@ -317,6 +320,7 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
                     std::to_string(ph.updates_value) + "/" +
                         std::to_string(ph.updates_structural),
                     std::to_string(ph.update_rows_releveled),
+                    TextTable::Num(ph.update_analysis_ms, 3),
                     std::to_string(ph.delta_log_bytes),
                     TextTable::Num(Summarize(ph.queue_wait_ms).p50_ms, 3),
                     TextTable::Num(Summarize(ph.solve_ms).p50_ms, 3)});
@@ -326,7 +330,7 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
 
   if (registry != nullptr) {
     TextTable cache({"Registered", "Resident", "Bytes", "Hits", "Misses",
-                     "Evictions", "Updates"});
+                     "Evictions", "Updates", "Anl warm/cold", "Anl device"});
     cache.SetTitle("registry cache");
     cache.AddRow({std::to_string(registry->registrations),
                   std::to_string(registry->resident_entries),
@@ -334,7 +338,10 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
                   std::to_string(registry->hits),
                   std::to_string(registry->misses),
                   std::to_string(registry->evictions),
-                  std::to_string(registry->updates)});
+                  std::to_string(registry->updates),
+                  std::to_string(registry->analysis_cache_hits) + "/" +
+                      std::to_string(registry->analysis_cache_misses),
+                  std::to_string(registry->device_analyses)});
     out << cache.ToString();
   }
   return out.str();
@@ -363,6 +370,11 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
   out << "  \"update_rows_releveled\": " << totals_.update_rows_releveled
       << ",\n";
   out << "  \"update_delta_bytes\": " << totals_.update_delta_bytes << ",\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", totals_.update_analysis_ms);
+    out << "  \"update_analysis_ms\": " << buf << ",\n";
+  }
   out << "  \"invalidation_causes\": {\"value_only\": " << totals_.updates_value
       << ", \"structural\": " << totals_.updates_structural << "},\n";
   {
@@ -400,7 +412,10 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
         << ", \"hits\": " << registry->hits
         << ", \"misses\": " << registry->misses
         << ", \"evictions\": " << registry->evictions
-        << ", \"updates\": " << registry->updates << "}";
+        << ", \"updates\": " << registry->updates
+        << ", \"analysis_cache_hits\": " << registry->analysis_cache_hits
+        << ", \"analysis_cache_misses\": " << registry->analysis_cache_misses
+        << ", \"device_analyses\": " << registry->device_analyses << "}";
   }
   out << ",\n  \"per_handle\": [\n";
   std::size_t i = 0;
@@ -412,6 +427,7 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
         << ", \"updates_value\": " << ph.updates_value
         << ", \"updates_structural\": " << ph.updates_structural
         << ", \"rows_releveled\": " << ph.update_rows_releveled
+        << ", \"update_analysis_ms\": " << ph.update_analysis_ms
         << ", \"delta_log_bytes\": " << ph.delta_log_bytes << "}"
         << (++i < per_handle_.size() ? "," : "") << "\n";
   }

@@ -122,6 +122,11 @@ class ServiceStats {
     std::uint64_t update_rejections = 0;
     std::uint64_t update_rows_releveled = 0;  // summed cone sizes
     std::uint64_t update_delta_bytes = 0;     // summed batch log bytes
+    /// Summed per-epoch incremental re-analysis time (UpdateReport::
+    /// analysis_ms) — actual cone re-level + rebuild cost, NOT the original
+    /// registration's full-analysis time. 0 contribution from value-only
+    /// epochs, which reuse the analysis untouched.
+    double update_analysis_ms = 0.0;
   };
   Totals totals() const;
 
@@ -163,6 +168,7 @@ class ServiceStats {
     std::uint64_t updates_structural = 0;
     std::uint64_t update_rows_releveled = 0;
     std::uint64_t delta_log_bytes = 0;  // cumulative log, from the last report
+    double update_analysis_ms = 0.0;    // summed per-epoch re-analysis time
     std::vector<double> queue_wait_ms;
     std::vector<double> solve_ms;
   };

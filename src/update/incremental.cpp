@@ -78,6 +78,7 @@ Expected<UpdateResult> IncrementalAnalyzer::Apply(const Csr& lower,
   }
   consumers->ApplyStructural(batch);
 
+  Timer analysis_timer;
   LevelSets levels;
   levels.level_of = analysis.levels.level_of;
 
@@ -117,36 +118,14 @@ Expected<UpdateResult> IncrementalAnalyzer::Apply(const Csr& lower,
     for (const Idx k : consumers->Consumers(i)) push(k);
   }
 
-  // Rebuild level_ptr/order exactly as ComputeLevelSets does (counting sort
-  // by level, ties in ascending row order) so the patched analysis is
-  // indistinguishable from the from-scratch oracle.
-  Idx max_level = -1;
-  for (Idx i = 0; i < n; ++i) {
-    max_level = std::max(max_level, levels.level_of[static_cast<std::size_t>(i)]);
-  }
-  const Idx num_levels = n == 0 ? 0 : max_level + 1;
-  levels.level_ptr.assign(static_cast<std::size_t>(num_levels) + 1, 0);
-  for (Idx i = 0; i < n; ++i) {
-    ++levels.level_ptr[static_cast<std::size_t>(
-        levels.level_of[static_cast<std::size_t>(i)]) + 1];
-  }
-  for (Idx k = 0; k < num_levels; ++k) {
-    levels.level_ptr[static_cast<std::size_t>(k) + 1] +=
-        levels.level_ptr[static_cast<std::size_t>(k)];
-  }
-  levels.order.resize(static_cast<std::size_t>(n));
-  std::vector<Idx> cursor(levels.level_ptr.begin(), levels.level_ptr.end() - 1);
-  for (Idx i = 0; i < n; ++i) {
-    const Idx level = levels.level_of[static_cast<std::size_t>(i)];
-    levels.order[static_cast<std::size_t>(
-        cursor[static_cast<std::size_t>(level)]++)] = i;
-  }
-
-  result.analysis.levels = std::move(levels);
-  result.analysis.stats = ComputeStats(result.matrix, analysis.stats.name,
-                                       &result.analysis.levels);
-  result.analysis.row_lengths = RowLengthHistogram(result.matrix);
-  result.analysis.recommended = SelectAlgorithm(result.analysis.stats);
+  // Rebuild level_ptr/order with the shared counting sort (ties in ascending
+  // row order) so the patched analysis is indistinguishable from the
+  // from-scratch oracle, then derive the cheap stats tail the same way
+  // AssembleAnalysis does.
+  result.analysis = AssembleAnalysis(result.matrix, analysis.stats.name,
+                                     BuildLevelSetsFromLevelOf(
+                                         std::move(levels.level_of)));
+  result.analysis_ms = analysis_timer.ElapsedMs();
   result.update_ms = timer.ElapsedMs();
   return result;
 }

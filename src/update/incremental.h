@@ -65,6 +65,11 @@ struct UpdateResult {
   /// Host milliseconds spent applying the batch + patching the analysis —
   /// the number bench_update compares against full re-analysis.
   double update_ms = 0.0;
+  /// The re-analysis portion of update_ms alone: forward-cone re-leveling +
+  /// level_ptr/order rebuild + stats refresh. 0.0 for value-only batches
+  /// (the analysis is reused untouched). This is what each registry epoch
+  /// records as its analysis_ms.
+  double analysis_ms = 0.0;
 };
 
 /// Stateless apart from reusable scratch buffers; one instance per registry,

@@ -11,6 +11,7 @@
 #include "fleet/comm.h"
 #include "fleet/fleet.h"
 #include "fleet/partition.h"
+#include "fleet/shard.h"
 #include "gen/banded.h"
 #include "gen/random_lower.h"
 #include "graph/dag.h"
@@ -291,6 +292,100 @@ TEST(FleetTest, ScopedFaultPlanKillsOnePartitionOthersFinish) {
   EXPECT_EQ(injectors[0].counts().total(), 0u);
   EXPECT_EQ(injectors[2].counts().total(), 0u);
   EXPECT_EQ(injectors[3].counts().total(), 0u);
+}
+
+// --- ShardedSolveService placement-ledger reconciliation (PR 9) ------------
+
+SolverOptions TinySolverOptions() {
+  return SolverOptions{.device = sim::TinyTestDevice()};
+}
+
+Csr ShardMatrix(Idx components_per_level, std::uint64_t seed) {
+  return MakeRandomLower({.rows = components_per_level * 6,
+                          .avg_strict_nnz_per_row = 2.0,
+                          .window = 32,
+                          .empty_row_fraction = 0.0,
+                          .seed = seed});
+}
+
+TEST(ShardTest, LedgerDropsEvictedEntriesOnReconcile) {
+  // Regression for the grow-only ledger: device 0 holds a BIG matrix,
+  // device 1 a small one. Evicting the big matrix from device 0's registry
+  // must let the next placement land on device 0 — without reconciliation
+  // the stale ledger keeps pricing device 0 as the heavier shard forever.
+  ShardedSolveService shard({.num_devices = 2});
+  auto big = shard.Register(ShardMatrix(300, 1), "big", TinySolverOptions());
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->device, 0);  // empty fleet: ties go to device 0
+  auto small =
+      shard.Register(ShardMatrix(20, 2), "small", TinySolverOptions());
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->device, 1);  // big > small, so device 1 was lighter
+
+  const double placed_before = shard.PlacedCostMs(0);
+  EXPECT_GT(placed_before, 0.0);
+  ASSERT_TRUE(shard.registry(0).Evict(big->handle));
+
+  // The next placement reconciles: device 0's ledger empties and wins.
+  auto next =
+      shard.Register(ShardMatrix(20, 3), "next", TinySolverOptions());
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->device, 0);
+  // Only "next" remains on device 0's ledger — the evicted cost is gone.
+  EXPECT_LT(shard.PlacedCostMs(0), placed_before);
+}
+
+TEST(ShardTest, LedgerRepricesFromObservedCosts) {
+  // The ledger must track CostModel::EstimateMs(), not the analytic seed it
+  // was placed with: feed the cost model observations and check the next
+  // reconcile reprices the device.
+  ShardedSolveService shard({.num_devices = 1});
+  auto handle = shard.Register(ShardMatrix(50, 4), "m", TinySolverOptions());
+  ASSERT_TRUE(handle.ok());
+  const double seeded = shard.PlacedCostMs(0);
+
+  const serve::MatrixRegistry::EntryRef entry =
+      shard.registry(0).TryPeek(handle->handle);
+  ASSERT_NE(entry, nullptr);
+  const double observed = seeded * 16.0 + 1.0;
+  entry->cost.Observe(observed);
+  EXPECT_DOUBLE_EQ(shard.PlacedCostMs(0), seeded);  // not reconciled yet
+
+  // Any placement decision reconciles every device's ledger.
+  ASSERT_TRUE(
+      shard.Register(ShardMatrix(20, 5), "other", TinySolverOptions()).ok());
+  EXPECT_GT(shard.PlacedCostMs(0), observed * 0.9);
+}
+
+TEST(ShardTest, ApplyDeltaRoutesToOwnerAndRefreshesLedger) {
+  ShardedSolveService shard({.num_devices = 2});
+  const Csr matrix = ShardMatrix(40, 6);
+  auto a = shard.Register(matrix, "a", TinySolverOptions());
+  auto b = shard.Register(ShardMatrix(40, 7), "b", TinySolverOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_NE(a->device, b->device);
+
+  const update::DeltaBatch batch =
+      update::MakeRandomBatch(matrix, 8, /*structural=*/true, 99);
+  auto report = shard.ApplyDelta(*a, batch);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->epoch, 1u);
+  EXPECT_FALSE(report->value_only);
+  EXPECT_GT(report->rows_releveled, 0);
+  // The update hit the owning device's registry only.
+  EXPECT_EQ(shard.registry(a->device).Snapshot().updates, 1u);
+  EXPECT_EQ(shard.registry(b->device).Snapshot().updates, 0u);
+  // The ledger entry was refreshed from the post-update cost model.
+  const serve::MatrixRegistry::EntryRef entry =
+      shard.registry(a->device).TryPeek(a->handle);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_DOUBLE_EQ(shard.PlacedCostMs(a->device), entry->cost.EstimateMs());
+
+  // Out-of-range devices are rejected, matching Submit's contract.
+  auto bad = shard.ApplyDelta(ShardedHandle{7, a->handle}, batch);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

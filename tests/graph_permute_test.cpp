@@ -1,5 +1,8 @@
-// Tests for PermuteRowsByLevel — the level-set preprocessing's matrix copy.
+// Tests for the level reorderings: GatherRowsByLevel (schedule-order-only
+// contract) and PermuteSystemByLevel (full symmetric permutation).
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "gen/level_structured.h"
 #include "gen/random_lower.h"
@@ -10,14 +13,14 @@
 namespace capellini {
 namespace {
 
-TEST(PermuteTest, RowsMatchOrder) {
+TEST(GatherTest, RowsMatchOrder) {
   const Csr matrix = MakeRandomLower({.rows = 400,
                                       .avg_strict_nnz_per_row = 3.0,
                                       .window = 0,
                                       .empty_row_fraction = 0.2,
                                       .seed = 21});
   const LevelSets levels = ComputeLevelSets(matrix);
-  const Csr permuted = PermuteRowsByLevel(matrix, levels);
+  const Csr permuted = GatherRowsByLevel(matrix, levels);
 
   ASSERT_EQ(permuted.rows(), matrix.rows());
   ASSERT_EQ(permuted.nnz(), matrix.nnz());
@@ -33,7 +36,7 @@ TEST(PermuteTest, RowsMatchOrder) {
   }
 }
 
-TEST(PermuteTest, LevelsBecomeContiguousRowRanges) {
+TEST(GatherTest, LevelsBecomeContiguousRowRanges) {
   const Csr matrix = MakeLevelStructured({.num_levels = 9,
                                           .components_per_level = 50,
                                           .avg_nnz_per_row = 2.8,
@@ -41,7 +44,7 @@ TEST(PermuteTest, LevelsBecomeContiguousRowRanges) {
                                           .interleave = true,
                                           .seed = 22});
   const LevelSets levels = ComputeLevelSets(matrix);
-  const Csr permuted = PermuteRowsByLevel(matrix, levels);
+  const Csr permuted = GatherRowsByLevel(matrix, levels);
 
   // Solving the permuted system row-by-row in PERMUTED order is valid: all
   // column references of permuted row k point to original rows of earlier
@@ -59,7 +62,7 @@ TEST(PermuteTest, LevelsBecomeContiguousRowRanges) {
   }
 }
 
-TEST(PermuteTest, IdentityWhenAlreadyLevelSorted) {
+TEST(GatherTest, IdentityWhenAlreadyLevelSorted) {
   // A level-structured matrix laid out level by level is already sorted, and
   // the stable ordering keeps row order intact.
   const Csr matrix = MakeLevelStructured({.num_levels = 5,
@@ -72,7 +75,118 @@ TEST(PermuteTest, IdentityWhenAlreadyLevelSorted) {
   for (Idx k = 0; k < matrix.rows(); ++k) {
     EXPECT_EQ(levels.order[static_cast<std::size_t>(k)], k);
   }
-  EXPECT_EQ(PermuteRowsByLevel(matrix, levels), matrix);
+  EXPECT_EQ(GatherRowsByLevel(matrix, levels), matrix);
+}
+
+// Contract pin: the gather output keeps columns in the ORIGINAL numbering.
+// On any matrix whose level order moves rows, it is NOT a lower-triangular
+// system (a later-numbered row of an early level gathers above a column
+// reference to itself), so it must never be handed to a solver directly.
+TEST(GatherTest, OutputIsScheduleOrderOnlyNotTriangular) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 6,
+                                          .components_per_level = 30,
+                                          .avg_nnz_per_row = 2.7,
+                                          .size_jitter = 0.3,
+                                          .interleave = true,
+                                          .seed = 24});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  bool moved = false;
+  for (Idx k = 0; k < matrix.rows(); ++k) {
+    if (levels.order[static_cast<std::size_t>(k)] != k) moved = true;
+  }
+  ASSERT_TRUE(moved) << "generator produced an already-sorted matrix";
+
+  const Csr gathered = GatherRowsByLevel(matrix, levels);
+  // Columns still name original rows: row k's diagonal entry is order[k],
+  // not k, whenever the order moved that row.
+  EXPECT_FALSE(gathered.IsLowerTriangularWithDiagonal());
+}
+
+TEST(SymmetricPermuteTest, StaysTriangularAndLevelContiguous) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 7,
+                                          .components_per_level = 40,
+                                          .avg_nnz_per_row = 2.9,
+                                          .size_jitter = 0.5,
+                                          .interleave = true,
+                                          .seed = 25});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const PermutedSystem sys = PermuteSystemByLevel(matrix, levels);
+
+  ASSERT_EQ(sys.matrix.rows(), matrix.rows());
+  ASSERT_EQ(sys.matrix.nnz(), matrix.nnz());
+  EXPECT_TRUE(sys.matrix.Validate().ok());
+  EXPECT_TRUE(sys.matrix.IsLowerTriangularWithDiagonal());
+
+  // The permuted system's level sets are the original ones relabelled: row k
+  // sits at level level_of[order[k]], and levels stay contiguous index
+  // ranges, which is the entire point of the scheduled reordering.
+  const LevelSets relevels = ComputeLevelSets(sys.matrix);
+  ASSERT_EQ(relevels.num_levels(), levels.num_levels());
+  for (Idx k = 0; k < matrix.rows(); ++k) {
+    EXPECT_EQ(relevels.level_of[static_cast<std::size_t>(k)],
+              levels.level_of[static_cast<std::size_t>(
+                  sys.order[static_cast<std::size_t>(k)])]);
+    // Already level-sorted: identity order.
+    EXPECT_EQ(relevels.order[static_cast<std::size_t>(k)], k);
+  }
+}
+
+TEST(SymmetricPermuteTest, SolutionRoundTripsThroughRemap) {
+  const Csr matrix = MakeRandomLower({.rows = 500,
+                                      .avg_strict_nnz_per_row = 3.5,
+                                      .window = 0,
+                                      .empty_row_fraction = 0.1,
+                                      .seed = 26});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const PermutedSystem sys = PermuteSystemByLevel(matrix, levels);
+
+  std::mt19937_64 rng(27);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<Val> x_ref(static_cast<std::size_t>(matrix.rows()));
+  for (Val& v : x_ref) v = dist(rng);
+  std::vector<Val> b(x_ref.size());
+  matrix.SpMv(x_ref, b);
+
+  // Solve (P L P^T) y = P b and map back: x = P^T y.
+  std::vector<Val> b_perm(b.size());
+  PermuteVector(sys.order, b, b_perm);
+  std::vector<Val> y(b.size());
+  ASSERT_TRUE(host::SolveSerial(sys.matrix, b_perm, y).ok());
+  std::vector<Val> x(b.size());
+  UnpermuteVector(sys.order, y, x);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Accumulation order differs from the direct solve, so compare to a
+    // rounding tolerance rather than bit-for-bit.
+    EXPECT_NEAR(x[i], x_ref[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST(SymmetricPermuteTest, PermuteUnpermuteAreInverses) {
+  const Csr matrix = MakeLevelStructured({.num_levels = 4,
+                                          .components_per_level = 25,
+                                          .avg_nnz_per_row = 2.4,
+                                          .size_jitter = 0.6,
+                                          .interleave = true,
+                                          .seed = 28});
+  const LevelSets levels = ComputeLevelSets(matrix);
+  const PermutedSystem sys = PermuteSystemByLevel(matrix, levels);
+
+  std::vector<Val> v(static_cast<std::size_t>(matrix.rows()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<Val>(i) * 0.5 - 3.0;
+  }
+  std::vector<Val> forward(v.size());
+  std::vector<Val> back(v.size());
+  PermuteVector(sys.order, v, forward);
+  UnpermuteVector(sys.order, forward, back);
+  EXPECT_EQ(back, v);
+
+  for (Idx k = 0; k < matrix.rows(); ++k) {
+    EXPECT_EQ(sys.inverse[static_cast<std::size_t>(
+                  sys.order[static_cast<std::size_t>(k)])],
+              k);
+  }
 }
 
 }  // namespace

@@ -250,6 +250,7 @@ TEST(IncrementalAnalyzerTest, ValueOnlyReusesAnalysisUntouched) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->value_only);
   EXPECT_EQ(result->rows_releveled, 0);  // zero re-analysis on the fast path
+  EXPECT_EQ(result->analysis_ms, 0.0);   // the analysis was reused untouched
   EXPECT_EQ(result->total_rows, lower.rows());
 
   auto oracle_matrix = update::ApplyToMatrix(lower, batch);
@@ -489,6 +490,7 @@ TEST(RegistryUpdateTest, EpochBumpAndDeltaLogByteAccounting) {
   EXPECT_EQ(report->epoch, 1u);
   EXPECT_TRUE(report->value_only);
   EXPECT_EQ(report->rows_releveled, 0);
+  EXPECT_EQ(report->analysis_ms, 0.0);  // value-only: no re-leveling ran
   EXPECT_EQ(report->total_rows, lower.rows());
   EXPECT_EQ(report->delta_bytes, value_batch.ByteSize());
   EXPECT_EQ(report->delta_log_bytes, value_batch.ByteSize());
@@ -507,15 +509,20 @@ TEST(RegistryUpdateTest, EpochBumpAndDeltaLogByteAccounting) {
   EXPECT_GE(second->rows_releveled, 1);
   EXPECT_EQ(second->delta_log_bytes,
             value_batch.ByteSize() + structural_batch.ByteSize());
+  EXPECT_GT(second->analysis_ms, 0.0);  // the cone re-level was timed
+  EXPECT_LE(second->analysis_ms, second->update_ms);
   EXPECT_EQ(registry.Snapshot().updates, 2u);
 
-  // The resident entry is the mutated matrix, already analyzed.
+  // The resident entry is the mutated matrix, already analyzed, and its
+  // analysis_ms is THIS epoch's incremental re-level time — not a verbatim
+  // copy of the cold registration's full-analysis time (the PR-9 S3 bug).
   auto entry = registry.Acquire(*handle);
   ASSERT_TRUE(entry.ok());
   auto oracle = update::ApplyToMatrix(after_value, structural_batch);
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ((*entry)->solver.matrix(), *oracle);
   EXPECT_TRUE((*entry)->solver.analyzed());
+  EXPECT_EQ((*entry)->analysis_ms, second->analysis_ms);
 }
 
 TEST(RegistryUpdateTest, InvalidBatchLeavesEntryUntouched) {
@@ -869,8 +876,12 @@ TEST(StatsUpdateTest, TableAndJsonCarryUpdateCounters) {
   EXPECT_NE(json.find("\"update_rejections\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"update_rows_releveled\""), std::string::npos);
   EXPECT_NE(json.find("\"update_delta_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"update_analysis_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"invalidation_causes\""), std::string::npos);
   EXPECT_NE(json.find("\"updates\": 2"), std::string::npos);  // registry view
+  EXPECT_NE(json.find("\"analysis_cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"device_analyses\""), std::string::npos);
+  EXPECT_NE(table.find("relevel_ms="), std::string::npos) << table;
 }
 
 }  // namespace
