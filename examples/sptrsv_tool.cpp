@@ -53,7 +53,14 @@
 // a comm model for every cross-partition dependency and prints per-device
 // cycles + boundary traffic; composes with --faults (the same plan is
 // replayed on every device, so row-scoped plans kill exactly the partition
-// that owns the rows).
+// that owns the rows). Fleet reliability (DESIGN.md §4j):
+//
+//   ./examples/sptrsv_tool --generate --devices=4 --faults=plan.json --reliable
+//
+// enables the fleet recovery ladder: a killed partition is re-executed on a
+// surviving device (or the host serial rung), every recovered range is
+// verified, and a per-device recovery-counters table reports who failed
+// over where.
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -262,11 +269,6 @@ capellini::Status ValidateToolFlags(std::int64_t devices, std::int64_t threads,
       return InvalidArgument(
           "--tune sweeps the single-device hybrid kernel; drop --devices");
     }
-    if (reliable) {
-      return InvalidArgument(
-          "--reliable (the retry ladder) is single-device; drop --devices "
-          "or use --check, which verifies the fleet solution");
-    }
     if (algorithm != Algorithm::kCapellini &&
         algorithm != Algorithm::kCapelliniTwoPhase) {
       return InvalidArgument(
@@ -352,7 +354,8 @@ int main(int argc, char** argv) {
                 "print the verdict");
   flags.AddBool("reliable", &reliable,
                 "solve through the self-healing retry ladder (implies "
-                "--check) and print every attempt");
+                "--check) and print every attempt; with --devices=K, "
+                "enable the fleet recovery ladder instead");
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return status.code() == StatusCode::kNotFound ? 0 : 2;
   }
@@ -538,6 +541,10 @@ int main(int argc, char** argv) {
                                  ? kernels::DeviceAlgorithm::kCapelliniTwoPhase
                                  : kernels::DeviceAlgorithm::kCapelliniWritingFirst;
     if (threads > 0) fleet_config.host_threads = static_cast<int>(threads);
+    // --reliable on the fleet path = the §4j recovery ladder: failed
+    // partitions re-execute on a survivor (or the host rung) with every
+    // accepted range and the stitched solution verified.
+    fleet_config.recovery.enabled = reliable;
     fleet::DeviceFleet device_fleet(fleet_config);
     // Every device replays the SAME plan: plans scoped by rows/warps (global
     // coordinates) then hit exactly the device that owns those rows.
@@ -577,6 +584,40 @@ int main(int argc, char** argv) {
                       : "",
                   ds.status.ok() ? "" : "  FAILED");
     }
+    if (reliable) {
+      std::printf("  recovery: %zu failover%s, %llu rows re-executed, "
+                  "%llu device-rung + %llu host-rung recoveries\n",
+                  result->stats.failovers.size(),
+                  result->stats.failovers.size() == 1 ? "" : "s",
+                  static_cast<unsigned long long>(
+                      result->stats.rows_reexecuted),
+                  static_cast<unsigned long long>(
+                      result->stats.device_rung_recoveries),
+                  static_cast<unsigned long long>(
+                      result->stats.host_rung_recoveries));
+      if (!result->stats.failovers.empty()) {
+        std::printf("  %-3s %-9s %-10s %-12s %10s\n", "dev", "cause",
+                    "attempts", "recovered on", "residual");
+        for (const fleet::FailoverRecord& record : result->stats.failovers) {
+          std::string attempts;
+          for (std::size_t i = 0; i < record.attempts.size(); ++i) {
+            if (i > 0) attempts += ",";
+            attempts += record.attempts[i] == fleet::kHostExecutor
+                            ? "host"
+                            : std::to_string(record.attempts[i]);
+          }
+          std::printf("  %-3d %-9s %-10s %-12s %10.2e%s\n", record.device,
+                      record.upstream_induced ? "upstream" : "device",
+                      attempts.c_str(),
+                      record.recovered_on == fleet::kHostExecutor
+                          ? "host"
+                          : ("device " + std::to_string(record.recovered_on))
+                                .c_str(),
+                      record.residual,
+                      record.verified ? "" : "  NOT RECOVERED");
+        }
+      }
+    }
     std::printf("  makespan %llu cycles (%.4f ms simulated), %lld cross "
                 "edges, %llu messages, %llu comm bytes\n",
                 static_cast<unsigned long long>(result->stats.makespan_cycles),
@@ -591,7 +632,15 @@ int main(int argc, char** argv) {
     const double fleet_error = MaxRelativeError(result->x, problem.x_true);
     std::printf("  max relative error  %.2e\n", fleet_error);
     bool fleet_check = true;
-    if (check) {
+    if (reliable && !result->stats.failovers.empty()) {
+      // Recovery already ran the final stitched verification; report it
+      // instead of re-verifying.
+      fleet_check = result->verification.passed;
+      std::printf("  residual            %.2e (bound %.0e) — %s\n",
+                  result->verification.residual,
+                  VerifyOptions{}.residual_bound,
+                  fleet_check ? "VERIFIED (recovered)" : "FAILED VERIFICATION");
+    } else if (check || reliable) {
       const Verification verdict = VerifySolution(lower, problem.b, result->x);
       fleet_check = verdict.passed;
       std::printf("  residual            %.2e (bound %.0e) — %s\n",

@@ -52,6 +52,17 @@ Verification VerifySolution(const Csr& lower, std::span<const Val> b,
                             std::span<const Val> x,
                             const VerifyOptions& options = {});
 
+/// Verifies only the rows [row_begin, row_end) of lower * x = b: the
+/// residual and norms are taken over that row block, but x is the FULL
+/// vector — block rows reference columns below row_begin, so the check is
+/// "is this partition consistent with the solution it consumed". The fleet's
+/// failover path uses it to accept or reject one recovered partition at a
+/// time without paying a whole-matrix pass per ladder rung. With
+/// row_begin = 0 and row_end = rows it is exactly VerifySolution.
+Verification VerifyRange(const Csr& lower, std::span<const Val> b,
+                         std::span<const Val> x, Idx row_begin, Idx row_end,
+                         const VerifyOptions& options = {});
+
 struct ReliableOptions {
   VerifyOptions verify;
   /// Retry rungs tried after the requested algorithm fails verification.

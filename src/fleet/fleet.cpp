@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <limits>
+#include <span>
 #include <utility>
 
 #include "sim/fault.h"
@@ -38,6 +40,10 @@ struct Outcome {
   Status status;
   std::vector<Val> x;                        // full-length device image
   std::vector<std::uint64_t> publish_cycles; // per local row
+  /// The task reached SolveRangeOnDevice (false = it bailed before the
+  /// launch: upstream failure or an unpublished remote row). Recovery treats
+  /// un-launched failures as upstream-induced and retries the owner first.
+  bool launched = false;
 };
 
 }  // namespace
@@ -195,10 +201,11 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
       options.threads_per_block = config.threads_per_block;
       options.trace_sink = fleet_->trace_sink(d);
       options.fault_injector = fleet_->fault_injector(d);
-      if (options.fault_injector != nullptr) {
-        // Machine hooks see LOCAL tids; plans are written in global rows.
-        options.fault_injector->set_tid_offset(ds.row_begin);
-      }
+      // Machine hooks see LOCAL tids; plans are written in global rows. The
+      // offset is RAII-scoped (like the machine's external-store clear) so a
+      // later single-device run on the same injector never inherits it.
+      sim::ScopedTidOffset tid_guard(options.fault_injector, ds.row_begin);
+      out.launched = true;
       const auto host_begin = std::chrono::steady_clock::now();
       auto range = kernels::SolveRangeOnDevice(
           config.algorithm, lower, b, ds.row_begin, ds.row_end, arrivals,
@@ -231,6 +238,202 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
     }
   }
 
+  // First-pass launch outcomes, frozen before recovery mutates anything:
+  // makespan attribution and survivor designation both key off these. A
+  // failed launch has no cycle count (the watchdog returns an error instead
+  // of stats), so it must not participate in the makespan argmax.
+  std::vector<bool> launch_ok(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    launch_ok[static_cast<std::size_t>(d)] =
+        outcomes[static_cast<std::size_t>(d)].status.ok();
+  }
+
+  // --- Failover (DESIGN.md §4j) --------------------------------------------
+  // Runs serially in device-index order, so every recovered partition's
+  // consumers see its publishes before their own recovery starts. All
+  // decisions are pure functions of (fault stream, outcome history): same
+  // seed => identical ladder. Zero-fault solves never take this branch.
+  bool recovery_ran = false;
+  if (config.recovery.enabled) {
+    // The recovered global image. Rows land here as partitions are accepted
+    // (first pass or ladder), and arrivals for re-executions read from it.
+    std::vector<Val> current(static_cast<std::size_t>(m), 0.0);
+    // Separate comm instance: recovery deliveries must not perturb the
+    // first-pass per-link serialization state or the fleet traffic totals.
+    CommModel recovery_comm(config.comm, k);
+
+    // Arrivals for a re-execution of partition d, from the recovered
+    // outcomes. False when an upstream publish hole survives (an OK upstream
+    // launch whose flag store was dropped): device rungs are impossible then,
+    // but the host rung needs no arrivals.
+    auto build_arrivals =
+        [&](int d, std::vector<kernels::RangeArrival>& arrivals) -> bool {
+      arrivals.clear();
+      for (const Need& need : needs[static_cast<std::size_t>(d)]) {
+        const Outcome& src = outcomes[static_cast<std::size_t>(need.src)];
+        if (!src.status.ok()) return false;
+        const std::uint64_t published =
+            src.publish_cycles[static_cast<std::size_t>(
+                need.row - part.RowBegin(need.src))];
+        if (published == UINT64_MAX) return false;
+        arrivals.push_back(kernels::RangeArrival{
+            need.row, current[static_cast<std::size_t>(need.row)],
+            recovery_comm.Deliver(need.src, d, published)});
+      }
+      return true;
+    };
+
+    // One ladder rung on `executor`'s machine. The executor's own injector
+    // stays attached (a re-execution is still a device launch and still
+    // subject to that device's faults) with the offset scoped to the failed
+    // range, so global-row fault plans keep their meaning.
+    auto attempt_on_device = [&](int executor, Idx begin, Idx end,
+                                 std::span<const kernels::RangeArrival> arrivals,
+                                 Outcome& out) -> Status {
+      kernels::SolveOptions options;
+      options.threads_per_block = config.threads_per_block;
+      options.trace_sink = fleet_->trace_sink(executor);
+      options.fault_injector = fleet_->fault_injector(executor);
+      sim::ScopedTidOffset tid_guard(options.fault_injector, begin);
+      auto range = kernels::SolveRangeOnDevice(
+          config.algorithm, lower, b, begin, end, arrivals,
+          fleet_->machine(executor), fleet_->memory(executor), options);
+      if (!range.ok()) return range.status();
+      for (const std::uint64_t cycle : range->publish_cycles) {
+        if (cycle == UINT64_MAX) {
+          return DeadlockError(
+              "recovery re-execution dropped a publish; escalating");
+        }
+      }
+      out.x = std::move(range->x);
+      out.publish_cycles = std::move(range->publish_cycles);
+      return Status::Ok();
+    };
+
+    for (int d = 0; d < k; ++d) {
+      const Idx begin = part.RowBegin(d);
+      const Idx end = part.RowEnd(d);
+      if (begin == end) continue;  // empty block: nothing to verify or redo
+      Outcome& out = outcomes[static_cast<std::size_t>(d)];
+      DeviceStats& ds = dstats[static_cast<std::size_t>(d)];
+
+      bool healthy = out.status.ok();
+      if (healthy) {
+        std::copy(out.x.begin() + begin, out.x.begin() + end,
+                  current.begin() + begin);
+        if (config.recovery.verify_partitions) {
+          const Verification check = VerifyRange(lower, b, current, begin, end,
+                                                 config.recovery.verify);
+          if (!check.passed) {
+            // Completed launch, corrupted values (e.g. a bit-flipped store):
+            // the first pass "succeeded" but the range is wrong. Surface the
+            // real outcome in the device stats and run the ladder.
+            healthy = false;
+            out.status = DataLoss("fleet device " + std::to_string(d) +
+                                  ": partition failed verification");
+            ds.status = out.status;
+          }
+        }
+      }
+      if (healthy) continue;
+
+      recovery_ran = true;
+      FailoverRecord record;
+      record.device = d;
+      record.rows = end - begin;
+      record.upstream_induced = !out.launched;
+      record.residual = std::numeric_limits<double>::infinity();
+      ds.failed_over = true;
+
+      std::vector<kernels::RangeArrival> arrivals;
+      const bool have_arrivals = build_arrivals(d, arrivals);
+
+      // Device rungs: the owner first when it never got to launch (its
+      // machine is presumed healthy — the failure came from upstream), then
+      // the designated survivor: the lowest-indexed OTHER device whose own
+      // first-pass launch succeeded.
+      std::vector<int> executors;
+      if (have_arrivals) {
+        if (record.upstream_induced) executors.push_back(d);
+        for (int s = 0; s < k; ++s) {
+          if (s != d && launch_ok[static_cast<std::size_t>(s)]) {
+            executors.push_back(s);
+            break;
+          }
+        }
+      }
+
+      bool accepted = false;
+      for (const int executor : executors) {
+        record.attempts.push_back(executor);
+        ++ds.recovery_attempts;
+        result.stats.rows_reexecuted += static_cast<std::uint64_t>(record.rows);
+        const Status attempt =
+            attempt_on_device(executor, begin, end, arrivals, out);
+        if (!attempt.ok()) continue;
+        std::copy(out.x.begin() + begin, out.x.begin() + end,
+                  current.begin() + begin);
+        const Verification check = VerifyRange(lower, b, current, begin, end,
+                                               config.recovery.verify);
+        if (check.passed) {
+          accepted = true;
+          record.recovered_on = executor;
+          record.residual = check.residual;
+          ++result.stats.device_rung_recoveries;
+          break;
+        }
+      }
+
+      if (!accepted) {
+        // Host rung: serial substitution over just the failed rows against
+        // the recovered image. Immune to device faults by construction; its
+        // publishes are checkpointed at cycle 0 for downstream re-executions.
+        record.attempts.push_back(kHostExecutor);
+        ++ds.recovery_attempts;
+        result.stats.rows_reexecuted += static_cast<std::uint64_t>(record.rows);
+        const std::span<const Idx> row_ptr = lower.row_ptr();
+        const std::span<const Idx> col_idx = lower.col_idx();
+        const std::span<const Val> vals = lower.val();
+        for (Idx r = begin; r < end; ++r) {
+          // Same accumulation order as the device kernels and SolveSerial
+          // (left_sum first, then one subtract-and-divide), so a host-rung
+          // recovery reproduces the device solution bit for bit.
+          Val left_sum = 0.0;
+          Val diag = 1.0;
+          for (Idx j = row_ptr[static_cast<std::size_t>(r)];
+               j < row_ptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const Idx c = col_idx[static_cast<std::size_t>(j)];
+            if (c == r) {
+              diag = vals[static_cast<std::size_t>(j)];
+            } else {
+              left_sum += vals[static_cast<std::size_t>(j)] *
+                          current[static_cast<std::size_t>(c)];
+            }
+          }
+          current[static_cast<std::size_t>(r)] =
+              (b[static_cast<std::size_t>(r)] - left_sum) / diag;
+        }
+        out.x = current;
+        out.publish_cycles.assign(static_cast<std::size_t>(end - begin), 0);
+        const Verification check = VerifyRange(lower, b, current, begin, end,
+                                               config.recovery.verify);
+        if (check.passed) {
+          accepted = true;
+          record.recovered_on = kHostExecutor;
+          record.residual = check.residual;
+          ++result.stats.host_rung_recoveries;
+        }
+      }
+
+      if (accepted) {
+        out.status = Status::Ok();
+        record.verified = true;
+        ds.recovered_on = record.recovered_on;
+      }
+      result.stats.failovers.push_back(std::move(record));
+    }
+  }
+
   result.x.assign(static_cast<std::size_t>(m), 0.0);
   result.stats.devices = std::move(dstats);
   result.stats.cross_edges = CountCrossEdges(lower, part);
@@ -238,24 +441,41 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
   result.stats.total_comm_bytes = comm.total_bytes();
   for (int d = 0; d < k; ++d) {
     DeviceStats& ds = result.stats.devices[static_cast<std::size_t>(d)];
+    const Outcome& out = outcomes[static_cast<std::size_t>(d)];
     ds.est_cost_ms =
         cost_hint *
         (static_cast<double>(ds.row_end - ds.row_begin) +
          static_cast<double>(ds.nnz)) /
         denom;
-    if (ds.status.ok() && ds.row_begin < ds.row_end) {
-      const Outcome& out = outcomes[static_cast<std::size_t>(d)];
+    // Stitch from the live outcome: recovered partitions (out.status OK,
+    // ds.status still the first-pass failure) contribute their accepted
+    // range exactly like clean ones.
+    if (out.status.ok() && ds.row_begin < ds.row_end) {
       std::copy(out.x.begin() + ds.row_begin, out.x.begin() + ds.row_end,
                 result.x.begin() + ds.row_begin);
     }
-    if (!ds.status.ok() && result.status.ok()) result.status = ds.status;
-    if (result.stats.critical_device < 0 ||
-        ds.cycles > result.stats.makespan_cycles) {
+    if (!out.status.ok() && result.status.ok()) result.status = out.status;
+    // Makespan/argmax over completed first-pass launches only — a killed
+    // partition has no real cycle count to contribute.
+    if (launch_ok[static_cast<std::size_t>(d)] &&
+        (result.stats.critical_device < 0 ||
+         ds.cycles > result.stats.makespan_cycles)) {
       result.stats.makespan_cycles = ds.cycles;
       result.stats.critical_device = d;
     }
   }
   result.stats.exec_ms = config.device.CyclesToMs(result.stats.makespan_cycles);
+
+  if (recovery_ran) {
+    // Final gate on the stitched solution: recovery only reports OK when the
+    // whole system verifies, not just each range in isolation.
+    result.verification =
+        VerifySolution(lower, b, result.x, config.recovery.verify);
+    if (!result.verification.passed && result.status.ok()) {
+      result.status =
+          DataLoss("fleet recovery: stitched solution failed verification");
+    }
+  }
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/solver.h"
+#include "core/verify.h"
 #include "fleet/comm.h"
 #include "fleet/partition.h"
 #include "fleet/stats.h"
@@ -31,6 +32,40 @@
 #include "sim/memory.h"
 
 namespace capellini::fleet {
+
+/// Fleet-level self-healing (DESIGN.md §4j). When enabled, a failed
+/// partition — deadlocked, starved by a dropped publish, or completing with
+/// a bad range residual — is re-executed through a bounded ladder instead of
+/// failing the whole solve:
+///
+///   1. the owner itself, when the failure was upstream-induced (the
+///      partition never launched; with the recovered upstream publishes it
+///      is expected to succeed),
+///   2. a designated survivor — the lowest-indexed device whose own
+///      first-pass partition succeeded — via the same SolveRangeOnDevice
+///      path, replaying the checkpointed upstream boundary publishes
+///      through the ExternalStore seam,
+///   3. the fault-immune host serial rung over just the failed rows.
+///
+/// Partitions recover in device-index order, so a downstream partition that
+/// failed only because its producer died re-executes against the recovered
+/// publishes as if the producer had succeeded — upstream completed work is
+/// never redone. Every accepted range passes VerifyRange and the stitched
+/// solution passes a final VerifySolution. Determinism: the ladder order,
+/// survivor choice and injector event streams are pure functions of the
+/// (seeded) fault stream and the outcome history, so same seed => identical
+/// failover path; zero-fault runs never enter recovery and stay
+/// byte-identical to a recovery-disabled solve.
+struct FleetRecoveryOptions {
+  bool enabled = false;
+  /// Residual bound for the per-range and final stitched checks.
+  VerifyOptions verify;
+  /// When recovery is on, every partition's range is verified even if its
+  /// launch reported OK — a bit-flipped store completes "successfully" with
+  /// a corrupted value only the residual catches. Off limits recovery to
+  /// launch failures (cheaper, but silent corruption escapes).
+  bool verify_partitions = true;
+};
 
 struct FleetConfig {
   int num_devices = 1;
@@ -46,6 +81,7 @@ struct FleetConfig {
   /// Host threads driving the devices; 0 = one per device. Any value gives
   /// byte-identical solutions (see the determinism contract above).
   int host_threads = 0;
+  FleetRecoveryOptions recovery;
 };
 
 /// Owns the K machines and their memories plus the per-device trace/fault
@@ -91,14 +127,20 @@ class DeviceFleet {
 
 struct FleetResult {
   /// Assembled solution; rows of a failed device are zero (and `status`
-  /// carries the failure).
+  /// carries the failure). With recovery enabled, recovered partitions are
+  /// stitched in and `status` is OK when every range verified.
   std::vector<Val> x;
   /// First failing device's status, or OK. Per-device outcomes are in
   /// stats.devices[d].status — independent devices finish clean even when
-  /// one partition is killed.
+  /// one partition is killed. A recovered solve reports OK here; the
+  /// original per-device failures stay visible in stats.devices[d].status
+  /// and the failover ledger.
   Status status;
   Partition partition;
   FleetStats stats;
+  /// Final stitched-solution check (recovery-enabled solves that entered
+  /// the recovery path only; default-constructed otherwise).
+  Verification verification;
 };
 
 /// Drives a DeviceFleet over a Solver's system. The Solver supplies the

@@ -1,0 +1,113 @@
+#include "fleet/health.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace capellini::fleet {
+
+const char* DeviceStateName(DeviceState state) {
+  switch (state) {
+    case DeviceState::kHealthy: return "healthy";
+    case DeviceState::kQuarantined: return "quarantined";
+    case DeviceState::kProbing: return "probing";
+  }
+  return "?";
+}
+
+DeviceHealthTracker::DeviceHealthTracker(int num_devices, HealthOptions options)
+    : options_(options) {
+  devices_.resize(static_cast<std::size_t>(std::max(1, num_devices)));
+}
+
+DeviceHealthTracker::Admit DeviceHealthTracker::AdmitFor(int device) {
+  if (!options_.enabled()) return Admit::kAllow;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  switch (dev.state) {
+    case DeviceState::kHealthy:
+      return Admit::kAllow;
+    case DeviceState::kQuarantined:
+      if (dev.quarantine_skips >= options_.probe_cooldown) {
+        dev.state = DeviceState::kProbing;
+        ++counters_.probes;
+        return Admit::kProbe;
+      }
+      ++dev.quarantine_skips;
+      break;
+    case DeviceState::kProbing:
+      // One probe in flight; keep deflecting until it reports.
+      break;
+  }
+  ++counters_.deflections;
+  return Admit::kDeflect;
+}
+
+void DeviceHealthTracker::Report(int device, bool failure) {
+  if (!options_.enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  switch (dev.state) {
+    case DeviceState::kHealthy: {
+      bool trip = false;
+      if (options_.threshold > 0) {
+        if (!failure) {
+          dev.consecutive_failures = 0;
+        } else if (++dev.consecutive_failures >= options_.threshold) {
+          trip = true;
+        }
+      }
+      if (options_.window > 0) {
+        const auto window = static_cast<std::size_t>(options_.window);
+        dev.window.push_back(failure);
+        if (dev.window.size() > window) {
+          dev.window.erase(dev.window.begin());
+        }
+        if (dev.window.size() == window) {
+          const auto failures = static_cast<double>(
+              std::count(dev.window.begin(), dev.window.end(), true));
+          const double rate = std::clamp(
+              options_.rate, std::numeric_limits<double>::min(), 1.0);
+          if (failures >= rate * static_cast<double>(window)) trip = true;
+        }
+      }
+      if (trip) {
+        dev.state = DeviceState::kQuarantined;
+        dev.quarantine_skips = 0;
+        dev.consecutive_failures = 0;
+        dev.window.clear();
+        ++counters_.quarantines;
+      }
+      break;
+    }
+    case DeviceState::kProbing:
+      if (failure) {
+        dev.state = DeviceState::kQuarantined;
+        dev.quarantine_skips = 0;
+        ++counters_.probe_failures;
+        ++counters_.quarantines;  // re-quarantined by the failed probe
+      } else {
+        dev.state = DeviceState::kHealthy;
+        dev.consecutive_failures = 0;
+        dev.window.clear();
+        ++counters_.reinstatements;
+      }
+      break;
+    case DeviceState::kQuarantined:
+      break;  // stale report from a solve admitted before the quarantine
+  }
+}
+
+DeviceState DeviceHealthTracker::state(int device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return devices_[static_cast<std::size_t>(device)].state;
+}
+
+HealthSnapshot DeviceHealthTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthSnapshot snap = counters_;
+  snap.states.reserve(devices_.size());
+  for (const PerDevice& dev : devices_) snap.states.push_back(dev.state);
+  return snap;
+}
+
+}  // namespace capellini::fleet

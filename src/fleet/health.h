@@ -1,0 +1,106 @@
+// Per-DEVICE health tracking for the sharded fleet (DESIGN.md §4j).
+//
+// The serve layer's circuit breaker is per HANDLE: it protects one matrix
+// whose solves keep failing. A dying device fails every handle placed on it,
+// and the fleet needs to stop routing there wholesale — that is this
+// tracker's job. It mirrors the breaker's semantics one level up:
+//
+//   kHealthy --(threshold consecutive failures, or a full window at
+//               >= rate failures)--> kQuarantined
+//   kQuarantined --(probe_cooldown deflections)--> kProbing (one submit is
+//               let through to the device)
+//   kProbing --(probe succeeds)--> kHealthy   (reinstatement)
+//           --(probe fails)-----> kQuarantined (fresh cooldown)
+//
+// Outcomes arrive through serve::ServiceOptions::outcome_listener, so the
+// tracker sees exactly the device-path signals the breaker sees (kDeadlock,
+// kDataLoss = failure; host-fallback serves excluded). All transitions are
+// driven by call counts, never wall clock — replayed traffic takes the
+// identical quarantine/probe/reinstate path, which bench_fleet_faults gates.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "support/status.h"
+
+namespace capellini::fleet {
+
+struct HealthOptions {
+  /// Consecutive device-path failures that quarantine a device. 0 disables
+  /// the consecutive mode.
+  int threshold = 0;
+  /// Sliding-window mode: quarantine when the last `window` outcomes are all
+  /// recorded and at least `rate` of them failed. 0 disables window mode.
+  /// Either mode's trip quarantines; both may be enabled.
+  int window = 0;
+  double rate = 0.5;
+  /// Deflected submits while quarantined before one probe is let through.
+  /// Counted in requests (deterministic for replays), like the breaker's
+  /// cooldown.
+  int probe_cooldown = 4;
+
+  bool enabled() const { return threshold > 0 || window > 0; }
+};
+
+enum class DeviceState { kHealthy, kQuarantined, kProbing };
+
+const char* DeviceStateName(DeviceState state);
+
+/// Aggregate lifecycle counters plus the per-device states — the fleet's
+/// degraded-mode dashboard (ShardedSolveService::health_snapshot).
+struct HealthSnapshot {
+  std::vector<DeviceState> states;
+  std::uint64_t quarantines = 0;      // kHealthy/kProbing -> kQuarantined
+  std::uint64_t reinstatements = 0;   // successful probes
+  std::uint64_t probes = 0;           // submits admitted as probes
+  std::uint64_t probe_failures = 0;   // probes that re-quarantined
+  std::uint64_t deflections = 0;      // submits turned away from the device
+  int quarantined_devices() const {
+    int n = 0;
+    for (const DeviceState s : states) {
+      if (s != DeviceState::kHealthy) ++n;
+    }
+    return n;
+  }
+};
+
+class DeviceHealthTracker {
+ public:
+  DeviceHealthTracker(int num_devices, HealthOptions options);
+
+  /// What a submit routed to `device` should do: run there (kAllow), run
+  /// there as the quarantine's half-open probe (kProbe), or be routed to a
+  /// survivor (kDeflect). Advances the cooldown counter on deflections, so
+  /// the decision sequence is a pure function of the call sequence.
+  enum class Admit { kAllow, kProbe, kDeflect };
+  Admit AdmitFor(int device);
+
+  /// One terminal device-path outcome on `device` (failure = kDeadlock or
+  /// kDataLoss, the breaker's failure set). Resolves an in-flight probe.
+  void Report(int device, bool failure);
+
+  DeviceState state(int device) const;
+  HealthSnapshot snapshot() const;
+  const HealthOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled(); }
+
+ private:
+  struct PerDevice {
+    DeviceState state = DeviceState::kHealthy;
+    int consecutive_failures = 0;
+    int quarantine_skips = 0;
+    /// Last `window` outcomes (true = failure), oldest first; window mode
+    /// only. Cleared on every state change — each quarantine needs fresh
+    /// evidence, like the breaker.
+    std::vector<bool> window;
+  };
+
+  HealthOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<PerDevice> devices_;
+  HealthSnapshot counters_;  // states field unused here; filled in snapshot()
+};
+
+}  // namespace capellini::fleet

@@ -7,7 +7,8 @@
 namespace capellini::fleet {
 
 ShardedSolveService::ShardedSolveService(const ShardOptions& options)
-    : options_(options) {
+    : options_(options),
+      health_(std::max(1, options.num_devices), options.health) {
   options_.num_devices = std::max(1, options_.num_devices);
   const int k = options_.num_devices;
   serve::RegistryOptions registry_options;
@@ -17,8 +18,18 @@ ShardedSolveService::ShardedSolveService(const ShardOptions& options)
   for (int d = 0; d < k; ++d) {
     registries_.push_back(
         std::make_unique<serve::MatrixRegistry>(registry_options));
+    serve::ServiceOptions service_options = options_.service;
+    if (options_.health.enabled()) {
+      // Feed the device's terminal device-path outcomes to the tracker —
+      // exactly the breaker's signal set (host-fallback serves excluded).
+      service_options.outcome_listener = [this, d](serve::MatrixHandle,
+                                                   StatusCode code) {
+        health_.Report(d, code == StatusCode::kDeadlock ||
+                              code == StatusCode::kDataLoss);
+      };
+    }
     services_.push_back(std::make_unique<serve::SolveService>(
-        registries_.back().get(), options_.service));
+        registries_.back().get(), service_options));
   }
   placed_.resize(static_cast<std::size_t>(k));
 }
@@ -43,11 +54,23 @@ Expected<ShardedHandle> ShardedSolveService::Register(
   // the same scores and pile onto one device. Reconciling first means the
   // score prices each device by what is RESIDENT there NOW (observed EWMA
   // corrections included), not by the sum of every hint ever placed.
+  // Quarantined devices are skipped — placing fresh matrices on a device
+  // that fails every solve only grows the failover map — unless nothing
+  // healthy remains (then all devices compete and the health tracker's
+  // probes decide recovery).
   int best = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    bool any_healthy = false;
+    for (int d = 0; d < options_.num_devices; ++d) {
+      if (health_.state(d) == DeviceState::kHealthy) {
+        any_healthy = true;
+        break;
+      }
+    }
     double best_score = std::numeric_limits<double>::infinity();
     for (int d = 0; d < options_.num_devices; ++d) {
+      if (any_healthy && health_.state(d) != DeviceState::kHealthy) continue;
       ReconcileLedgerLocked(d);
       double placed = 0.0;
       for (const auto& [handle, cost] : placed_[static_cast<std::size_t>(d)]) {
@@ -77,6 +100,70 @@ Expected<ShardedHandle> ShardedSolveService::Register(
   return ShardedHandle{best, *handle_or};
 }
 
+Expected<ShardedHandle> ShardedSolveService::FailoverTarget(
+    const ShardedHandle& handle) {
+  // Survivor: the lowest-indexed healthy device. Lowest-index (not
+  // least-loaded) keeps the choice a pure function of the health states, so
+  // replayed traffic fails over to the same place.
+  int survivor = -1;
+  for (int d = 0; d < options_.num_devices; ++d) {
+    if (d != handle.device && health_.state(d) == DeviceState::kHealthy) {
+      survivor = d;
+      break;
+    }
+  }
+  if (survivor < 0) {
+    return ResourceExhausted(
+        "every fleet device is quarantined; no failover target for device " +
+        std::to_string(handle.device));
+  }
+
+  const std::pair<int, serve::MatrixHandle> key{handle.device, handle.handle};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = failover_.find(key);
+    if (it != failover_.end() && it->second.device == survivor &&
+        registries_[static_cast<std::size_t>(survivor)]->Contains(
+            it->second.handle)) {
+      return it->second;
+    }
+  }
+
+  // First deflected submit for this handle (or the cached copy was evicted /
+  // the survivor changed): copy the matrix out of the quarantined device's
+  // registry — its HOST-side state is intact; only its device path is sick —
+  // and register on the survivor. The device-specific seams (fault injector,
+  // trace sink) do NOT follow the matrix: they model the OWNER device's
+  // hardware, and carrying them over would poison the survivor.
+  const serve::MatrixRegistry::EntryRef entry =
+      registries_[static_cast<std::size_t>(handle.device)]->TryPeek(
+          handle.handle);
+  if (entry == nullptr) {
+    return NotFound("sharded handle " + std::to_string(handle.handle) +
+                    " is gone from quarantined device " +
+                    std::to_string(handle.device));
+  }
+  SolverOptions survivor_options = entry->solver.options();
+  survivor_options.kernel_options.fault_injector = nullptr;
+  survivor_options.kernel_options.trace_sink = nullptr;
+  auto registered = registries_[static_cast<std::size_t>(survivor)]->Register(
+      entry->solver.matrix(), entry->name + "@failover",
+      std::move(survivor_options));
+  if (!registered.ok()) return registered.status();
+
+  const ShardedHandle target{survivor, *registered};
+  const serve::MatrixRegistry::EntryRef placed_entry =
+      registries_[static_cast<std::size_t>(survivor)]->TryPeek(*registered);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failover_registrations_;
+  failover_[key] = target;
+  if (placed_entry != nullptr) {
+    placed_[static_cast<std::size_t>(survivor)][*registered] =
+        placed_entry->cost.EstimateMs();
+  }
+  return target;
+}
+
 Expected<std::future<serve::ServeResult>> ShardedSolveService::Submit(
     const ShardedHandle& handle, std::vector<Val> b,
     serve::RequestOptions options) {
@@ -85,6 +172,25 @@ Expected<std::future<serve::ServeResult>> ShardedSolveService::Submit(
                            std::to_string(handle.device) + " of a " +
                            std::to_string(options_.num_devices) +
                            "-device fleet");
+  }
+  if (health_.enabled()) {
+    switch (health_.AdmitFor(handle.device)) {
+      case DeviceHealthTracker::Admit::kAllow:
+      case DeviceHealthTracker::Admit::kProbe:
+        // Probes run the normal path on the owner; the outcome listener
+        // resolves the probe (reinstate or re-quarantine).
+        break;
+      case DeviceHealthTracker::Admit::kDeflect: {
+        auto target = FailoverTarget(handle);
+        if (!target.ok()) return target.status();
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++failover_submits_;
+        }
+        return services_[static_cast<std::size_t>(target->device)]->Submit(
+            target->handle, std::move(b), options);
+      }
+    }
   }
   return services_[static_cast<std::size_t>(handle.device)]->Submit(
       handle.handle, std::move(b), options);
@@ -112,6 +218,10 @@ Expected<serve::UpdateReport> ShardedSolveService::ApplyDelta(
   } else {
     ledger[handle.handle] = entry->cost.EstimateMs();
   }
+  // A failover copy on a survivor is now one epoch stale — drop it so the
+  // next deflected submit re-registers the updated factor. (The survivor's
+  // registry entry itself is left to LRU: in-flight solves pin it.)
+  failover_.erase({handle.device, handle.handle});
   return report;
 }
 
@@ -134,6 +244,15 @@ double ShardedSolveService::PlacedCostMs(int device) const {
     placed += cost;
   }
   return placed;
+}
+
+ShardHealthStats ShardedSolveService::health_stats() const {
+  ShardHealthStats stats;
+  stats.health = health_.snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.failover_submits = failover_submits_;
+  stats.failover_registrations = failover_registrations_;
+  return stats;
 }
 
 }  // namespace capellini::fleet

@@ -403,7 +403,12 @@ void SolveService::FinishRequest(Request& request,
        .solve_ms = result.solve.solve_ms,
        .deadline_budget_ms = request.deadline_budget_ms,
        .est_cost_ms = request.est_cost_ms});
-  if (report_breaker) BreakerReport(request.handle, code);
+  if (report_breaker) {
+    BreakerReport(request.handle, code);
+    // Same gating as the breaker: host-fallback serves say nothing about the
+    // device path, so external health observers never see them either.
+    if (options_.outcome_listener) options_.outcome_listener(request.handle, code);
+  }
   request.promise.set_value(std::move(result));
 }
 
@@ -483,6 +488,7 @@ void SolveService::BreakerReport(MatrixHandle handle, StatusCode code) {
       if (failure) {
         breaker.state = Breaker::State::kOpen;
         breaker.open_skips = 0;
+        stats_.RecordBreakerProbeFailure();
         stats_.RecordBreakerOpen();  // re-opened by a failed probe
       } else {
         breaker.state = Breaker::State::kClosed;

@@ -44,6 +44,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -144,6 +145,14 @@ struct ServiceOptions {
   int breaker_window = 0;
   /// Failure fraction that opens a full window. Clamped to (0, 1].
   double breaker_rate = 0.5;
+  /// Observer for terminal DEVICE-PATH outcomes, called once per served
+  /// request with (handle, terminal status code) — exactly the signals the
+  /// breaker sees: breaker-deflected and host-fallback serves are excluded,
+  /// since a host solve says nothing about the device. The fleet's sharded
+  /// facade feeds each device's per-device health tracker through this.
+  /// Called from worker threads; must be thread-safe and must not call back
+  /// into the service.
+  std::function<void(MatrixHandle, StatusCode)> outcome_listener;
 };
 
 struct RequestOptions {

@@ -134,6 +134,11 @@ void ServiceStats::RecordBreakerProbe() {
   ++totals_.breaker_probes;
 }
 
+void ServiceStats::RecordBreakerProbeFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.breaker_probe_failures;
+}
+
 void ServiceStats::RecordBreakerShortCircuit() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++totals_.breaker_short_circuits;
@@ -227,12 +232,14 @@ std::string ServiceStats::ToTable(const RegistrySnapshot* registry) const {
   if (totals_.breaker_opens + totals_.breaker_probes +
           totals_.breaker_short_circuits >
       0) {
-    char line[112];
+    char line[144];
     std::snprintf(
         line, sizeof line,
-        "circuit breaker: opens=%llu probes=%llu short_circuits=%llu\n",
+        "circuit breaker: opens=%llu probes=%llu probe_failures=%llu "
+        "short_circuits=%llu\n",
         static_cast<unsigned long long>(totals_.breaker_opens),
         static_cast<unsigned long long>(totals_.breaker_probes),
+        static_cast<unsigned long long>(totals_.breaker_probe_failures),
         static_cast<unsigned long long>(totals_.breaker_short_circuits));
     out << line;
   }
@@ -362,6 +369,8 @@ std::string ServiceStats::ToJson(const RegistrySnapshot* registry) const {
   out << "  \"failures_other\": " << totals_.failures_other << ",\n";
   out << "  \"breaker_opens\": " << totals_.breaker_opens << ",\n";
   out << "  \"breaker_probes\": " << totals_.breaker_probes << ",\n";
+  out << "  \"breaker_probe_failures\": " << totals_.breaker_probe_failures
+      << ",\n";
   out << "  \"breaker_short_circuits\": " << totals_.breaker_short_circuits
       << ",\n";
   out << "  \"updates_value\": " << totals_.updates_value << ",\n";

@@ -80,6 +80,10 @@ class ServiceStats {
   /// host-served, per BreakerMode).
   void RecordBreakerOpen();
   void RecordBreakerProbe();
+  /// A half-open probe came back with a device failure (the breaker
+  /// re-opened). breaker_probes - breaker_probe_failures = successful
+  /// re-admissions — the number the fleet's degraded-mode view wants.
+  void RecordBreakerProbeFailure();
   void RecordBreakerShortCircuit();
 
   /// One streaming update (ApplyDelta) outcome. Same exactly-once contract
@@ -112,6 +116,7 @@ class ServiceStats {
     // Circuit-breaker lifecycle.
     std::uint64_t breaker_opens = 0;
     std::uint64_t breaker_probes = 0;
+    std::uint64_t breaker_probe_failures = 0;
     std::uint64_t breaker_short_circuits = 0;
     // Streaming updates (ApplyDelta), split by invalidation cause:
     // value-only updates reseed the EWMA cost state, structural updates

@@ -171,6 +171,30 @@ class FaultInjector {
   std::atomic<std::uint64_t> total_injected_{0};
 };
 
+/// RAII guard for FaultInjector::set_tid_offset: installs `offset` for the
+/// guarded scope and restores the previous offset on exit — the same
+/// discipline Machine::Launch applies to its external-store list. The fleet
+/// wraps every per-device (and every recovery re-execution) launch in one of
+/// these, so a later single-device run on the same injector never inherits a
+/// stale global-row offset.
+class ScopedTidOffset {
+ public:
+  ScopedTidOffset(FaultInjector* injector, std::int64_t offset)
+      : injector_(injector),
+        saved_(injector != nullptr ? injector->tid_offset() : 0) {
+    if (injector_ != nullptr) injector_->set_tid_offset(offset);
+  }
+  ~ScopedTidOffset() {
+    if (injector_ != nullptr) injector_->set_tid_offset(saved_);
+  }
+  ScopedTidOffset(const ScopedTidOffset&) = delete;
+  ScopedTidOffset& operator=(const ScopedTidOffset&) = delete;
+
+ private:
+  FaultInjector* injector_;
+  std::int64_t saved_;
+};
+
 /// {"seed": 7, "drop_publish_rate": 0.001, ...} — the sptrsv_tool
 /// --faults=<plan.json> format. Writes every field; the reader accepts any
 /// subset and keeps defaults for the rest (same hand-rolled scanner idiom as

@@ -388,6 +388,345 @@ TEST(ShardTest, ApplyDeltaRoutesToOwnerAndRefreshesLedger) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- Fleet self-healing (PR 10, DESIGN.md §4j) ------------------------------
+
+TEST(FaultTest, ScopedTidOffsetRestoresOnExit) {
+  sim::FaultInjector injector;
+  injector.set_tid_offset(5);
+  {
+    sim::ScopedTidOffset guard(&injector, 42);
+    EXPECT_EQ(injector.tid_offset(), 42);
+  }
+  EXPECT_EQ(injector.tid_offset(), 5);
+  // Null injector: the guard must be a no-op, not a crash.
+  sim::ScopedTidOffset null_guard(nullptr, 7);
+}
+
+FleetConfig RecoveryFleetConfig(int devices) {
+  FleetConfig config;
+  config.num_devices = devices;
+  config.device = sim::TinyTestDevice();
+  config.device.no_progress_cycles = 30'000;  // fast watchdog
+  config.strategy = PartitionStrategy::kContiguousNnz;
+  config.host_threads = 1;
+  config.recovery.enabled = true;
+  return config;
+}
+
+/// Kill-one-device scenario: a banded chain (every partition depends on its
+/// predecessor) with a drop-every-publish injector on `victim` only.
+struct KillScenario {
+  Csr lower = MakeBanded({.rows = 256, .bandwidth = 4, .fill = 0.8});
+  ReferenceProblem problem = MakeReferenceProblem(lower, 13);
+  Solver solver{lower, SolverOptions{.device = sim::TinyTestDevice()}};
+
+  Expected<FleetResult> Run(int devices, int victim, std::uint64_t seed = 77,
+                            bool recovery = true) {
+    FleetConfig config = RecoveryFleetConfig(devices);
+    config.recovery.enabled = recovery;
+    DeviceFleet fleet(config);
+    sim::FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_publish_rate = 1.0;
+    injector.Reseed(plan);
+    if (victim >= 0) fleet.set_fault_injector(victim, &injector);
+    return FleetSolver(&fleet).Solve(solver, problem.b);
+  }
+
+  std::vector<Val> CleanX(int devices) {
+    auto clean = Run(devices, /*victim=*/-1, 0, /*recovery=*/false);
+    EXPECT_TRUE(clean.ok() && clean->status.ok());
+    return clean->x;
+  }
+
+  sim::FaultInjector injector;
+};
+
+TEST(FleetRecoveryTest, SurvivorRungRecoversKilledMiddleDevice) {
+  KillScenario scenario;
+  const std::vector<Val> clean = scenario.CleanX(4);
+  auto result = scenario.Run(4, /*victim=*/1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_TRUE(result->verification.passed);
+  EXPECT_TRUE(BytesEqual(result->x, clean));
+
+  // The victim deadlocked on-device and re-executed on the designated
+  // survivor: device 0, the lowest-indexed clean first pass.
+  const FleetStats& stats = result->stats;
+  ASSERT_GE(stats.failovers.size(), 1u);
+  const FailoverRecord& victim = stats.failovers.front();
+  EXPECT_EQ(victim.device, 1);
+  EXPECT_FALSE(victim.upstream_induced);
+  EXPECT_EQ(victim.recovered_on, 0);
+  EXPECT_TRUE(victim.verified);
+  // Downstream partitions never launched (fail-fast on the upstream loss)
+  // and recovered on their own, presumed-healthy devices.
+  for (std::size_t i = 1; i < stats.failovers.size(); ++i) {
+    const FailoverRecord& record = stats.failovers[i];
+    EXPECT_TRUE(record.upstream_induced);
+    EXPECT_EQ(record.recovered_on, record.device);
+  }
+  // First-pass outcomes stay visible next to the recovery markers.
+  EXPECT_EQ(stats.devices[1].status.code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(stats.devices[1].failed_over);
+  EXPECT_EQ(stats.devices[1].recovered_on, 0);
+  EXPECT_GT(stats.rows_reexecuted, 0u);
+  EXPECT_GE(stats.device_rung_recoveries, stats.failovers.size());
+}
+
+TEST(FleetRecoveryTest, HostRungRecoversWhenNoSurvivorExists) {
+  // Killing device 0 of 2 drags device 1 down too (the chain), so no device
+  // rung is available for the victim: the host serial rung must heal it,
+  // bit-for-bit, and device 1 then recovers on itself.
+  KillScenario scenario;
+  const std::vector<Val> clean = scenario.CleanX(2);
+  auto result = scenario.Run(2, /*victim=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_TRUE(result->verification.passed);
+  EXPECT_TRUE(BytesEqual(result->x, clean));
+
+  ASSERT_EQ(result->stats.failovers.size(), 2u);
+  EXPECT_EQ(result->stats.failovers[0].device, 0);
+  EXPECT_EQ(result->stats.failovers[0].recovered_on, kHostExecutor);
+  EXPECT_EQ(result->stats.failovers[1].device, 1);
+  EXPECT_EQ(result->stats.failovers[1].recovered_on, 1);
+  EXPECT_EQ(result->stats.host_rung_recoveries, 1u);
+  EXPECT_EQ(result->stats.device_rung_recoveries, 1u);
+}
+
+TEST(FleetRecoveryTest, SameSeedReplaysIdenticalFailoverPath) {
+  KillScenario scenario;
+  auto first = scenario.Run(4, /*victim=*/2, /*seed=*/123);
+  auto replay = scenario.Run(4, /*victim=*/2, /*seed=*/123);
+  ASSERT_TRUE(first.ok() && replay.ok());
+  ASSERT_TRUE(first->status.ok() && replay->status.ok());
+  EXPECT_TRUE(BytesEqual(first->x, replay->x));
+  ASSERT_EQ(first->stats.failovers.size(), replay->stats.failovers.size());
+  for (std::size_t i = 0; i < first->stats.failovers.size(); ++i) {
+    const FailoverRecord& a = first->stats.failovers[i];
+    const FailoverRecord& b = replay->stats.failovers[i];
+    EXPECT_EQ(a.device, b.device);
+    EXPECT_EQ(a.upstream_induced, b.upstream_induced);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.recovered_on, b.recovered_on);
+    EXPECT_EQ(a.verified, b.verified);
+  }
+}
+
+TEST(FleetRecoveryTest, ZeroFaultRunIsByteIdenticalWithRecoveryEnabled) {
+  KillScenario scenario;
+  const std::vector<Val> plain = scenario.CleanX(4);
+  auto armed = scenario.Run(4, /*victim=*/-1, 0, /*recovery=*/true);
+  ASSERT_TRUE(armed.ok());
+  EXPECT_TRUE(armed->status.ok());
+  EXPECT_TRUE(BytesEqual(armed->x, plain));
+  EXPECT_TRUE(armed->stats.failovers.empty());
+  EXPECT_EQ(armed->stats.rows_reexecuted, 0u);
+}
+
+TEST(FleetStatsTest, MakespanExcludesFailedDevices) {
+  // Recovery off, last device killed: the makespan/critical-device argmax
+  // must come from the completed launches only (a failed launch has no cycle
+  // count — the watchdog returns an error instead of stats).
+  KillScenario scenario;
+  auto result = scenario.Run(2, /*victim=*/1, 77, /*recovery=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_TRUE(result->stats.devices[0].status.ok());
+  EXPECT_EQ(result->stats.critical_device, 0);
+  EXPECT_EQ(result->stats.makespan_cycles, result->stats.devices[0].cycles);
+  EXPECT_GT(result->stats.makespan_cycles, 0u);
+
+  // Every launch failed: no device can be critical.
+  auto all_dead = scenario.Run(2, /*victim=*/0, 77, /*recovery=*/false);
+  ASSERT_TRUE(all_dead.ok());
+  EXPECT_FALSE(all_dead->status.ok());
+  EXPECT_EQ(all_dead->stats.critical_device, -1);
+  EXPECT_EQ(all_dead->stats.makespan_cycles, 0u);
+}
+
+// --- Degraded-mode sharded serving (DeviceHealthTracker) --------------------
+
+TEST(HealthTrackerTest, WindowModeTripsOnFailureRate) {
+  DeviceHealthTracker tracker(1, {.threshold = 0, .window = 4, .rate = 0.5});
+  // Alternating outcomes never reach 2 consecutive failures, but once the
+  // window is full at a 50% failure rate the device must quarantine.
+  tracker.Report(0, true);
+  tracker.Report(0, false);
+  tracker.Report(0, true);
+  EXPECT_EQ(tracker.state(0), DeviceState::kHealthy);
+  tracker.Report(0, false);  // window full: {F, ok, F, ok} -> 2/4 >= 0.5
+  EXPECT_EQ(tracker.state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(tracker.snapshot().quarantines, 1u);
+}
+
+/// A 2-device shard with matrix "sick" poisoned on device 0: its solver
+/// carries a drop-every-publish injector, so every device-path solve of it
+/// deadlocks until the injector is healed.
+struct DegradedShard {
+  explicit DegradedShard(HealthOptions health) {
+    sim::FaultPlan poison;
+    poison.seed = 99;
+    poison.drop_publish_rate = 1.0;
+    injector.Reseed(poison);
+
+    ShardOptions options;
+    options.num_devices = 2;
+    options.service = serve::SolveService::DeterministicOptions();
+    options.health = health;
+    shard = std::make_unique<ShardedSolveService>(options);
+
+    SolverOptions poisoned = FastWatchdogOptions();
+    poisoned.kernel_options.fault_injector = &injector;
+    auto registered = shard->Register(matrix, "sick", poisoned);
+    EXPECT_TRUE(registered.ok());
+    handle = *registered;
+    EXPECT_EQ(handle.device, 0);
+  }
+
+  static SolverOptions FastWatchdogOptions() {
+    SolverOptions options = TinySolverOptions();
+    options.device.no_progress_cycles = 30'000;
+    return options;
+  }
+
+  void Heal() { injector.Reseed(sim::FaultPlan{}); }  // disabled plan
+
+  serve::ServeResult Solve(std::uint64_t seed) {
+    const ReferenceProblem problem = MakeReferenceProblem(matrix, seed);
+    serve::RequestOptions request;
+    request.algorithm = Algorithm::kCapellini;  // device path
+    auto submitted = shard->Submit(handle, problem.b, request);
+    EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+    return submitted->get();
+  }
+
+  Csr matrix = MakeBanded({.rows = 160, .bandwidth = 3, .fill = 0.8});
+  sim::FaultInjector injector;
+  std::unique_ptr<ShardedSolveService> shard;
+  ShardedHandle handle;
+};
+
+TEST(ShardHealthTest, QuarantineFailsOverToSurvivorAndProbesReQuarantine) {
+  DegradedShard fixture({.threshold = 2, .probe_cooldown = 2});
+  const Solver clean(fixture.matrix, DegradedShard::FastWatchdogOptions());
+
+  // Two consecutive deadlocks quarantine device 0.
+  EXPECT_EQ(fixture.Solve(0).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.Solve(1).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kQuarantined);
+
+  // Deflected submits serve on the survivor (device 1) with the owner's
+  // matrix re-registered MINUS the fault seam — the clean bytes, exactly.
+  for (std::uint64_t seed = 2; seed < 4; ++seed) {
+    const serve::ServeResult result = fixture.Solve(seed);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    const ReferenceProblem problem =
+        MakeReferenceProblem(fixture.matrix, seed);
+    auto expect = clean.Solve(Algorithm::kCapellini, problem.b);
+    ASSERT_TRUE(expect.ok());
+    EXPECT_TRUE(BytesEqual(result.solve.x, expect->x));
+  }
+
+  // Cooldown elapsed: the next submit is the half-open probe. It runs on the
+  // still-poisoned owner, fails, and re-quarantines.
+  EXPECT_EQ(fixture.Solve(4).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kQuarantined);
+
+  const ShardHealthStats stats = fixture.shard->health_stats();
+  EXPECT_EQ(stats.health.quarantines, 2u);  // initial trip + failed probe
+  EXPECT_EQ(stats.health.probes, 1u);
+  EXPECT_EQ(stats.health.probe_failures, 1u);
+  EXPECT_EQ(stats.health.reinstatements, 0u);
+  EXPECT_EQ(stats.failover_submits, 2u);
+  EXPECT_EQ(stats.failover_registrations, 1u);  // cached after the first
+  // The poisoned device completed zero OK requests; the survivor took them.
+  EXPECT_EQ(fixture.shard->stats(0).totals().requests, 0u);
+  EXPECT_EQ(fixture.shard->stats(1).totals().requests, 2u);
+}
+
+TEST(ShardHealthTest, SuccessfulProbeReinstatesDevice) {
+  DegradedShard fixture({.threshold = 2, .probe_cooldown = 1});
+  EXPECT_EQ(fixture.Solve(0).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.Solve(1).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kQuarantined);
+
+  fixture.Heal();  // the device "comes back": faults stop firing
+  EXPECT_TRUE(fixture.Solve(2).status.ok());  // deflected to the survivor
+  // Cooldown of 1 elapsed: this submit probes the healed owner and succeeds.
+  EXPECT_TRUE(fixture.Solve(3).status.ok());
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kHealthy);
+  // Traffic routes home again.
+  EXPECT_TRUE(fixture.Solve(4).status.ok());
+
+  const ShardHealthStats stats = fixture.shard->health_stats();
+  EXPECT_EQ(stats.health.reinstatements, 1u);
+  EXPECT_EQ(stats.health.probe_failures, 0u);
+  EXPECT_EQ(fixture.shard->stats(0).totals().requests, 2u);  // probe + home
+}
+
+TEST(ShardHealthTest, ExactlyOnceAccountingUnderQuarantine) {
+  DegradedShard fixture({.threshold = 2, .probe_cooldown = 3});
+  const int submits = 12;
+  for (int i = 0; i < submits; ++i) {
+    fixture.Solve(static_cast<std::uint64_t>(i));
+  }
+  // PR-4 invariant, fleet-wide: every submit lands in exactly one terminal
+  // bucket on exactly one device; failover routing must not double-count.
+  std::uint64_t ok = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t misses = 0;
+  for (int d = 0; d < 2; ++d) {
+    const serve::ServiceStats::Totals totals =
+        fixture.shard->stats(d).totals();
+    ok += totals.requests;
+    failures += totals.failures;
+    rejections += totals.rejections;
+    misses += totals.deadline_misses;
+  }
+  EXPECT_EQ(ok + failures + rejections + misses,
+            static_cast<std::uint64_t>(submits));
+  EXPECT_EQ(rejections, 0u);
+  EXPECT_EQ(misses, 0u);
+  const ShardHealthStats stats = fixture.shard->health_stats();
+  EXPECT_EQ(stats.failover_submits, stats.health.deflections);
+  EXPECT_EQ(ok, static_cast<std::uint64_t>(submits) - failures);
+}
+
+TEST(ShardHealthTest, AllDevicesQuarantinedRejectsSubmit) {
+  sim::FaultPlan poison;
+  poison.seed = 7;
+  poison.drop_publish_rate = 1.0;
+  sim::FaultInjector injector;
+  injector.Reseed(poison);
+
+  ShardOptions options;
+  options.num_devices = 1;
+  options.service = serve::SolveService::DeterministicOptions();
+  options.health = {.threshold = 1, .probe_cooldown = 100};
+  ShardedSolveService shard(options);
+  SolverOptions poisoned = DegradedShard::FastWatchdogOptions();
+  poisoned.kernel_options.fault_injector = &injector;
+  const Csr matrix = MakeBanded({.rows = 160, .bandwidth = 3, .fill = 0.8});
+  auto handle = shard.Register(matrix, "sick", poisoned);
+  ASSERT_TRUE(handle.ok());
+
+  serve::RequestOptions request;
+  request.algorithm = Algorithm::kCapellini;
+  auto first =
+      shard.Submit(*handle, MakeReferenceProblem(matrix, 0).b, request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->get().status.code(), StatusCode::kDeadlock);
+  // One failure quarantined the only device: nowhere to fail over to.
+  auto deflected =
+      shard.Submit(*handle, MakeReferenceProblem(matrix, 1).b, request);
+  EXPECT_FALSE(deflected.ok());
+  EXPECT_EQ(deflected.status().code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace fleet
 }  // namespace capellini
