@@ -305,6 +305,7 @@ bool SameJournal(const DegradedRun& a, const DegradedRun& b) {
   return a.health.health.quarantines == b.health.health.quarantines &&
          a.health.health.probes == b.health.health.probes &&
          a.health.health.probe_failures == b.health.health.probe_failures &&
+         a.health.health.probe_aborts == b.health.health.probe_aborts &&
          a.health.health.reinstatements == b.health.health.reinstatements &&
          a.health.health.deflections == b.health.health.deflections &&
          a.health.failover_submits == b.health.failover_submits &&
@@ -486,7 +487,7 @@ int main(int argc, char** argv) {
                    "\"failures\": %llu, \"failover_submits\": %llu, "
                    "\"failover_registrations\": %llu, \"quarantines\": %llu, "
                    "\"probes\": %llu, \"probe_failures\": %llu, "
-                   "\"deterministic\": %s}%s\n",
+                   "\"probe_aborts\": %llu, \"deterministic\": %s}%s\n",
                    point.devices,
                    static_cast<unsigned long long>(point.run.submitted),
                    static_cast<unsigned long long>(point.run.ok),
@@ -498,6 +499,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(health.quarantines),
                    static_cast<unsigned long long>(health.probes),
                    static_cast<unsigned long long>(health.probe_failures),
+                   static_cast<unsigned long long>(health.probe_aborts),
                    point.deterministic ? "true" : "false",
                    i + 1 < degraded.size() ? "," : "");
     }

@@ -239,9 +239,10 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
   }
 
   // First-pass launch outcomes, frozen before recovery mutates anything:
-  // makespan attribution and survivor designation both key off these. A
-  // failed launch has no cycle count (the watchdog returns an error instead
-  // of stats), so it must not participate in the makespan argmax.
+  // makespan attribution keys off these, and survivor designation refines
+  // them with per-range verify outcomes (survivor_ok below). A failed launch
+  // has no cycle count (the watchdog returns an error instead of stats), so
+  // it must not participate in the makespan argmax.
   std::vector<bool> launch_ok(static_cast<std::size_t>(k));
   for (int d = 0; d < k; ++d) {
     launch_ok[static_cast<std::size_t>(d)] =
@@ -262,25 +263,73 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
     // first-pass per-link serialization state or the fleet traffic totals.
     CommModel recovery_comm(config.comm, k);
 
-    // Arrivals for a re-execution of partition d, from the recovered
-    // outcomes. False when an upstream publish hole survives (an OK upstream
-    // launch whose flag store was dropped): device rungs are impossible then,
-    // but the host rung needs no arrivals.
-    auto build_arrivals =
-        [&](int d, std::vector<kernels::RangeArrival>& arrivals) -> bool {
-      arrivals.clear();
+    // Survivor eligibility: a completed launch whose OWN range fails
+    // verification is demonstrably corrupting hardware — designating it to
+    // re-execute someone else's rows would just burn a ladder rung. Checked
+    // up front against the first-pass image (every launch_ok partition's own
+    // x): a launch_ok device's remote reads all come from launch_ok
+    // producers (an upstream failure fails the consumer before launch), so
+    // the image is complete wherever this residual looks. A device whose
+    // values are wrong only because a corrupt UPSTREAM poisoned its inputs
+    // passes this check — its hardware is fine and it stays eligible, even
+    // though the sequential scan below will still recover its range against
+    // the repaired image.
+    std::vector<bool> survivor_ok = launch_ok;
+    if (config.recovery.verify_partitions) {
+      std::vector<Val> first_pass(static_cast<std::size_t>(m), 0.0);
+      for (int d = 0; d < k; ++d) {
+        if (!launch_ok[static_cast<std::size_t>(d)]) continue;
+        const Idx begin = part.RowBegin(d);
+        const Idx end = part.RowEnd(d);
+        std::copy(outcomes[static_cast<std::size_t>(d)].x.begin() + begin,
+                  outcomes[static_cast<std::size_t>(d)].x.begin() + end,
+                  first_pass.begin() + begin);
+      }
+      for (int d = 0; d < k; ++d) {
+        if (!launch_ok[static_cast<std::size_t>(d)]) continue;
+        const Idx begin = part.RowBegin(d);
+        const Idx end = part.RowEnd(d);
+        if (begin == end) continue;
+        const Verification check = VerifyRange(lower, b, first_pass, begin,
+                                               end, config.recovery.verify);
+        if (!check.passed) survivor_ok[static_cast<std::size_t>(d)] = false;
+      }
+    }
+
+    // Can partition d's device rungs get arrivals at all? False when an
+    // upstream publish hole survives (an OK upstream launch whose flag store
+    // was dropped): device rungs are impossible then, but the host rung
+    // needs no arrivals. Pure check — no comm state is touched, so the
+    // per-attempt pricing below starts from a clean ledger.
+    auto arrivals_available = [&](int d) -> bool {
       for (const Need& need : needs[static_cast<std::size_t>(d)]) {
         const Outcome& src = outcomes[static_cast<std::size_t>(need.src)];
         if (!src.status.ok()) return false;
+        if (src.publish_cycles[static_cast<std::size_t>(
+                need.row - part.RowBegin(need.src))] == UINT64_MAX) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // Arrivals for a re-execution of partition d ON `executor`, from the
+    // recovered outcomes. Priced on the src -> executor link — the device
+    // that actually spins on the flags — not the failed owner's, so a
+    // survivor re-execution charges the survivor's ingress. Built per
+    // attempt: each rung's executor pays its own delivery.
+    auto build_arrivals = [&](int d, int executor,
+                              std::vector<kernels::RangeArrival>& arrivals) {
+      arrivals.clear();
+      for (const Need& need : needs[static_cast<std::size_t>(d)]) {
+        const Outcome& src = outcomes[static_cast<std::size_t>(need.src)];
         const std::uint64_t published =
             src.publish_cycles[static_cast<std::size_t>(
                 need.row - part.RowBegin(need.src))];
-        if (published == UINT64_MAX) return false;
         arrivals.push_back(kernels::RangeArrival{
             need.row, current[static_cast<std::size_t>(need.row)],
-            recovery_comm.Deliver(need.src, d, published)});
+            recovery_comm.Deliver(need.src, executor, published)});
       }
-      return true;
     };
 
     // One ladder rung on `executor`'s machine. The executor's own injector
@@ -345,18 +394,17 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
       record.residual = std::numeric_limits<double>::infinity();
       ds.failed_over = true;
 
-      std::vector<kernels::RangeArrival> arrivals;
-      const bool have_arrivals = build_arrivals(d, arrivals);
+      const bool have_arrivals = arrivals_available(d);
 
       // Device rungs: the owner first when it never got to launch (its
       // machine is presumed healthy — the failure came from upstream), then
       // the designated survivor: the lowest-indexed OTHER device whose own
-      // first-pass launch succeeded.
+      // first-pass launch succeeded AND verified (survivor_ok).
       std::vector<int> executors;
       if (have_arrivals) {
         if (record.upstream_induced) executors.push_back(d);
         for (int s = 0; s < k; ++s) {
-          if (s != d && launch_ok[static_cast<std::size_t>(s)]) {
+          if (s != d && survivor_ok[static_cast<std::size_t>(s)]) {
             executors.push_back(s);
             break;
           }
@@ -364,10 +412,12 @@ Expected<FleetResult> FleetSolver::Solve(const Solver& solver,
       }
 
       bool accepted = false;
+      std::vector<kernels::RangeArrival> arrivals;
       for (const int executor : executors) {
         record.attempts.push_back(executor);
         ++ds.recovery_attempts;
         result.stats.rows_reexecuted += static_cast<std::uint64_t>(record.rows);
+        build_arrivals(d, executor, arrivals);
         const Status attempt =
             attempt_on_device(executor, begin, end, arrivals, out);
         if (!attempt.ok()) continue;

@@ -29,13 +29,24 @@ DeviceHealthTracker::Admit DeviceHealthTracker::AdmitFor(int device) {
     case DeviceState::kQuarantined:
       if (dev.quarantine_skips >= options_.probe_cooldown) {
         dev.state = DeviceState::kProbing;
+        dev.probe_deflections = 0;
         ++counters_.probes;
         return Admit::kProbe;
       }
       ++dev.quarantine_skips;
       break;
     case DeviceState::kProbing:
-      // One probe in flight; keep deflecting until it reports.
+      // One probe in flight; keep deflecting until it reports. Some serve
+      // paths terminate a request without an outcome report (expired
+      // deadline, per-handle breaker deflection), so a probe can be lost —
+      // after probe_timeout deflections declare it dead and fall back to
+      // quarantine so a fresh probe can be issued after the cooldown.
+      if (options_.probe_timeout > 0 &&
+          ++dev.probe_deflections >= options_.probe_timeout) {
+        dev.state = DeviceState::kQuarantined;
+        dev.quarantine_skips = 0;
+        ++counters_.probe_aborts;
+      }
       break;
   }
   ++counters_.deflections;
@@ -95,6 +106,16 @@ void DeviceHealthTracker::Report(int device, bool failure) {
     case DeviceState::kQuarantined:
       break;  // stale report from a solve admitted before the quarantine
   }
+}
+
+void DeviceHealthTracker::AbortProbe(int device) {
+  if (!options_.enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerDevice& dev = devices_[static_cast<std::size_t>(device)];
+  if (dev.state != DeviceState::kProbing) return;
+  dev.state = DeviceState::kQuarantined;
+  dev.quarantine_skips = 0;
+  ++counters_.probe_aborts;
 }
 
 DeviceState DeviceHealthTracker::state(int device) const {

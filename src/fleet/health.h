@@ -40,6 +40,15 @@ struct HealthOptions {
   /// Counted in requests (deterministic for replays), like the breaker's
   /// cooldown.
   int probe_cooldown = 4;
+  /// Deflections observed while a probe is in flight before the probe is
+  /// declared lost and the device falls back to kQuarantined (fresh
+  /// cooldown). A probe's outcome normally arrives through the outcome
+  /// listener, but some serve paths terminate a request without one (expired
+  /// deadline, per-handle breaker short-circuit/fallback) — without a
+  /// timeout the device would stick in kProbing forever, deflecting
+  /// everything and never probing again. Counted in requests, never wall
+  /// clock (deterministic for replays). 0 disables the timeout.
+  int probe_timeout = 16;
 
   bool enabled() const { return threshold > 0 || window > 0; }
 };
@@ -56,6 +65,10 @@ struct HealthSnapshot {
   std::uint64_t reinstatements = 0;   // successful probes
   std::uint64_t probes = 0;           // submits admitted as probes
   std::uint64_t probe_failures = 0;   // probes that re-quarantined
+  /// Probes whose outcome never arrived: aborted synchronously (the probe
+  /// submit failed admission) or timed out after probe_timeout deflections.
+  /// The device returns to kQuarantined with a fresh cooldown.
+  std::uint64_t probe_aborts = 0;
   std::uint64_t deflections = 0;      // submits turned away from the device
   int quarantined_devices() const {
     int n = 0;
@@ -81,6 +94,12 @@ class DeviceHealthTracker {
   /// kDataLoss, the breaker's failure set). Resolves an in-flight probe.
   void Report(int device, bool failure);
 
+  /// Abandons an in-flight probe whose outcome can never arrive (the probe's
+  /// submit failed admission before anything was enqueued): kProbing ->
+  /// kQuarantined with a fresh cooldown, counted in probe_aborts. No-op in
+  /// any other state.
+  void AbortProbe(int device);
+
   DeviceState state(int device) const;
   HealthSnapshot snapshot() const;
   const HealthOptions& options() const { return options_; }
@@ -91,6 +110,9 @@ class DeviceHealthTracker {
     DeviceState state = DeviceState::kHealthy;
     int consecutive_failures = 0;
     int quarantine_skips = 0;
+    /// Deflections observed since the in-flight probe was admitted; at
+    /// options_.probe_timeout the probe is declared lost (kProbing only).
+    int probe_deflections = 0;
     /// Last `window` outcomes (true = failure), oldest first; window mode
     /// only. Cleared on every state change — each quarantine needs fresh
     /// evidence, like the breaker.

@@ -119,22 +119,37 @@ Expected<ShardedHandle> ShardedSolveService::FailoverTarget(
   }
 
   const std::pair<int, serve::MatrixHandle> key{handle.device, handle.handle};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = failover_.find(key);
-    if (it != failover_.end() && it->second.device == survivor &&
+  // mutex_ is held across the whole check-register-insert sequence: two
+  // concurrent deflected submits for the same key must not both miss the
+  // cache and double-register the matrix on the survivor (duplicate budget
+  // charge, double-counted failover_registrations_). Lock ordering stays
+  // ledger -> registry, the documented direction.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = failover_.find(key);
+  if (it != failover_.end()) {
+    if (it->second.device == survivor &&
         registries_[static_cast<std::size_t>(survivor)]->Contains(
             it->second.handle)) {
       return it->second;
     }
+    // The cached copy is stale: LRU-evicted, or stranded on a device that is
+    // no longer the survivor. Drop the superseded registration and its
+    // ledger entry so the old device's byte budget and placement score stop
+    // charging for it (in-flight solves pinned their EntryRef; Evict only
+    // drops the registry's reference).
+    registries_[static_cast<std::size_t>(it->second.device)]->Evict(
+        it->second.handle);
+    placed_[static_cast<std::size_t>(it->second.device)].erase(
+        it->second.handle);
+    failover_.erase(it);
   }
 
-  // First deflected submit for this handle (or the cached copy was evicted /
-  // the survivor changed): copy the matrix out of the quarantined device's
-  // registry — its HOST-side state is intact; only its device path is sick —
-  // and register on the survivor. The device-specific seams (fault injector,
-  // trace sink) do NOT follow the matrix: they model the OWNER device's
-  // hardware, and carrying them over would poison the survivor.
+  // First deflected submit for this handle (or the cached copy was stale):
+  // copy the matrix out of the quarantined device's registry — its HOST-side
+  // state is intact; only its device path is sick — and register on the
+  // survivor. The device-specific seams (fault injector, trace sink) do NOT
+  // follow the matrix: they model the OWNER device's hardware, and carrying
+  // them over would poison the survivor.
   const serve::MatrixRegistry::EntryRef entry =
       registries_[static_cast<std::size_t>(handle.device)]->TryPeek(
           handle.handle);
@@ -152,11 +167,10 @@ Expected<ShardedHandle> ShardedSolveService::FailoverTarget(
   if (!registered.ok()) return registered.status();
 
   const ShardedHandle target{survivor, *registered};
-  const serve::MatrixRegistry::EntryRef placed_entry =
-      registries_[static_cast<std::size_t>(survivor)]->TryPeek(*registered);
-  std::lock_guard<std::mutex> lock(mutex_);
   ++failover_registrations_;
   failover_[key] = target;
+  const serve::MatrixRegistry::EntryRef placed_entry =
+      registries_[static_cast<std::size_t>(survivor)]->TryPeek(*registered);
   if (placed_entry != nullptr) {
     placed_[static_cast<std::size_t>(survivor)][*registered] =
         placed_entry->cost.EstimateMs();
@@ -176,10 +190,20 @@ Expected<std::future<serve::ServeResult>> ShardedSolveService::Submit(
   if (health_.enabled()) {
     switch (health_.AdmitFor(handle.device)) {
       case DeviceHealthTracker::Admit::kAllow:
-      case DeviceHealthTracker::Admit::kProbe:
-        // Probes run the normal path on the owner; the outcome listener
-        // resolves the probe (reinstate or re-quarantine).
         break;
+      case DeviceHealthTracker::Admit::kProbe: {
+        // The probe runs the normal path on the owner; the outcome listener
+        // resolves it (reinstate or re-quarantine). If the submit fails
+        // admission (queue full, evicted handle, shutdown) no outcome will
+        // ever arrive — abort the probe so the device falls back to
+        // quarantine instead of sticking in kProbing forever. (Outcomes
+        // lost later — an expired deadline, a per-handle breaker deflection
+        // — are covered by the tracker's probe_timeout.)
+        auto probe = services_[static_cast<std::size_t>(handle.device)]
+                         ->Submit(handle.handle, std::move(b), options);
+        if (!probe.ok()) health_.AbortProbe(handle.device);
+        return probe;
+      }
       case DeviceHealthTracker::Admit::kDeflect: {
         auto target = FailoverTarget(handle);
         if (!target.ok()) return target.status();
@@ -218,10 +242,18 @@ Expected<serve::UpdateReport> ShardedSolveService::ApplyDelta(
   } else {
     ledger[handle.handle] = entry->cost.EstimateMs();
   }
-  // A failover copy on a survivor is now one epoch stale — drop it so the
-  // next deflected submit re-registers the updated factor. (The survivor's
-  // registry entry itself is left to LRU: in-flight solves pin it.)
-  failover_.erase({handle.device, handle.handle});
+  // A failover copy on a survivor is now one epoch stale — drop it (and its
+  // ledger entry) so the next deflected submit re-registers the updated
+  // factor and the survivor's budget stops charging for the dead epoch.
+  // In-flight solves pinned their EntryRef, so eviction cannot hurt them.
+  auto failed_over = failover_.find({handle.device, handle.handle});
+  if (failed_over != failover_.end()) {
+    registries_[static_cast<std::size_t>(failed_over->second.device)]->Evict(
+        failed_over->second.handle);
+    placed_[static_cast<std::size_t>(failed_over->second.device)].erase(
+        failed_over->second.handle);
+    failover_.erase(failed_over);
+  }
   return report;
 }
 

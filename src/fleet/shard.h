@@ -139,15 +139,23 @@ class ShardedSolveService {
   /// is always ledger -> registry, never the reverse).
   void ReconcileLedgerLocked(int device);
   /// The failover target for a deflected submit: a resident survivor copy of
-  /// (owner, handle), re-registering it if missing or LRU-evicted. Survivor
-  /// = lowest-indexed healthy device (deterministic for replays).
+  /// (owner, handle), re-registering it if missing, LRU-evicted, or stranded
+  /// on a device that is no longer the survivor (the superseded copy is
+  /// evicted and its ledger entry dropped). Survivor = lowest-indexed
+  /// healthy device (deterministic for replays). Takes mutex_ itself and
+  /// holds it across the check-register-insert sequence, so two concurrent
+  /// deflected submits for one key cannot both miss the cache and
+  /// double-register on the survivor.
   Expected<ShardedHandle> FailoverTarget(const ShardedHandle& handle);
 
   ShardOptions options_;
-  std::vector<std::unique_ptr<serve::MatrixRegistry>> registries_;
-  std::vector<std::unique_ptr<serve::SolveService>> services_;
+  // Declared BEFORE services_ (so destroyed AFTER them): each service's
+  // destructor joins workers that may still fire outcome_listener, which
+  // reports into health_. health_ and mutex_ must outlive those threads.
   DeviceHealthTracker health_;
   mutable std::mutex mutex_;  // placement ledger + failover map
+  std::vector<std::unique_ptr<serve::MatrixRegistry>> registries_;
+  std::vector<std::unique_ptr<serve::SolveService>> services_;
   /// Per device: handle -> last reconciled per-solve cost estimate (ms).
   std::vector<std::unordered_map<serve::MatrixHandle, double>> placed_;
   /// (owner device, owner handle) -> cached survivor registration.

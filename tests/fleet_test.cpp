@@ -727,6 +727,112 @@ TEST(ShardHealthTest, AllDevicesQuarantinedRejectsSubmit) {
   EXPECT_EQ(deflected.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(HealthTrackerTest, LostProbeTimesOutViaDeflections) {
+  // A probe whose outcome never arrives (expired deadline, per-handle
+  // breaker deflection — paths that skip the outcome listener) must not
+  // strand the device in kProbing forever: after probe_timeout deflections
+  // the probe is declared lost and the device re-enters quarantine with a
+  // fresh cooldown, so probing eventually resumes.
+  DeviceHealthTracker tracker(
+      1, {.threshold = 1, .probe_cooldown = 0, .probe_timeout = 3});
+  tracker.Report(0, true);
+  EXPECT_EQ(tracker.state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(tracker.AdmitFor(0), DeviceHealthTracker::Admit::kProbe);
+  EXPECT_EQ(tracker.state(0), DeviceState::kProbing);
+  // The probe's outcome is lost; deflections accumulate toward the timeout.
+  EXPECT_EQ(tracker.AdmitFor(0), DeviceHealthTracker::Admit::kDeflect);
+  EXPECT_EQ(tracker.AdmitFor(0), DeviceHealthTracker::Admit::kDeflect);
+  EXPECT_EQ(tracker.AdmitFor(0), DeviceHealthTracker::Admit::kDeflect);
+  EXPECT_EQ(tracker.state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(tracker.snapshot().probe_aborts, 1u);
+  // Fresh cooldown (0): the device probes again and can still reinstate.
+  EXPECT_EQ(tracker.AdmitFor(0), DeviceHealthTracker::Admit::kProbe);
+  tracker.Report(0, false);
+  EXPECT_EQ(tracker.state(0), DeviceState::kHealthy);
+  EXPECT_EQ(tracker.snapshot().reinstatements, 1u);
+}
+
+TEST(ShardHealthTest, FailedProbeSubmitAbortsBackToQuarantine) {
+  DegradedShard fixture({.threshold = 2, .probe_cooldown = 1});
+  EXPECT_EQ(fixture.Solve(0).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.Solve(1).status.code(), StatusCode::kDeadlock);
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kQuarantined);
+
+  // Kill the owner's service: the next due probe fails ADMISSION, so its
+  // outcome can never arrive through the listener. The probe must abort back
+  // to kQuarantined instead of sticking in kProbing (which would deflect
+  // every future submit and never probe again).
+  fixture.shard->service(0).Shutdown();
+  EXPECT_TRUE(fixture.Solve(2).status.ok());  // deflected to the survivor
+  serve::RequestOptions request;
+  request.algorithm = Algorithm::kCapellini;
+  auto probe = fixture.shard->Submit(
+      fixture.handle, MakeReferenceProblem(fixture.matrix, 3).b, request);
+  EXPECT_FALSE(probe.ok());
+  EXPECT_EQ(probe.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(fixture.shard->health().state(0), DeviceState::kQuarantined);
+  EXPECT_EQ(fixture.shard->health_stats().health.probe_aborts, 1u);
+  // Deflected traffic keeps serving on the survivor.
+  EXPECT_TRUE(fixture.Solve(4).status.ok());
+}
+
+TEST(ShardHealthTest, RetargetedFailoverEvictsStaleSurvivorCopy) {
+  sim::FaultPlan poison;
+  poison.seed = 99;
+  poison.drop_publish_rate = 1.0;
+  sim::FaultInjector injector0;
+  sim::FaultInjector injector1;
+  injector0.Reseed(poison);
+  injector1.Reseed(poison);
+
+  ShardOptions options;
+  options.num_devices = 3;
+  options.service = serve::SolveService::DeterministicOptions();
+  options.health = {.threshold = 1, .probe_cooldown = 100};
+  ShardedSolveService shard(options);
+
+  const Csr matrix = MakeBanded({.rows = 160, .bandwidth = 3, .fill = 0.8});
+  SolverOptions sick0 = DegradedShard::FastWatchdogOptions();
+  sick0.kernel_options.fault_injector = &injector0;
+  auto h0 = shard.Register(matrix, "sick0", sick0);
+  ASSERT_TRUE(h0.ok());
+  ASSERT_EQ(h0->device, 0);
+  SolverOptions sick1 = DegradedShard::FastWatchdogOptions();
+  sick1.kernel_options.fault_injector = &injector1;
+  auto h1 = shard.Register(matrix, "sick1", sick1);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_EQ(h1->device, 1);
+
+  serve::RequestOptions request;
+  request.algorithm = Algorithm::kCapellini;
+  auto solve = [&](const ShardedHandle& handle, std::uint64_t seed) {
+    auto submitted =
+        shard.Submit(handle, MakeReferenceProblem(matrix, seed).b, request);
+    EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+    return submitted->get();
+  };
+
+  // threshold 1: one deadlock quarantines device 0, and h0 fails over to
+  // device 1 (the lowest-indexed healthy survivor).
+  EXPECT_EQ(solve(*h0, 0).status.code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(solve(*h0, 1).status.ok());
+  EXPECT_EQ(shard.registry(1).Snapshot().resident_entries, 2u);
+
+  // Device 1 dies too: the next deflected submit for h0 retargets to device
+  // 2 and must EVICT the superseded copy from device 1, so its byte budget
+  // and placement score stop charging for a copy that will never serve.
+  EXPECT_EQ(solve(*h1, 2).status.code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(solve(*h0, 3).status.ok());
+  EXPECT_EQ(shard.registry(1).Snapshot().resident_entries, 1u);  // sick1 only
+  EXPECT_EQ(shard.registry(2).Snapshot().resident_entries, 1u);  // fresh copy
+  const ShardHealthStats stats = shard.health_stats();
+  EXPECT_EQ(stats.failover_registrations, 2u);
+  // The retargeted copy is cached: another deflected submit re-registers
+  // nothing.
+  EXPECT_TRUE(solve(*h0, 4).status.ok());
+  EXPECT_EQ(shard.health_stats().failover_registrations, 2u);
+}
+
 }  // namespace
 }  // namespace fleet
 }  // namespace capellini
